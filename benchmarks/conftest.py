@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure.  Reproduced rows/series
+are written to ``benchmarks/results/<name>.txt`` (and printed — visible with
+``pytest -s``); pytest-benchmark reports the timings in its own table.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Write a reproduced table to the results dir and echo it."""
+
+    def _emit(name: str, text: str) -> str:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n[written to {path}]")
+        return path
+
+    return _emit

@@ -1,0 +1,77 @@
+"""Ablation benchmarks for Geographer's design choices (DESIGN.md §5).
+
+Microbenchmarks each optimisation and regenerates the ablation tables,
+asserting the paper's claims: bounds skip ~80 % of inner loops and never
+change the result; SFC seeding converges faster than random.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.balanced_kmeans import balanced_kmeans
+from repro.core.config import BalancedKMeansConfig
+from repro.experiments import ablations
+from repro.mesh.delaunay import delaunay_mesh
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return delaunay_mesh(8000, rng=0)
+
+
+@pytest.fixture(scope="module")
+def pts(mesh):
+    return mesh.coords
+
+
+class TestBoundsAblation:
+    def test_bench_with_bounds(self, benchmark, pts):
+        cfg = BalancedKMeansConfig(use_sampling=False)
+        benchmark(lambda: balanced_kmeans(pts, 16, config=cfg, rng=1))
+
+    def test_bench_without_bounds(self, benchmark, pts):
+        cfg = BalancedKMeansConfig(use_sampling=False, use_bounds=False, use_box_pruning=False)
+        benchmark(lambda: balanced_kmeans(pts, 16, config=cfg, rng=1))
+
+    def test_table_and_claims(self, benchmark, mesh, emit):
+        rows = benchmark.pedantic(lambda: ablations.run_bounds(mesh, k=16, seed=0), rounds=1, iterations=1)
+        emit("ablation_bounds", ablations.format_rows(rows))
+        assert all(r.extra["agreement"] == 1.0 for r in rows)
+        with_bounds = next(r for r in rows if r.variant == "bounds+pruning")
+        assert with_bounds.skip_fraction > 0.6  # ~80% in the paper
+
+
+class TestSeedingAblation:
+    def test_table(self, benchmark, mesh, emit):
+        rows = benchmark.pedantic(lambda: ablations.run_seeding(mesh, k=16, seed=0), rounds=1, iterations=1)
+        emit("ablation_seeding", ablations.format_rows(rows))
+        by = {r.variant: r for r in rows}
+        assert by["sfc"].iterations <= by["random"].iterations * 1.5
+
+    def test_bench_sfc_seeding(self, benchmark, pts):
+        from repro.core.seeding import sfc_seeding
+
+        benchmark(lambda: sfc_seeding(pts, 64))
+
+    def test_bench_kmeanspp_seeding(self, benchmark, pts):
+        from repro.core.seeding import kmeanspp_seeding
+
+        benchmark(lambda: kmeanspp_seeding(pts, 64, rng=0))
+
+
+class TestErosionSamplingCurve:
+    def test_erosion_table(self, benchmark, mesh, emit):
+        rows = benchmark.pedantic(lambda: ablations.run_erosion(mesh, k=16, seed=0), rounds=1, iterations=1)
+        emit("ablation_erosion", ablations.format_rows(rows))
+        assert all(r.imbalance <= 0.05 for r in rows)
+
+    def test_sampling_table(self, benchmark, mesh, emit):
+        rows = benchmark.pedantic(lambda: ablations.run_sampling(mesh, k=16, seed=0), rounds=1, iterations=1)
+        emit("ablation_sampling", ablations.format_rows(rows))
+
+    def test_curve_table(self, benchmark, mesh, emit):
+        rows = benchmark.pedantic(lambda: ablations.run_curve(mesh, k=16, seed=0), rounds=1, iterations=1)
+        emit("ablation_curve", ablations.format_rows(rows))
+        # Hilbert chunks beat Morton chunks on communication volume for HSFC
+        hsfc = {r.variant: r.extra["totCommVol"] for r in rows if r.experiment == "curve/hsfc"}
+        assert hsfc["hilbert"] <= hsfc["morton"] * 1.1

@@ -1,0 +1,45 @@
+"""§5.3.2 components benchmark: stage shares of Geographer's running time.
+
+Paper numbers for Delaunay2B: at p=1024, redistribution 32% / k-means 47%;
+at p=16384, redistribution 46% / k-means 42% — redistribution takes over as
+p grows.  The modeled large-p rows must reproduce that crossover direction.
+"""
+
+import pytest
+
+from repro.experiments import components
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return components.run(points_per_rank=2000, rank_counts=(4, 8),
+                          modeled_rank_counts=(1024, 16384), seed=0)
+
+
+def test_components_run(benchmark):
+    out = benchmark.pedantic(
+        lambda: components.run(points_per_rank=400, rank_counts=(2,), modeled_rank_counts=(1024,), seed=1),
+        rounds=1, iterations=1,
+    )
+    assert len(out) == 2
+
+
+def test_components_table(benchmark, rows, emit):
+    text = benchmark.pedantic(lambda: components.format_result(rows), rounds=1, iterations=1)
+    emit("components_breakdown", text)
+
+
+def test_components_redistribution_share_grows(benchmark, rows):
+    modeled = benchmark.pedantic(
+        lambda: {r.nranks: r.fractions for r in rows if r.mode == "modeled"}, rounds=1, iterations=1
+    )
+    assert modeled[16384]["redistribute"] > modeled[1024]["redistribute"]
+
+
+def test_components_kmeans_dominates_small_p(benchmark, rows):
+    """At small p, indexing + k-means together dominate (paper)."""
+    measured = benchmark.pedantic(
+        lambda: [r for r in rows if r.mode == "measured"], rounds=1, iterations=1
+    )
+    for row in measured:
+        assert row.fractions["sfc_index"] + row.fractions["kmeans"] > 0.5

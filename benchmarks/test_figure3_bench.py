@@ -1,0 +1,89 @@
+"""Figure 3 benchmark: weak and strong scaling curves.
+
+Regenerates both panels and asserts the paper's qualitative findings:
+(ii) Geographer scales like MJ/HSFC and better than the recursive methods;
+all tools slow down crossing the 8192-core island boundary.
+"""
+
+import pytest
+
+from repro.experiments import figure3
+
+
+@pytest.fixture(scope="module")
+def weak():
+    # the paper's weak-scaling load: ~250k points per rank (modeled regime;
+    # a separate test below backs the simulation with a measured small run)
+    return figure3.run_weak(points_per_rank=250_000,
+                            rank_counts=(32, 64, 128, 256, 512, 1024, 2048, 4096, 8192),
+                            measured_max_ranks=0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def strong():
+    return figure3.run_strong(seed=0)
+
+
+def test_figure3a_weak_scaling(benchmark, weak, emit):
+    benchmark.pedantic(
+        lambda: figure3.run_weak(points_per_rank=500, rank_counts=(4, 64), measured_max_ranks=4, seed=1),
+        rounds=1, iterations=1,
+    )
+    emit("figure3a_weak_scaling", figure3.format_points(weak, title="Figure 3a (weak scaling, seconds)"))
+
+
+def test_figure3a_measured_points_back_simulation(benchmark):
+    """Small-p points execute the real SPMD run and stay balanced."""
+    points = benchmark.pedantic(
+        lambda: figure3.run_weak(points_per_rank=2000, rank_counts=(4, 8),
+                                 measured_max_ranks=8, seed=2),
+        rounds=1, iterations=1,
+    )
+    measured = [p for p in points if p.mode == "measured"]
+    assert measured, "expected measured-mode points at small p"
+    for p in measured:
+        if p.tool == "Geographer":
+            assert p.imbalance is not None and p.imbalance <= 0.031
+        assert p.measured_wall is not None and p.measured_wall > 0
+
+
+def test_figure3a_recursive_methods_scale_worst(benchmark, weak):
+    def growth(tool):
+        pts = {p.nranks: p.seconds for p in weak if p.tool == tool}
+        return pts[8192] / pts[32]
+
+    ratios = benchmark.pedantic(
+        lambda: {tool: growth(tool) for tool in ("RCB", "RIB", "Geographer")}, rounds=1, iterations=1
+    )
+    assert ratios["RCB"] > 2.0 * ratios["Geographer"]
+    assert ratios["RIB"] > 2.0 * ratios["Geographer"]
+    assert ratios["Geographer"] < 2.5  # near-flat, paper: ~2x over last doublings
+
+
+def test_figure3b_strong_scaling(benchmark, strong, emit):
+    text = benchmark.pedantic(
+        lambda: figure3.format_points(strong, title="Figure 3b (strong scaling Delaunay2B-scale, seconds)"),
+        rounds=1, iterations=1,
+    )
+    emit("figure3b_strong_scaling", text)
+
+
+def test_figure3b_island_kink(benchmark, strong):
+    """Every tool gets slower from 8192 to 16384 ranks (island crossing)."""
+
+    def check():
+        for tool in ("Geographer", "MultiJagged", "RCB", "RIB", "HSFC"):
+            pts = {p.nranks: p.seconds for p in strong if p.tool == tool}
+            assert pts[16384] > pts[8192], tool
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_figure3b_scaling_until_island(benchmark, strong):
+    """Before the island boundary, Geographer strong-scales (time shrinks)."""
+    pts = benchmark.pedantic(
+        lambda: {p.nranks: p.seconds for p in strong if p.tool == "Geographer"}, rounds=1, iterations=1
+    )
+    assert pts[2048] < pts[1024]
+    assert pts[4096] < pts[2048]

@@ -1,0 +1,49 @@
+"""Figure 4 benchmark: running time vs graph size over the whole test set.
+
+Regenerates the scatter (one timing per tool per registry instance, k chosen
+for ~constant points-per-block) and the per-tool least-squares trend fits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure4
+
+
+@pytest.fixture(scope="module")
+def points():
+    return figure4.run(points_per_block=600, scale=0.3, seed=0)
+
+
+def test_figure4_run(benchmark):
+    out = benchmark.pedantic(
+        lambda: figure4.run(points_per_block=500, scale=0.05, seed=1,
+                            tools=("Geographer", "HSFC"), names=("hugetric", "delaunay2d_s")),
+        rounds=1, iterations=1,
+    )
+    assert len(out) == 4
+
+
+def test_figure4_table(benchmark, points, emit):
+    text = benchmark.pedantic(lambda: figure4.format_result(points), rounds=1, iterations=1)
+    emit("figure4_running_times", text)
+
+
+def test_figure4_tool_ordering(benchmark, points):
+    """Median running times: HSFC and MJ below Geographer (paper Fig. 4)."""
+    med = benchmark.pedantic(
+        lambda: {
+            tool: np.median([tp.seconds for tp in points if tp.tool == tool])
+            for tool in ("Geographer", "HSFC", "MultiJagged", "RCB", "RIB")
+        },
+        rounds=1, iterations=1,
+    )
+    assert med["HSFC"] < med["Geographer"]
+    assert med["MultiJagged"] < med["Geographer"]
+
+
+def test_figure4_fits_near_linear(benchmark, points):
+    """Times grow roughly linearly in n (fit slopes ~ 0.5..1.6 in log-log)."""
+    fits = benchmark.pedantic(lambda: figure4.fit_trends(points), rounds=1, iterations=1)
+    for tool, (slope, _) in fits.items():
+        assert 0.2 < slope < 2.0, (tool, slope)

@@ -1,0 +1,102 @@
+"""Microbenchmarks of the hot kernels (profiling anchors).
+
+Not tied to a specific figure; these keep the per-kernel costs visible so
+performance regressions in the core loops are caught by inspection of the
+pytest-benchmark table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.assign import assign_points
+from repro.core.bounds import init_bounds
+from repro.core.config import BalancedKMeansConfig
+from repro.geometry.distances import top2_effective
+from repro.metrics.commvolume import comm_volumes
+from repro.metrics.cut import edge_cut
+from repro.mesh.delaunay import delaunay_mesh
+from repro.partitioners.base import get_partitioner
+from repro.runtime.comm import VirtualComm
+from repro.runtime.distsort import distributed_sort
+from repro.sfc.curves import sfc_index
+
+N = 60_000
+K = 64
+
+
+@pytest.fixture(scope="module")
+def pts():
+    return np.random.default_rng(0).random((N, 2))
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return delaunay_mesh(20_000, rng=1)
+
+
+def test_bench_hilbert_index(benchmark, pts):
+    out = benchmark(lambda: sfc_index(pts))
+    assert out.shape == (N,)
+
+
+def test_bench_morton_index(benchmark, pts):
+    benchmark(lambda: sfc_index(pts, curve="morton"))
+
+
+def test_bench_top2_effective(benchmark, pts):
+    centers = pts[:K]
+    influence = np.ones(K)
+    benchmark(lambda: top2_effective(pts[:8192], centers, influence))
+
+
+def test_bench_assign_sweep_cold(benchmark, pts):
+    """First sweep: all points evaluated (bounds force nothing)."""
+    centers = pts[:: N // K][:K].copy()
+    influence = np.ones(K)
+    cfg = BalancedKMeansConfig()
+
+    def run():
+        assignment = np.zeros(N, dtype=np.int64)
+        ub, lb = init_bounds(N)
+        assign_points(pts, centers, influence, assignment, ub, lb, cfg)
+        return assignment
+
+    benchmark(run)
+
+
+def test_bench_assign_sweep_warm(benchmark, pts):
+    """Steady-state sweep: bounds certify everything (the 80% skip path)."""
+    centers = pts[:: N // K][:K].copy()
+    influence = np.ones(K)
+    cfg = BalancedKMeansConfig()
+    assignment = np.zeros(N, dtype=np.int64)
+    ub, lb = init_bounds(N)
+    assign_points(pts, centers, influence, assignment, ub, lb, cfg)
+    benchmark(lambda: assign_points(pts, centers, influence, assignment, ub, lb, cfg))
+
+
+def test_bench_edge_cut(benchmark, mesh):
+    a = get_partitioner("RCB").partition_mesh(mesh, 16)
+    benchmark(lambda: edge_cut(mesh, a, 16))
+
+
+def test_bench_comm_volumes(benchmark, mesh):
+    a = get_partitioner("RCB").partition_mesh(mesh, 16)
+    benchmark(lambda: comm_volumes(mesh, a, 16))
+
+
+def test_bench_distributed_sort(benchmark):
+    rng = np.random.default_rng(2)
+    keys = [rng.integers(0, 1 << 40, size=10_000) for _ in range(8)]
+
+    def run():
+        comm = VirtualComm(8)
+        return distributed_sort(comm, keys)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("tool", ["RCB", "MultiJagged", "HSFC"])
+def test_bench_baseline_partition(benchmark, pts, tool):
+    partitioner = get_partitioner(tool)
+    benchmark(lambda: partitioner.partition(pts, K))

@@ -1,0 +1,67 @@
+"""Benchmark for the FM-refinement extension (§2, out of scope in the paper).
+
+Regenerates the refinement table (cut before/after per tool) and asserts the
+invariants at benchmark scale: cuts never rise, balance holds, and HSFC —
+whose SFC chunk boundaries are the most wrinkled — gains the most.
+"""
+
+import pytest
+
+from repro.experiments.harness import PAPER_TOOLS
+from repro.mesh.delaunay import delaunay_mesh
+from repro.metrics.imbalance import is_balanced
+from repro.partitioners.base import get_partitioner
+from repro.refine.fm import fm_refine
+
+K = 16
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return delaunay_mesh(10_000, rng=0)
+
+
+@pytest.fixture(scope="module")
+def refined(mesh):
+    out = {}
+    for tool in PAPER_TOOLS:
+        assignment = get_partitioner(tool).partition_mesh(mesh, K, rng=0)
+        out[tool] = fm_refine(mesh, assignment, K, max_passes=5)
+    return out
+
+
+def test_bench_fm_refine_hsfc(benchmark, mesh):
+    assignment = get_partitioner("HSFC").partition_mesh(mesh, K, rng=0)
+    refined_assignment, stats = benchmark(lambda: fm_refine(mesh, assignment, K, max_passes=3))
+    assert stats.cut_after <= stats.cut_before
+
+
+def test_refinement_table(benchmark, refined, emit):
+    def fmt():
+        lines = [f"{'tool':<14}{'cut before':>11}{'cut after':>11}{'gain':>8}{'moves':>7}"]
+        lines.append("-" * 51)
+        for tool, (_, stats) in refined.items():
+            lines.append(
+                f"{tool:<14}{stats.cut_before:>11}{stats.cut_after:>11}{stats.improvement:>7.1%}{stats.moves:>7}"
+            )
+        return "\n".join(lines)
+
+    emit("refinement_gains", benchmark.pedantic(fmt, rounds=1, iterations=1))
+
+
+def test_refinement_invariants(benchmark, mesh, refined):
+    def check():
+        for tool, (assignment, stats) in refined.items():
+            assert stats.cut_after <= stats.cut_before, tool
+            assert is_balanced(assignment, K, 0.031, mesh.node_weights), tool
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_hsfc_gains_most(benchmark, refined):
+    gains = benchmark.pedantic(
+        lambda: {tool: stats.improvement for tool, (_, stats) in refined.items()},
+        rounds=1, iterations=1,
+    )
+    assert gains["HSFC"] >= max(g for t, g in gains.items() if t != "HSFC") * 0.8

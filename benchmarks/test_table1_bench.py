@@ -1,0 +1,62 @@
+"""Table 1 benchmark: per-graph detail on the large instances (k scaled from 1024).
+
+Regenerates the scaled table and checks the per-row claims that transfer
+across scale: Geographer is never the worst on total communication volume,
+and every tool respects the 3 % balance constraint.
+"""
+
+import pytest
+
+from repro.experiments import tables
+from repro.experiments.harness import PAPER_TOOLS
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return tables.run_table1(k=32, scale=0.35, seed=0)
+
+
+def test_table1_run(benchmark):
+    out = benchmark.pedantic(
+        lambda: tables.run_table1(k=8, scale=0.05, seed=1, instances=("hugetrace",), with_spmv=False),
+        rounds=1, iterations=1,
+    )
+    assert len(out) == len(PAPER_TOOLS)
+
+
+def test_table1_table(benchmark, rows, emit):
+    text = benchmark.pedantic(
+        lambda: tables.format_table(rows, "Table 1 (scaled): large graphs, k=32"), rounds=1, iterations=1
+    )
+    emit("table1_large_graphs", text)
+    emit("table1_winners", f"best totCommVol per graph: {tables.winners(rows, 'totCommVol')}")
+
+
+def test_table1_balance_respected(benchmark, rows):
+    """§5.2.5: the 3% imbalance cap 'was respected by all tools'."""
+
+    def check():
+        for row in rows:
+            assert row.imbalance <= 0.031, (row.graph, row.tool, row.imbalance)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_table1_geographer_never_worst_totcomm(benchmark, rows):
+    def check():
+        by_graph = {}
+        for row in rows:
+            by_graph.setdefault(row.graph, []).append(row)
+        for graph, graph_rows in by_graph.items():
+            worst = max(graph_rows, key=lambda r: r.total_comm_vol)
+            assert worst.tool != "Geographer", graph
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_table1_geographer_wins_majority_totcomm(benchmark, rows):
+    wins = benchmark.pedantic(lambda: tables.winners(rows, "totCommVol"), rounds=1, iterations=1)
+    geo = sum(1 for tool in wins.values() if tool == "Geographer")
+    assert geo >= len(wins) / 2

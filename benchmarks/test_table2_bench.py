@@ -1,0 +1,71 @@
+"""Table 2 benchmark: per-graph detail on small/medium instances (k scaled from 64)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import tables
+from repro.experiments.harness import PAPER_TOOLS
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return tables.run_table2(k=16, scale=0.35, seed=0)
+
+
+def test_table2_run(benchmark):
+    out = benchmark.pedantic(
+        lambda: tables.run_table2(k=8, scale=0.05, seed=1, instances=("M6",), with_spmv=False),
+        rounds=1, iterations=1,
+    )
+    assert len(out) == len(PAPER_TOOLS)
+
+
+def test_table2_table(benchmark, rows, emit):
+    text = benchmark.pedantic(
+        lambda: tables.format_table(rows, "Table 2 (scaled): small/medium graphs, k=16"), rounds=1, iterations=1
+    )
+    emit("table2_small_medium_graphs", text)
+    emit("table2_winners", f"best totCommVol per graph: {tables.winners(rows, 'totCommVol')}")
+
+
+def test_table2_balance_respected(benchmark, rows):
+    def check():
+        for row in rows:
+            assert row.imbalance <= 0.031, (row.graph, row.tool, row.imbalance)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_table2_all_graphs_all_tools(benchmark, rows):
+    def check():
+        graphs = {r.graph for r in rows}
+        assert len(graphs) == len(tables.TABLE2_INSTANCES)
+        for graph in graphs:
+            tools = {r.tool for r in rows if r.graph == graph}
+            assert tools == set(PAPER_TOOLS)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_table2_geographer_wins_majority_totcomm(benchmark, rows):
+    wins = benchmark.pedantic(lambda: tables.winners(rows, "totCommVol"), rounds=1, iterations=1)
+    geo = sum(1 for tool in wins.values() if tool == "Geographer")
+    assert geo >= len(wins) / 2
+
+
+def test_table2_hsfc_fastest_never_best_quality(benchmark, rows):
+    """HSFC is among the fastest but rarely wins quality metrics (paper)."""
+
+    def stats():
+        by_tool_time = {}
+        for row in rows:
+            by_tool_time.setdefault(row.tool, []).append(row.time)
+        cut_wins = tables.winners(rows, "edgeCut")
+        return by_tool_time, cut_wins
+
+    by_tool_time, cut_wins = benchmark.pedantic(stats, rounds=1, iterations=1)
+    assert np.median(by_tool_time["HSFC"]) < np.median(by_tool_time["Geographer"])
+    hsfc_wins = sum(1 for tool in cut_wins.values() if tool == "HSFC")
+    assert hsfc_wins <= len(cut_wins) / 3

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""3-D airway mesh + distributed SpMV: the end-to-end pipeline.
+
+Builds an Alya-like branching airway mesh (the geometry where axis-aligned
+cutters fragment tubes), partitions it with every tool, and runs the
+distributed sparse matrix-vector product through each partition's halo plan —
+verifying the result against the global product and reporting the modeled
+communication time (the paper's ``timeSpMVComm``).
+
+Run:  python examples/airway_spmv.py
+"""
+
+import numpy as np
+
+from repro.mesh import airway_mesh
+from repro.partitioners import get_partitioner
+from repro.spmv import build_halo_plan, distributed_spmv
+
+
+def main() -> None:
+    k = 16
+    mesh = airway_mesh(8000, levels=2, rng=11)
+    print(f"mesh: {mesh}")
+
+    x = np.random.default_rng(0).random(mesh.n)
+    reference = mesh.to_scipy() @ x
+
+    print(f"\n{'tool':<14}{'totVolume':>10}{'maxVolume':>10}{'messages':>10}{'timeComm':>12}{'SpMV ok':>9}")
+    print("-" * 65)
+    for tool in ("Geographer", "HSFC", "MultiJagged", "RCB", "RIB"):
+        assignment = get_partitioner(tool).partition_mesh(mesh, k, rng=0)
+        plan = build_halo_plan(mesh, assignment, k)
+        y, t_comm = distributed_spmv(mesh, assignment, k, x)
+        ok = np.allclose(y, reference)
+        print(
+            f"{tool:<14}{plan.total_volume:>10}{int(plan.send_volumes.max()):>10}"
+            f"{int(plan.message_counts.sum()):>10}{t_comm:>12.3e}{str(ok):>9}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Extensions: non-geometric graphs (spectral embedding) + FM refinement.
+
+The paper names two extensions it leaves out of scope:
+
+- §6 future work: embed non-geometric graphs into geometric space so
+  Geographer can partition them;
+- §2: post-process with Fiduccia-Mattheyses-style local refinement.
+
+This example runs both: a community graph with no coordinates is embedded
+and partitioned, then every geometric partition of a mesh is refined and the
+edge-cut improvements reported.
+
+Run:  python examples/nongeometric_refine.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.embed import partition_graph
+from repro.mesh import GeometricMesh, delaunay_mesh
+from repro.metrics import edge_cut, imbalance, total_comm_volume
+from repro.partitioners import get_partitioner
+from repro.refine import fm_refine
+
+
+def nongeometric_demo() -> None:
+    print("=== spectral embedding: partitioning a graph with no coordinates ===")
+    sizes = [120, 120, 120, 120]
+    g = nx.random_partition_graph(sizes, 0.18, 0.004, seed=7)
+    coords, result = partition_graph(g, k=4, rng=0)
+
+    adjacency = nx.to_scipy_sparse_array(g)
+    mesh = GeometricMesh.from_scipy(coords, adjacency)
+    rng = np.random.default_rng(1)
+    random_cut = edge_cut(mesh, rng.integers(0, 4, mesh.n), 4)
+    spectral_cut = edge_cut(mesh, result.assignment, 4)
+    print(f"graph: {mesh.n} vertices, {mesh.m} edges, 4 planted communities")
+    print(f"balanced k-means on the embedding: cut={spectral_cut}, imbalance={result.imbalance:.3f}")
+    print(f"random balanced assignment:        cut={random_cut}")
+    print(f"cut reduction vs random: {1 - spectral_cut / random_cut:.0%}")
+
+
+def refinement_demo() -> None:
+    print("\n=== FM refinement: post-processing geometric partitions ===")
+    mesh = delaunay_mesh(12000, rng=3)
+    k = 16
+    print(f"mesh: {mesh}, k={k}\n")
+    print(f"{'tool':<14}{'cut before':>11}{'cut after':>11}{'gain':>7}{'totComm after':>14}{'imbal':>7}")
+    print("-" * 64)
+    for tool in ("Geographer", "HSFC", "MultiJagged", "RCB", "RIB"):
+        assignment = get_partitioner(tool).partition_mesh(mesh, k, rng=0)
+        refined, stats = fm_refine(mesh, assignment, k, epsilon=0.03, max_passes=5)
+        print(
+            f"{tool:<14}{stats.cut_before:>11}{stats.cut_after:>11}{stats.improvement:>6.1%}"
+            f"{total_comm_volume(mesh, refined, k):>14}"
+            f"{imbalance(refined, k, mesh.node_weights):>7.3f}"
+        )
+
+
+if __name__ == "__main__":
+    nongeometric_demo()
+    refinement_demo()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Weak/strong scaling study on the simulated SPMD runtime (Figures 3a/3b).
+
+Runs Geographer and the baselines over doubling process counts: small p
+executes the full simulated MPI run (real kernels, modeled communication);
+large p extrapolates local work from calibrated per-point costs.  The
+printed series reproduce the paper's shapes: Geographer/MJ/HSFC nearly flat,
+RCB/RIB degrading, and everyone paying the island penalty at p > 8192.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.experiments import figure3
+
+
+def main() -> None:
+    print("weak scaling (Figure 3a): p = k doubling, fixed points per rank\n")
+    weak = figure3.run_weak(
+        points_per_rank=2000,
+        rank_counts=(32, 128, 512, 2048, 8192),
+        measured_max_ranks=8,
+        seed=0,
+    )
+    print(figure3.format_points(weak, title="seconds per run"))
+
+    print("\nstrong scaling (Figure 3b): Delaunay2B-scale, fixed n, growing p = k\n")
+    strong = figure3.run_strong(
+        n=2_000_000_000,
+        rank_counts=(1024, 2048, 4096, 8192, 16384),
+        seed=0,
+    )
+    print(figure3.format_points(strong, title="seconds per run"))
+
+    # the paper attributes the 8192 -> 16384 slowdown to island crossing
+    geo = {p.nranks: p.seconds for p in strong if p.tool == "Geographer"}
+    if 8192 in geo and 16384 in geo:
+        print(f"\nGeographer 8192 -> 16384 ranks: {geo[8192]:.3f}s -> {geo[16384]:.3f}s "
+              f"({'slower' if geo[16384] > geo[8192] else 'faster'}; paper: slower, island boundary)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — reproduction of "Balanced k-means for Parallel Geometric Partitioning"
+(von Looz, Tzovas, Meyerhenke; ICPP 2018, arXiv:1805.01208).
+
+Public API overview
+-------------------
+- :func:`repro.core.balanced_kmeans` — the paper's balanced k-means (Alg. 2).
+- :mod:`repro.partitioners` — ``Geographer`` plus the Zoltan-style baselines
+  (``RCB``, ``RIB``, ``MultiJagged``, ``HSFC``) behind one interface.
+- :mod:`repro.mesh` — synthetic twins of the paper's benchmark meshes.
+- :mod:`repro.metrics` — edge cut, communication volumes, iFUB diameters,
+  imbalance, and the Figure-2 aggregation.
+- :mod:`repro.runtime` — simulated SPMD/MPI runtime with an alpha-beta cost
+  model for the scaling experiments (Figures 3-4).
+- :mod:`repro.spmv` — halo-exchange plans and the SpMV communication-time
+  metric (``timeComm``).
+- :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.core import BalancedKMeansConfig, KMeansResult, balanced_kmeans
+from repro.mesh import GeometricMesh, make_instance
+from repro.metrics import evaluate_partition
+from repro.partitioners import available_partitioners, get_partitioner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "balanced_kmeans",
+    "BalancedKMeansConfig",
+    "KMeansResult",
+    "GeometricMesh",
+    "make_instance",
+    "evaluate_partition",
+    "get_partitioner",
+    "available_partitioners",
+    "__version__",
+]

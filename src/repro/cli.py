@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``list``       — registry instances and available partitioners;
+- ``partition``  — partition an instance (or METIS file) and print metrics;
+- ``compare``    — all tools on one instance, Table-1/2 style;
+- ``visualize``  — write the partition (2-D meshes) as SVG;
+- ``scaling``    — weak/strong scaling series (Figure 3);
+- ``experiments``— regenerate a named paper artifact (figure1..figure4,
+  table1, table2, components).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Balanced k-means for parallel geometric partitioning (ICPP 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list instances and partitioners")
+
+    p = sub.add_parser("partition", help="partition one instance and print metrics")
+    p.add_argument("instance", help="registry instance name or .graph file path")
+    p.add_argument("-k", type=int, default=16, help="number of blocks (default 16)")
+    p.add_argument("--tool", default="Geographer")
+    p.add_argument("--epsilon", type=float, default=0.03)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shape", action="store_true", help="also print shape metrics")
+
+    c = sub.add_parser("compare", help="run all tools on one instance")
+    c.add_argument("instance")
+    c.add_argument("-k", type=int, default=16)
+    c.add_argument("--scale", type=float, default=1.0)
+    c.add_argument("--seed", type=int, default=0)
+
+    r = sub.add_parser("refine", help="FM-refine each tool's partition and report cut gains")
+    r.add_argument("instance")
+    r.add_argument("-k", type=int, default=16)
+    r.add_argument("--scale", type=float, default=1.0)
+    r.add_argument("--seed", type=int, default=0)
+    r.add_argument("--passes", type=int, default=5)
+
+    v = sub.add_parser("visualize", help="render a 2-D partition to SVG")
+    v.add_argument("instance")
+    v.add_argument("output", help="output .svg path")
+    v.add_argument("-k", type=int, default=8)
+    v.add_argument("--tool", default="Geographer")
+    v.add_argument("--scale", type=float, default=1.0)
+    v.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser("scaling", help="weak/strong scaling series")
+    s.add_argument("mode", choices=("weak", "strong"))
+    s.add_argument("--ranks", type=int, nargs="+", default=None)
+    s.add_argument("--seed", type=int, default=0)
+
+    e = sub.add_parser("experiments", help="regenerate a paper artifact")
+    e.add_argument("name", choices=("figure1", "figure2", "figure3", "figure4",
+                                    "table1", "table2", "components"))
+    e.add_argument("--out", default="results", help="output directory for figure1 SVGs")
+    e.add_argument("--scale", type=float, default=0.25)
+    e.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _load_mesh(name: str, scale: float, seed: int):
+    from repro.mesh.io import read_metis
+    from repro.mesh.registry import REGISTRY
+
+    if name in REGISTRY:
+        return REGISTRY[name].make(scale=scale, seed=seed)
+    if name.endswith(".graph"):
+        return read_metis(name)
+    raise SystemExit(f"unknown instance {name!r}; try `python -m repro list`")
+
+
+def _cmd_list() -> None:
+    from repro.mesh.registry import REGISTRY
+    from repro.partitioners.base import available_partitioners
+
+    print("partitioners:", ", ".join(available_partitioners()))
+    print(f"\n{'instance':<16}{'class':<12}{'default n':>10}  paper graph (paper n)")
+    print("-" * 72)
+    for spec in sorted(REGISTRY.values(), key=lambda s: (s.instance_class, s.name)):
+        paper_n = f"({spec.paper_n:,})" if spec.paper_n else ""
+        print(f"{spec.name:<16}{spec.instance_class:<12}{spec.default_n:>10}  {spec.paper_name} {paper_n}")
+
+
+def _cmd_partition(args) -> None:
+    from repro.experiments.harness import format_rows, run_tool_on_mesh
+    from repro.metrics.shape import shape_report
+
+    mesh = _load_mesh(args.instance, args.scale, args.seed)
+    print(f"{mesh}")
+    row = run_tool_on_mesh(mesh, args.tool, args.k, epsilon=args.epsilon, seed=args.seed)
+    print(format_rows([row]))
+    if args.shape:
+        from repro.partitioners.base import get_partitioner
+
+        assignment = get_partitioner(args.tool).partition_mesh(mesh, args.k, rng=args.seed)
+        print("\nshape:", shape_report(mesh, assignment, args.k))
+
+
+def _cmd_compare(args) -> None:
+    from repro.experiments.harness import format_rows, run_tools_on_mesh
+
+    mesh = _load_mesh(args.instance, args.scale, args.seed)
+    rows = run_tools_on_mesh(mesh, args.k, seed=args.seed)
+    print(format_rows(rows, title=f"{mesh.name}: all tools, k={args.k}"))
+
+
+def _cmd_refine(args) -> None:
+    from repro.experiments.harness import PAPER_TOOLS
+    from repro.partitioners.base import get_partitioner
+    from repro.refine.fm import fm_refine
+
+    mesh = _load_mesh(args.instance, args.scale, args.seed)
+    print(f"{mesh}, k={args.k}\n")
+    print(f"{'tool':<14}{'cut before':>11}{'cut after':>11}{'gain':>8}{'moves':>7}")
+    print("-" * 51)
+    for tool in PAPER_TOOLS:
+        assignment = get_partitioner(tool).partition_mesh(mesh, args.k, rng=args.seed)
+        _, stats = fm_refine(mesh, assignment, args.k, max_passes=args.passes)
+        print(f"{tool:<14}{stats.cut_before:>11}{stats.cut_after:>11}{stats.improvement:>7.1%}{stats.moves:>7}")
+
+
+def _cmd_visualize(args) -> None:
+    from repro.partitioners.base import get_partitioner
+    from repro.viz.svg import render_partition_svg
+
+    mesh = _load_mesh(args.instance, args.scale, args.seed)
+    assignment = get_partitioner(args.tool).partition_mesh(mesh, args.k, rng=args.seed)
+    render_partition_svg(mesh, assignment, path=args.output,
+                         title=f"{args.tool} on {mesh.name}, k={args.k}")
+    print(f"wrote {args.output}")
+
+
+def _cmd_scaling(args) -> None:
+    from repro.experiments import figure3
+
+    if args.mode == "weak":
+        ranks = tuple(args.ranks) if args.ranks else (32, 128, 512, 2048, 8192)
+        points = figure3.run_weak(rank_counts=ranks, seed=args.seed)
+    else:
+        ranks = tuple(args.ranks) if args.ranks else (1024, 2048, 4096, 8192, 16384)
+        points = figure3.run_strong(rank_counts=ranks, seed=args.seed)
+    print(figure3.format_points(points, title=f"{args.mode} scaling"))
+
+
+def _cmd_experiments(args) -> None:
+    from repro.experiments import components, figure1, figure2, figure3, figure4, tables
+
+    if args.name == "figure1":
+        outputs = figure1.run(args.out, seed=args.seed)
+        for panel, path in outputs.items():
+            print(f"{panel}: {path}")
+    elif args.name == "figure2":
+        print(figure2.format_result(figure2.run(k=16, scale=args.scale, seed=args.seed)))
+    elif args.name == "figure3":
+        print(figure3.format_points(figure3.run_weak(seed=args.seed), "Figure 3a"))
+        print()
+        print(figure3.format_points(figure3.run_strong(seed=args.seed), "Figure 3b"))
+    elif args.name == "figure4":
+        print(figure4.format_result(figure4.run(scale=args.scale, seed=args.seed)))
+    elif args.name == "table1":
+        print(tables.format_table(tables.run_table1(scale=args.scale, seed=args.seed), "Table 1 (scaled)"))
+    elif args.name == "table2":
+        print(tables.format_table(tables.run_table2(scale=args.scale, seed=args.seed), "Table 2 (scaled)"))
+    elif args.name == "components":
+        print(components.format_result(components.run(seed=args.seed)))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=4, suppress=True)
+    dispatch = {
+        "list": lambda: _cmd_list(),
+        "partition": lambda: _cmd_partition(args),
+        "compare": lambda: _cmd_compare(args),
+        "refine": lambda: _cmd_refine(args),
+        "visualize": lambda: _cmd_visualize(args),
+        "scaling": lambda: _cmd_scaling(args),
+        "experiments": lambda: _cmd_experiments(args),
+    }
+    dispatch[args.command]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Balanced k-means — the paper's core contribution (§4).
+
+Public entry point: :func:`balanced_kmeans` (Algorithm 2), configured via
+:class:`BalancedKMeansConfig`.  The vectorised assign-and-balance phase
+(Algorithm 1) lives in :mod:`repro.core.assign`; influence adaptation and
+erosion (Eq. 1-3) in :mod:`repro.core.influence`; the Hamerly-style bound
+maintenance (Eq. 4-5) in :mod:`repro.core.bounds`.
+"""
+
+from repro.core.config import BalancedKMeansConfig
+from repro.core.result import IterationStats, KMeansResult
+from repro.core.balanced_kmeans import balanced_kmeans
+from repro.core.seeding import kmeanspp_seeding, random_seeding, sfc_seeding
+
+__all__ = [
+    "BalancedKMeansConfig",
+    "KMeansResult",
+    "IterationStats",
+    "balanced_kmeans",
+    "sfc_seeding",
+    "random_seeding",
+    "kmeanspp_seeding",
+]

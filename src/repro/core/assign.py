@@ -1,0 +1,195 @@
+"""Vectorised assign-and-balance phase (Algorithm 1).
+
+The paper's inner loop is per-point; here the same logic is expressed over
+numpy arrays:
+
+- the Hamerly filter ``ub < lb`` selects, in one vector comparison, the
+  points whose assignment provably cannot have changed (line 9);
+- the remaining points are processed in chunks; per chunk, the bounding-box
+  rule of §4.4 selects candidate centers *exactly*: a center whose minimum
+  effective distance to the chunk's bounding box exceeds the second-smallest
+  *maximum* effective distance of any center to that box can be neither the
+  best nor the runner-up for any point in the box, so dropping it cannot
+  change assignments or bounds (the two centers defining the threshold are
+  always kept, making the rule self-consistent);
+- after assignment, block weights are reduced and influence values adapted
+  (Eq. 1); the loop repeats until balanced or the iteration cap is hit.
+
+In the distributed runtime the block-weight reduction (line 31, the only
+communication in Algorithm 1) becomes an allreduce over ranks; all other
+steps read rank-local arrays only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bounds import relax_for_influence
+from repro.core.config import BalancedKMeansConfig
+from repro.core.influence import adapt_influence
+from repro.core.parallel import get_executor
+from repro.geometry.boxes import BoundingBox
+from repro.geometry.distances import top2_effective
+
+__all__ = ["AssignStats", "assign_points", "assign_and_balance"]
+
+
+@dataclass
+class AssignStats:
+    """Counters validating the §4.3 claim that ~80 % of inner loops are skipped."""
+
+    points_total: int = 0
+    points_skipped: int = 0
+    center_evals: int = 0
+    center_evals_possible: int = 0
+    balance_iterations: int = 0
+    sweeps: int = 0
+
+    @property
+    def skip_fraction(self) -> float:
+        if self.points_total == 0:
+            return 0.0
+        return self.points_skipped / self.points_total
+
+    @property
+    def pruning_fraction(self) -> float:
+        """Fraction of center evaluations avoided by bounding-box pruning."""
+        if self.center_evals_possible == 0:
+            return 0.0
+        return 1.0 - self.center_evals / self.center_evals_possible
+
+    def merge(self, other: "AssignStats") -> None:
+        self.points_total += other.points_total
+        self.points_skipped += other.points_skipped
+        self.center_evals += other.center_evals
+        self.center_evals_possible += other.center_evals_possible
+        self.balance_iterations += other.balance_iterations
+        self.sweeps += other.sweeps
+
+
+def _box_candidates(chunk_points: np.ndarray, centers: np.ndarray, influence: np.ndarray) -> np.ndarray | None:
+    """Candidate center indices for a chunk, or ``None`` for "all centers"."""
+    k = centers.shape[0]
+    if k <= 2:
+        return None
+    bb = BoundingBox.from_points(chunk_points)
+    min_eff = bb.min_dist(centers) / influence
+    max_eff = bb.max_dist(centers) / influence
+    threshold = np.partition(max_eff, 1)[1]  # second-smallest max_eff
+    cand = np.flatnonzero(min_eff <= threshold)
+    if cand.shape[0] >= k:
+        return None
+    return cand
+
+
+def assign_points(
+    points: np.ndarray,
+    centers: np.ndarray,
+    influence: np.ndarray,
+    assignment: np.ndarray,
+    ub: np.ndarray,
+    lb: np.ndarray,
+    config: BalancedKMeansConfig,
+    stats: AssignStats | None = None,
+) -> int:
+    """One assignment sweep; updates ``assignment``/``ub``/``lb`` in place.
+
+    Returns the number of points that needed evaluation (the rest were
+    certified unchanged by their bounds).
+    """
+    n = points.shape[0]
+    k = centers.shape[0]
+    if config.use_bounds:
+        need = np.flatnonzero(ub >= lb)
+    else:
+        need = np.arange(n, dtype=np.int64)
+    if stats is not None:
+        stats.sweeps += 1
+        stats.points_total += n
+        stats.points_skipped += n - need.shape[0]
+
+    def process_chunk(chunk: np.ndarray) -> int:
+        cpts = points[chunk]
+        cand = _box_candidates(cpts, centers, influence) if config.use_box_pruning else None
+        assign, best, second = top2_effective(cpts, centers, influence, cand)
+        assignment[chunk] = assign
+        ub[chunk] = best
+        lb[chunk] = second
+        return k if cand is None else cand.shape[0]
+
+    chunks = [need[s : s + config.chunk_size] for s in range(0, need.shape[0], config.chunk_size)]
+    executor = get_executor(config.n_threads) if len(chunks) > 1 else None
+    if executor is None:
+        evaluated_per_chunk = [process_chunk(chunk) for chunk in chunks]
+    else:
+        # chunks touch disjoint index ranges, so concurrent writes are safe
+        evaluated_per_chunk = list(executor.map(process_chunk, chunks))
+    if stats is not None:
+        for chunk, evaluated in zip(chunks, evaluated_per_chunk):
+            stats.center_evals += evaluated * chunk.shape[0]
+            stats.center_evals_possible += k * chunk.shape[0]
+    return int(need.shape[0])
+
+
+@dataclass
+class BalanceOutcome:
+    """Result of one assign-and-balance phase."""
+
+    influence: np.ndarray
+    block_weights: np.ndarray
+    imbalance: float
+    balance_iterations: int = 0
+    balanced: bool = False
+    stats: AssignStats = field(default_factory=AssignStats)
+
+
+def assign_and_balance(
+    points: np.ndarray,
+    weights: np.ndarray,
+    centers: np.ndarray,
+    influence: np.ndarray,
+    assignment: np.ndarray,
+    ub: np.ndarray,
+    lb: np.ndarray,
+    target_weights: np.ndarray,
+    config: BalancedKMeansConfig,
+) -> BalanceOutcome:
+    """Algorithm 1: alternate assignment sweeps with influence adaptation.
+
+    Mutates ``assignment``, ``ub``, ``lb`` in place; returns the new influence
+    vector (the input array is not modified) plus balance diagnostics.
+    """
+    k = centers.shape[0]
+    dim = points.shape[1]
+    influence = np.array(influence, dtype=np.float64, copy=True)
+    stats = AssignStats()
+    block_w = np.zeros(k)
+    imbalance = np.inf
+    balanced = False
+    iterations = 0
+    for it in range(config.max_balance_iterations):
+        iterations = it + 1
+        assign_points(points, centers, influence, assignment, ub, lb, config, stats)
+        block_w = np.bincount(assignment, weights=weights, minlength=k)
+        imbalance = float((block_w / target_weights).max() - 1.0)
+        if imbalance <= config.epsilon:
+            balanced = True
+            break
+        if it == config.max_balance_iterations - 1:
+            break  # keep influence consistent with the final assignment
+        old_influence = influence
+        influence = adapt_influence(
+            influence,
+            block_w,
+            target_weights,
+            dim,
+            cap=config.influence_change_cap,
+            floor=config.influence_floor,
+            ceil=config.influence_ceil,
+        )
+        if config.use_bounds:
+            relax_for_influence(ub, lb, assignment, old_influence, influence)
+    stats.balance_iterations = iterations
+    return BalanceOutcome(influence, block_w, imbalance, iterations, balanced, stats)

@@ -1,0 +1,260 @@
+"""Balanced k-means driver (Algorithm 2).
+
+Single-address-space implementation; the SPMD version that mirrors the
+paper's MPI structure lives in :mod:`repro.runtime.distributed_kmeans` and
+reuses the same kernels (`assign_and_balance`, influence/bound updates) on
+rank-local arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assign import assign_and_balance
+from repro.core.bounds import init_bounds, relax_for_influence, relax_for_movement
+from repro.core.config import BalancedKMeansConfig
+from repro.core.influence import erode_influence, estimate_cluster_diameters
+from repro.core.result import IterationStats, KMeansResult
+from repro.core.sampling import sample_schedule
+from repro.core.seeding import seed_centers
+from repro.geometry.boxes import BoundingBox
+from repro.sfc.curves import sfc_index
+from repro.util.rng import ensure_rng
+from repro.util.timers import StageTimer
+from repro.util.validation import check_k, check_points, check_weights
+
+__all__ = ["balanced_kmeans", "weighted_center_update"]
+
+
+def weighted_center_update(
+    points: np.ndarray,
+    weights: np.ndarray,
+    assignment: np.ndarray,
+    k: int,
+    previous: np.ndarray,
+) -> np.ndarray:
+    """New centers = weighted mean of assigned points; empty clusters keep their center.
+
+    Implemented as one ``bincount`` per dimension (Algorithm 2, line 12-13);
+    in the distributed version the per-rank partial sums feed an allreduce.
+    """
+    wsum = np.bincount(assignment, weights=weights, minlength=k)
+    centers = np.empty_like(previous)
+    for d in range(points.shape[1]):
+        sums = np.bincount(assignment, weights=weights * points[:, d], minlength=k)
+        with np.errstate(invalid="ignore"):
+            centers[:, d] = np.where(wsum > 0, sums / np.maximum(wsum, 1e-300), previous[:, d])
+    return centers
+
+
+def _reseed_empty(
+    points: np.ndarray,
+    assignment: np.ndarray,
+    centers: np.ndarray,
+    influence: np.ndarray,
+    block_weights: np.ndarray,
+    rng: np.random.Generator,
+) -> bool:
+    """Relocate centers of empty clusters into the heaviest cluster.
+
+    Rare with SFC seeding (the paper relies on erosion to avoid anomalies),
+    but random seeding on heterogeneous densities can produce empties; each
+    is moved to the point farthest from the heaviest cluster's center.
+    Returns True if anything changed.
+    """
+    empty = np.flatnonzero(block_weights <= 0.0)
+    if empty.size == 0:
+        return False
+    for c in empty:
+        heaviest = int(np.argmax(block_weights))
+        members = np.flatnonzero(assignment == heaviest)
+        if members.size <= 1:
+            centers[c] = points[int(rng.integers(points.shape[0]))]
+        else:
+            diffs = points[members] - centers[heaviest]
+            far = members[int(np.argmax(np.einsum("ij,ij->i", diffs, diffs)))]
+            centers[c] = points[far]
+        influence[c] = 1.0
+        block_weights[c] = 0.0  # will be refilled next sweep
+    return True
+
+
+def balanced_kmeans(
+    points: np.ndarray,
+    k: int,
+    weights: np.ndarray | None = None,
+    config: BalancedKMeansConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+    target_weights: np.ndarray | None = None,
+    centers: np.ndarray | None = None,
+) -> KMeansResult:
+    """Partition ``points`` into ``k`` balanced clusters (Algorithm 2).
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` coordinates, d in {2, 3}.
+    k:
+        Number of clusters; independent of any process count.
+    weights:
+        Optional per-point loads; cluster *weights* are balanced.
+    target_weights:
+        Optional per-cluster target weights (footnote 1: heterogeneous
+        architectures); defaults to ``total_weight / k`` each.
+    centers:
+        Optional warm-start centers overriding the configured seeding.
+
+    Returns
+    -------
+    :class:`~repro.core.result.KMeansResult`
+    """
+    cfg = config or BalancedKMeansConfig()
+    pts = check_points(points)
+    n = pts.shape[0]
+    k = check_k(k, n)
+    w = check_weights(weights, n)
+    gen = ensure_rng(rng)
+    timers = StageTimer()
+
+    total_w = w.sum()
+    if target_weights is None:
+        targets = np.full(k, total_w / k)
+    else:
+        targets = np.ascontiguousarray(target_weights, dtype=np.float64)
+        if targets.shape != (k,) or np.any(targets <= 0):
+            raise ValueError(f"target_weights must be {k} positive values")
+        targets = targets * (total_w / targets.sum())
+
+    if k == 1:
+        return KMeansResult(
+            assignment=np.zeros(n, dtype=np.int64),
+            centers=((w[:, None] * pts).sum(axis=0) / total_w)[None, :],
+            influence=np.ones(1),
+            iterations=0,
+            converged=True,
+            imbalance=0.0,
+            timers=timers,
+        )
+
+    # --- SFC sort for chunk locality + seeding (Algorithm 2, lines 4-7) ---
+    order = None
+    if cfg.sfc_sort or cfg.seeding == "sfc":
+        with timers.stage("sfc_index"):
+            order = np.argsort(sfc_index(pts, curve=cfg.sfc_curve, bits=cfg.sfc_bits), kind="stable")
+    if cfg.sfc_sort:
+        with timers.stage("redistribute"):
+            work_pts = pts[order]
+            work_w = w[order]
+            seeding_order = np.arange(n, dtype=np.int64)
+    else:
+        work_pts, work_w = pts, w
+        seeding_order = order
+
+    with timers.stage("seeding"):
+        if centers is None:
+            centers = seed_centers(
+                work_pts, k, cfg.seeding, gen, curve=cfg.sfc_curve, bits=cfg.sfc_bits, order=seeding_order
+            )
+        else:
+            centers = np.array(centers, dtype=np.float64, copy=True)
+            if centers.shape != (k, pts.shape[1]):
+                raise ValueError(f"warm-start centers must have shape ({k}, {pts.shape[1]})")
+
+    influence = np.ones(k)
+    delta_threshold = cfg.delta_threshold_rel * BoundingBox.from_points(work_pts).diagonal
+    history: list[IterationStats] = []
+
+    # --- sampled initialisation rounds (§4.5) -----------------------------
+    with timers.stage("sampling"):
+        for sample_idx in sample_schedule(n, cfg, gen):
+            s_pts = work_pts[sample_idx]
+            s_w = work_w[sample_idx]
+            s_targets = targets * (s_w.sum() / total_w)
+            s_assign = np.zeros(sample_idx.shape[0], dtype=np.int64)
+            s_ub, s_lb = init_bounds(sample_idx.shape[0])
+            outcome = assign_and_balance(s_pts, s_w, centers, influence, s_assign, s_ub, s_lb, s_targets, cfg)
+            influence = outcome.influence
+            new_centers = weighted_center_update(s_pts, s_w, s_assign, k, centers)
+            deltas = np.linalg.norm(new_centers - centers, axis=1)
+            history.append(
+                IterationStats(
+                    iteration=len(history),
+                    max_delta=float(deltas.max()),
+                    imbalance=outcome.imbalance,
+                    balance_iterations=outcome.balance_iterations,
+                    skip_fraction=outcome.stats.skip_fraction,
+                    pruning_fraction=outcome.stats.pruning_fraction,
+                    sample_size=sample_idx.shape[0],
+                )
+            )
+            if cfg.use_erosion:
+                beta = estimate_cluster_diameters(s_pts, s_assign, new_centers, s_w)
+                influence = erode_influence(
+                    influence, deltas, float(beta[beta > 0].mean()) if np.any(beta > 0) else 0.0,
+                    floor=cfg.influence_floor, ceil=cfg.influence_ceil,
+                )
+            centers = new_centers
+
+    # --- main loop (Algorithm 2, lines 10-19) ------------------------------
+    assignment = np.zeros(n, dtype=np.int64)
+    ub, lb = init_bounds(n)
+    converged = False
+    final_imbalance = np.inf
+    iterations = 0
+    for it in range(cfg.max_iterations):
+        iterations = it + 1
+        with timers.stage("assign"):
+            outcome = assign_and_balance(work_pts, work_w, centers, influence, assignment, ub, lb, targets, cfg)
+        influence = outcome.influence
+        final_imbalance = outcome.imbalance
+
+        if _reseed_empty(work_pts, assignment, centers, influence, outcome.block_weights, gen):
+            lb[:] = 0.0  # a relocated center may now be anyone's runner-up
+            continue
+
+        with timers.stage("update"):
+            new_centers = weighted_center_update(work_pts, work_w, assignment, k, centers)
+        deltas = np.linalg.norm(new_centers - centers, axis=1)
+        history.append(
+            IterationStats(
+                iteration=len(history),
+                max_delta=float(deltas.max()),
+                imbalance=outcome.imbalance,
+                balance_iterations=outcome.balance_iterations,
+                skip_fraction=outcome.stats.skip_fraction,
+                pruning_fraction=outcome.stats.pruning_fraction,
+                sample_size=n,
+            )
+        )
+        if deltas.max() < delta_threshold and outcome.balanced:
+            converged = True
+            break
+
+        old_influence = influence.copy()
+        if cfg.use_erosion:
+            beta = estimate_cluster_diameters(work_pts, assignment, new_centers, work_w)
+            influence = erode_influence(
+                influence, deltas, float(beta[beta > 0].mean()) if np.any(beta > 0) else 0.0,
+                floor=cfg.influence_floor, ceil=cfg.influence_ceil,
+            )
+        centers = new_centers
+        if cfg.use_bounds:
+            relax_for_influence(ub, lb, assignment, old_influence, influence)
+            relax_for_movement(ub, lb, assignment, deltas, influence)
+
+    if cfg.sfc_sort:
+        final_assignment = np.empty(n, dtype=np.int64)
+        final_assignment[order] = assignment
+    else:
+        final_assignment = assignment
+
+    return KMeansResult(
+        assignment=final_assignment,
+        centers=centers,
+        influence=influence,
+        iterations=iterations,
+        converged=converged,
+        imbalance=final_imbalance,
+        history=history,
+        timers=timers,
+    )

@@ -1,0 +1,74 @@
+"""Hamerly-style distance bounds adapted to effective distances (§4.3).
+
+Invariants maintained between exact recomputations, for every point ``p``
+with assigned cluster ``a(p)``:
+
+- ``ub[p] >= eff(p, a(p))``            (upper bound on own effective distance)
+- ``lb[p] <= min_{c != a(p)} eff(p, c)``  (lower bound on the runner-up)
+
+When ``ub[p] < lb[p]`` the assignment of ``p`` provably cannot change and the
+inner loop over centers is skipped (Algorithm 1, line 9).
+
+Reproduction note on Eq. (4)-(5).  The paper prints ``ub' = ub - delta/I``
+and ``lb' = lb + max(...)``; with those signs the quantities stop being
+bounds (a center that moved *away* from a point could then be skipped while
+actually having become the runner-up).  Hamerly's original scheme — which the
+paper says it adapts — widens the gap: the upper bound grows by the own
+center's (effective) movement, the lower bound shrinks by the largest
+(effective) movement of any center.  We implement those directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["init_bounds", "relax_for_movement", "relax_for_influence"]
+
+
+def init_bounds(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Fresh bounds forcing full evaluation: ub = +inf, lb = 0 (Algorithm 2, line 9)."""
+    return np.full(n, np.inf), np.zeros(n)
+
+
+def relax_for_movement(
+    ub: np.ndarray,
+    lb: np.ndarray,
+    assignment: np.ndarray,
+    deltas: np.ndarray,
+    influence: np.ndarray,
+) -> None:
+    """Relax bounds in place after centers moved by ``deltas`` (Eq. 4-5, fixed signs).
+
+    A center move of ``delta(c)`` changes any point's distance to ``c`` by at
+    most ``delta(c)``, hence its *effective* distance by at most
+    ``delta(c) / influence(c)``.
+    """
+    eff_delta = np.asarray(deltas, dtype=np.float64) / np.asarray(influence, dtype=np.float64)
+    if np.any(eff_delta < 0):
+        raise ValueError("deltas and influence must be non-negative/positive")
+    ub += eff_delta[assignment]
+    lb -= eff_delta.max()
+    np.maximum(lb, 0.0, out=lb)
+
+
+def relax_for_influence(
+    ub: np.ndarray,
+    lb: np.ndarray,
+    assignment: np.ndarray,
+    old_influence: np.ndarray,
+    new_influence: np.ndarray,
+) -> None:
+    """Rescale bounds in place after influence values changed.
+
+    Effective distances transform exactly: ``eff_new(c) = eff_old(c) * I_old(c)/I_new(c)``.
+    The own-center bound rescales exactly; the runner-up bound is multiplied
+    by the *smallest* ratio over all centers, which keeps it a valid lower
+    bound regardless of which center is the runner-up.
+    """
+    old = np.asarray(old_influence, dtype=np.float64)
+    new = np.asarray(new_influence, dtype=np.float64)
+    if np.any(old <= 0) or np.any(new <= 0):
+        raise ValueError("influence values must be strictly positive")
+    ratio = old / new
+    ub *= ratio[assignment]
+    lb *= ratio.min()

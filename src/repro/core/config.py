@@ -1,0 +1,101 @@
+"""Configuration for balanced k-means.
+
+Defaults follow the paper: epsilon = 3 % (§5.2.5), influence change capped at
+5 % per balance step (§4.2), Hamerly bounds and bounding-box pruning on
+(§4.3-4.4), sampled initialisation starting from 100 points per process
+(§4.5), SFC seeding (Algorithm 2).  Every optimisation has an off-switch so
+the ablation benchmarks can isolate its effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["BalancedKMeansConfig"]
+
+
+@dataclass(frozen=True)
+class BalancedKMeansConfig:
+    """Tuning parameters of Algorithms 1 and 2.
+
+    Attributes
+    ----------
+    epsilon:
+        Balance tolerance; the assign-and-balance loop stops early once the
+        weighted imbalance drops below it.
+    max_iterations:
+        Maximum center-movement rounds (Algorithm 2's ``maxIter``).
+    max_balance_iterations:
+        Maximum influence-adaptation rounds per assignment phase
+        (Algorithm 1's ``maxBalanceIter``).
+    influence_change_cap:
+        Per-step multiplicative cap on influence updates ("restrict the
+        maximum influence change in one step to 5 %").
+    delta_threshold_rel:
+        Convergence threshold for the maximum center movement, relative to
+        the bounding-box diagonal.
+    use_bounds / use_box_pruning / use_erosion / use_sampling:
+        Toggles for the geometric optimisations (§4.3-4.5); disabling any of
+        them must not change results except sampling (which alters the
+        center trajectory), only speed.
+    seeding:
+        ``"sfc"`` (paper default), ``"random"``, or ``"kmeans++"``.
+    sfc_sort:
+        Sort points in Hilbert order internally so that chunks of the
+        assignment loop are spatially compact (mirrors the paper's global
+        sort + redistribution, §4.1).
+    chunk_size:
+        Points per chunk in the vectorised assignment kernel; bounds the
+        ``chunk x k`` distance matrix.
+    n_threads:
+        Shared-memory workers for the assignment sweep: 1 = serial
+        (default), 0 = one per core, n = exactly n threads.  Results are
+        identical to serial; only wall-clock changes.
+    influence_floor / influence_ceil:
+        Hard guards against degenerate influence values on pathological
+        inputs.
+    """
+
+    epsilon: float = 0.03
+    max_iterations: int = 50
+    max_balance_iterations: int = 20
+    influence_change_cap: float = 0.05
+    delta_threshold_rel: float = 2e-4
+    use_bounds: bool = True
+    use_box_pruning: bool = True
+    use_erosion: bool = True
+    use_sampling: bool = True
+    initial_sample_size: int = 100
+    seeding: str = "sfc"
+    sfc_curve: str = "hilbert"
+    sfc_bits: int | None = None
+    sfc_sort: bool = True
+    chunk_size: int = 8192
+    n_threads: int = 1
+    influence_floor: float = 1e-9
+    influence_ceil: float = 1e9
+    track_stats: bool = True
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {self.epsilon}")
+        if self.max_iterations < 1 or self.max_balance_iterations < 1:
+            raise ValueError("iteration limits must be >= 1")
+        if not (0.0 < self.influence_change_cap < 1.0):
+            raise ValueError(f"influence_change_cap must be in (0, 1), got {self.influence_change_cap}")
+        if self.delta_threshold_rel <= 0:
+            raise ValueError("delta_threshold_rel must be positive")
+        if self.seeding not in ("sfc", "random", "kmeans++"):
+            raise ValueError(f"unknown seeding {self.seeding!r}")
+        if self.initial_sample_size < 1:
+            raise ValueError("initial_sample_size must be >= 1")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.n_threads < 0:
+            raise ValueError("n_threads must be >= 0 (0 = one per core)")
+        if not (0 < self.influence_floor < 1 < self.influence_ceil):
+            raise ValueError("need influence_floor < 1 < influence_ceil")
+
+    def with_(self, **kwargs) -> "BalancedKMeansConfig":
+        """Functional update (configs are frozen)."""
+        return replace(self, **kwargs)

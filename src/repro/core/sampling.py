@@ -1,0 +1,41 @@
+"""Sampled initialisation rounds (§4.5 "random initialization").
+
+Early k-means rounds move centers and influence values wildly, so full
+precision is wasted: the paper permutes the local points, starts with a
+100-point sample, runs one assign-and-balance + movement round, doubles the
+sample, and repeats — about ``log2(n/100)`` rounds costing roughly one full
+round in total, but advancing the centers much further.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import BalancedKMeansConfig
+from repro.util.rng import ensure_rng
+
+__all__ = ["sample_schedule"]
+
+
+def sample_schedule(
+    n: int,
+    config: BalancedKMeansConfig,
+    rng: int | np.random.Generator | None = None,
+) -> list[np.ndarray]:
+    """Index arrays of the doubling sample rounds (excluding the full set).
+
+    Returns an empty list when sampling is disabled or the point set is
+    already small (<= 2x the initial sample size, where sampling cannot help).
+    """
+    if not config.use_sampling:
+        return []
+    size = config.initial_sample_size
+    if n <= 2 * size:
+        return []
+    gen = ensure_rng(rng)
+    perm = gen.permutation(n)
+    rounds: list[np.ndarray] = []
+    while size < n:
+        rounds.append(perm[:size])
+        size *= 2
+    return rounds

@@ -1,0 +1,102 @@
+"""Initial-center selection.
+
+The paper seeds from the space-filling curve (Algorithm 2, line 7): after
+sorting points by Hilbert index, center ``i`` is the point at position
+``i * n/k + n/(2k)`` — i.e. the middle of the ``i``-th of ``k`` equal-sized
+curve segments.  This gives a well-spread, density-adapted seeding in O(n log n)
+with no sequential dependence, unlike k-means++ (provided for comparison,
+§3.3 discusses why it is too expensive at scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.distances import pairwise_sq_distances
+from repro.sfc.curves import sfc_index
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_k, check_points
+
+__all__ = ["sfc_seeding", "random_seeding", "kmeanspp_seeding", "seed_centers"]
+
+
+def sfc_seeding(
+    points: np.ndarray,
+    k: int,
+    curve: str = "hilbert",
+    bits: int | None = None,
+    order: np.ndarray | None = None,
+) -> np.ndarray:
+    """Centers at equal intervals along the space-filling curve.
+
+    Parameters
+    ----------
+    order:
+        Optional precomputed SFC sort order of ``points`` (saves recomputing
+        the index when the caller already sorted).
+    """
+    pts = check_points(points)
+    n = pts.shape[0]
+    k = check_k(k, n)
+    if order is None:
+        order = np.argsort(sfc_index(pts, curve=curve, bits=bits), kind="stable")
+    positions = (np.arange(k, dtype=np.int64) * n) // k + n // (2 * k)
+    positions = np.minimum(positions, n - 1)
+    return pts[order[positions]].copy()
+
+
+def random_seeding(
+    points: np.ndarray, k: int, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """k distinct uniform-random points (the erratic baseline of §3.3)."""
+    pts = check_points(points)
+    k = check_k(k, pts.shape[0])
+    gen = ensure_rng(rng)
+    idx = gen.choice(pts.shape[0], size=k, replace=False)
+    return pts[idx].copy()
+
+
+def kmeanspp_seeding(
+    points: np.ndarray, k: int, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """k-means++ D^2 seeding (Arthur & Vassilvitskii), O(n k).
+
+    Included as a quality reference for the seeding ablation; the paper
+    rejects it for scalability reasons, not quality.
+    """
+    pts = check_points(points)
+    n = pts.shape[0]
+    k = check_k(k, n)
+    gen = ensure_rng(rng)
+    centers = np.empty((k, pts.shape[1]))
+    centers[0] = pts[gen.integers(n)]
+    closest_sq = pairwise_sq_distances(pts, centers[:1]).ravel()
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0.0:  # all points coincide with chosen centers
+            centers[i:] = centers[0]
+            break
+        probs = closest_sq / total
+        centers[i] = pts[gen.choice(n, p=probs)]
+        new_sq = pairwise_sq_distances(pts, centers[i : i + 1]).ravel()
+        np.minimum(closest_sq, new_sq, out=closest_sq)
+    return centers
+
+
+def seed_centers(
+    points: np.ndarray,
+    k: int,
+    method: str,
+    rng: int | np.random.Generator | None = None,
+    curve: str = "hilbert",
+    bits: int | None = None,
+    order: np.ndarray | None = None,
+) -> np.ndarray:
+    """Dispatch on the seeding method name used in :class:`BalancedKMeansConfig`."""
+    if method == "sfc":
+        return sfc_seeding(points, k, curve=curve, bits=bits, order=order)
+    if method == "random":
+        return random_seeding(points, k, rng)
+    if method == "kmeans++":
+        return kmeanspp_seeding(points, k, rng)
+    raise ValueError(f"unknown seeding method {method!r}")

@@ -1,0 +1,12 @@
+"""Geometric embeddings for non-geometric graphs (the paper's §6 future work).
+
+"Finding high-quality embeddings of non-geometric graphs into some geometric
+space in a scalable manner is promising, too.  This preprocessing would allow
+to apply Geographer to non-geometric graphs as well."  This package provides
+that preprocessing (spectral embedding) plus the end-to-end pipeline
+``partition_graph`` = embed + balanced k-means.
+"""
+
+from repro.embed.spectral import partition_graph, spectral_embedding
+
+__all__ = ["spectral_embedding", "partition_graph"]

@@ -1,0 +1,100 @@
+"""Spectral embedding + Geographer for graphs without coordinates.
+
+The embedding uses the eigenvectors of the (symmetric normalised) graph
+Laplacian belonging to the smallest non-trivial eigenvalues — the classic
+spectral layout, which places strongly connected vertices close together.
+Balanced k-means on those coordinates then yields a balanced partition whose
+blocks follow the graph's cluster structure.
+
+This is deliberately the *simple* instantiation of the paper's future-work
+idea: it demonstrates the pipeline, not a scalable eigensolver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import eigsh
+
+from repro.core.balanced_kmeans import balanced_kmeans
+from repro.core.config import BalancedKMeansConfig
+from repro.core.result import KMeansResult
+from repro.util.validation import check_k
+
+__all__ = ["spectral_embedding", "partition_graph"]
+
+
+def _as_adjacency(graph) -> sp.csr_matrix:
+    """Accept a GeometricMesh, scipy sparse matrix, or networkx graph."""
+    if hasattr(graph, "to_scipy"):  # GeometricMesh
+        return graph.to_scipy()
+    if sp.issparse(graph):
+        adjacency = sp.csr_matrix(graph)
+        adjacency = adjacency.maximum(adjacency.T)
+        adjacency.setdiag(0)
+        adjacency.eliminate_zeros()
+        return adjacency
+    try:
+        import networkx as nx
+
+        if isinstance(graph, nx.Graph):
+            return sp.csr_matrix(nx.to_scipy_sparse_array(graph))
+    except ImportError:  # pragma: no cover
+        pass
+    raise TypeError(f"unsupported graph type {type(graph)!r}")
+
+
+def spectral_embedding(graph, dim: int = 2, tol: float = 1e-6) -> np.ndarray:
+    """Coordinates from the first ``dim`` non-trivial Laplacian eigenvectors.
+
+    Parameters
+    ----------
+    graph:
+        :class:`~repro.mesh.graph.GeometricMesh`, scipy sparse adjacency, or
+        networkx graph.  Must be connected (otherwise the trivial eigenspace
+        is larger than one and coordinates degenerate).
+    dim:
+        Embedding dimension, 2 or 3 (what the partitioners support).
+
+    Returns an ``(n, dim)`` float array scaled to the unit cube.
+    """
+    if dim not in (2, 3):
+        raise ValueError(f"dim must be 2 or 3, got {dim}")
+    adjacency = _as_adjacency(graph)
+    n = adjacency.shape[0]
+    if n < dim + 2:
+        raise ValueError(f"graph too small for a {dim}-D embedding: n={n}")
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    if np.any(degrees == 0):
+        raise ValueError("graph has isolated vertices; embed the largest component instead")
+    inv_sqrt = sp.diags(1.0 / np.sqrt(degrees))
+    lap = sp.identity(n, format="csr") - inv_sqrt @ adjacency @ inv_sqrt
+    # smallest dim+1 eigenpairs; drop the trivial constant vector
+    eigenvalues, eigenvectors = eigsh(lap, k=dim + 1, sigma=-1e-3, which="LM", tol=tol)
+    order = np.argsort(eigenvalues)
+    coords = eigenvectors[:, order[1 : dim + 1]]
+    # degree-normalise back (D^{-1/2} u) and rescale to the unit cube
+    coords = coords / np.sqrt(degrees)[:, None]
+    lo = coords.min(axis=0)
+    extent = coords.max(axis=0) - lo
+    extent[extent == 0.0] = 1.0
+    return (coords - lo) / extent
+
+
+def partition_graph(
+    graph,
+    k: int,
+    dim: int = 2,
+    weights: np.ndarray | None = None,
+    config: BalancedKMeansConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, KMeansResult]:
+    """Embed a non-geometric graph and partition it with balanced k-means.
+
+    Returns ``(embedding coordinates, KMeansResult)``; the assignment is in
+    ``result.assignment``.
+    """
+    coords = spectral_embedding(graph, dim=dim)
+    check_k(k, coords.shape[0])
+    result = balanced_kmeans(coords, k, weights=weights, config=config, rng=rng)
+    return coords, result

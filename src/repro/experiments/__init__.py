@@ -1,0 +1,36 @@
+"""Experiment drivers: one module per table/figure of the paper's §5.
+
+Every module exposes ``run(...)`` returning structured results and a
+``format_*`` helper printing the same rows/series the paper reports.  The
+``benchmarks/`` tree wires each of these into pytest-benchmark.
+
+Module map (see DESIGN.md §4 for the full per-experiment index):
+
+- :mod:`repro.experiments.figure1` — partition visualisations (SVG);
+- :mod:`repro.experiments.figure2` — per-class quality ratios;
+- :mod:`repro.experiments.figure3` — weak/strong scaling;
+- :mod:`repro.experiments.figure4` — running time vs n + trend fits;
+- :mod:`repro.experiments.tables` — Tables 1 and 2 per-graph detail;
+- :mod:`repro.experiments.components` — §5.3.2 stage breakdown;
+- :mod:`repro.experiments.ablations` — design-choice ablations.
+
+Scaling note: experiments default to scaled-down instances (DESIGN.md §2);
+pass ``scale`` > 1 to grow them when more compute is available.
+"""
+
+from repro.experiments import ablations, components, figure1, figure2, figure3, figure4, tables
+from repro.experiments.harness import PAPER_TOOLS, format_rows, run_tool_on_mesh, run_tools_on_mesh
+
+__all__ = [
+    "run_tool_on_mesh",
+    "run_tools_on_mesh",
+    "format_rows",
+    "PAPER_TOOLS",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "tables",
+    "components",
+    "ablations",
+]

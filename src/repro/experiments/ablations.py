@@ -1,0 +1,126 @@
+"""Ablations of Geographer's design choices (DESIGN.md §5).
+
+The paper motivates each optimisation qualitatively; these experiments
+quantify them on this implementation:
+
+- **bounds**: Hamerly filter + box pruning — identical partitions, measured
+  speedup, and the §4.3 claim that ~80 % of inner loops are skipped;
+- **erosion**: influence erosion on heterogeneous densities — stability
+  (imbalance / empty clusters) with and without;
+- **sampling**: doubling-sample initialisation — wall-clock to convergence;
+- **seeding**: SFC vs random vs k-means++ — iterations to converge and final
+  communication volume;
+- **curve**: Hilbert vs Morton bootstrap — quality of the SFC baseline and
+  of Geographer seeding.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.balanced_kmeans import balanced_kmeans
+from repro.core.config import BalancedKMeansConfig
+from repro.metrics.commvolume import total_comm_volume
+from repro.mesh.graph import GeometricMesh
+from repro.partitioners.hsfc import HSFCPartitioner
+
+__all__ = ["AblationRow", "run_bounds", "run_erosion", "run_sampling", "run_seeding", "run_curve", "format_rows"]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    experiment: str
+    variant: str
+    seconds: float
+    iterations: int
+    imbalance: float
+    skip_fraction: float
+    extra: dict
+
+
+def _timed(points, k, cfg, seed, weights=None) -> tuple[float, "object"]:
+    start = time.perf_counter()
+    res = balanced_kmeans(points, k, weights=weights, config=cfg, rng=seed)
+    return time.perf_counter() - start, res
+
+
+def run_bounds(mesh: GeometricMesh, k: int = 16, seed: int = 0) -> list[AblationRow]:
+    """Bounds/pruning on vs off: identical assignments, different speed."""
+    rows = []
+    base = BalancedKMeansConfig(use_sampling=False)
+    variants = {
+        "bounds+pruning": base,
+        "bounds only": base.with_(use_box_pruning=False),
+        "neither": base.with_(use_bounds=False, use_box_pruning=False),
+    }
+    reference = None
+    for name, cfg in variants.items():
+        secs, res = _timed(mesh.coords, k, cfg, seed, weights=mesh.node_weights)
+        if reference is None:
+            reference = res.assignment
+        agreement = float((res.assignment == reference).mean())
+        rows.append(AblationRow("bounds", name, secs, res.iterations, res.imbalance,
+                                res.skip_fraction, {"agreement": agreement}))
+    return rows
+
+
+def run_erosion(mesh: GeometricMesh, k: int = 16, seed: int = 0) -> list[AblationRow]:
+    rows = []
+    for name, flag in (("erosion on", True), ("erosion off", False)):
+        cfg = BalancedKMeansConfig(use_erosion=flag)
+        secs, res = _timed(mesh.coords, k, cfg, seed, weights=mesh.node_weights)
+        empties = int((np.bincount(res.assignment, minlength=k) == 0).sum())
+        rows.append(AblationRow("erosion", name, secs, res.iterations, res.imbalance,
+                                res.skip_fraction, {"empty_blocks": empties}))
+    return rows
+
+
+def run_sampling(mesh: GeometricMesh, k: int = 16, seed: int = 0) -> list[AblationRow]:
+    rows = []
+    for name, flag in (("sampling on", True), ("sampling off", False)):
+        cfg = BalancedKMeansConfig(use_sampling=flag)
+        secs, res = _timed(mesh.coords, k, cfg, seed, weights=mesh.node_weights)
+        full_iters = sum(1 for h in res.history if h.sample_size == mesh.n)
+        rows.append(AblationRow("sampling", name, secs, res.iterations, res.imbalance,
+                                res.skip_fraction, {"full_rounds": full_iters}))
+    return rows
+
+
+def run_seeding(mesh: GeometricMesh, k: int = 16, seed: int = 0) -> list[AblationRow]:
+    rows = []
+    for method in ("sfc", "random", "kmeans++"):
+        cfg = BalancedKMeansConfig(seeding=method, use_sampling=False)
+        secs, res = _timed(mesh.coords, k, cfg, seed, weights=mesh.node_weights)
+        vol = total_comm_volume(mesh, res.assignment, k)
+        rows.append(AblationRow("seeding", method, secs, res.iterations, res.imbalance,
+                                res.skip_fraction, {"totCommVol": vol}))
+    return rows
+
+
+def run_curve(mesh: GeometricMesh, k: int = 16, seed: int = 0) -> list[AblationRow]:
+    """Hilbert vs Morton, both for the SFC baseline and Geographer's bootstrap."""
+    rows = []
+    for curve in ("hilbert", "morton"):
+        assignment = HSFCPartitioner(curve=curve).partition_mesh(mesh, k, rng=seed)
+        vol = total_comm_volume(mesh, assignment, k)
+        rows.append(AblationRow("curve/hsfc", curve, 0.0, 0, 0.0, 0.0, {"totCommVol": vol}))
+        cfg = BalancedKMeansConfig(sfc_curve=curve, use_sampling=False)
+        secs, res = _timed(mesh.coords, k, cfg, seed, weights=mesh.node_weights)
+        vol = total_comm_volume(mesh, res.assignment, k)
+        rows.append(AblationRow("curve/geographer", curve, secs, res.iterations,
+                                res.imbalance, res.skip_fraction, {"totCommVol": vol}))
+    return rows
+
+
+def format_rows(rows: list[AblationRow]) -> str:
+    header = f"{'experiment':<18}{'variant':<16}{'seconds':>9}{'iters':>7}{'imbal':>8}{'skip%':>8}  extra"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.experiment:<18}{row.variant:<16}{row.seconds:>9.3f}{row.iterations:>7}"
+            f"{row.imbalance:>8.3f}{100 * row.skip_fraction:>7.1f}%  {row.extra}"
+        )
+    return "\n".join(lines)

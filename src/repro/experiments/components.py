@@ -1,0 +1,68 @@
+"""§5.3.2 "Components": share of running time per Geographer stage.
+
+The paper reports that for small process counts the Hilbert indexing and the
+k-means iterations dominate, while at high process counts the redistribution
+step takes over (Delaunay2B: redistribution 32 % -> 46 % and k-means
+47 % -> 42 % going from 1 024 to 16 384 processes).  ``run`` reproduces the
+breakdown from the simulated SPMD runs (plus modeled large-p points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import BalancedKMeansConfig
+from repro.runtime.costmodel import MachineModel
+from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
+from repro.runtime.scaling import calibrate, modeled_time
+from repro.util.rng import ensure_rng
+
+__all__ = ["ComponentRow", "run", "format_result"]
+
+_STAGES = ("sfc_index", "redistribute", "kmeans")
+
+
+@dataclass(frozen=True)
+class ComponentRow:
+    nranks: int
+    n: int
+    fractions: dict
+    mode: str
+
+
+def run(
+    points_per_rank: int = 2000,
+    rank_counts: tuple[int, ...] = (4, 8, 16),
+    modeled_rank_counts: tuple[int, ...] = (1024, 16384),
+    modeled_n: int = 2_000_000_000,
+    machine: MachineModel | None = None,
+    seed: int = 0,
+) -> list[ComponentRow]:
+    """Stage shares for measured (small p) and modeled (paper-scale p) runs."""
+    gen = ensure_rng(seed)
+    rows: list[ComponentRow] = []
+    cfg = BalancedKMeansConfig(use_sampling=False)
+    for p in rank_counts:
+        pts = gen.random((points_per_rank * p, 2))
+        res = distributed_balanced_kmeans(pts, k=p, nranks=p, config=cfg, machine=machine, rng=gen)
+        total = sum(res.ledger.stages.get(s, 0.0) for s in _STAGES)
+        fracs = {s: res.ledger.stages.get(s, 0.0) / total for s in _STAGES} if total > 0 else {}
+        rows.append(ComponentRow(p, pts.shape[0], fracs, "measured"))
+    calib = calibrate(machine=machine, rng=gen)
+    for p in modeled_rank_counts:
+        _, breakdown = modeled_time("Geographer", modeled_n, p, p, calib, machine)
+        total = sum(breakdown.values())
+        fracs = {s: breakdown.get(s, 0.0) / total for s in _STAGES}
+        rows.append(ComponentRow(p, modeled_n, fracs, "modeled"))
+    return rows
+
+
+def format_result(rows: list[ComponentRow]) -> str:
+    header = f"{'p':>8}{'n':>14}{'mode':>10}" + "".join(f"{s:>15}" for s in _STAGES)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = "".join(f"{100 * row.fractions.get(s, 0.0):>14.1f}%" for s in _STAGES)
+        lines.append(f"{row.nranks:>8}{row.n:>14}{row.mode:>10}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Figure 1: visual comparison of partitions of a hugetric-style mesh.
+
+The paper shows hugetric-0000 split into 8 blocks by RCB, RIB, MultiJagged,
+zoltanSFC and Geographer: RCB/RIB produce thin elongated strips, MJ bounded
+rectangles, HSFC wrinkled curve chunks, Geographer curved convex-ish blocks.
+``run`` regenerates the six panels (input + five tools) as SVG files.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.experiments.harness import PAPER_TOOLS
+from repro.mesh.adaptive import hugetric_like
+from repro.mesh.graph import GeometricMesh
+from repro.partitioners.base import get_partitioner
+from repro.viz.svg import render_partition_svg
+
+__all__ = ["run"]
+
+
+def run(
+    out_dir: str,
+    n: int = 6000,
+    k: int = 8,
+    seed: int = 0,
+    mesh: GeometricMesh | None = None,
+    tools: tuple[str, ...] = PAPER_TOOLS,
+) -> dict[str, str]:
+    """Write the Figure-1 panels; returns {panel name: svg path}.
+
+    Also returns per-tool block-count sanity info embedded in the SVG titles.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    mesh = mesh or hugetric_like(n, rng=seed)
+    outputs: dict[str, str] = {}
+
+    path = os.path.join(out_dir, "figure1_input.svg")
+    render_partition_svg(mesh, None, path=path, title=f"input: {mesh.name} (n={mesh.n})")
+    outputs["input"] = path
+
+    for tool in tools:
+        assignment = get_partitioner(tool).partition_mesh(mesh, k, rng=seed)
+        sizes = np.bincount(assignment, minlength=k)
+        path = os.path.join(out_dir, f"figure1_{tool}.svg")
+        render_partition_svg(
+            mesh, assignment, path=path,
+            title=f"{tool}: k={k}, sizes {sizes.min()}..{sizes.max()}",
+        )
+        outputs[tool] = path
+    return outputs

@@ -1,0 +1,82 @@
+"""Figure 2: aggregated metric ratios per instance class.
+
+For each class (2-D DIMACS, 2.5-D climate, 3-D meshes) and each tool, the
+paper reports the geometric mean over the class's graphs of
+``metric(tool) / metric(Geographer)`` for edgeCut, maxCommVol, totCommVol,
+harmDiam and timeComm.  Values > 1 mean Geographer wins.
+
+The headline claims this reproduces:
+- Geographer has the lowest total communication volume in *all three*
+  classes (~15 % better than the best competitor on 2-D DIMACS);
+- MultiJagged wins edge cut on 3-D meshes by a few percent;
+- no tool dominates everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.harness import PAPER_TOOLS, format_matrix, run_tools_on_mesh
+from repro.metrics.report import FIGURE2_METRICS, MetricRow, aggregate_ratios
+from repro.mesh.registry import REGISTRY, instances_in_class
+
+__all__ = ["Figure2Result", "run", "format_result"]
+
+#: The paper's three panels.
+CLASSES = ("dimacs2d", "climate25d", "mesh3d")
+
+
+@dataclass
+class Figure2Result:
+    """Per-class ratio matrices plus the underlying rows."""
+
+    ratios: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+    rows: dict[str, list[MetricRow]] = field(default_factory=dict)
+
+    def geographer_wins_totcomm(self) -> dict[str, bool]:
+        """Per class: does every competitor have totCommVol ratio >= 1?"""
+        out = {}
+        for cls, matrix in self.ratios.items():
+            out[cls] = all(
+                matrix[tool].get("totCommVol", 1.0) >= 1.0
+                for tool in matrix
+                if tool != "Geographer"
+            )
+        return out
+
+
+def run(
+    k: int = 32,
+    scale: float = 1.0,
+    seed: int = 0,
+    tools: tuple[str, ...] = PAPER_TOOLS,
+    classes: tuple[str, ...] = CLASSES,
+    max_instances_per_class: int | None = None,
+    with_spmv: bool = True,
+) -> Figure2Result:
+    """Run all tools over all classes and aggregate Figure-2 style."""
+    result = Figure2Result()
+    for cls in classes:
+        names = instances_in_class(cls)
+        if max_instances_per_class is not None:
+            names = names[:max_instances_per_class]
+        rows: list[MetricRow] = []
+        for name in names:
+            mesh = REGISTRY[name].make(scale=scale, seed=seed)
+            rows.extend(run_tools_on_mesh(mesh, k, tools=tools, seed=seed, with_spmv=with_spmv))
+        result.rows[cls] = rows
+        result.ratios[cls] = aggregate_ratios(rows, baseline_tool="Geographer")
+    return result
+
+
+def format_result(result: Figure2Result) -> str:
+    """Text rendering of the three panels."""
+    titles = {
+        "dimacs2d": "(a) DIMACS graphs (2D) — ratios vs Geographer",
+        "climate25d": "(b) Climate graphs (2.5D) — ratios vs Geographer",
+        "mesh3d": "(c) Alya and Delaunay (3D) — ratios vs Geographer",
+    }
+    blocks = []
+    for cls, matrix in result.ratios.items():
+        blocks.append(format_matrix(matrix, FIGURE2_METRICS, title=titles.get(cls, cls)))
+    return "\n\n".join(blocks)

@@ -1,0 +1,76 @@
+"""Figure 3: weak and strong scaling on the Delaunay series.
+
+- 3a (weak): p = k from 32 to 8192 with ~250k points per rank; Geographer,
+  MJ and HSFC scale almost perfectly to 1024 ranks then rise ~2x over three
+  more doublings; RCB/RIB degrade immediately.
+- 3b (strong): Delaunay2B (2x10^9 points), p = k from 1024 to 16384; all
+  tools slow down from 8192 -> 16384 because jobs then span two SuperMUC
+  islands (modelled by the island penalty in :class:`MachineModel`).
+
+Points up to ``measured_max_ranks`` execute the full simulated SPMD run;
+beyond that, rank-local work is extrapolated from calibrated per-point costs
+(mode column distinguishes the two; see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.runtime.costmodel import MachineModel
+from repro.runtime.scaling import ScalingPoint, strong_scaling, weak_scaling
+
+__all__ = ["run_weak", "run_strong", "format_points"]
+
+
+def run_weak(
+    points_per_rank: int = 4000,
+    rank_counts: tuple[int, ...] = (32, 64, 128, 256, 512, 1024, 2048, 4096, 8192),
+    measured_max_ranks: int = 8,
+    machine: MachineModel | None = None,
+    seed: int = 0,
+) -> list[ScalingPoint]:
+    """Figure 3a (paper: 250k points/rank; default here 4k for laptop scale)."""
+    return weak_scaling(
+        points_per_rank=points_per_rank,
+        rank_counts=rank_counts,
+        measured_max_ranks=measured_max_ranks,
+        machine=machine,
+        rng=seed,
+    )
+
+
+def run_strong(
+    n: int = 2_000_000_000,
+    rank_counts: tuple[int, ...] = (1024, 2048, 4096, 8192, 16384),
+    measured_max_ranks: int = 0,
+    machine: MachineModel | None = None,
+    seed: int = 0,
+) -> list[ScalingPoint]:
+    """Figure 3b (paper: Delaunay2B; local work fully modeled at this n)."""
+    return strong_scaling(
+        n=n,
+        rank_counts=rank_counts,
+        measured_max_ranks=measured_max_ranks,
+        machine=machine,
+        rng=seed,
+    )
+
+
+def format_points(points: list[ScalingPoint], title: str = "") -> str:
+    """Render curves as rows of seconds per (tool, p) — the figure's series."""
+    by_tool: dict[str, list[ScalingPoint]] = defaultdict(list)
+    for sp in points:
+        by_tool[sp.tool].append(sp)
+    ranks = sorted({sp.nranks for sp in points})
+    header = f"{'tool':<14}" + "".join(f"{('p=' + str(p)):>12}" for p in ranks)
+    lines = [title, header, "-" * len(header)] if title else [header, "-" * len(header)]
+    for tool in sorted(by_tool):
+        cells = {sp.nranks: sp for sp in by_tool[tool]}
+        row = "".join(
+            f"{cells[p].seconds:>11.3f}{'*' if cells[p].mode == 'modeled' else ' '}"
+            if p in cells else f"{'-':>12}"
+            for p in ranks
+        )
+        lines.append(f"{tool:<14}{row}")
+    lines.append("(* = modeled extrapolation; unmarked = measured simulated run)")
+    return "\n".join(lines)

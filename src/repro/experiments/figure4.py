@@ -1,0 +1,90 @@
+"""Figure 4: running time vs graph size across all instances + trend fits.
+
+The paper times every tool on every graph with ~250k points per block
+(k = nearest power of two) and fits least-squares trend lines in log-log
+space.  We reproduce the same protocol at scale: each registry instance is
+partitioned by every tool with k chosen so that n/k is close to
+``points_per_block``, and the per-tool fit exponents are reported.
+The expected shape: HSFC/MJ fastest, Geographer a constant factor above
+them, RCB/RIB with the steepest growth.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.harness import PAPER_TOOLS
+from repro.mesh.registry import REGISTRY, instance_names
+from repro.partitioners.base import get_partitioner
+
+__all__ = ["TimingPoint", "run", "fit_trends", "format_result"]
+
+
+@dataclass(frozen=True)
+class TimingPoint:
+    tool: str
+    graph: str
+    n: int
+    k: int
+    seconds: float
+
+
+def _power_of_two_k(n: int, points_per_block: int) -> int:
+    """Power-of-two k giving local size closest to the target (paper protocol)."""
+    if n <= points_per_block:
+        return 1
+    raw = n / points_per_block
+    lo = 1 << int(np.floor(np.log2(raw)))
+    hi = lo * 2
+    k = lo if abs(n / lo - points_per_block) <= abs(n / hi - points_per_block) else hi
+    return max(2, min(k, n))
+
+
+def run(
+    points_per_block: int = 1000,
+    scale: float = 1.0,
+    seed: int = 0,
+    tools: tuple[str, ...] = PAPER_TOOLS,
+    names: tuple[str, ...] | None = None,
+) -> list[TimingPoint]:
+    """Time every tool on every registry instance."""
+    out: list[TimingPoint] = []
+    for name in (names or instance_names()):
+        mesh = REGISTRY[name].make(scale=scale, seed=seed)
+        k = _power_of_two_k(mesh.n, points_per_block)
+        for tool in tools:
+            partitioner = get_partitioner(tool)
+            start = time.perf_counter()
+            partitioner.partition_mesh(mesh, k, rng=seed)
+            out.append(TimingPoint(tool, name, mesh.n, k, time.perf_counter() - start))
+    return out
+
+
+def fit_trends(points: list[TimingPoint]) -> dict[str, tuple[float, float]]:
+    """Per-tool least-squares fit ``log2(t) = a * log2(n) + b`` (the figure's lines)."""
+    fits: dict[str, tuple[float, float]] = {}
+    tools = sorted({tp.tool for tp in points})
+    for tool in tools:
+        sel = [tp for tp in points if tp.tool == tool]
+        if len(sel) < 2:
+            continue
+        x = np.log2([tp.n for tp in sel])
+        y = np.log2([max(tp.seconds, 1e-9) for tp in sel])
+        slope, intercept = np.polyfit(x, y, 1)
+        fits[tool] = (float(slope), float(intercept))
+    return fits
+
+
+def format_result(points: list[TimingPoint]) -> str:
+    lines = [f"{'tool':<14}{'graph':<22}{'n':>9}{'k':>6}{'seconds':>11}"]
+    lines.append("-" * len(lines[0]))
+    for tp in sorted(points, key=lambda t: (t.tool, t.n)):
+        lines.append(f"{tp.tool:<14}{tp.graph:<22}{tp.n:>9}{tp.k:>6}{tp.seconds:>11.4f}")
+    lines.append("")
+    lines.append("least-squares fits: log2(seconds) = a*log2(n) + b")
+    for tool, (a, b) in fit_trends(points).items():
+        lines.append(f"  {tool:<14} a={a:+.3f}  b={b:+.2f}")
+    return "\n".join(lines)

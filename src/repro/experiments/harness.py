@@ -1,0 +1,103 @@
+"""Shared experiment machinery: timed runs + plain-text tables."""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.mesh.graph import GeometricMesh
+from repro.metrics.report import MetricRow, evaluate_partition
+from repro.partitioners.base import get_partitioner
+
+__all__ = ["PAPER_TOOLS", "run_tool_on_mesh", "run_tools_on_mesh", "format_rows", "format_matrix"]
+
+#: Tools compared in Tables 1-2 (paper order).
+PAPER_TOOLS = ("Geographer", "HSFC", "MultiJagged", "RCB", "RIB")
+
+
+def run_tool_on_mesh(
+    mesh: GeometricMesh,
+    tool: str,
+    k: int,
+    epsilon: float = 0.03,
+    seed: int = 0,
+    repeats: int = 1,
+    with_spmv: bool = True,
+    diameter_rounds: int = 3,
+) -> MetricRow:
+    """Partition ``mesh`` with ``tool`` and measure all paper metrics.
+
+    ``repeats`` averages the wall-clock over several runs (the paper averages
+    over 5); metrics are taken from the last run (deterministic given seed).
+    """
+    partitioner = get_partitioner(tool)
+    elapsed = []
+    assignment = None
+    for rep in range(max(1, repeats)):
+        start = time.perf_counter()
+        assignment = partitioner.partition_mesh(mesh, k, epsilon=epsilon, rng=seed + rep)
+        elapsed.append(time.perf_counter() - start)
+    row = evaluate_partition(
+        mesh, assignment, k, tool=tool, time=float(np.mean(elapsed)),
+        diameter_rounds=diameter_rounds, with_spmv=with_spmv,
+    )
+    return row
+
+
+def run_tools_on_mesh(
+    mesh: GeometricMesh,
+    k: int,
+    tools: Sequence[str] = PAPER_TOOLS,
+    epsilon: float = 0.03,
+    seed: int = 0,
+    repeats: int = 1,
+    with_spmv: bool = True,
+    diameter_rounds: int = 3,
+) -> list[MetricRow]:
+    """One Table-1/2 block: all tools on one mesh."""
+    return [
+        run_tool_on_mesh(mesh, tool, k, epsilon, seed, repeats, with_spmv, diameter_rounds)
+        for tool in tools
+    ]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if isinstance(value, float) and not value.is_integer():
+        if abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return f"{int(value)}"
+
+
+def format_rows(rows: Iterable[MetricRow], title: str = "") -> str:
+    """Render metric rows as the paper's per-graph table layout."""
+    header = f"{'graph':<22}{'tool':<14}{'time':>10}{'cut':>10}{'maxComm':>10}{'totComm':>11}{'harmDiam':>10}{'timeComm':>12}{'imbal':>8}"
+    lines = [title, header, "-" * len(header)] if title else [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.graph:<22}{row.tool:<14}{row.time:>10.4f}{_fmt(row.cut):>10}"
+            f"{_fmt(row.max_comm_vol):>10}{_fmt(row.total_comm_vol):>11}"
+            f"{_fmt(row.harm_diameter):>10}{row.time_spmv_comm:>12.3e}{row.imbalance:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_matrix(
+    matrix: dict[str, dict[str, float]],
+    metrics: Sequence[str],
+    title: str = "",
+    baseline: str = "Geographer",
+) -> str:
+    """Render a Figure-2 style tool x metric ratio matrix."""
+    header = f"{'tool':<14}" + "".join(f"{metric:>12}" for metric in metrics)
+    lines = [title, header, "-" * len(header)] if title else [header, "-" * len(header)]
+    for tool in sorted(matrix, key=lambda t: (t != baseline, t)):
+        cells = "".join(
+            f"{matrix[tool].get(metric, float('nan')):>12.3f}" for metric in metrics
+        )
+        lines.append(f"{tool:<14}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Tables 1 and 2: per-graph metric detail for every tool.
+
+Table 1 covers the paper's large graphs at k = p = 1024; Table 2 the small
+and medium graphs at k = p = 64.  At reproduction scale the same instance
+families run with proportionally smaller k (defaults: 64 and 32) — what is
+checked is the per-row *ordering* of tools, not absolute values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import PAPER_TOOLS, format_rows, run_tools_on_mesh
+from repro.metrics.report import MetricRow
+from repro.mesh.registry import REGISTRY
+
+__all__ = ["TABLE1_INSTANCES", "TABLE2_INSTANCES", "run_table1", "run_table2", "format_table", "winners"]
+
+#: Paper Table 1 graphs mapped to registry instances (large; k=p=1024).
+TABLE1_INSTANCES = ("alyaB", "delaunay2d_m", "delaunay2d_l", "fesom_jigsaw", "hugetrace")
+
+#: Paper Table 2 graphs mapped to registry instances (small/medium; k=p=64).
+TABLE2_INSTANCES = (
+    "333SP", "AS365", "M6", "NACA0015", "NLR",
+    "alyaA", "alyaB", "delaunay2d_s", "fesom_f2glo", "fesom_fron",
+    "fesom_jigsaw", "hugebubbles", "hugetrace", "hugetric", "rgg3d",
+)
+
+
+def _run(instances, k, scale, seed, tools, with_spmv) -> list[MetricRow]:
+    rows: list[MetricRow] = []
+    for name in instances:
+        mesh = REGISTRY[name].make(scale=scale, seed=seed)
+        rows.extend(run_tools_on_mesh(mesh, k, tools=tools, seed=seed, with_spmv=with_spmv))
+    return rows
+
+
+def run_table1(
+    k: int = 64,
+    scale: float = 1.0,
+    seed: int = 0,
+    tools: tuple[str, ...] = PAPER_TOOLS,
+    instances: tuple[str, ...] = TABLE1_INSTANCES,
+    with_spmv: bool = True,
+) -> list[MetricRow]:
+    """Table 1 (scaled): large instances, k scaled down from 1024."""
+    return _run(instances, k, scale, seed, tools, with_spmv)
+
+
+def run_table2(
+    k: int = 32,
+    scale: float = 1.0,
+    seed: int = 0,
+    tools: tuple[str, ...] = PAPER_TOOLS,
+    instances: tuple[str, ...] = TABLE2_INSTANCES,
+    with_spmv: bool = True,
+) -> list[MetricRow]:
+    """Table 2 (scaled): small/medium instances, k scaled down from 64."""
+    return _run(instances, k, scale, seed, tools, with_spmv)
+
+
+def format_table(rows: list[MetricRow], title: str) -> str:
+    return format_rows(rows, title=title)
+
+
+def winners(rows: list[MetricRow], metric: str) -> dict[str, str]:
+    """Per graph, the tool with the best (lowest) value of ``metric``.
+
+    Mirrors the bold entries of Tables 1-2.
+    """
+    by_graph: dict[str, list[MetricRow]] = {}
+    for row in rows:
+        by_graph.setdefault(row.graph, []).append(row)
+    return {
+        graph: min(graph_rows, key=lambda r: r.metric(metric)).tool
+        for graph, graph_rows in by_graph.items()
+    }

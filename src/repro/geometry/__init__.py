@@ -1,0 +1,17 @@
+"""Geometric primitives: bounding boxes and (effective-)distance kernels."""
+
+from repro.geometry.boxes import BoundingBox
+from repro.geometry.distances import (
+    effective_distances,
+    pairwise_distances,
+    pairwise_sq_distances,
+    top2_effective,
+)
+
+__all__ = [
+    "BoundingBox",
+    "pairwise_sq_distances",
+    "pairwise_distances",
+    "effective_distances",
+    "top2_effective",
+]

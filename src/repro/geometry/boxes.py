@@ -1,0 +1,106 @@
+"""Axis-aligned bounding boxes.
+
+The balanced k-means inner loop prunes cluster centers against the bounding
+box of the (rank-)local points (paper §4.4): a center whose *minimum*
+effective distance to the box exceeds the second-best candidate found so far
+cannot win for any point inside the box.
+
+Note on the paper's pseudocode: Algorithm 1 line 3 writes ``maxDist(bb, c)``
+but the accompanying text (§4.4) requires the *minimum* effective distance
+for the early-break to be conservative.  We implement the text's (correct)
+variant; ``max_dist`` is also provided since the min/max pair gives the
+box-pruning rule used by the vectorised assignment kernel (see
+``core/assign.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoundingBox"]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned box ``[lo, hi]`` in d dimensions."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=np.float64)
+        hi = np.asarray(self.hi, dtype=np.float64)
+        if lo.shape != hi.shape or lo.ndim != 1:
+            raise ValueError(f"lo/hi must be 1-D arrays of equal shape, got {lo.shape} / {hi.shape}")
+        if np.any(lo > hi):
+            raise ValueError("BoundingBox requires lo <= hi componentwise")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "BoundingBox":
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("from_points requires a non-empty (n, d) array")
+        return cls(pts.min(axis=0), pts.max(axis=0))
+
+    @property
+    def dim(self) -> int:
+        return self.lo.shape[0]
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def extent(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    @property
+    def diagonal(self) -> float:
+        return float(np.linalg.norm(self.extent))
+
+    def widest_dimension(self) -> int:
+        """Index of the longest side (RCB and MultiJagged cut along it)."""
+        return int(np.argmax(self.extent))
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64)
+        return np.all((pts >= self.lo) & (pts <= self.hi), axis=-1)
+
+    def min_dist(self, points: np.ndarray) -> np.ndarray:
+        """Euclidean distance from each query point to the nearest box point.
+
+        Zero for points inside the box.  Vectorised over an ``(m, d)`` array.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        below = np.maximum(self.lo - pts, 0.0)
+        above = np.maximum(pts - self.hi, 0.0)
+        return np.sqrt(np.sum(below * below + above * above, axis=-1))
+
+    def max_dist(self, points: np.ndarray) -> np.ndarray:
+        """Euclidean distance from each query point to the farthest box corner.
+
+        The farthest corner is found per-dimension: it is whichever of
+        ``lo``/``hi`` is farther from the query coordinate.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        d_lo = np.abs(pts - self.lo)
+        d_hi = np.abs(pts - self.hi)
+        farthest = np.maximum(d_lo, d_hi)
+        return np.sqrt(np.sum(farthest * farthest, axis=-1))
+
+    def split(self, dim: int, value: float) -> tuple["BoundingBox", "BoundingBox"]:
+        """Split the box at ``value`` along axis ``dim`` (used by RCB/MJ)."""
+        if not (self.lo[dim] <= value <= self.hi[dim]):
+            raise ValueError(f"split value {value} outside box range [{self.lo[dim]}, {self.hi[dim]}] in dim {dim}")
+        left_hi = self.hi.copy()
+        left_hi[dim] = value
+        right_lo = self.lo.copy()
+        right_lo[dim] = value
+        return BoundingBox(self.lo, left_hi), BoundingBox(right_lo, self.hi)
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        return BoundingBox(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))

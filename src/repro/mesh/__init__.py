@@ -1,0 +1,43 @@
+"""Meshes: the geometric-graph data structure and synthetic generators.
+
+The paper evaluates on DIMACS meshes, FESOM climate meshes, Alya 3-D meshes,
+random geometric graphs and Delaunay triangulations.  Those input files are
+not redistributable (and the largest have billions of edges), so this package
+provides *generators* that reproduce each family's structural properties at
+configurable scale — see DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.mesh.graph import GeometricMesh
+from repro.mesh.grid import grid_mesh
+from repro.mesh.delaunay import delaunay_mesh
+from repro.mesh.rgg import rgg_mesh
+from repro.mesh.adaptive import hugebubbles_like, hugetrace_like, hugetric_like
+from repro.mesh.fem2d import airfoil_mesh, graded_fem_mesh
+from repro.mesh.climate import climate_mesh
+from repro.mesh.alya import airway_mesh
+from repro.mesh.registry import (
+    REGISTRY,
+    InstanceSpec,
+    instance_names,
+    instances_in_class,
+    make_instance,
+)
+
+__all__ = [
+    "GeometricMesh",
+    "grid_mesh",
+    "delaunay_mesh",
+    "rgg_mesh",
+    "hugetric_like",
+    "hugetrace_like",
+    "hugebubbles_like",
+    "airfoil_mesh",
+    "graded_fem_mesh",
+    "climate_mesh",
+    "airway_mesh",
+    "REGISTRY",
+    "InstanceSpec",
+    "make_instance",
+    "instance_names",
+    "instances_in_class",
+]

@@ -1,0 +1,83 @@
+"""Internal helpers for density-controlled point sampling.
+
+The DIMACS "huge*" meshes are adaptively refined: vertex density is much
+higher near simulation features (fronts, traces, bubble boundaries).  We
+reproduce that by rejection-sampling points with a spatially varying density
+and Delaunay-triangulating the result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = ["rejection_sample", "dist_to_segments", "min_dist_to_segments"]
+
+
+def rejection_sample(
+    n: int,
+    dim: int,
+    density: Callable[[np.ndarray], np.ndarray],
+    rng: int | np.random.Generator | None = None,
+    lo: np.ndarray | float = 0.0,
+    hi: np.ndarray | float = 1.0,
+    max_rounds: int = 200,
+) -> np.ndarray:
+    """Sample ``n`` points in the box ``[lo, hi]^dim`` with density ``density``.
+
+    ``density`` maps an ``(m, dim)`` array to non-negative relative densities
+    (need not be normalised).  Rejection sampling against the running maximum;
+    raises if acceptance stays pathologically low.
+    """
+    gen = ensure_rng(rng)
+    lo = np.broadcast_to(np.asarray(lo, dtype=np.float64), (dim,))
+    hi = np.broadcast_to(np.asarray(hi, dtype=np.float64), (dim,))
+    out = np.empty((n, dim), dtype=np.float64)
+    got = 0
+    # Estimate the density ceiling from a pilot batch, then refine on the fly.
+    pilot = lo + (hi - lo) * gen.random((2048, dim))
+    ceiling = float(np.max(density(pilot))) * 1.1 + 1e-12
+    for _ in range(max_rounds):
+        if got >= n:
+            break
+        batch = max(4 * (n - got), 4096)
+        cand = lo + (hi - lo) * gen.random((batch, dim))
+        dens = np.asarray(density(cand), dtype=np.float64)
+        if np.any(dens < 0):
+            raise ValueError("density returned negative values")
+        peak = float(dens.max(initial=0.0))
+        if peak > ceiling:
+            ceiling = peak * 1.1
+        accept = gen.random(batch) * ceiling < dens
+        take = cand[accept][: n - got]
+        out[got : got + take.shape[0]] = take
+        got += take.shape[0]
+    if got < n:
+        raise RuntimeError(f"rejection sampling stalled: {got}/{n} points after {max_rounds} rounds")
+    return out
+
+
+def dist_to_segments(points: np.ndarray, seg_a: np.ndarray, seg_b: np.ndarray) -> np.ndarray:
+    """Euclidean distance from each point to each segment; shape ``(n, s)``.
+
+    ``seg_a``/``seg_b`` are ``(s, d)`` segment endpoints.
+    """
+    p = np.asarray(points, dtype=np.float64)[:, None, :]  # (n, 1, d)
+    a = np.asarray(seg_a, dtype=np.float64)[None, :, :]  # (1, s, d)
+    b = np.asarray(seg_b, dtype=np.float64)[None, :, :]
+    ab = b - a
+    denom = np.einsum("nsd,nsd->ns", ab, ab)
+    denom = np.where(denom == 0.0, 1.0, denom)
+    t = np.einsum("nsd,nsd->ns", p - a, ab) / denom
+    np.clip(t, 0.0, 1.0, out=t)
+    closest = a + t[..., None] * ab
+    diff = p - closest
+    return np.sqrt(np.einsum("nsd,nsd->ns", diff, diff))
+
+
+def min_dist_to_segments(points: np.ndarray, seg_a: np.ndarray, seg_b: np.ndarray) -> np.ndarray:
+    """Distance from each point to the nearest of the given segments."""
+    return dist_to_segments(points, seg_a, seg_b).min(axis=1)

@@ -1,0 +1,113 @@
+"""Adaptively refined 2-D triangle meshes (DIMACS ``huge*`` lookalikes).
+
+The hugetric / hugetrace / hugebubbles benchmark meshes (Marquardt &
+Schamberger generator) model adaptive numerical simulations: triangle size
+varies by orders of magnitude across the domain, following a refinement
+feature.  These generators reproduce the three feature types:
+
+- ``hugetric_like``  — refinement around a circular front,
+- ``hugetrace_like`` — refinement along a wandering trace (random-walk path),
+- ``hugebubbles_like`` — bubbles (holes) with refined boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh._sampling import min_dist_to_segments, rejection_sample
+from repro.mesh.delaunay import delaunay_edges
+from repro.mesh.graph import GeometricMesh
+from repro.util.rng import ensure_rng
+
+__all__ = ["hugetric_like", "hugetrace_like", "hugebubbles_like"]
+
+# Refinement contrast: density at the feature relative to the background.
+_REFINE = 30.0
+_SIGMA = 0.04
+
+
+def _front_density(points: np.ndarray, center: np.ndarray, radius: float) -> np.ndarray:
+    d = np.abs(np.linalg.norm(points - center, axis=1) - radius)
+    return 1.0 + _REFINE * np.exp(-((d / _SIGMA) ** 2))
+
+
+def hugetric_like(
+    n: int, rng: int | np.random.Generator | None = None, name: str = "hugetric-like"
+) -> GeometricMesh:
+    """Triangle mesh refined around a circular front (hugetric family)."""
+    gen = ensure_rng(rng)
+    center = np.array([0.5, 0.5])
+    radius = 0.3
+    pts = rejection_sample(int(n), 2, lambda p: _front_density(p, center, radius), gen)
+    edges, cells = delaunay_edges(pts)
+    return GeometricMesh.from_edges(pts, edges, name=name, cells=cells)
+
+
+def _random_trace(gen: np.random.Generator, steps: int = 32) -> tuple[np.ndarray, np.ndarray]:
+    """A bounded random-walk polyline across the unit square."""
+    pos = np.empty((steps + 1, 2))
+    pos[0] = (0.05, gen.uniform(0.2, 0.8))
+    heading = 0.0
+    step = 0.95 / steps
+    for i in range(steps):
+        heading = 0.7 * heading + gen.normal(0.0, 0.8)
+        direction = np.array([1.0, np.tanh(heading)])
+        direction /= np.linalg.norm(direction)
+        pos[i + 1] = np.clip(pos[i] + step * direction * np.array([1.0, 2.0]), 0.02, 0.98)
+        pos[i + 1, 0] = pos[i, 0] + step  # strictly advancing in x
+    return pos[:-1], pos[1:]
+
+
+def hugetrace_like(
+    n: int, rng: int | np.random.Generator | None = None, name: str = "hugetrace-like"
+) -> GeometricMesh:
+    """Triangle mesh refined along a wandering trace (hugetrace family)."""
+    gen = ensure_rng(rng)
+    seg_a, seg_b = _random_trace(gen)
+
+    def density(p: np.ndarray) -> np.ndarray:
+        d = min_dist_to_segments(p, seg_a, seg_b)
+        return 1.0 + _REFINE * np.exp(-((d / _SIGMA) ** 2))
+
+    pts = rejection_sample(int(n), 2, density, gen)
+    edges, cells = delaunay_edges(pts)
+    return GeometricMesh.from_edges(pts, edges, name=name, cells=cells)
+
+
+def hugebubbles_like(
+    n: int,
+    n_bubbles: int = 4,
+    rng: int | np.random.Generator | None = None,
+    name: str = "hugebubbles-like",
+) -> GeometricMesh:
+    """Triangle mesh with circular holes and refined hole boundaries.
+
+    Bubbles are removed from the domain entirely (triangles whose centroid
+    falls inside a bubble are dropped), producing the multiply connected
+    topology of the hugebubbles instances.
+    """
+    gen = ensure_rng(rng)
+    centers = gen.uniform(0.2, 0.8, size=(int(n_bubbles), 2))
+    radii = gen.uniform(0.06, 0.13, size=int(n_bubbles))
+
+    def signed_bubble_dist(p: np.ndarray) -> np.ndarray:
+        # positive outside all bubbles; negative inside the nearest one
+        d = np.linalg.norm(p[:, None, :] - centers[None, :, :], axis=2) - radii[None, :]
+        return d.min(axis=1)
+
+    def density(p: np.ndarray) -> np.ndarray:
+        d = signed_bubble_dist(p)
+        dens = 1.0 + _REFINE * np.exp(-((np.abs(d) / _SIGMA) ** 2))
+        dens[d < 0] = 0.0  # nothing inside a bubble
+        return dens
+
+    pts = rejection_sample(int(n), 2, density, gen)
+    edges, cells = delaunay_edges(pts)
+    centroids = pts[cells].mean(axis=1)
+    keep_cells = cells[signed_bubble_dist(centroids) > 0.0]
+    # rebuild edges from surviving triangles only, so holes are real holes
+    kept_edges = np.concatenate(
+        [keep_cells[:, [0, 1]], keep_cells[:, [1, 2]], keep_cells[:, [0, 2]]], axis=0
+    )
+    mesh = GeometricMesh.from_edges(pts, kept_edges, name=name, cells=keep_cells)
+    return mesh.largest_component()

@@ -1,0 +1,98 @@
+"""3-D branching-tube meshes (Alya respiratory-system lookalikes).
+
+The PRACE ``alyaTestCase`` meshes discretise the human respiratory system:
+elongated branching airways.  The geometry matters for the evaluation because
+axis-aligned cutters (RCB/MJ) fragment tubes that run diagonally, whereas
+k-means follows them.  We build a binary-tree airway skeleton, sample points
+inside tubes of decreasing radius around each segment, and tetrahedralise
+with 3-D Delaunay (dropping cells that leave the tubes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh._sampling import dist_to_segments
+from repro.mesh.delaunay import delaunay_edges
+from repro.mesh.graph import GeometricMesh
+from repro.util.rng import ensure_rng
+
+__all__ = ["airway_mesh"]
+
+
+def _build_skeleton(levels: int, gen: np.random.Generator):
+    """Binary branching skeleton: list of (a, b, radius) per segment."""
+    seg_a, seg_b, radii = [], [], []
+    # trunk points straight down
+    start = np.array([0.5, 0.5, 1.0])
+    direction = np.array([0.0, 0.0, -1.0])
+    frontier = [(start, direction, 0.30, 0.09)]  # (origin, dir, length, radius)
+    for level in range(levels + 1):
+        next_frontier = []
+        for origin, d, length, radius in frontier:
+            end = origin + d * length
+            seg_a.append(origin)
+            seg_b.append(end)
+            radii.append(radius)
+            if level < levels:
+                for sign in (-1.0, 1.0):
+                    angle = gen.uniform(0.45, 0.75)
+                    azimuth = gen.uniform(0.0, 2 * np.pi)
+                    # rotate `d` by `angle` towards a random perpendicular
+                    perp = np.cross(d, np.array([np.cos(azimuth), np.sin(azimuth), 0.12 * sign]))
+                    norm = np.linalg.norm(perp)
+                    perp = perp / norm if norm > 1e-9 else np.array([1.0, 0.0, 0.0])
+                    child = np.cos(angle) * d + np.sin(angle) * sign * perp
+                    child /= np.linalg.norm(child)
+                    next_frontier.append((end, child, length * 0.75, radius * 0.7))
+        frontier = next_frontier
+    return np.array(seg_a), np.array(seg_b), np.array(radii)
+
+
+def airway_mesh(
+    n: int,
+    levels: int = 2,
+    rng: int | np.random.Generator | None = None,
+    name: str = "alya-like",
+) -> GeometricMesh:
+    """Tetrahedral-style mesh of a branching airway tree.
+
+    Parameters
+    ----------
+    n:
+        Target number of vertices (approximate after filtering).
+    levels:
+        Branching depth; ``levels=2`` gives 7 tube segments.
+    """
+    if levels < 0:
+        raise ValueError(f"levels must be >= 0, got {levels}")
+    gen = ensure_rng(rng)
+    seg_a, seg_b, radii = _build_skeleton(int(levels), gen)
+    n_seg = seg_a.shape[0]
+    lengths = np.linalg.norm(seg_b - seg_a, axis=1)
+    # sample per-segment proportional to tube volume ~ length * r^2
+    volume = lengths * radii**2
+    counts = np.maximum(1, (volume / volume.sum() * int(n)).astype(np.int64))
+
+    pieces = []
+    for s in range(n_seg):
+        c = int(counts[s])
+        t = gen.random(c)
+        axis_pts = seg_a[s] + t[:, None] * (seg_b[s] - seg_a[s])
+        # uniform in a ball of the tube radius, then added to the axis point;
+        # this "sausage" sampling slightly rounds the joints, which is fine
+        offsets = gen.normal(size=(c, 3))
+        offsets /= np.linalg.norm(offsets, axis=1, keepdims=True)
+        r = radii[s] * gen.random(c) ** (1.0 / 3.0)
+        pieces.append(axis_pts + offsets * r[:, None])
+    pts = np.concatenate(pieces, axis=0)
+
+    edges, cells = delaunay_edges(pts)
+    centroids = pts[cells].mean(axis=1)
+    d = dist_to_segments(centroids, seg_a, seg_b)
+    inside = (d <= radii[None, :] * 1.15).any(axis=1)
+    keep_cells = cells[inside]
+    pair_idx = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    kept_edges = np.concatenate([keep_cells[:, list(p)] for p in pair_idx], axis=0)
+    mesh = GeometricMesh.from_edges(pts, kept_edges, name=name, cells=keep_cells)
+    return mesh.largest_component()

@@ -1,0 +1,96 @@
+"""2.5-D climate-simulation meshes (FESOM lookalikes).
+
+The paper's climate instances come from the FESOM2 ocean model: a 2-D
+unstructured surface mesh over the ocean, where each surface vertex carries a
+*node weight* equal to its number of vertical levels (the "2.5-D" setting of
+the introduction — computational load follows the 3-D column height, but
+partitioning happens in 2-D).
+
+This generator reproduces those properties synthetically:
+
+- a land mask from a smooth random field (sum of Gaussian bumps) carves an
+  irregular coastline and removes land entirely (oceans are not simply
+  connected);
+- node weights grow with distance from the coast, emulating bathymetry
+  (1 .. ``max_levels`` vertical levels, default 47 as in FESOM setups).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh._sampling import rejection_sample
+from repro.mesh.delaunay import delaunay_edges
+from repro.mesh.graph import GeometricMesh
+from repro.util.rng import ensure_rng
+
+__all__ = ["climate_mesh"]
+
+
+def _random_field(gen: np.random.Generator, n_bumps: int = 12):
+    """A smooth scalar field on [0,2]x[0,1]: sum of random Gaussian bumps."""
+    centers = gen.uniform((0.0, 0.0), (2.0, 1.0), size=(n_bumps, 2))
+    widths = gen.uniform(0.1, 0.35, size=n_bumps)
+    signs = gen.choice([-1.0, 1.0], size=n_bumps)
+
+    def field(p: np.ndarray) -> np.ndarray:
+        d2 = ((p[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        return (signs[None, :] * np.exp(-d2 / widths[None, :] ** 2)).sum(axis=1)
+
+    return field
+
+
+def climate_mesh(
+    n: int,
+    max_levels: int = 47,
+    land_fraction: float = 0.35,
+    rng: int | np.random.Generator | None = None,
+    name: str = "fesom-like",
+) -> GeometricMesh:
+    """Ocean mesh with column-depth node weights.
+
+    Parameters
+    ----------
+    n:
+        Target number of ocean vertices (approximate: land triangles are
+        dropped after triangulation and the largest component kept).
+    max_levels:
+        Maximum number of vertical levels; node weights lie in [1, max_levels].
+    land_fraction:
+        Approximate fraction of the rectangle covered by land.
+    """
+    if not (0.0 <= land_fraction < 0.9):
+        raise ValueError(f"land_fraction must be in [0, 0.9), got {land_fraction}")
+    gen = ensure_rng(rng)
+    field = _random_field(gen)
+
+    # calibrate the land threshold on a probe grid
+    probe = np.column_stack(
+        [g.ravel() for g in np.meshgrid(np.linspace(0, 2, 96), np.linspace(0, 1, 48), indexing="ij")]
+    )
+    threshold = float(np.quantile(field(probe), 1.0 - land_fraction))
+
+    def ocean_depth(p: np.ndarray) -> np.ndarray:
+        """Positive depth proxy on ocean, zero on land."""
+        return np.maximum(threshold - field(p), 0.0)
+
+    def density(p: np.ndarray) -> np.ndarray:
+        # slightly higher resolution near the coast, as ocean models use
+        d = ocean_depth(p)
+        coast = np.exp(-((d / 0.05) ** 2))
+        dens = 1.0 + 3.0 * coast
+        dens[d <= 0] = 0.0
+        return dens
+
+    pts = rejection_sample(int(n), 2, density, gen, lo=np.array([0.0, 0.0]), hi=np.array([2.0, 1.0]))
+    edges, cells = delaunay_edges(pts)
+    centroids = pts[cells].mean(axis=1)
+    keep_cells = cells[ocean_depth(centroids) > 0.0]
+    kept_edges = np.concatenate(
+        [keep_cells[:, [0, 1]], keep_cells[:, [1, 2]], keep_cells[:, [0, 2]]], axis=0
+    )
+    depth = ocean_depth(pts)
+    scale = depth / max(float(depth.max()), 1e-12)
+    levels = np.maximum(1.0, np.ceil(scale * max_levels))
+    mesh = GeometricMesh.from_edges(pts, kept_edges, node_weights=levels, name=name, cells=keep_cells)
+    return mesh.largest_component()

@@ -1,0 +1,56 @@
+"""Delaunay-triangulation meshes of random points (the ``delaunayX`` family).
+
+The paper's scaling experiments run on Delaunay triangulations of uniform
+random points in the unit square/cube with up to 2 x 10^9 vertices (generated
+with the distributed generator of Funke et al.).  We reproduce the same
+family with :func:`scipy.spatial.Delaunay` at tractable sizes; the structure
+(planar in 2-D, average degree ~6 / ~15.5, uniform density) is identical.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from repro.mesh.graph import GeometricMesh
+from repro.util.rng import ensure_rng
+
+__all__ = ["delaunay_mesh", "delaunay_edges"]
+
+
+def delaunay_edges(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Triangulate ``points`` and return (unique undirected edges, simplices)."""
+    tri = Delaunay(points)
+    simplices = tri.simplices
+    d = points.shape[1]
+    pairs = list(combinations(range(d + 1), 2))
+    edges = np.concatenate([simplices[:, list(p)] for p in pairs], axis=0)
+    return edges, simplices
+
+
+def delaunay_mesh(
+    n: int,
+    dim: int = 2,
+    rng: int | np.random.Generator | None = None,
+    points: np.ndarray | None = None,
+    name: str = "",
+) -> GeometricMesh:
+    """Delaunay triangulation of ``n`` uniform random points in the unit cube.
+
+    Parameters
+    ----------
+    points:
+        If given, triangulate these instead of sampling (``n``/``dim``/``rng``
+        are then ignored).
+    """
+    if points is None:
+        if n < dim + 1:
+            raise ValueError(f"need at least {dim + 1} points for a {dim}-D triangulation, got n={n}")
+        gen = ensure_rng(rng)
+        points = gen.random((int(n), dim))
+    points = np.asarray(points, dtype=np.float64)
+    edges, simplices = delaunay_edges(points)
+    label = name or f"delaunay{points.shape[1]}d_{points.shape[0]}"
+    return GeometricMesh.from_edges(points, edges, name=label, cells=simplices)

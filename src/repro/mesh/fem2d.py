@@ -1,0 +1,108 @@
+"""2-D finite-element-style meshes (DIMACS FEM lookalikes).
+
+``airfoil_mesh`` mimics NACA0015/M6-type meshes: a NACA 4-digit profile in a
+flow domain, with density graded towards the airfoil surface and the interior
+of the profile removed.  ``graded_fem_mesh`` is the generic machinery: any
+set of point/segment attractor features with per-feature strength produces a
+graded triangulation (used for the AS365 / NLR / 333SP stand-ins).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh._sampling import min_dist_to_segments, rejection_sample
+from repro.mesh.delaunay import delaunay_edges
+from repro.mesh.graph import GeometricMesh
+from repro.util.rng import ensure_rng
+
+__all__ = ["airfoil_mesh", "graded_fem_mesh", "naca_half_thickness"]
+
+
+def naca_half_thickness(x: np.ndarray, thickness: float = 0.15) -> np.ndarray:
+    """Half-thickness of a NACA 4-digit symmetric profile at chord fraction x."""
+    x = np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0)
+    return (
+        5.0
+        * thickness
+        * (
+            0.2969 * np.sqrt(x)
+            - 0.1260 * x
+            - 0.3516 * x**2
+            + 0.2843 * x**3
+            - 0.1015 * x**4
+        )
+    )
+
+
+def _airfoil_signed_dist(points: np.ndarray, le: float, chord: float, yc: float, thickness: float) -> np.ndarray:
+    """Approximate signed distance to the airfoil surface (negative inside)."""
+    xf = (points[:, 0] - le) / chord
+    half = naca_half_thickness(xf, thickness) * chord
+    inside_chord = (xf >= 0.0) & (xf <= 1.0)
+    dy = np.abs(points[:, 1] - yc)
+    vert = dy - half
+    # off-chord: distance to nearest chord endpoint line
+    x_clip = np.clip(xf, 0.0, 1.0)
+    dx = (np.abs(xf - x_clip)) * chord
+    dist = np.where(inside_chord, vert, np.sqrt(dx**2 + np.maximum(vert, 0.0) ** 2))
+    return dist
+
+
+def airfoil_mesh(
+    n: int,
+    thickness: float = 0.15,
+    rng: int | np.random.Generator | None = None,
+    name: str = "naca-like",
+) -> GeometricMesh:
+    """FEM-style mesh around a NACA profile; interior of the profile removed."""
+    gen = ensure_rng(rng)
+    le, chord, yc = 0.3, 0.4, 0.5  # leading edge x, chord length, camber line y
+
+    def density(p: np.ndarray) -> np.ndarray:
+        d = _airfoil_signed_dist(p, le, chord, yc, thickness)
+        dens = 1.0 + 40.0 * np.exp(-((np.abs(d) / 0.03) ** 2))
+        dens[d < 0] = 0.0
+        return dens
+
+    pts = rejection_sample(int(n), 2, density, gen)
+    edges, cells = delaunay_edges(pts)
+    centroids = pts[cells].mean(axis=1)
+    keep = _airfoil_signed_dist(centroids, le, chord, yc, thickness) > 0.0
+    keep_cells = cells[keep]
+    kept_edges = np.concatenate(
+        [keep_cells[:, [0, 1]], keep_cells[:, [1, 2]], keep_cells[:, [0, 2]]], axis=0
+    )
+    mesh = GeometricMesh.from_edges(pts, kept_edges, name=name, cells=keep_cells)
+    return mesh.largest_component()
+
+
+def graded_fem_mesh(
+    n: int,
+    n_features: int = 5,
+    refine: float = 25.0,
+    sigma: float = 0.05,
+    rng: int | np.random.Generator | None = None,
+    name: str = "fem-like",
+) -> GeometricMesh:
+    """Graded triangle mesh refined towards random segment features.
+
+    Stand-in for the multi-component FEM meshes (AS365, NLR, 333SP): several
+    independent refinement regions of differing strength inside one domain.
+    """
+    gen = ensure_rng(rng)
+    seg_a = gen.uniform(0.1, 0.9, size=(int(n_features), 2))
+    angles = gen.uniform(0.0, 2 * np.pi, size=int(n_features))
+    lengths = gen.uniform(0.1, 0.35, size=int(n_features))
+    seg_b = np.clip(seg_a + lengths[:, None] * np.column_stack([np.cos(angles), np.sin(angles)]), 0.02, 0.98)
+    strengths = gen.uniform(0.3, 1.0, size=int(n_features)) * refine
+
+    def density(p: np.ndarray) -> np.ndarray:
+        from repro.mesh._sampling import dist_to_segments
+
+        d = dist_to_segments(p, seg_a, seg_b)
+        return 1.0 + (strengths[None, :] * np.exp(-((d / sigma) ** 2))).sum(axis=1)
+
+    pts = rejection_sample(int(n), 2, density, gen)
+    edges, cells = delaunay_edges(pts)
+    return GeometricMesh.from_edges(pts, edges, name=name, cells=cells)

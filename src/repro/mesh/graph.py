@@ -1,0 +1,221 @@
+"""The geometric-graph data structure shared by generators, partitioners and metrics.
+
+A :class:`GeometricMesh` is an undirected graph stored in CSR form together
+with vertex coordinates and optional vertex weights.  Geometric partitioners
+read only ``coords``/``node_weights``; graph metrics (edge cut, communication
+volume, diameter) read the adjacency.  This mirrors the paper's setting: the
+partition is computed from geometry, its quality judged on the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components as _cc
+
+from repro.util.validation import check_points, check_weights
+
+__all__ = ["GeometricMesh"]
+
+
+@dataclass
+class GeometricMesh:
+    """Undirected geometric graph in CSR form.
+
+    Attributes
+    ----------
+    coords:
+        ``(n, d)`` float64 vertex coordinates, d in {2, 3}.
+    indptr, indices:
+        CSR adjacency of the *symmetric* graph: neighbours of vertex ``v``
+        are ``indices[indptr[v]:indptr[v+1]]``.  Every undirected edge
+        appears twice.  No self-loops.
+    node_weights:
+        ``(n,)`` float64; defaults to unit weights.  Climate meshes use
+        these to encode the number of vertical levels per column (the
+        "2.5-D" workload of the paper).
+    name:
+        Instance label used by the experiment harness.
+    """
+
+    coords: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+    node_weights: np.ndarray | None = None
+    name: str = ""
+    cells: np.ndarray | None = field(default=None, repr=False)  # optional (t, d+1) triangles/tets for viz
+
+    def __post_init__(self) -> None:
+        self.coords = check_points(self.coords)
+        self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        n = self.coords.shape[0]
+        if self.indptr.shape != (n + 1,):
+            raise ValueError(f"indptr must have shape ({n + 1},), got {self.indptr.shape}")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        self.node_weights = check_weights(self.node_weights, n)
+
+    # -- basic properties ------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.coords.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return self.indices.shape[0] // 2
+
+    @property
+    def dim(self) -> int:
+        return self.coords.shape[1]
+
+    @property
+    def total_weight(self) -> float:
+        return float(self.node_weights.sum())
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def edge_array(self) -> np.ndarray:
+        """``(m, 2)`` array of undirected edges with ``u < v``."""
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees())
+        mask = src < self.indices
+        return np.column_stack([src[mask], self.indices[mask]])
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        coords: np.ndarray,
+        edges: np.ndarray,
+        node_weights: np.ndarray | None = None,
+        name: str = "",
+        cells: np.ndarray | None = None,
+    ) -> "GeometricMesh":
+        """Build from an ``(m, 2)`` edge list (any orientation, duplicates OK)."""
+        coords = check_points(coords)
+        n = coords.shape[0]
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.size == 0:
+            edges = edges.reshape(0, 2)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edges must have shape (m, 2), got {edges.shape}")
+        if edges.size and (edges.min() < 0 or edges.max() >= n):
+            raise ValueError("edge endpoints out of range")
+        # drop self loops, dedupe, symmetrise
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        lo = np.minimum(edges[:, 0], edges[:, 1])
+        hi = np.maximum(edges[:, 0], edges[:, 1])
+        keys = lo * n + hi
+        _, first = np.unique(keys, return_index=True)
+        lo, hi = lo[first], hi[first]
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        return cls(coords, indptr, dst, node_weights, name, cells)
+
+    @classmethod
+    def from_scipy(
+        cls,
+        coords: np.ndarray,
+        adjacency: sp.spmatrix,
+        node_weights: np.ndarray | None = None,
+        name: str = "",
+    ) -> "GeometricMesh":
+        """Build from a scipy sparse adjacency matrix (symmetrised, binarised)."""
+        a = sp.csr_matrix(adjacency)
+        a = a.maximum(a.T)
+        a.setdiag(0)
+        a.eliminate_zeros()
+        a.sort_indices()
+        return cls(coords, a.indptr.astype(np.int64), a.indices.astype(np.int64), node_weights, name)
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """Adjacency as a scipy CSR matrix with unit entries."""
+        data = np.ones(self.indices.shape[0], dtype=np.float64)
+        return sp.csr_matrix((data, self.indices, self.indptr), shape=(self.n, self.n))
+
+    # -- structure -------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check symmetry and absence of self loops; raises on violation."""
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees())
+        if np.any(src == self.indices):
+            raise ValueError("mesh contains self loops")
+        fwd = set(zip(src.tolist(), self.indices.tolist()))
+        for u, v in fwd:
+            if (v, u) not in fwd:
+                raise ValueError(f"adjacency not symmetric: edge ({u}, {v}) has no reverse")
+
+    def connected_components(self) -> tuple[int, np.ndarray]:
+        return _cc(self.to_scipy(), directed=False)
+
+    def is_connected(self) -> bool:
+        ncomp, _ = self.connected_components()
+        return ncomp <= 1
+
+    def largest_component(self) -> "GeometricMesh":
+        """Restrict to the largest connected component (relabelled)."""
+        ncomp, labels = self.connected_components()
+        if ncomp <= 1:
+            return self
+        keep = labels == np.argmax(np.bincount(labels))
+        return self.subgraph(keep)
+
+    def subgraph(self, mask: np.ndarray) -> "GeometricMesh":
+        """Induced subgraph on ``mask`` (bool array), vertices relabelled."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n,):
+            raise ValueError(f"mask must have shape ({self.n},)")
+        new_id = np.full(self.n, -1, dtype=np.int64)
+        new_id[mask] = np.arange(int(mask.sum()))
+        edges = self.edge_array()
+        keep = mask[edges[:, 0]] & mask[edges[:, 1]]
+        new_edges = new_id[edges[keep]]
+        return GeometricMesh.from_edges(
+            self.coords[mask],
+            new_edges,
+            self.node_weights[mask],
+            name=self.name,
+        )
+
+    # -- persistence -----------------------------------------------------
+
+    def save_npz(self, path: str) -> None:
+        np.savez_compressed(
+            path,
+            coords=self.coords,
+            indptr=self.indptr,
+            indices=self.indices,
+            node_weights=self.node_weights,
+            name=np.asarray(self.name),
+        )
+
+    @classmethod
+    def load_npz(cls, path: str) -> "GeometricMesh":
+        data = np.load(path, allow_pickle=False)
+        return cls(
+            coords=data["coords"],
+            indptr=data["indptr"],
+            indices=data["indices"],
+            node_weights=data["node_weights"],
+            name=str(data["name"]),
+        )
+
+    def __repr__(self) -> str:
+        w = "" if np.all(self.node_weights == 1.0) else ", weighted"
+        return f"GeometricMesh(name={self.name!r}, n={self.n}, m={self.m}, dim={self.dim}{w})"

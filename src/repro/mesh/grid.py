@@ -1,0 +1,47 @@
+"""Structured grid meshes.
+
+Not part of the paper's test set, but invaluable for tests: partition
+quality and balance on a uniform grid have closed-form expectations (e.g.
+RCB on a 2^a x 2^b grid with k = 2^c blocks is perfectly balanced).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.graph import GeometricMesh
+
+__all__ = ["grid_mesh"]
+
+
+def grid_mesh(shape: tuple[int, ...], name: str = "") -> GeometricMesh:
+    """Axis-aligned lattice with unit spacing and 2d-neighbour connectivity.
+
+    Parameters
+    ----------
+    shape:
+        ``(nx, ny)`` or ``(nx, ny, nz)`` — number of vertices per axis.
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) not in (2, 3):
+        raise ValueError(f"shape must have 2 or 3 entries, got {shape}")
+    if any(s < 1 for s in shape):
+        raise ValueError(f"all shape entries must be >= 1, got {shape}")
+    dim = len(shape)
+    axes = [np.arange(s, dtype=np.float64) for s in shape]
+    mesh_axes = np.meshgrid(*axes, indexing="ij")
+    coords = np.column_stack([ax.ravel() for ax in mesh_axes])
+
+    ids = np.arange(int(np.prod(shape)), dtype=np.int64).reshape(shape)
+    edge_parts = []
+    for axis in range(dim):
+        sl_lo = [slice(None)] * dim
+        sl_hi = [slice(None)] * dim
+        sl_lo[axis] = slice(None, -1)
+        sl_hi[axis] = slice(1, None)
+        edge_parts.append(
+            np.column_stack([ids[tuple(sl_lo)].ravel(), ids[tuple(sl_hi)].ravel()])
+        )
+    edges = np.concatenate(edge_parts, axis=0) if edge_parts else np.empty((0, 2), dtype=np.int64)
+    label = name or f"grid{'x'.join(str(s) for s in shape)}"
+    return GeometricMesh.from_edges(coords, edges, name=label)

@@ -1,0 +1,87 @@
+"""Mesh I/O: METIS graph format plus coordinate sidecar files.
+
+The DIMACS challenge distributes meshes in METIS format (``.graph``) with a
+separate ``.xyz`` coordinate file; Geographer and the Zoltan drivers consume
+the same pair.  Supporting the format makes this library interoperable with
+the original tools' inputs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.mesh.graph import GeometricMesh
+
+__all__ = ["write_metis", "read_metis", "write_coords", "read_coords"]
+
+
+def write_metis(mesh: GeometricMesh, path: str, with_weights: bool | None = None) -> None:
+    """Write the adjacency in METIS format.
+
+    Header: ``n m [fmt]`` with ``fmt=010`` when node weights are present.
+    Vertex ids are 1-based per the format spec.
+    """
+    if with_weights is None:
+        with_weights = not np.all(mesh.node_weights == 1.0)
+    lines = []
+    fmt = " 010" if with_weights else ""
+    lines.append(f"{mesh.n} {mesh.m}{fmt}")
+    indptr, indices = mesh.indptr, mesh.indices
+    w = mesh.node_weights
+    for v in range(mesh.n):
+        nbrs = (indices[indptr[v] : indptr[v + 1]] + 1).tolist()
+        if with_weights:
+            lines.append(" ".join([str(int(w[v]))] + [str(x) for x in nbrs]))
+        else:
+            lines.append(" ".join(str(x) for x in nbrs))
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def read_metis(path: str, coords: np.ndarray | None = None, name: str = "") -> GeometricMesh:
+    """Read a METIS graph; ``coords`` may be supplied or read via :func:`read_coords`."""
+    with open(path) as fh:
+        raw = [line.split("%", 1)[0].strip() for line in fh]
+    rows = [line for line in raw if line]
+    header = rows[0].split()
+    n, m = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) > 2 else "000"
+    fmt = fmt.zfill(3)
+    has_vweights = fmt[1] == "1"
+    if fmt[2] == "1":
+        raise NotImplementedError("edge weights are not supported")
+    if len(rows) - 1 != n:
+        raise ValueError(f"expected {n} vertex lines, found {len(rows) - 1}")
+    weights = np.ones(n)
+    edges = []
+    for v, line in enumerate(rows[1:]):
+        fields = [int(x) for x in line.split()]
+        if has_vweights:
+            weights[v] = fields[0]
+            fields = fields[1:]
+        for u in fields:
+            edges.append((v, u - 1))
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if coords is None:
+        base, _ = os.path.splitext(path)
+        xyz = base + ".xyz"
+        if os.path.exists(xyz):
+            coords = read_coords(xyz)
+        else:
+            raise ValueError(f"no coordinates given and {xyz} not found")
+    mesh = GeometricMesh.from_edges(coords, edges, node_weights=weights, name=name or os.path.basename(path))
+    if mesh.m != m:
+        raise ValueError(f"header declares {m} edges but file contains {mesh.m}")
+    return mesh
+
+
+def write_coords(coords: np.ndarray, path: str) -> None:
+    """One vertex per line, whitespace-separated coordinates."""
+    np.savetxt(path, coords, fmt="%.17g")
+
+
+def read_coords(path: str) -> np.ndarray:
+    coords = np.loadtxt(path, dtype=np.float64, ndmin=2)
+    return coords

@@ -1,0 +1,124 @@
+"""Named mesh instances mirroring the paper's test set (scaled down).
+
+Each entry maps a paper instance to a generator from the same structural
+family, at a default size that keeps the full experiment suite tractable on
+one machine.  ``scale`` multiplies the default vertex count, so the same
+registry drives both quick tests (scale << 1) and larger reproduction runs.
+
+Instance classes follow Figure 2's grouping:
+
+- ``dimacs2d``   — 2-D geometric meshes from the DIMACS collection,
+- ``climate25d`` — 2.5-D node-weighted climate meshes,
+- ``mesh3d``     — Alya and 3-D Delaunay meshes,
+- ``delaunay2d`` — the DelaunayX weak-scaling series (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.mesh.adaptive import hugebubbles_like, hugetrace_like, hugetric_like
+from repro.mesh.alya import airway_mesh
+from repro.mesh.climate import climate_mesh
+from repro.mesh.delaunay import delaunay_mesh
+from repro.mesh.fem2d import airfoil_mesh, graded_fem_mesh
+from repro.mesh.graph import GeometricMesh
+from repro.mesh.rgg import rgg_mesh
+
+__all__ = ["InstanceSpec", "REGISTRY", "make_instance", "instance_names", "instances_in_class"]
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """A named benchmark instance: paper graph -> scaled synthetic twin."""
+
+    name: str
+    paper_name: str
+    instance_class: str  # dimacs2d | climate25d | mesh3d | delaunay2d
+    default_n: int
+    generator: Callable[[int, int], GeometricMesh]  # (n, seed) -> mesh
+    paper_n: int | None = None
+    weighted: bool = False
+
+    def make(self, scale: float = 1.0, seed: int = 0) -> GeometricMesh:
+        n = max(64, int(round(self.default_n * scale)))
+        mesh = self.generator(n, seed)
+        mesh.name = self.name
+        return mesh
+
+
+def _spec(name, paper_name, cls, default_n, gen, paper_n=None, weighted=False) -> InstanceSpec:
+    return InstanceSpec(name, paper_name, cls, default_n, gen, paper_n, weighted)
+
+
+REGISTRY: dict[str, InstanceSpec] = {
+    spec.name: spec
+    for spec in [
+        # --- 2-D DIMACS meshes -------------------------------------------
+        _spec("hugetric", "hugetric-00020", "dimacs2d", 15000,
+              lambda n, s: hugetric_like(n, rng=s), paper_n=7_122_792),
+        _spec("hugetrace", "hugetrace-00020", "dimacs2d", 15000,
+              lambda n, s: hugetrace_like(n, rng=s), paper_n=16_002_413),
+        _spec("hugebubbles", "hugebubbles-00020", "dimacs2d", 15000,
+              lambda n, s: hugebubbles_like(n, rng=s), paper_n=21_198_119),
+        _spec("333SP", "333SP", "dimacs2d", 12000,
+              lambda n, s: graded_fem_mesh(n, n_features=8, rng=s, name="333SP"), paper_n=3_712_815),
+        _spec("AS365", "AS365", "dimacs2d", 12000,
+              lambda n, s: graded_fem_mesh(n, n_features=4, rng=s, name="AS365"), paper_n=3_799_275),
+        _spec("M6", "M6", "dimacs2d", 12000,
+              lambda n, s: airfoil_mesh(n, thickness=0.12, rng=s, name="M6"), paper_n=3_501_776),
+        _spec("NACA0015", "NACA0015", "dimacs2d", 10000,
+              lambda n, s: airfoil_mesh(n, thickness=0.15, rng=s, name="NACA0015"), paper_n=1_039_183),
+        _spec("NLR", "NLR", "dimacs2d", 12000,
+              lambda n, s: graded_fem_mesh(n, n_features=6, rng=s, name="NLR"), paper_n=4_163_763),
+        _spec("rgg2d", "rgg_n_2_20", "dimacs2d", 12000,
+              lambda n, s: rgg_mesh(n, dim=2, rng=s), paper_n=1 << 20),
+        # --- 2.5-D climate meshes ----------------------------------------
+        _spec("fesom_f2glo", "fesom-f2glo04", "climate25d", 12000,
+              lambda n, s: climate_mesh(n, rng=s, name="fesom_f2glo"), paper_n=5_945_730, weighted=True),
+        _spec("fesom_fron", "fesom-fron", "climate25d", 12000,
+              lambda n, s: climate_mesh(n, land_fraction=0.45, rng=s, name="fesom_fron"),
+              paper_n=5_007_727, weighted=True),
+        _spec("fesom_jigsaw", "fesom-jigsaw", "climate25d", 14000,
+              lambda n, s: climate_mesh(n, land_fraction=0.25, rng=s, name="fesom_jigsaw"),
+              paper_n=14_349_744, weighted=True),
+        # --- 3-D meshes ---------------------------------------------------
+        _spec("alyaA", "alyaTestCaseA", "mesh3d", 12000,
+              lambda n, s: airway_mesh(n, levels=2, rng=s, name="alyaA"), paper_n=9_938_375),
+        _spec("alyaB", "alyaTestCaseB", "mesh3d", 20000,
+              lambda n, s: airway_mesh(n, levels=3, rng=s, name="alyaB"), paper_n=30_959_144),
+        _spec("delaunay3d", "delaunay 3D (Funke et al.)", "mesh3d", 10000,
+              lambda n, s: delaunay_mesh(n, dim=3, rng=s), paper_n=16_000_000),
+        _spec("rgg3d", "rdg-3d", "mesh3d", 10000,
+              lambda n, s: rgg_mesh(n, dim=3, rng=s), paper_n=4_194_304),
+        # --- 2-D Delaunay scaling series ----------------------------------
+        _spec("delaunay2d_s", "delaunay8M", "delaunay2d", 8000,
+              lambda n, s: delaunay_mesh(n, dim=2, rng=s), paper_n=8_000_000),
+        _spec("delaunay2d_m", "delaunay250M", "delaunay2d", 25000,
+              lambda n, s: delaunay_mesh(n, dim=2, rng=s), paper_n=250_000_000),
+        _spec("delaunay2d_l", "delaunay2B", "delaunay2d", 60000,
+              lambda n, s: delaunay_mesh(n, dim=2, rng=s), paper_n=2_000_000_000),
+    ]
+}
+
+
+def make_instance(name: str, scale: float = 1.0, seed: int = 0) -> GeometricMesh:
+    """Build a registry instance by name. ``scale`` multiplies the vertex count."""
+    if name not in REGISTRY:
+        raise KeyError(f"unknown instance {name!r}; available: {sorted(REGISTRY)}")
+    return REGISTRY[name].make(scale=scale, seed=seed)
+
+
+def instance_names() -> list[str]:
+    return sorted(REGISTRY)
+
+
+def instances_in_class(instance_class: str) -> list[str]:
+    """Instance names in a Figure-2 class (dimacs2d / climate25d / mesh3d / delaunay2d)."""
+    names = [s.name for s in REGISTRY.values() if s.instance_class == instance_class]
+    if not names:
+        raise KeyError(f"unknown instance class {instance_class!r}")
+    return sorted(names)

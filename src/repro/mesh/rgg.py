@@ -1,0 +1,46 @@
+"""Random geometric graphs (the DIMACS ``rgg_n`` family).
+
+Vertices are uniform random points; edges connect pairs within radius ``r``.
+The DIMACS instances use ``r`` slightly above the connectivity threshold,
+which we default to as well: ``r = c * (log n / n)^(1/d)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.mesh.graph import GeometricMesh
+from repro.util.rng import ensure_rng
+
+__all__ = ["rgg_mesh", "connectivity_radius"]
+
+
+def connectivity_radius(n: int, dim: int, factor: float = 0.7) -> float:
+    """Radius ``factor`` times the asymptotic connectivity threshold."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    # Threshold for G(n, r) in [0,1]^d: r* ~ (log n / (v_d n))^(1/d) with v_d
+    # the unit-ball volume; the constant is absorbed into `factor`.
+    return float(factor * (np.log(n) / n) ** (1.0 / dim))
+
+
+def rgg_mesh(
+    n: int,
+    dim: int = 2,
+    radius: float | None = None,
+    rng: int | np.random.Generator | None = None,
+    name: str = "",
+) -> GeometricMesh:
+    """Random geometric graph on ``n`` uniform points in the unit cube."""
+    if dim not in (2, 3):
+        raise ValueError(f"dim must be 2 or 3, got {dim}")
+    gen = ensure_rng(rng)
+    points = gen.random((int(n), dim))
+    r = connectivity_radius(n, dim) if radius is None else float(radius)
+    if r <= 0:
+        raise ValueError(f"radius must be positive, got {r}")
+    tree = cKDTree(points)
+    pairs = tree.query_pairs(r, output_type="ndarray")
+    label = name or f"rgg{dim}d_{n}"
+    return GeometricMesh.from_edges(points, pairs, name=label)

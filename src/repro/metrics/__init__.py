@@ -1,0 +1,36 @@
+"""Partition-quality metrics (paper §2 and §5.2.4).
+
+All metrics take a :class:`~repro.mesh.graph.GeometricMesh` plus an
+assignment vector and are fully vectorised.
+"""
+
+from repro.metrics.imbalance import block_weights, imbalance, max_block_weight
+from repro.metrics.cut import edge_cut, external_edges
+from repro.metrics.commvolume import comm_volumes, max_comm_volume, total_comm_volume
+from repro.metrics.diameter import block_diameters, harmonic_mean_diameter, ifub_lower_bound
+from repro.metrics.report import (
+    MetricRow,
+    aggregate_ratios,
+    evaluate_partition,
+    geometric_mean,
+    harmonic_mean,
+)
+
+__all__ = [
+    "block_weights",
+    "imbalance",
+    "max_block_weight",
+    "edge_cut",
+    "external_edges",
+    "comm_volumes",
+    "max_comm_volume",
+    "total_comm_volume",
+    "block_diameters",
+    "ifub_lower_bound",
+    "harmonic_mean_diameter",
+    "MetricRow",
+    "evaluate_partition",
+    "geometric_mean",
+    "harmonic_mean",
+    "aggregate_ratios",
+]

@@ -1,0 +1,38 @@
+"""Edge-cut metrics.
+
+``ext(V_i)`` counts edges with exactly one endpoint in block ``V_i``; the
+edge cut is half the sum over blocks (each cut edge is external to exactly
+two blocks) — paper §2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.graph import GeometricMesh
+from repro.util.validation import check_assignment
+
+__all__ = ["edge_cut", "external_edges"]
+
+
+def _directed_cut_mask(mesh: GeometricMesh, assignment: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(source vertex of each directed edge, mask of cut directed edges)."""
+    src = np.repeat(np.arange(mesh.n, dtype=np.int64), mesh.degrees())
+    cut = assignment[src] != assignment[mesh.indices]
+    return src, cut
+
+
+def edge_cut(mesh: GeometricMesh, assignment: np.ndarray, k: int | None = None) -> int:
+    """Number of undirected edges whose endpoints lie in different blocks."""
+    a = check_assignment(assignment, mesh.n, k if k is not None else int(assignment.max()) + 1)
+    _, cut = _directed_cut_mask(mesh, a)
+    total = int(cut.sum())
+    assert total % 2 == 0, "directed cut count must be even on a symmetric graph"
+    return total // 2
+
+
+def external_edges(mesh: GeometricMesh, assignment: np.ndarray, k: int) -> np.ndarray:
+    """``ext(V_i)`` for every block, shape ``(k,)``."""
+    a = check_assignment(assignment, mesh.n, k)
+    src, cut = _directed_cut_mask(mesh, a)
+    return np.bincount(a[src[cut]], minlength=k)

@@ -1,0 +1,149 @@
+"""Metric rows and the Figure-2 aggregation machinery.
+
+Figure 2 of the paper reports, per instance class and per tool, the
+*geometric mean* over graphs of the tool's metric value divided by
+Geographer's value (harmonic mean across blocks is already folded into the
+diameter metric itself).  :func:`aggregate_ratios` reproduces exactly that
+reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.graph import GeometricMesh
+from repro.metrics.commvolume import comm_volumes
+from repro.metrics.cut import edge_cut
+from repro.metrics.diameter import harmonic_mean_diameter
+from repro.metrics.imbalance import imbalance
+
+__all__ = ["MetricRow", "evaluate_partition", "geometric_mean", "harmonic_mean", "aggregate_ratios"]
+
+#: Metrics reported in Figure 2, in the paper's order.
+FIGURE2_METRICS = ("edgeCut", "maxCommVol", "totCommVol", "harmDiam", "timeComm")
+
+
+@dataclass
+class MetricRow:
+    """All quality numbers for one (graph, tool, k) run — one row of Table 1/2."""
+
+    graph: str
+    tool: str
+    k: int
+    n: int
+    time: float = 0.0
+    cut: float = 0.0
+    max_comm_vol: float = 0.0
+    total_comm_vol: float = 0.0
+    harm_diameter: float = 0.0
+    time_spmv_comm: float = 0.0
+    imbalance: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    def metric(self, name: str) -> float:
+        """Access a Figure-2 metric by its paper label."""
+        mapping = {
+            "edgeCut": self.cut,
+            "maxCommVol": self.max_comm_vol,
+            "totCommVol": self.total_comm_vol,
+            "harmDiam": self.harm_diameter,
+            "timeComm": self.time_spmv_comm,
+            "time": self.time,
+            "imbalance": self.imbalance,
+        }
+        if name not in mapping:
+            raise KeyError(f"unknown metric {name!r}; available: {sorted(mapping)}")
+        return float(mapping[name])
+
+
+def evaluate_partition(
+    mesh: GeometricMesh,
+    assignment: np.ndarray,
+    k: int,
+    tool: str = "",
+    time: float = 0.0,
+    diameter_rounds: int = 3,
+    with_spmv: bool = True,
+) -> MetricRow:
+    """Compute every Table-1/2 metric for one partition."""
+    volumes = comm_volumes(mesh, assignment, k)
+    row = MetricRow(
+        graph=mesh.name,
+        tool=tool,
+        k=k,
+        n=mesh.n,
+        time=time,
+        cut=edge_cut(mesh, assignment, k),
+        max_comm_vol=float(volumes.max()),
+        total_comm_vol=float(volumes.sum()),
+        harm_diameter=harmonic_mean_diameter(mesh, assignment, k, rounds=diameter_rounds),
+        imbalance=imbalance(assignment, k, mesh.node_weights),
+    )
+    if with_spmv:
+        from repro.spmv.distspmv import spmv_comm_time  # lazy: spmv depends on metrics
+
+        row.time_spmv_comm = spmv_comm_time(mesh, assignment, k)
+    return row
+
+
+def geometric_mean(values: np.ndarray) -> float:
+    """Geometric mean; requires strictly positive finite inputs."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise ValueError("geometric mean of empty input")
+    if np.any(~np.isfinite(v)) or np.any(v <= 0):
+        raise ValueError("geometric mean requires positive finite values")
+    return float(np.exp(np.mean(np.log(v))))
+
+
+def harmonic_mean(values: np.ndarray) -> float:
+    """Harmonic mean; infinities contribute zero to the reciprocal sum."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise ValueError("harmonic mean of empty input")
+    if np.any(v <= 0):
+        raise ValueError("harmonic mean requires positive values")
+    recip = np.where(np.isinf(v), 0.0, 1.0 / v)
+    if recip.sum() == 0.0:
+        return float("inf")
+    return float(v.size / recip.sum())
+
+
+def aggregate_ratios(
+    rows: list[MetricRow],
+    baseline_tool: str = "Geographer",
+    metrics: tuple[str, ...] = FIGURE2_METRICS,
+) -> dict[str, dict[str, float]]:
+    """Figure-2 reduction: per tool, geometric mean over graphs of metric ratios.
+
+    ``result[tool][metric]`` is the geometric mean over all graphs of
+    ``metric(tool on graph) / metric(baseline on graph)``.  Graphs where the
+    baseline value is zero or non-finite are skipped for that metric.
+    """
+    by_graph: dict[str, dict[str, MetricRow]] = {}
+    for row in rows:
+        by_graph.setdefault(row.graph, {})[row.tool] = row
+    tools = sorted({row.tool for row in rows})
+    if baseline_tool not in tools:
+        raise ValueError(f"baseline tool {baseline_tool!r} absent from rows (have {tools})")
+
+    out: dict[str, dict[str, float]] = {tool: {} for tool in tools}
+    for metric in metrics:
+        ratios: dict[str, list[float]] = {tool: [] for tool in tools}
+        for graph_rows in by_graph.values():
+            base_row = graph_rows.get(baseline_tool)
+            if base_row is None:
+                continue
+            base = base_row.metric(metric)
+            if not np.isfinite(base) or base <= 0:
+                continue
+            for tool, row in graph_rows.items():
+                value = row.metric(metric)
+                if np.isfinite(value) and value > 0:
+                    ratios[tool].append(value / base)
+        for tool in tools:
+            if ratios[tool]:
+                out[tool][metric] = geometric_mean(np.asarray(ratios[tool]))
+    return out

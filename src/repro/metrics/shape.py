@@ -1,0 +1,87 @@
+"""Block-shape metrics.
+
+The paper's motivation (§1, §3.2): good block shapes — compact, connected,
+bounded aspect ratio — correlate with partition quality and application
+efficiency.  Figure 1's qualitative comparison (strips vs rectangles vs
+curved compact blocks) becomes quantitative here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.graph import GeometricMesh
+from repro.util.validation import check_assignment
+
+__all__ = ["block_aspect_ratios", "block_compactness", "disconnected_blocks", "shape_report"]
+
+
+def block_aspect_ratios(points: np.ndarray, assignment: np.ndarray, k: int) -> np.ndarray:
+    """Bounding-box aspect ratio (longest/shortest side) per block.
+
+    1 is a perfect square/cube; RCB strips score high, k-means blobs low.
+    Empty and single-point blocks get ratio 1.
+    """
+    a = check_assignment(assignment, len(points), k)
+    out = np.ones(k)
+    for b in range(k):
+        members = points[a == b]
+        if members.shape[0] < 2:
+            continue
+        extent = members.max(axis=0) - members.min(axis=0)
+        shortest = max(extent.min(), 1e-12)
+        out[b] = extent.max() / shortest
+    return out
+
+
+def block_compactness(points: np.ndarray, assignment: np.ndarray, k: int) -> np.ndarray:
+    """Radius compactness per block: rms radius / ideal-ball rms radius.
+
+    For a block of n points in dimension d, the ideal shape is a ball with
+    the same point count under uniform global density; the reported value is
+    the ratio of the block's rms distance-to-centroid to that ball's.  1 is
+    ideal; elongated or fragmented blocks score higher.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    a = check_assignment(assignment, len(pts), k)
+    n, d = pts.shape
+    domain_extent = pts.max(axis=0) - pts.min(axis=0)
+    domain_volume = float(np.prod(np.maximum(domain_extent, 1e-12)))
+    out = np.ones(k)
+    # rms radius of a uniform d-ball of radius R: R * sqrt(d / (d + 2))
+    unit_ball_volume = np.pi if d == 2 else 4.0 * np.pi / 3.0
+    for b in range(k):
+        members = pts[a == b]
+        if members.shape[0] < 2:
+            continue
+        centroid = members.mean(axis=0)
+        rms = float(np.sqrt(np.mean(np.sum((members - centroid) ** 2, axis=1))))
+        share_volume = domain_volume * members.shape[0] / n
+        ideal_radius = (share_volume / unit_ball_volume) ** (1.0 / d)
+        ideal_rms = ideal_radius * np.sqrt(d / (d + 2.0))
+        out[b] = rms / max(ideal_rms, 1e-12)
+    return out
+
+
+def disconnected_blocks(mesh: GeometricMesh, assignment: np.ndarray, k: int) -> int:
+    """Number of blocks that induce a disconnected subgraph.
+
+    The paper notes some tools produce disconnected blocks (infinite
+    diameter); this counts them directly.
+    """
+    from repro.metrics.diameter import block_diameters
+
+    diams = block_diameters(mesh, assignment, k, rounds=1)
+    return int(np.isinf(diams).sum())
+
+
+def shape_report(mesh: GeometricMesh, assignment: np.ndarray, k: int) -> dict[str, float]:
+    """Summary shape statistics for one partition."""
+    aspects = block_aspect_ratios(mesh.coords, assignment, k)
+    compact = block_compactness(mesh.coords, assignment, k)
+    return {
+        "max_aspect": float(aspects.max()),
+        "mean_aspect": float(aspects.mean()),
+        "mean_compactness": float(compact.mean()),
+        "disconnected_blocks": float(disconnected_blocks(mesh, assignment, k)),
+    }

@@ -1,0 +1,31 @@
+"""Geometric partitioners: Geographer plus the Zoltan-style baselines.
+
+All partitioners implement the :class:`~repro.partitioners.base.GeometricPartitioner`
+interface and are available through :func:`get_partitioner` by the names used
+in the paper's tables: ``Geographer``, ``RCB``, ``RIB``, ``MultiJagged``,
+``HSFC``.
+"""
+
+from repro.partitioners.base import (
+    GeometricPartitioner,
+    available_partitioners,
+    get_partitioner,
+    register_partitioner,
+)
+from repro.partitioners.rcb import RCBPartitioner
+from repro.partitioners.rib import RIBPartitioner
+from repro.partitioners.multijagged import MultiJaggedPartitioner
+from repro.partitioners.hsfc import HSFCPartitioner
+from repro.partitioners.geographer import GeographerPartitioner
+
+__all__ = [
+    "GeometricPartitioner",
+    "get_partitioner",
+    "register_partitioner",
+    "available_partitioners",
+    "RCBPartitioner",
+    "RIBPartitioner",
+    "MultiJaggedPartitioner",
+    "HSFCPartitioner",
+    "GeographerPartitioner",
+]

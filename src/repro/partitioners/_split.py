@@ -1,0 +1,76 @@
+"""Shared splitting machinery for the recursive/jagged cutters.
+
+All of RCB, RIB and MultiJagged reduce to: sort (a projection of) the points,
+then cut the sorted order at weighted-quantile positions.  Centralising that
+logic keeps the balance guarantees uniform: each split is off by at most one
+point's weight from the ideal fraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["weighted_split_position", "weighted_quantile_positions", "distribute_parts"]
+
+
+def weighted_split_position(sorted_weights: np.ndarray, fraction: float) -> int:
+    """Best index ``pos`` so that ``sorted_weights[:pos]`` holds ~``fraction`` of the total.
+
+    Chooses between the two candidate cut points around the target so the
+    achieved left-weight error is minimal.
+    """
+    if not (0.0 < fraction < 1.0):
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    cum = np.cumsum(sorted_weights)
+    total = cum[-1]
+    target = fraction * total
+    pos = int(np.searchsorted(cum, target))
+    # candidates: cut after pos or after pos+1 elements
+    best_pos, best_err = 0, target  # cutting nothing leaves error = target
+    for cand in (pos, pos + 1):
+        if 0 < cand < len(sorted_weights) + 1 and cand <= len(sorted_weights):
+            left = cum[cand - 1] if cand > 0 else 0.0
+            err = abs(left - target)
+            if err < best_err:
+                best_pos, best_err = cand, err
+    # never produce an empty side unless there is a single point
+    best_pos = min(max(best_pos, 1), len(sorted_weights) - 1)
+    return best_pos
+
+
+def weighted_quantile_positions(sorted_weights: np.ndarray, fractions: np.ndarray) -> np.ndarray:
+    """Cut positions splitting the sorted order at cumulative-weight fractions.
+
+    ``fractions`` are strictly increasing values in (0, 1); returns one index
+    per fraction.  Positions are made strictly increasing so no slab is empty
+    when there are at least as many points as slabs.
+    """
+    cum = np.cumsum(sorted_weights)
+    total = cum[-1]
+    pos = np.searchsorted(cum, np.asarray(fractions) * total, side="left") + 1
+    pos = np.minimum(pos, len(sorted_weights) - 1)
+    # enforce strict monotonicity to avoid empty slabs
+    for i in range(1, len(pos)):
+        if pos[i] <= pos[i - 1]:
+            pos[i] = pos[i - 1] + 1
+    for i in range(len(pos) - 2, -1, -1):
+        if pos[i] >= pos[i + 1]:
+            pos[i] = pos[i + 1] - 1
+    if len(pos) and (pos[0] < 1 or pos[-1] > len(sorted_weights) - 1):
+        raise ValueError(f"cannot cut {len(sorted_weights)} points into {len(pos) + 1} non-empty slabs")
+    return pos.astype(np.int64)
+
+
+def distribute_parts(k: int, nparts: int) -> np.ndarray:
+    """Distribute ``k`` final blocks over ``nparts`` slabs as evenly as possible.
+
+    Returns ``(nparts,)`` positive integers summing to ``k`` (the "jagged"
+    part of MultiJagged: slabs may carry different block counts).
+    """
+    if nparts < 1 or nparts > k:
+        raise ValueError(f"need 1 <= nparts <= k, got nparts={nparts}, k={k}")
+    base = k // nparts
+    rem = k % nparts
+    out = np.full(nparts, base, dtype=np.int64)
+    out[:rem] += 1
+    return out

@@ -1,0 +1,112 @@
+"""Partitioner interface and registry."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.mesh.graph import GeometricMesh
+from repro.util.validation import check_epsilon, check_k, check_points, check_weights
+
+__all__ = [
+    "GeometricPartitioner",
+    "register_partitioner",
+    "get_partitioner",
+    "available_partitioners",
+]
+
+
+class GeometricPartitioner(ABC):
+    """Direct k-way partitioner of weighted point sets.
+
+    Subclasses implement :meth:`_partition`; the public :meth:`partition`
+    validates arguments and canonicalises inputs.  Partitioners are geometric:
+    they see coordinates and weights only, never the adjacency (paper §2).
+    """
+
+    #: Name used in the paper's tables and the registry.
+    name: str = "abstract"
+
+    def partition(
+        self,
+        points: np.ndarray,
+        k: int,
+        weights: np.ndarray | None = None,
+        epsilon: float = 0.03,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Partition ``points`` into ``k`` blocks; returns an ``(n,)`` assignment.
+
+        Parameters
+        ----------
+        points:
+            ``(n, d)`` coordinates, d in {2, 3}.
+        k:
+            Number of blocks (independent of any process count).
+        weights:
+            Optional per-point load; blocks balance total weight.
+        epsilon:
+            Balance tolerance: block weight <= (1 + epsilon) * ceil(W / k).
+        rng:
+            Seed or generator for the stochastic parts (ignored by
+            deterministic partitioners).
+        """
+        pts = check_points(points)
+        k = check_k(k, pts.shape[0])
+        w = check_weights(weights, pts.shape[0])
+        eps = check_epsilon(epsilon)
+        if k == 1:
+            return np.zeros(pts.shape[0], dtype=np.int64)
+        assignment = self._partition(pts, k, w, eps, rng)
+        assignment = np.ascontiguousarray(assignment, dtype=np.int64)
+        if assignment.shape != (pts.shape[0],):
+            raise AssertionError(f"{self.name}: bad assignment shape {assignment.shape}")
+        return assignment
+
+    def partition_mesh(
+        self,
+        mesh: GeometricMesh,
+        k: int,
+        epsilon: float = 0.03,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Partition a mesh using its coordinates and node weights."""
+        return self.partition(mesh.coords, k, mesh.node_weights, epsilon, rng)
+
+    @abstractmethod
+    def _partition(
+        self,
+        points: np.ndarray,
+        k: int,
+        weights: np.ndarray,
+        epsilon: float,
+        rng: int | np.random.Generator | None,
+    ) -> np.ndarray: ...
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: dict[str, type[GeometricPartitioner]] = {}
+
+
+def register_partitioner(cls: type[GeometricPartitioner]) -> type[GeometricPartitioner]:
+    """Class decorator adding a partitioner to the global registry."""
+    if not issubclass(cls, GeometricPartitioner):
+        raise TypeError(f"{cls!r} is not a GeometricPartitioner")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate partitioner name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_partitioner(name: str, **kwargs) -> GeometricPartitioner:
+    """Instantiate a registered partitioner by paper name (case-sensitive)."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown partitioner {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[name](**kwargs)
+
+
+def available_partitioners() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,40 @@
+"""Geographer: SFC bootstrap + balanced k-means (the paper's partitioner).
+
+Thin partitioner-interface wrapper around :func:`repro.core.balanced_kmeans`;
+labelled ``Geographer`` (called ``geoKmeans`` in Figure 2's legend).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.balanced_kmeans import balanced_kmeans
+from repro.core.config import BalancedKMeansConfig
+from repro.core.result import KMeansResult
+from repro.partitioners.base import GeometricPartitioner, register_partitioner
+
+__all__ = ["GeographerPartitioner"]
+
+
+@register_partitioner
+class GeographerPartitioner(GeometricPartitioner):
+    """Balanced k-means partitioner.
+
+    Parameters
+    ----------
+    config:
+        Optional :class:`BalancedKMeansConfig`; the epsilon passed to
+        :meth:`partition` overrides the config's epsilon.
+    """
+
+    name = "Geographer"
+
+    def __init__(self, config: BalancedKMeansConfig | None = None) -> None:
+        self.config = config or BalancedKMeansConfig()
+        self.last_result: KMeansResult | None = None
+
+    def _partition(self, points, k, weights, epsilon, rng):
+        cfg = self.config if self.config.epsilon == epsilon else self.config.with_(epsilon=epsilon)
+        result = balanced_kmeans(points, k, weights=weights, config=cfg, rng=rng)
+        self.last_result = result
+        return result.assignment

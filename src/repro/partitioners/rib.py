@@ -1,0 +1,58 @@
+"""Recursive Inertial Bisection (Taylor & Nour-Omid; Williams 1991; Zoltan's RIB).
+
+Like RCB, but each bisection cuts orthogonally to the *principal inertial
+axis* of the current point set (the direction of largest weighted variance),
+so cuts adapt to the point cloud's orientation instead of the coordinate
+axes.  The axis is the leading eigenvector of the weighted covariance matrix
+(d <= 3, so the eigenproblem is trivial).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partitioners._split import weighted_split_position
+from repro.partitioners.base import GeometricPartitioner, register_partitioner
+
+__all__ = ["RIBPartitioner", "inertial_axis"]
+
+
+def inertial_axis(points: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Leading eigenvector of the weighted covariance of ``points``.
+
+    Falls back to the widest coordinate axis for degenerate clouds.
+    """
+    total = weights.sum()
+    center = (weights[:, None] * points).sum(axis=0) / total
+    centered = points - center
+    cov = (weights[:, None] * centered).T @ centered / total
+    eigvals, eigvecs = np.linalg.eigh(cov)
+    axis = eigvecs[:, -1]
+    if not np.all(np.isfinite(axis)) or np.linalg.norm(axis) == 0.0:
+        extent = points.max(axis=0) - points.min(axis=0)
+        axis = np.zeros(points.shape[1])
+        axis[int(np.argmax(extent))] = 1.0
+    return axis
+
+
+@register_partitioner
+class RIBPartitioner(GeometricPartitioner):
+    name = "RIB"
+
+    def _partition(self, points, k, weights, epsilon, rng):
+        assignment = np.empty(points.shape[0], dtype=np.int64)
+        stack = [(np.arange(points.shape[0], dtype=np.int64), 0, k)]
+        while stack:
+            members, block0, nblocks = stack.pop()
+            if nblocks == 1:
+                assignment[members] = block0
+                continue
+            k1 = nblocks // 2
+            local = points[members]
+            axis = inertial_axis(local, weights[members])
+            projection = local @ axis
+            order = np.argsort(projection, kind="stable")
+            pos = weighted_split_position(weights[members][order], k1 / nblocks)
+            stack.append((members[order[:pos]], block0, k1))
+            stack.append((members[order[pos:]], block0 + k1, nblocks - k1))
+        return assignment

@@ -1,0 +1,12 @@
+"""Graph-based post-refinement (the paper's §2 out-of-scope extension).
+
+The paper notes that "a graph-based postprocessing, for example based on the
+Fiduccia-Mattheyses local refinement heuristic is easily possible, but
+outside the scope of this paper."  This package implements that extension:
+a balance-preserving boundary refinement that reduces the edge cut of any
+geometric partition.
+"""
+
+from repro.refine.fm import RefinementStats, fm_refine
+
+__all__ = ["fm_refine", "RefinementStats"]

@@ -1,0 +1,29 @@
+"""Simulated SPMD runtime (the MPI substitute).
+
+The paper runs on up to 16 384 MPI processes; this package simulates that
+execution model on one machine.  Algorithms are written in bulk-synchronous
+style against :class:`VirtualComm`: rank-local numpy arrays plus global
+collectives.  Per-superstep wall-clock is ``max`` of the measured rank-local
+compute times plus the machine-model cost of the collective — exactly the
+BSP cost of the paper's algorithm, whose only communication is global
+reductions and one initial redistribution (Algorithms 1-2, blue lines).
+"""
+
+from repro.runtime.costmodel import SUPERMUC_LIKE, MachineModel
+from repro.runtime.comm import CostLedger, VirtualComm
+from repro.runtime.distsort import distributed_sort
+from repro.runtime.distributed_kmeans import DistributedKMeansResult, distributed_balanced_kmeans
+from repro.runtime.scaling import ScalingPoint, strong_scaling, weak_scaling
+
+__all__ = [
+    "MachineModel",
+    "SUPERMUC_LIKE",
+    "VirtualComm",
+    "CostLedger",
+    "distributed_sort",
+    "distributed_balanced_kmeans",
+    "DistributedKMeansResult",
+    "weak_scaling",
+    "strong_scaling",
+    "ScalingPoint",
+]

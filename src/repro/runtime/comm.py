@@ -1,0 +1,168 @@
+"""Virtual communicator: rank-local state + collectives with cost accounting.
+
+Programs written against :class:`VirtualComm` look like mpi4py code turned
+inside out: instead of one process per rank, the driver holds *lists indexed
+by rank* and calls collectives on them.  Each collective (a) computes the
+combined value exactly (so simulated algorithms produce real output) and
+(b) charges the machine-model cost to the ledger.  Local compute is timed
+per rank by :meth:`run_local`; the superstep contributes the *maximum* rank
+time, which is what a barrier-synchronised MPI program would experience.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.runtime.costmodel import SUPERMUC_LIKE, MachineModel
+
+__all__ = ["CostLedger", "VirtualComm"]
+
+
+@dataclass
+class CostLedger:
+    """Accumulated simulated wall-clock, split into compute and communication."""
+
+    compute_seconds: float = 0.0
+    comm_seconds: float = 0.0
+    supersteps: int = 0
+    collectives: dict[str, float] = field(default_factory=dict)
+    collective_counts: dict[str, int] = field(default_factory=dict)
+    stages: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.comm_seconds
+
+    def charge_compute(self, seconds: float, stage: str | None = None) -> None:
+        self.compute_seconds += seconds
+        if stage:
+            self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    def charge_comm(self, seconds: float, op: str, stage: str | None = None) -> None:
+        self.comm_seconds += seconds
+        self.collectives[op] = self.collectives.get(op, 0.0) + seconds
+        self.collective_counts[op] = self.collective_counts.get(op, 0) + 1
+        if stage:
+            self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    def merge(self, other: "CostLedger") -> None:
+        self.compute_seconds += other.compute_seconds
+        self.comm_seconds += other.comm_seconds
+        self.supersteps += other.supersteps
+        for key, val in other.collectives.items():
+            self.collectives[key] = self.collectives.get(key, 0.0) + val
+        for key, val in other.stages.items():
+            self.stages[key] = self.stages.get(key, 0.0) + val
+
+
+class VirtualComm:
+    """A simulated MPI communicator over ``nranks`` virtual processes.
+
+    Parameters
+    ----------
+    nranks:
+        Number of simulated ranks (the paper's ``p``).
+    machine:
+        Cost model; defaults to the SuperMUC-like configuration.
+    stage:
+        Mutable label under which subsequent costs are recorded (set via
+        :meth:`set_stage`), feeding the §5.3.2 component breakdown.
+    """
+
+    def __init__(self, nranks: int, machine: MachineModel | None = None) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = int(nranks)
+        self.machine = machine or SUPERMUC_LIKE
+        self.ledger = CostLedger()
+        self._stage: str | None = None
+
+    def set_stage(self, stage: str | None) -> None:
+        self._stage = stage
+
+    # -- local compute -----------------------------------------------------
+
+    def run_local(self, fn: Callable[[int], object]) -> list:
+        """Run ``fn(rank)`` for every rank; charge max measured time.
+
+        This is the BSP superstep: all ranks compute independently, the
+        slowest one determines the wall clock.
+        """
+        results = []
+        worst = 0.0
+        for rank in range(self.nranks):
+            start = time.perf_counter()
+            results.append(fn(rank))
+            worst = max(worst, time.perf_counter() - start)
+        self.ledger.charge_compute(worst, self._stage)
+        self.ledger.supersteps += 1
+        return results
+
+    def charge_modeled_compute(self, point_ops: float) -> None:
+        """Charge modeled (not measured) local work, e.g. for extrapolated runs."""
+        self.ledger.charge_compute(self.machine.compute(point_ops), self._stage)
+        self.ledger.supersteps += 1
+
+    # -- collectives ---------------------------------------------------------
+
+    def allreduce(self, per_rank: Sequence[np.ndarray]) -> np.ndarray:
+        """Sum-allreduce of equal-shaped per-rank arrays; result is replicated.
+
+        Summation runs in rank order, making the simulation deterministic.
+        """
+        self._check_ranks(per_rank)
+        out = np.array(per_rank[0], dtype=np.float64, copy=True)
+        for arr in per_rank[1:]:
+            out += arr
+        self.ledger.charge_comm(
+            self.machine.allreduce(out.nbytes, self.nranks), "allreduce", self._stage
+        )
+        return out
+
+    def allgather(self, per_rank: Sequence[np.ndarray]) -> np.ndarray:
+        """Concatenate per-rank arrays; every rank receives the full result."""
+        self._check_ranks(per_rank)
+        arrays = [np.atleast_1d(np.asarray(a)) for a in per_rank]
+        out = np.concatenate(arrays)
+        per_rank_bytes = max(a.nbytes for a in arrays)
+        self.ledger.charge_comm(
+            self.machine.allgather(per_rank_bytes, self.nranks), "allgather", self._stage
+        )
+        return out
+
+    def alltoallv(self, send: Sequence[Sequence[np.ndarray]]) -> list[np.ndarray]:
+        """Personalised exchange: ``send[i][j]`` goes from rank i to rank j.
+
+        Returns per-rank concatenations ``recv[j] = concat_i send[i][j]``
+        (in rank order, so a globally sorted sequence stays sorted).
+        """
+        self._check_ranks(send)
+        recv: list[np.ndarray] = []
+        for j in range(self.nranks):
+            parts = [np.atleast_1d(np.asarray(send[i][j])) for i in range(self.nranks)]
+            recv.append(np.concatenate(parts))
+        max_bytes = 0
+        for i in range(self.nranks):
+            out_bytes = sum(np.asarray(send[i][j]).nbytes for j in range(self.nranks) if j != i)
+            in_bytes = sum(np.asarray(send[i2][i]).nbytes for i2 in range(self.nranks) if i2 != i)
+            max_bytes = max(max_bytes, out_bytes, in_bytes)
+        self.ledger.charge_comm(
+            self.machine.alltoallv(max_bytes, self.nranks), "alltoallv", self._stage
+        )
+        return recv
+
+    def broadcast(self, value: np.ndarray) -> np.ndarray:
+        """Broadcast from rank 0 (cost of a tree broadcast = allreduce shape)."""
+        arr = np.asarray(value)
+        self.ledger.charge_comm(
+            self.machine.allreduce(arr.nbytes, self.nranks), "broadcast", self._stage
+        )
+        return arr
+
+    def _check_ranks(self, seq: Sequence) -> None:
+        if len(seq) != self.nranks:
+            raise ValueError(f"expected {self.nranks} per-rank entries, got {len(seq)}")

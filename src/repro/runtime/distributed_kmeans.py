@@ -1,0 +1,273 @@
+"""Distributed Geographer: balanced k-means over the simulated SPMD runtime.
+
+Mirrors the paper's parallelisation exactly (§4.1, Algorithms 1-2):
+
+- points start block-distributed over ``p`` ranks;
+- every rank computes Hilbert indices of its local points (global box);
+- a distributed sort + equalising redistribution gives each rank a
+  contiguous, spatially compact chunk (stage "redistribute");
+- initial centers sit at positions ``i*n/k + n/(2k)`` of the *global* sorted
+  order — ranks owning those positions contribute them via one allgather;
+- each balance iteration performs rank-local assignment sweeps (with the
+  same Hamerly bounds / box pruning kernels as the serial code) followed by
+  one ``k``-float allreduce of block weights — the *only* communication in
+  Algorithm 1 (line 31);
+- each movement iteration adds one ``k x (d+1)`` allreduce for the weighted
+  center sums (Algorithm 2, line 13).
+
+Because the simulation executes the real kernels on real data, the returned
+partition is a genuine balanced-k-means partition (agreeing with the serial
+implementation up to floating-point reduction order), while the ledger
+provides the simulated wall-clock used by the scaling figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.assign import assign_points
+from repro.core.bounds import init_bounds, relax_for_influence, relax_for_movement
+from repro.core.config import BalancedKMeansConfig
+from repro.core.influence import adapt_influence, erode_influence
+from repro.runtime.comm import CostLedger, VirtualComm
+from repro.runtime.costmodel import MachineModel
+from repro.runtime.distsort import distributed_sort
+from repro.sfc.curves import DEFAULT_BITS, sfc_index
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.validation import check_k, check_points, check_weights
+
+__all__ = ["DistributedKMeansResult", "distributed_balanced_kmeans"]
+
+
+@dataclass
+class DistributedKMeansResult:
+    """Partition plus simulated-execution diagnostics."""
+
+    assignment: np.ndarray  # in the caller's original point order
+    centers: np.ndarray
+    influence: np.ndarray
+    iterations: int
+    converged: bool
+    imbalance: float
+    nranks: int
+    ledger: CostLedger = field(default_factory=CostLedger)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.ledger.total_seconds
+
+    def stage_fractions(self) -> dict[str, float]:
+        """Share of simulated time per stage (the §5.3.2 component split)."""
+        total = self.ledger.total_seconds
+        if total <= 0:
+            return {}
+        return {k: v / total for k, v in sorted(self.ledger.stages.items())}
+
+
+def _split_blocks(n: int, p: int) -> list[np.ndarray]:
+    """Initial block distribution: rank r owns indices [r*n/p, (r+1)*n/p)."""
+    bounds = (np.arange(p + 1) * n) // p
+    return [np.arange(bounds[r], bounds[r + 1], dtype=np.int64) for r in range(p)]
+
+
+def distributed_balanced_kmeans(
+    points: np.ndarray,
+    k: int,
+    nranks: int,
+    weights: np.ndarray | None = None,
+    config: BalancedKMeansConfig | None = None,
+    machine: MachineModel | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> DistributedKMeansResult:
+    """Run Geographer on ``nranks`` simulated MPI processes.
+
+    ``points`` is the global point set; it is dealt out block-wise to the
+    virtual ranks (as if read from a partitioned file), then redistributed by
+    Hilbert index exactly as the paper describes.
+    """
+    cfg = config or BalancedKMeansConfig()
+    pts = check_points(points)
+    n = pts.shape[0]
+    k = check_k(k, n)
+    w = check_weights(weights, n)
+    gen = ensure_rng(rng)
+    comm = VirtualComm(nranks, machine)
+    p = comm.nranks
+    dim = pts.shape[1]
+    bits = cfg.sfc_bits or DEFAULT_BITS[dim]
+
+    # -- initial block distribution (payload: coords | weight | original id)
+    owned = _split_blocks(n, p)
+    payload = [np.column_stack([pts[ix], w[ix], ix.astype(np.float64)]) for ix in owned]
+
+    # -- global bounding box: local boxes + tiny allgather ------------------
+    comm.set_stage("sfc_index")
+    local_boxes = comm.run_local(lambda r: np.concatenate([payload[r][:, :dim].min(axis=0),
+                                                           payload[r][:, :dim].max(axis=0)]))
+    boxes = comm.allgather(local_boxes).reshape(p, 2 * dim)
+    glo = boxes[:, :dim].min(axis=0)
+    ghi = boxes[:, dim:].max(axis=0)
+
+    # -- Hilbert indices (rank-local, measured) ------------------------------
+    keys = comm.run_local(
+        lambda r: sfc_index(payload[r][:, :dim], curve=cfg.sfc_curve, bits=bits, box=(glo, ghi))
+    )
+
+    # -- distributed sort + equalising redistribution ------------------------
+    comm.set_stage("redistribute")
+    _, sorted_payload = distributed_sort(comm, keys, payload)
+    local_pts = [sp[:, :dim].copy() for sp in sorted_payload]
+    local_w = [sp[:, dim].copy() for sp in sorted_payload]
+    local_ids = [sp[:, dim + 1].astype(np.int64) for sp in sorted_payload]
+    counts = np.array([lp.shape[0] for lp in local_pts], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+
+    # -- SFC seeding from the global sorted order (Algorithm 2, line 7) ------
+    comm.set_stage("seeding")
+    positions = (np.arange(k, dtype=np.int64) * n) // k + n // (2 * k)
+    positions = np.minimum(positions, n - 1)
+
+    def local_seeds(r: int) -> np.ndarray:
+        inside = (positions >= offsets[r]) & (positions < offsets[r] + counts[r])
+        which = np.flatnonzero(inside)
+        rows = positions[which] - offsets[r]
+        return np.column_stack([which.astype(np.float64), local_pts[r][rows]])
+
+    seeds = comm.allgather(comm.run_local(local_seeds)).reshape(-1, dim + 1)
+    centers = np.empty((k, dim))
+    centers[seeds[:, 0].astype(np.int64)] = seeds[:, 1:]
+
+    influence = np.ones(k)
+    total_w = float(comm.allreduce(comm.run_local(lambda r: np.array([local_w[r].sum()])))[0])
+    targets = np.full(k, total_w / k)
+    extent = ghi - glo
+    delta_threshold = cfg.delta_threshold_rel * float(np.linalg.norm(extent))
+
+    # -- per-rank mutable state ----------------------------------------------
+    assignment = [np.zeros(c, dtype=np.int64) for c in counts]
+    bound_pairs = [init_bounds(c) for c in counts]
+    rank_rngs = spawn_rngs(gen, p)
+
+    # -- sampled initialisation rounds (per rank, §4.5) -----------------------
+    sample_sizes: list[int] = []
+    if cfg.use_sampling:
+        smallest = int(counts.min())
+        size = cfg.initial_sample_size
+        if smallest > 2 * size:
+            while size < smallest:
+                sample_sizes.append(size)
+                size *= 2
+    sample_perms = [rank_rngs[r].permutation(int(counts[r])) for r in range(p)]
+
+    def one_phase(subset: list[np.ndarray] | None) -> tuple[float, np.ndarray, bool]:
+        """One assign-and-balance phase + center update; returns (max delta, new centers, balanced)."""
+        nonlocal influence
+        if subset is None:
+            s_pts, s_w, s_assign = local_pts, local_w, assignment
+            s_bounds = bound_pairs
+            s_targets = targets
+        else:
+            s_pts = [local_pts[r][subset[r]] for r in range(p)]
+            s_w = [local_w[r][subset[r]] for r in range(p)]
+            s_assign = [np.zeros(len(subset[r]), dtype=np.int64) for r in range(p)]
+            s_bounds = [init_bounds(len(subset[r])) for r in range(p)]
+            frac = sum(float(sw.sum()) for sw in s_w) / total_w
+            s_targets = targets * frac
+        balanced = False
+        for bit in range(cfg.max_balance_iterations):
+            comm.set_stage("kmeans")
+
+            def sweep(r: int) -> np.ndarray:
+                ub, lb = s_bounds[r]
+                assign_points(s_pts[r], centers, influence, s_assign[r], ub, lb, cfg)
+                return np.bincount(s_assign[r], weights=s_w[r], minlength=k)
+
+            block_w = comm.allreduce(comm.run_local(sweep))
+            imbalance = float((block_w / s_targets).max() - 1.0)
+            if imbalance <= cfg.epsilon:
+                balanced = True
+                break
+            if bit == cfg.max_balance_iterations - 1:
+                break
+            old_influence = influence.copy()
+            influence = adapt_influence(
+                influence, block_w, s_targets, dim,
+                cap=cfg.influence_change_cap, floor=cfg.influence_floor, ceil=cfg.influence_ceil,
+            )
+            if cfg.use_bounds:
+                comm.run_local(
+                    lambda r: relax_for_influence(*s_bounds[r], s_assign[r], old_influence, influence)
+                )
+        # center update: one allreduce of k x (d+1) partial sums
+        def partial_sums(r: int) -> np.ndarray:
+            sums = np.empty((k, dim + 1))
+            for dd in range(dim):
+                sums[:, dd] = np.bincount(s_assign[r], weights=s_w[r] * s_pts[r][:, dd], minlength=k)
+            sums[:, dim] = np.bincount(s_assign[r], weights=s_w[r], minlength=k)
+            return sums
+
+        totals = comm.allreduce(comm.run_local(partial_sums)).reshape(k, dim + 1)
+        wsum = totals[:, dim]
+        new_centers = np.where(wsum[:, None] > 0, totals[:, :dim] / np.maximum(wsum, 1e-300)[:, None], centers)
+        deltas = np.linalg.norm(new_centers - centers, axis=1)
+
+        old_influence = influence.copy()
+        if cfg.use_erosion:
+            # beta(C) = average cluster diameter (2 x rms radius), computed
+            # like the serial code but with the partial sums allreduced —
+            # one extra k+k-float reduction per movement round.
+            def diameter_sums(r: int) -> np.ndarray:
+                diff = s_pts[r] - new_centers[s_assign[r]]
+                sq = np.einsum("ij,ij->i", diff, diff)
+                return np.concatenate([
+                    np.bincount(s_assign[r], weights=sq * s_w[r], minlength=k),
+                    np.bincount(s_assign[r], weights=s_w[r], minlength=k),
+                ])
+
+            dsums = comm.allreduce(comm.run_local(diameter_sums))
+            sq_sums, cnts = dsums[:k], dsums[k:]
+            with np.errstate(invalid="ignore", divide="ignore"):
+                diam = 2.0 * np.sqrt(np.where(cnts > 0, sq_sums / np.maximum(cnts, 1e-300), 0.0))
+            positive = diam[diam > 0]
+            beta = float(positive.mean()) if positive.size else 0.0
+            influence = erode_influence(influence, deltas, beta,
+                                        floor=cfg.influence_floor, ceil=cfg.influence_ceil)
+        if subset is None and cfg.use_bounds:
+            comm.run_local(lambda r: relax_for_influence(*bound_pairs[r], assignment[r], old_influence, influence))
+            comm.run_local(lambda r: relax_for_movement(*bound_pairs[r], assignment[r], deltas, influence))
+        return float(deltas.max()), new_centers, balanced
+
+    for size in sample_sizes:
+        subset = [sample_perms[r][: min(size, int(counts[r]))] for r in range(p)]
+        _, centers, _ = one_phase(subset)
+
+    converged = False
+    iterations = 0
+    final_imbalance = np.inf
+    for it in range(cfg.max_iterations):
+        iterations = it + 1
+        max_delta, new_centers, balanced = one_phase(None)
+        block_w = comm.allreduce(comm.run_local(lambda r: np.bincount(assignment[r], weights=local_w[r], minlength=k)))
+        final_imbalance = float((block_w / targets).max() - 1.0)
+        if max_delta < delta_threshold and balanced:
+            converged = True
+            break
+        centers = new_centers
+
+    # -- gather assignment back to original order -----------------------------
+    full_assignment = np.empty(n, dtype=np.int64)
+    for r in range(p):
+        full_assignment[local_ids[r]] = assignment[r]
+
+    return DistributedKMeansResult(
+        assignment=full_assignment,
+        centers=centers,
+        influence=influence,
+        iterations=iterations,
+        converged=converged,
+        imbalance=final_imbalance,
+        nranks=p,
+        ledger=comm.ledger,
+    )

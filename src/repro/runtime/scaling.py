@@ -1,0 +1,239 @@
+"""Weak/strong-scaling drivers (machinery behind Figures 3a, 3b and 4).
+
+Every curve point carries a **modeled** wall-clock on the SuperMUC-like
+machine model, derived from per-stage *operation counts* (from the
+algorithms' structure) divided by the machine's compute rate, plus the
+collective costs of the machine model.  For small rank counts the full
+simulated SPMD run also executes ("measured" mode), which serves two
+purposes: it validates the op-count structure (iteration and reduction
+counts are *calibrated* from the real run, not assumed) and it proves the
+algorithm actually produces balanced partitions at that configuration.
+Python wall-clock is not comparable to the modeled C++/MPI machine, so
+curves always plot the modeled seconds; the measured runs back the points
+marked "measured".  EXPERIMENTS.md discusses this substitution.
+
+The tools' cost structures (what the model charges):
+
+- **RCB/RIB**: ``log2 k`` bisection levels, each with a weighted-median
+  search (~12 scalar allreduces) *and a data migration* (alltoallv moving
+  half the local points).  The per-level migration is what ruins their
+  scaling in the paper (Fig. 3).
+- **MultiJagged**: ``d`` multisection levels, ~4 cut-refinement rounds with
+  one vector allreduce each, *no data migration* — near-flat weak scaling.
+- **HSFC**: Hilbert indexing + one distributed sort (alltoallv) — near-flat.
+- **Geographer**: Hilbert indexing + one distributed sort + k-means
+  iterations, each with a handful of ``k``-float allreduces (assignment
+  sweeps are rank-local); per-iteration work also has a ``k log k`` term
+  (sorting centers against the local bounding box, Algorithm 1 line 6)
+  which grows when k = p rises in strong scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import BalancedKMeansConfig
+from repro.runtime.costmodel import SUPERMUC_LIKE, MachineModel
+from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
+from repro.util.rng import ensure_rng
+
+__all__ = ["ScalingPoint", "CostCalibration", "calibrate", "modeled_time", "weak_scaling", "strong_scaling"]
+
+_TOOLS = ("Geographer", "MultiJagged", "RCB", "RIB", "HSFC")
+_POINT_BYTES = 8 * 3  # coords + key payload per point during migration
+
+# Per-point operation counts from the algorithms' inner loops.  These are
+# structural constants (loop lengths), not timings: e.g. a Hilbert index is
+# ~3 ops per bit level x 24 levels; one k-means candidate evaluation is ~3d
+# ops and ~8 candidates survive pruning while ~80 % of points are skipped.
+_OPS_HILBERT_PER_POINT = 75.0
+_OPS_KMEANS_PER_POINT_SWEEP = 55.0
+_OPS_SORT_PER_POINT_PER_LOGN = 2.0
+_OPS_MEDIAN_PER_POINT_PER_LEVEL = 6.0
+_MEDIAN_ROUNDS = 12.0  # allreduce rounds per weighted-median search
+_MJ_REFINE_ROUNDS = 4.0  # cut-refinement rounds per MJ level
+_MJ_BINS = 250.0  # weight-histogram bins per cut in MJ's refinement reduce
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling curve (seconds = modeled machine time)."""
+
+    tool: str
+    nranks: int
+    n: int
+    k: int
+    seconds: float
+    mode: str  # "measured" (backed by a simulated run) | "modeled"
+    breakdown: dict = field(default_factory=dict)
+    measured_wall: float | None = None  # wall-clock of the backing simulated run
+    imbalance: float | None = None
+
+
+@dataclass(frozen=True)
+class CostCalibration:
+    """Algorithm-structure constants measured from one real simulated run."""
+
+    kmeans_iterations: int
+    reduces_per_iteration: float
+
+
+def calibrate(
+    points_per_rank: int = 1500,
+    nranks: int = 4,
+    machine: MachineModel | None = None,
+    rng: int | np.random.Generator | None = None,
+    dim: int = 2,
+) -> CostCalibration:
+    """Extract iteration/reduction counts from one small simulated run."""
+    gen = ensure_rng(rng)
+    n = points_per_rank * nranks
+    pts = gen.random((n, dim))
+    cfg = BalancedKMeansConfig(use_sampling=False)
+    result = distributed_balanced_kmeans(pts, k=nranks, nranks=nranks, config=cfg, machine=machine, rng=gen)
+    iters = max(result.iterations, 1)
+    reduces = result.ledger.collective_counts.get("allreduce", iters)
+    return CostCalibration(
+        kmeans_iterations=iters,
+        reduces_per_iteration=max(1.0, reduces / iters),
+    )
+
+
+def modeled_time(
+    tool: str,
+    n: int,
+    nranks: int,
+    k: int,
+    calib: CostCalibration,
+    machine: MachineModel | None = None,
+    dim: int = 2,
+) -> tuple[float, dict]:
+    """Modeled running time of ``tool`` on the machine model.
+
+    Returns ``(seconds, stage breakdown)``.
+    """
+    m = machine or SUPERMUC_LIKE
+    if tool not in _TOOLS:
+        raise ValueError(f"unknown tool {tool!r}; choose from {_TOOLS}")
+    local_n = max(1.0, n / nranks)
+    log_local = max(1.0, math.log2(local_n))
+    breakdown: dict[str, float] = {}
+
+    def sfc_stages() -> None:
+        breakdown["sfc_index"] = m.compute(_OPS_HILBERT_PER_POINT * local_n)
+        breakdown["redistribute"] = (
+            m.compute(_OPS_SORT_PER_POINT_PER_LOGN * log_local * local_n)
+            + m.allgather(16 * 8, nranks)  # splitter sample
+            + 2 * m.alltoallv(local_n * _POINT_BYTES, nranks)  # exchange + equalise
+        )
+
+    if tool == "Geographer":
+        sfc_stages()
+        iters = calib.kmeans_iterations
+        sweeps = max(1.0, calib.reduces_per_iteration - 1.0)  # balance sweeps per iteration
+        # Hamerly bounds skip ~80 % of points after the first sweep of a phase
+        effective_sweeps = 1.0 + 0.25 * (sweeps - 1.0)
+        point_ops = _OPS_KMEANS_PER_POINT_SWEEP * local_n * effective_sweeps * iters
+        center_ops = iters * sweeps * k * max(1.0, math.log2(max(k, 2)))
+        reduce_cost = m.allreduce(k * 8 * (dim + 1), nranks)
+        breakdown["kmeans"] = (
+            m.compute(point_ops + center_ops)
+            + iters * calib.reduces_per_iteration * reduce_cost
+        )
+    elif tool == "HSFC":
+        sfc_stages()
+        breakdown["chunking"] = m.allreduce(8 * 8, nranks)
+    elif tool == "MultiJagged":
+        levels = dim
+        per_level_cuts = max(2.0, k ** (1.0 / levels))
+        breakdown["multisection"] = (
+            m.compute(_OPS_MEDIAN_PER_POINT_PER_LEVEL * local_n * levels * _MJ_REFINE_ROUNDS)
+            + levels * _MJ_REFINE_ROUNDS * m.allreduce(per_level_cuts * _MJ_BINS * 8, nranks)
+        )
+    else:  # RCB / RIB: log2(k) levels with median search AND migration
+        levels = max(1.0, math.log2(k))
+        extra = 1.4 if tool == "RIB" else 1.0  # RIB adds the inertial projection
+        breakdown["bisection"] = (
+            m.compute(_OPS_MEDIAN_PER_POINT_PER_LEVEL * _MEDIAN_ROUNDS * local_n * levels * extra)
+            + levels * _MEDIAN_ROUNDS * m.allreduce(8, nranks)
+            + levels * m.alltoallv(local_n * _POINT_BYTES / 2.0, nranks)
+        )
+    return sum(breakdown.values()), breakdown
+
+
+def _curve(
+    tool: str,
+    configs: list[tuple[int, int, int]],  # (p, n, k)
+    measured_max_ranks: int,
+    machine: MachineModel | None,
+    calib: CostCalibration,
+    rng: np.random.Generator,
+    dim: int,
+) -> list[ScalingPoint]:
+    out: list[ScalingPoint] = []
+    for p, n, k in configs:
+        secs, breakdown = modeled_time(tool, n, p, k, calib, machine, dim)
+        measured_wall = None
+        imbalance = None
+        mode = "modeled"
+        if p <= measured_max_ranks and n <= 200_000:
+            # back the point with a real simulated run
+            pts = rng.random((n, dim))
+            if tool == "Geographer":
+                cfg = BalancedKMeansConfig(use_sampling=False)
+                res = distributed_balanced_kmeans(pts, k=k, nranks=p, config=cfg, machine=machine, rng=rng)
+                measured_wall = res.simulated_seconds
+                imbalance = res.imbalance
+            else:
+                import time
+
+                from repro.partitioners.base import get_partitioner
+
+                start = time.perf_counter()
+                assignment = get_partitioner(tool).partition(pts, k)
+                measured_wall = time.perf_counter() - start
+                imbalance = float(np.bincount(assignment, minlength=k).max() / (n / k) - 1.0)
+            mode = "measured"
+        out.append(ScalingPoint(tool, p, n, k, secs, mode, breakdown, measured_wall, imbalance))
+    return out
+
+
+def weak_scaling(
+    tools: tuple[str, ...] = _TOOLS,
+    points_per_rank: int = 4000,
+    rank_counts: tuple[int, ...] = (32, 64, 128, 256, 512, 1024, 2048, 4096, 8192),
+    measured_max_ranks: int = 16,
+    machine: MachineModel | None = None,
+    rng: int | np.random.Generator | None = None,
+    dim: int = 2,
+) -> list[ScalingPoint]:
+    """Figure 3a: p = k doubles, n/p fixed (paper: 250k/rank, 32..8192 ranks)."""
+    gen = ensure_rng(rng)
+    calib = calibrate(machine=machine, rng=gen, dim=dim)
+    out: list[ScalingPoint] = []
+    configs = [(p, p * points_per_rank, p) for p in rank_counts]
+    for tool in tools:
+        out.extend(_curve(tool, configs, measured_max_ranks, machine, calib, gen, dim))
+    return out
+
+
+def strong_scaling(
+    tools: tuple[str, ...] = _TOOLS,
+    n: int = 2_000_000_000,
+    rank_counts: tuple[int, ...] = (1024, 2048, 4096, 8192, 16384),
+    measured_max_ranks: int = 16,
+    machine: MachineModel | None = None,
+    rng: int | np.random.Generator | None = None,
+    dim: int = 2,
+) -> list[ScalingPoint]:
+    """Figure 3b: fixed n (paper: Delaunay2B), p = k doubling to 16384."""
+    gen = ensure_rng(rng)
+    calib = calibrate(machine=machine, rng=gen, dim=dim)
+    out: list[ScalingPoint] = []
+    configs = [(p, n, p) for p in rank_counts]
+    for tool in tools:
+        out.extend(_curve(tool, configs, measured_max_ranks, machine, calib, gen, dim))
+    return out

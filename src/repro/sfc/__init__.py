@@ -1,0 +1,21 @@
+"""Space-filling curves (Hilbert, Morton) used for bootstrap and baselines.
+
+Geographer's first phase sorts all points by Hilbert index to (a) redistribute
+them so every rank owns a spatially compact chunk and (b) place the initial
+k-means centers at equal intervals along the curve (paper §4.1, Algorithm 2
+lines 4-7).  The pure-SFC partitioner baseline (``zoltanSFC``/``HSFC``) also
+builds on these indices.
+"""
+
+from repro.sfc.hilbert import hilbert_cell, hilbert_index
+from repro.sfc.morton import morton_cell, morton_index
+from repro.sfc.curves import normalize_to_cells, sfc_index
+
+__all__ = [
+    "hilbert_index",
+    "hilbert_cell",
+    "morton_index",
+    "morton_cell",
+    "sfc_index",
+    "normalize_to_cells",
+]

@@ -1,0 +1,149 @@
+"""Vectorised Hilbert-curve indexing in d = 2 or 3 dimensions.
+
+Implementation of Skilling's transpose algorithm (J. Skilling, *Programming
+the Hilbert curve*, AIP Conf. Proc. 707, 2004).  All operations are numpy
+bit manipulations over the whole point array; the only Python loops run over
+``bits x dim`` (a few dozen iterations), independent of the number of points.
+
+The index of a cell ``(x_0, .., x_{d-1})`` with ``bits`` bits per coordinate
+fits in ``bits * d`` bits; we require ``bits * d <= 62`` so results fit in
+int64/uint64 without overflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hilbert_index", "hilbert_cell"]
+
+_MAX_TOTAL_BITS = 62
+
+
+def _check_args(dim: int, bits: int) -> None:
+    if dim not in (2, 3):
+        raise ValueError(f"Hilbert curve supports dim 2 or 3, got {dim}")
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if bits * dim > _MAX_TOTAL_BITS:
+        raise ValueError(f"bits * dim = {bits * dim} exceeds {_MAX_TOTAL_BITS} (index would overflow uint64)")
+
+
+def _axes_to_transpose(cells: np.ndarray, bits: int) -> np.ndarray:
+    """Skilling's AxesToTranspose, vectorised over the leading axis."""
+    x = cells.astype(np.uint64, copy=True)
+    dim = x.shape[1]
+    m = 1 << (bits - 1)
+    # Inverse undo excess work
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(dim):
+            mask = (x[:, i] & q) != 0
+            # invert: flip low bits of x[0]
+            x[mask, 0] ^= p
+            # exchange low bits of x[0] and x[i]
+            nm = ~mask
+            t = (x[nm, 0] ^ x[nm, i]) & p
+            x[nm, 0] ^= t
+            x[nm, i] ^= t
+        q >>= 1
+    # Gray encode
+    for i in range(1, dim):
+        x[:, i] ^= x[:, i - 1]
+    t = np.zeros(x.shape[0], dtype=np.uint64)
+    q = m
+    while q > 1:
+        mask = (x[:, dim - 1] & q) != 0
+        t[mask] ^= q - 1
+        q >>= 1
+    x ^= t[:, None]
+    return x
+
+
+def _transpose_to_axes(x: np.ndarray, bits: int) -> np.ndarray:
+    """Skilling's TransposeToAxes (inverse of :func:`_axes_to_transpose`)."""
+    x = x.astype(np.uint64, copy=True)
+    dim = x.shape[1]
+    n = 2 << (bits - 1)
+    # Gray decode by H ^ (H/2)
+    t = x[:, dim - 1] >> 1
+    for i in range(dim - 1, 0, -1):
+        x[:, i] ^= x[:, i - 1]
+    x[:, 0] ^= t
+    # Undo excess work
+    q = 2
+    while q != n:
+        p = q - 1
+        for i in range(dim - 1, -1, -1):
+            mask = (x[:, i] & q) != 0
+            x[mask, 0] ^= p
+            nm = ~mask
+            tt = (x[nm, 0] ^ x[nm, i]) & p
+            x[nm, 0] ^= tt
+            x[nm, i] ^= tt
+        q <<= 1
+    return x
+
+
+def _interleave(x: np.ndarray, bits: int) -> np.ndarray:
+    """Pack the transposed form into a scalar index, MSB-first interleave."""
+    dim = x.shape[1]
+    h = np.zeros(x.shape[0], dtype=np.uint64)
+    for j in range(bits - 1, -1, -1):
+        for i in range(dim):
+            h = (h << np.uint64(1)) | ((x[:, i] >> np.uint64(j)) & np.uint64(1))
+    return h
+
+
+def _deinterleave(h: np.ndarray, bits: int, dim: int) -> np.ndarray:
+    """Unpack a scalar index into the transposed form (inverse of interleave)."""
+    h = h.astype(np.uint64, copy=False)
+    x = np.zeros((h.shape[0], dim), dtype=np.uint64)
+    pos = bits * dim
+    for j in range(bits - 1, -1, -1):
+        for i in range(dim):
+            pos -= 1
+            x[:, i] |= ((h >> np.uint64(pos)) & np.uint64(1)) << np.uint64(j)
+    return x
+
+
+def hilbert_index(cells: np.ndarray, bits: int) -> np.ndarray:
+    """Hilbert index of integer grid cells.
+
+    Parameters
+    ----------
+    cells:
+        ``(n, d)`` integer array with entries in ``[0, 2**bits)``; d in {2, 3}.
+    bits:
+        Grid resolution per dimension.
+
+    Returns
+    -------
+    ``(n,)`` int64 array of Hilbert indices in ``[0, 2**(bits*d))``.
+    """
+    cells = np.atleast_2d(np.asarray(cells))
+    if not np.issubdtype(cells.dtype, np.integer):
+        raise TypeError(f"cells must be integral, got dtype {cells.dtype}")
+    dim = cells.shape[1]
+    _check_args(dim, bits)
+    limit = 1 << bits
+    if cells.size and (cells.min() < 0 or cells.max() >= limit):
+        raise ValueError(f"cell coordinates must lie in [0, {limit}), got range [{cells.min()}, {cells.max()}]")
+    transposed = _axes_to_transpose(cells, bits)
+    return _interleave(transposed, bits).astype(np.int64)
+
+
+def hilbert_cell(indices: np.ndarray, bits: int, dim: int) -> np.ndarray:
+    """Inverse mapping: Hilbert index back to integer grid cell.
+
+    Returns an ``(n, d)`` int64 array. ``hilbert_cell(hilbert_index(c, b), b, d) == c``.
+    """
+    _check_args(dim, bits)
+    idx = np.atleast_1d(np.asarray(indices))
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise TypeError(f"indices must be integral, got dtype {idx.dtype}")
+    limit = 1 << (bits * dim)
+    if idx.size and (idx.min() < 0 or idx.max() >= limit):
+        raise ValueError(f"indices must lie in [0, {limit})")
+    transposed = _deinterleave(idx.astype(np.uint64), bits, dim)
+    return _transpose_to_axes(transposed, bits).astype(np.int64)

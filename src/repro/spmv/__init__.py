@@ -1,0 +1,13 @@
+"""Distributed SpMV simulation: halo plans and the ``timeComm`` metric.
+
+The paper measures partition quality empirically by redistributing the graph,
+running 100 sparse matrix-vector multiplications, and timing the communication
+phase (§2, §5.2.4).  We reproduce the pipeline: the partition induces a halo-
+exchange plan (who sends which vertex values to whom); an actual blockwise
+SpMV validates the plan; the communication time comes from the machine model.
+"""
+
+from repro.spmv.halo import HaloPlan, build_halo_plan
+from repro.spmv.distspmv import distributed_spmv, spmv_comm_time
+
+__all__ = ["HaloPlan", "build_halo_plan", "distributed_spmv", "spmv_comm_time"]

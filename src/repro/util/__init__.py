@@ -1,0 +1,25 @@
+"""Shared utilities: seeded RNG handling, timers, and argument validation."""
+
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.timers import StageTimer, Timer
+from repro.util.validation import (
+    check_assignment,
+    check_epsilon,
+    check_k,
+    check_points,
+    check_weights,
+    require,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "StageTimer",
+    "require",
+    "check_points",
+    "check_weights",
+    "check_k",
+    "check_epsilon",
+    "check_assignment",
+]

@@ -1,0 +1,89 @@
+"""Wall-clock timers used by the experiment harness.
+
+The paper reports both end-to-end partitioning times and a per-component
+breakdown (Hilbert indexing / redistribution / k-means, §5.3.2).
+:class:`StageTimer` accumulates named stages so the same breakdown can be
+printed by ``experiments.components``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "StageTimer"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall-clock time per named stage.
+
+    Stages may be entered repeatedly; times accumulate.  ``fractions()``
+    normalises to shares of the total, which is what the paper's component
+    breakdown reports.
+    """
+
+    stages: dict[str, float] = field(default_factory=dict)
+
+    def stage(self, name: str) -> "_StageContext":
+        return _StageContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total
+        if total <= 0.0:
+            return {name: 0.0 for name in self.stages}
+        return {name: t / total for name, t in self.stages.items()}
+
+    def merge(self, other: "StageTimer") -> None:
+        for name, t in other.stages.items():
+            self.add(name, t)
+
+    def __str__(self) -> str:
+        parts = [f"{name}: {t:.4f}s" for name, t in sorted(self.stages.items())]
+        return f"StageTimer({', '.join(parts)})"
+
+
+class _StageContext:
+    def __init__(self, parent: StageTimer, name: str) -> None:
+        self._parent = parent
+        self._name = name
+        self._start: float | None = None
+
+    def __enter__(self) -> "_StageContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self._parent.add(self._name, time.perf_counter() - self._start)
+        self._start = None

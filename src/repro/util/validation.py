@@ -1,0 +1,88 @@
+"""Argument validation shared by all public entry points.
+
+All validators raise ``ValueError``/``TypeError`` with actionable messages and
+return the canonicalised array so callers can write
+``points = check_points(points)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "require",
+    "check_points",
+    "check_weights",
+    "check_k",
+    "check_epsilon",
+    "check_assignment",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_points(points: np.ndarray, *, dims: tuple[int, ...] = (2, 3)) -> np.ndarray:
+    """Canonicalise a point set to a C-contiguous float64 ``(n, d)`` array."""
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be a 2-D array of shape (n, d), got ndim={pts.ndim}")
+    n, d = pts.shape
+    if d not in dims:
+        raise ValueError(f"points must have dimension in {dims}, got d={d}")
+    if n == 0:
+        raise ValueError("points must be non-empty")
+    if not np.all(np.isfinite(pts)):
+        raise ValueError("points contain NaN or infinite coordinates")
+    return pts
+
+
+def check_weights(weights: np.ndarray | None, n: int) -> np.ndarray:
+    """Canonicalise node weights; ``None`` means unit weights."""
+    if weights is None:
+        return np.ones(n, dtype=np.float64)
+    w = np.ascontiguousarray(weights, dtype=np.float64)
+    if w.shape != (n,):
+        raise ValueError(f"weights must have shape ({n},), got {w.shape}")
+    if not np.all(np.isfinite(w)):
+        raise ValueError("weights contain NaN or infinite values")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    if w.sum() <= 0:
+        raise ValueError("total weight must be positive")
+    return w
+
+
+def check_k(k: int, n: int) -> int:
+    """Validate the number of blocks."""
+    if not isinstance(k, (int, np.integer)):
+        raise TypeError(f"k must be an integer, got {type(k)!r}")
+    k = int(k)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k > n:
+        raise ValueError(f"k={k} exceeds the number of points n={n}")
+    return k
+
+
+def check_epsilon(epsilon: float) -> float:
+    """Validate the imbalance parameter (``epsilon >= 0``)."""
+    eps = float(epsilon)
+    if not np.isfinite(eps) or eps < 0:
+        raise ValueError(f"epsilon must be a finite value >= 0, got {epsilon}")
+    return eps
+
+
+def check_assignment(assignment: np.ndarray, n: int, k: int) -> np.ndarray:
+    """Validate a block assignment vector: shape ``(n,)``, values in ``[0, k)``."""
+    a = np.ascontiguousarray(assignment)
+    if a.shape != (n,):
+        raise ValueError(f"assignment must have shape ({n},), got {a.shape}")
+    if not np.issubdtype(a.dtype, np.integer):
+        raise TypeError(f"assignment must be integral, got dtype {a.dtype}")
+    if a.size and (a.min() < 0 or a.max() >= k):
+        raise ValueError(f"assignment values must lie in [0, {k}), got range [{a.min()}, {a.max()}]")
+    return a.astype(np.int64, copy=False)

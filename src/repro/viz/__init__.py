@@ -1,0 +1,6 @@
+"""Partition visualisation (Figure 1) — dependency-free SVG rendering."""
+
+from repro.viz.palette import block_colors
+from repro.viz.svg import render_partition_svg
+
+__all__ = ["render_partition_svg", "block_colors"]

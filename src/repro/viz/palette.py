@@ -1,0 +1,35 @@
+"""Colour palettes for partition rendering (no matplotlib dependency)."""
+
+from __future__ import annotations
+
+import colorsys
+
+import numpy as np
+
+__all__ = ["block_colors", "hex_color"]
+
+
+def hex_color(rgb: tuple[float, float, float]) -> str:
+    """(r, g, b) in [0, 1] -> '#rrggbb'."""
+    r, g, b = (int(round(255 * max(0.0, min(1.0, c)))) for c in rgb)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def block_colors(k: int) -> list[str]:
+    """k visually distinct colours: golden-angle hue rotation, alternating value.
+
+    The golden-angle step keeps neighbouring block ids far apart in hue, so
+    adjacent blocks (which tend to have consecutive ids under SFC-ordered
+    seeding) contrast well.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    golden = 0.6180339887498949
+    colors = []
+    hue = 0.0
+    for i in range(k):
+        hue = (hue + golden) % 1.0
+        sat = 0.55 + 0.3 * ((i % 3) / 2.0)
+        val = 0.95 - 0.25 * ((i % 2))
+        colors.append(hex_color(colorsys.hsv_to_rgb(hue, sat, val)))
+    return colors

@@ -1,0 +1,108 @@
+"""SVG rendering of 2-D mesh partitions (reproduces Figure 1).
+
+Renders triangles (when the mesh kept its Delaunay cells) coloured by the
+majority block of their corners, or falls back to per-vertex dots.  Plain
+text output — viewable in any browser, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.graph import GeometricMesh
+from repro.util.validation import check_assignment
+from repro.viz.palette import block_colors
+
+__all__ = ["render_partition_svg"]
+
+
+def _viewbox(coords: np.ndarray, size: float, margin: float):
+    lo = coords.min(axis=0)
+    hi = coords.max(axis=0)
+    extent = np.maximum(hi - lo, 1e-12)
+    scale = (size - 2 * margin) / extent.max()
+
+    def to_px(pts: np.ndarray) -> np.ndarray:
+        xy = (pts - lo) * scale + margin
+        xy[:, 1] = size - xy[:, 1]  # flip y: SVG grows downwards
+        return xy
+
+    return to_px
+
+
+def render_partition_svg(
+    mesh: GeometricMesh,
+    assignment: np.ndarray | None,
+    path: str | None = None,
+    size: int = 900,
+    margin: int = 12,
+    point_radius: float = 1.6,
+    title: str | None = None,
+) -> str:
+    """Render a 2-D mesh (optionally partitioned) to an SVG string.
+
+    Parameters
+    ----------
+    assignment:
+        Block per vertex, or ``None`` to draw the unpartitioned input (the
+        leftmost panel of Figure 1).
+    path:
+        If given, the SVG is also written to this file.
+
+    Returns the SVG text.
+    """
+    if mesh.dim != 2:
+        raise ValueError("SVG rendering supports 2-D meshes only")
+    k = 1
+    if assignment is not None:
+        k = int(assignment.max()) + 1
+        assignment = check_assignment(assignment, mesh.n, k)
+    colors = block_colors(k) if assignment is not None else ["#888888"]
+    to_px = _viewbox(mesh.coords, float(size), float(margin))
+    px = to_px(mesh.coords.copy())
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" '
+        f'viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+    ]
+    if title:
+        parts.append(f'<text x="{margin}" y="{margin + 4}" font-size="14" font-family="sans-serif">{title}</text>')
+
+    if mesh.cells is not None and mesh.cells.shape[1] == 3:
+        # triangles coloured by majority corner block
+        cells = mesh.cells
+        if assignment is not None:
+            corner_blocks = assignment[cells]
+            tri_block = np.where(
+                corner_blocks[:, 1] == corner_blocks[:, 2], corner_blocks[:, 1], corner_blocks[:, 0]
+            )
+        else:
+            tri_block = np.zeros(cells.shape[0], dtype=np.int64)
+        tri_px = px[cells]  # (t, 3, 2)
+        for color_id in range(len(colors)):
+            tris = tri_px[tri_block == color_id]
+            if tris.shape[0] == 0:
+                continue
+            d = " ".join(
+                f"M{t[0,0]:.1f} {t[0,1]:.1f}L{t[1,0]:.1f} {t[1,1]:.1f}L{t[2,0]:.1f} {t[2,1]:.1f}Z"
+                for t in tris
+            )
+            parts.append(f'<path d="{d}" fill="{colors[color_id]}" stroke="none"/>')
+    else:
+        blocks = assignment if assignment is not None else np.zeros(mesh.n, dtype=np.int64)
+        for color_id in range(len(colors)):
+            members = px[blocks == color_id]
+            if members.shape[0] == 0:
+                continue
+            circles = "".join(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{point_radius}"/>' for x, y in members
+            )
+            parts.append(f'<g fill="{colors[color_id]}">{circles}</g>')
+
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(svg)
+    return svg

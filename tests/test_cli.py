@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_partition_defaults(self):
+        args = build_parser().parse_args(["partition", "hugetric"])
+        assert args.k == 16 and args.tool == "Geographer"
+
+    def test_scaling_mode_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scaling", "diagonal"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Geographer" in out and "hugetric" in out and "fesom" in out
+
+    def test_partition_instance(self, capsys):
+        assert main(["partition", "delaunay2d_s", "-k", "4", "--scale", "0.05", "--tool", "RCB"]) == 0
+        out = capsys.readouterr().out
+        assert "RCB" in out and "totComm" in out
+
+    def test_partition_with_shape(self, capsys):
+        assert main(["partition", "delaunay2d_s", "-k", "4", "--scale", "0.05", "--shape"]) == 0
+        assert "max_aspect" in capsys.readouterr().out
+
+    def test_partition_unknown_instance(self):
+        with pytest.raises(SystemExit, match="unknown instance"):
+            main(["partition", "atlantis"])
+
+    def test_partition_metis_file(self, tmp_path, capsys):
+        from repro.mesh.grid import grid_mesh
+        from repro.mesh.io import write_coords, write_metis
+
+        mesh = grid_mesh((12, 12))
+        gpath = str(tmp_path / "g.graph")
+        write_metis(mesh, gpath)
+        write_coords(mesh.coords, str(tmp_path / "g.xyz"))
+        assert main(["partition", gpath, "-k", "4", "--tool", "HSFC"]) == 0
+        assert "HSFC" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "NACA0015", "-k", "4", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        for tool in ("Geographer", "HSFC", "MultiJagged", "RCB", "RIB"):
+            assert tool in out
+
+    def test_visualize(self, tmp_path, capsys):
+        out_path = str(tmp_path / "part.svg")
+        assert main(["visualize", "hugetric", out_path, "-k", "4", "--scale", "0.05"]) == 0
+        assert open(out_path).read().startswith("<svg")
+
+    def test_scaling_weak(self, capsys):
+        assert main(["scaling", "weak", "--ranks", "32", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "p=32" in out and "p=128" in out
+
+    def test_experiments_components(self, capsys):
+        assert main(["experiments", "components"]) == 0
+        assert "redistribute" in capsys.readouterr().out

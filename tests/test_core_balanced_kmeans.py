@@ -1,0 +1,201 @@
+"""End-to-end tests for balanced k-means (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balanced_kmeans import balanced_kmeans, weighted_center_update
+from repro.core.config import BalancedKMeansConfig
+from repro.metrics.imbalance import imbalance
+
+
+def _uniform(n=2500, d=2, seed=0):
+    return np.random.default_rng(seed).random((n, d))
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = BalancedKMeansConfig()
+        assert cfg.epsilon == 0.03
+        assert cfg.influence_change_cap == 0.05
+        assert cfg.initial_sample_size == 100
+        assert cfg.seeding == "sfc"
+
+    def test_with_updates(self):
+        cfg = BalancedKMeansConfig().with_(epsilon=0.05)
+        assert cfg.epsilon == 0.05
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": -1.0},
+            {"max_iterations": 0},
+            {"influence_change_cap": 0.0},
+            {"influence_change_cap": 1.0},
+            {"seeding": "magic"},
+            {"chunk_size": 0},
+            {"delta_threshold_rel": 0.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            BalancedKMeansConfig(**kwargs)
+
+
+class TestCenterUpdate:
+    def test_weighted_mean(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [10.0, 10.0]])
+        w = np.array([1.0, 3.0, 1.0])
+        a = np.array([0, 0, 1])
+        centers = weighted_center_update(pts, w, a, 2, np.zeros((2, 2)))
+        assert np.allclose(centers[0], [1.5, 0.0])
+        assert np.allclose(centers[1], [10.0, 10.0])
+
+    def test_empty_cluster_keeps_previous(self):
+        pts = np.array([[1.0, 1.0]])
+        prev = np.array([[0.0, 0.0], [5.0, 5.0]])
+        centers = weighted_center_update(pts, np.ones(1), np.zeros(1, dtype=np.int64), 2, prev)
+        assert np.allclose(centers[1], [5.0, 5.0])
+
+
+class TestBalancedKMeans:
+    def test_balance_uniform(self):
+        res = balanced_kmeans(_uniform(), 16, rng=0)
+        assert res.imbalance <= 0.03 + 1e-9
+        assert imbalance(res.assignment, 16) <= 0.05
+        assert set(np.unique(res.assignment)) == set(range(16))
+
+    def test_balance_weighted(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((3000, 2))
+        w = rng.uniform(1.0, 47.0, 3000)  # climate-like weights
+        res = balanced_kmeans(pts, 12, weights=w, rng=2)
+        assert res.imbalance <= 0.03 + 1e-9
+
+    def test_3d(self):
+        res = balanced_kmeans(_uniform(1500, 3, seed=3), 8, rng=4)
+        assert res.imbalance <= 0.03 + 1e-9
+        assert res.converged
+
+    def test_k1(self):
+        pts = _uniform(100)
+        res = balanced_kmeans(pts, 1)
+        assert np.all(res.assignment == 0)
+        assert res.converged
+        assert np.allclose(res.centers[0], pts.mean(axis=0))
+
+    def test_nonuniform_density(self):
+        """Clustered data: balance must still be achieved via influence."""
+        rng = np.random.default_rng(5)
+        dense = rng.normal((0.2, 0.2), 0.05, (2400, 2))
+        sparse = rng.uniform(0, 1, (600, 2))
+        pts = np.concatenate([dense, sparse])
+        res = balanced_kmeans(pts, 10, rng=6)
+        assert res.imbalance <= 0.03 + 1e-9
+        # influence values must have differentiated to achieve this
+        assert res.influence.max() / res.influence.min() > 1.05
+
+    def test_deterministic_given_seed(self):
+        pts = _uniform(seed=7)
+        a = balanced_kmeans(pts, 8, rng=42)
+        b = balanced_kmeans(pts, 8, rng=42)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_history_recorded(self):
+        res = balanced_kmeans(_uniform(seed=8), 8, rng=9)
+        assert len(res.history) >= res.iterations
+        full = [h for h in res.history if h.sample_size == 2500]
+        assert all(h.balance_iterations >= 1 for h in full)
+
+    def test_skip_fraction_claim(self):
+        """§4.3: the inner loop is skipped in about 80% of cases."""
+        res = balanced_kmeans(_uniform(4000, seed=10), 16, rng=11)
+        assert res.skip_fraction > 0.6
+
+    def test_timers_cover_stages(self):
+        res = balanced_kmeans(_uniform(seed=12), 8, rng=13)
+        for stage in ("sfc_index", "seeding", "assign", "update"):
+            assert stage in res.timers.stages
+
+    def test_warm_start_centers(self):
+        pts = _uniform(seed=14)
+        from repro.core.seeding import sfc_seeding
+
+        warm = sfc_seeding(pts, 8)
+        res = balanced_kmeans(pts, 8, centers=warm, rng=15)
+        assert res.imbalance <= 0.03 + 1e-9
+
+    def test_warm_start_bad_shape(self):
+        with pytest.raises(ValueError):
+            balanced_kmeans(_uniform(100), 4, centers=np.zeros((3, 2)))
+
+    def test_target_weights_footnote1(self):
+        """Heterogeneous targets (paper footnote 1): 2:1:1:... split."""
+        pts = _uniform(2000, seed=16)
+        k = 5
+        targets = np.array([2.0, 1.0, 1.0, 1.0, 1.0])
+        res = balanced_kmeans(pts, k, target_weights=targets, rng=17,
+                              config=BalancedKMeansConfig(max_iterations=80))
+        sizes = np.bincount(res.assignment, minlength=k)
+        expected = targets / targets.sum() * 2000
+        assert np.all(np.abs(sizes - expected) / expected < 0.15)
+
+    def test_target_weights_validation(self):
+        with pytest.raises(ValueError):
+            balanced_kmeans(_uniform(100), 3, target_weights=np.array([1.0, -1.0, 1.0]))
+
+    def test_epsilon_zero_strictness(self):
+        """epsilon=0 is legal; the algorithm balances as far as the cap lets it."""
+        cfg = BalancedKMeansConfig(epsilon=0.005, max_iterations=100, max_balance_iterations=60)
+        res = balanced_kmeans(_uniform(1024, seed=18), 4, config=cfg, rng=19)
+        assert res.imbalance <= 0.02
+
+
+class TestSeedingVariants:
+    @pytest.mark.parametrize("seeding", ["sfc", "random", "kmeans++"])
+    def test_all_converge_balanced(self, seeding):
+        cfg = BalancedKMeansConfig(seeding=seeding, use_sampling=False, max_iterations=80)
+        res = balanced_kmeans(_uniform(1500, seed=20), 8, config=cfg, rng=21)
+        assert res.imbalance <= 0.031
+
+    def test_sfc_converges_fast(self):
+        """SFC seeding needs fewer full iterations than random seeding (on average)."""
+        pts = _uniform(3000, seed=22)
+        iters = {}
+        for seeding in ("sfc", "random"):
+            cfg = BalancedKMeansConfig(seeding=seeding, use_sampling=False)
+            total = 0
+            for s in range(3):
+                total += balanced_kmeans(pts, 16, config=cfg, rng=s).iterations
+            iters[seeding] = total
+        assert iters["sfc"] <= iters["random"] * 1.5
+
+
+class TestOptimisationEquivalence:
+    def test_bounds_and_pruning_do_not_change_result(self):
+        pts = _uniform(1200, seed=23)
+        base = BalancedKMeansConfig(use_sampling=False)
+        ref = balanced_kmeans(pts, 10, config=base.with_(use_bounds=False, use_box_pruning=False), rng=24)
+        for cfg in (base, base.with_(use_box_pruning=False)):
+            res = balanced_kmeans(pts, 10, config=cfg, rng=24)
+            assert np.array_equal(res.assignment, ref.assignment)
+
+    def test_sampling_still_balanced(self):
+        pts = _uniform(4000, seed=25)
+        res = balanced_kmeans(pts, 8, config=BalancedKMeansConfig(use_sampling=True), rng=26)
+        assert res.imbalance <= 0.031
+        sampled_rounds = [h for h in res.history if h.sample_size < 4000]
+        assert len(sampled_rounds) >= 3  # log2(4000/100) ~ 5 rounds
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(200, 900), k=st.integers(2, 10), seed=st.integers(0, 100))
+def test_property_always_valid_partition(n, k, seed):
+    """Any (n, k, seed): output is a complete partition with tolerable imbalance."""
+    pts = np.random.default_rng(seed).random((n, 2))
+    res = balanced_kmeans(pts, k, rng=seed)
+    assert res.assignment.shape == (n,)
+    assert res.assignment.min() >= 0 and res.assignment.max() < k
+    # imbalance within epsilon, or at worst the one-point granularity limit
+    assert res.imbalance <= max(0.03, 2.0 * k / n) + 1e-9

@@ -1,0 +1,129 @@
+"""Tests for the Hamerly-style bound maintenance (Eq. 4-5, corrected signs).
+
+The essential property: after any sequence of relaxations, ``ub`` stays an
+upper bound on the point's effective distance to its own center and ``lb``
+stays a lower bound on the runner-up — hence skipping when ``ub < lb``
+can never change an assignment.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import init_bounds, relax_for_influence, relax_for_movement
+from repro.geometry.distances import effective_distances
+
+
+def _state(seed, n=60, k=5):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    centers = rng.random((k, 2))
+    influence = rng.uniform(0.5, 2.0, k)
+    eff = effective_distances(pts, centers, influence)
+    assignment = eff.argmin(axis=1)
+    ub = eff.min(axis=1).copy()
+    lb = np.sort(eff, axis=1)[:, 1].copy()
+    return pts, centers, influence, assignment, ub, lb
+
+
+class TestInit:
+    def test_forces_evaluation(self):
+        ub, lb = init_bounds(5)
+        assert np.all(ub >= lb)  # nothing skippable
+        assert np.all(np.isinf(ub)) and np.all(lb == 0.0)
+
+
+class TestMovementRelaxation:
+    def test_bounds_stay_valid_after_movement(self):
+        pts, centers, influence, assignment, ub, lb = _state(0)
+        rng = np.random.default_rng(1)
+        moved = centers + rng.normal(0, 0.05, centers.shape)
+        deltas = np.linalg.norm(moved - centers, axis=1)
+        relax_for_movement(ub, lb, assignment, deltas, influence)
+        eff = effective_distances(pts, moved, influence)
+        own = eff[np.arange(len(pts)), assignment]
+        runner_up = np.partition(eff, 1, axis=1)[:, 1]
+        # note: runner-up here is the second-smallest overall, which is >= the
+        # min over clusters != assignment; use the latter for strictness
+        mask = np.ones_like(eff, dtype=bool)
+        mask[np.arange(len(pts)), assignment] = False
+        others_min = np.where(mask, eff, np.inf).min(axis=1)
+        assert np.all(ub >= own - 1e-9)
+        assert np.all(lb <= others_min + 1e-9)
+
+    def test_ub_grows_lb_shrinks(self):
+        _, centers, influence, assignment, ub, lb = _state(2)
+        ub0, lb0 = ub.copy(), lb.copy()
+        deltas = np.full(len(centers), 0.1)
+        relax_for_movement(ub, lb, assignment, deltas, influence)
+        assert np.all(ub >= ub0)
+        assert np.all(lb <= lb0)
+
+    def test_zero_movement_noop(self):
+        _, centers, influence, assignment, ub, lb = _state(3)
+        ub0, lb0 = ub.copy(), lb.copy()
+        relax_for_movement(ub, lb, assignment, np.zeros(len(centers)), influence)
+        assert np.allclose(ub, ub0) and np.allclose(lb, lb0)
+
+    def test_lb_clamped_at_zero(self):
+        _, centers, influence, assignment, ub, lb = _state(4)
+        relax_for_movement(ub, lb, assignment, np.full(len(centers), 100.0), influence)
+        assert np.all(lb >= 0.0)
+
+    def test_rejects_negative(self):
+        _, centers, influence, assignment, ub, lb = _state(5)
+        with pytest.raises(ValueError):
+            relax_for_movement(ub, lb, assignment, np.full(len(centers), -1.0), influence)
+
+
+class TestInfluenceRelaxation:
+    def test_bounds_stay_valid_after_influence_change(self):
+        pts, centers, influence, assignment, ub, lb = _state(6)
+        rng = np.random.default_rng(7)
+        new_influence = influence * rng.uniform(0.95, 1.05, len(influence))
+        relax_for_influence(ub, lb, assignment, influence, new_influence)
+        eff = effective_distances(pts, centers, new_influence)
+        own = eff[np.arange(len(pts)), assignment]
+        mask = np.ones_like(eff, dtype=bool)
+        mask[np.arange(len(pts)), assignment] = False
+        others_min = np.where(mask, eff, np.inf).min(axis=1)
+        assert np.all(ub >= own - 1e-9)
+        assert np.all(lb <= others_min + 1e-9)
+
+    def test_own_bound_rescales_exactly(self):
+        pts, centers, influence, assignment, ub, lb = _state(8)
+        new_influence = influence * 2.0
+        ub0 = ub.copy()
+        relax_for_influence(ub, lb, assignment, influence, new_influence)
+        assert np.allclose(ub, ub0 / 2.0)
+
+    def test_rejects_nonpositive(self):
+        _, centers, influence, assignment, ub, lb = _state(9)
+        with pytest.raises(ValueError):
+            relax_for_influence(ub, lb, assignment, influence, np.zeros_like(influence))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), steps=st.integers(1, 4))
+def test_property_bounds_valid_after_relaxation_chain(seed, steps):
+    """Random interleavings of movement + influence relaxation keep bounds valid."""
+    pts, centers, influence, assignment, ub, lb = _state(seed)
+    rng = np.random.default_rng(seed + 1)
+    for _ in range(steps):
+        if rng.random() < 0.5:
+            new_influence = influence * rng.uniform(0.9, 1.1, len(influence))
+            relax_for_influence(ub, lb, assignment, influence, new_influence)
+            influence = new_influence
+        else:
+            moved = centers + rng.normal(0, 0.03, centers.shape)
+            deltas = np.linalg.norm(moved - centers, axis=1)
+            relax_for_movement(ub, lb, assignment, deltas, influence)
+            centers = moved
+    eff = effective_distances(pts, centers, influence)
+    own = eff[np.arange(len(pts)), assignment]
+    mask = np.ones_like(eff, dtype=bool)
+    mask[np.arange(len(pts)), assignment] = False
+    others_min = np.where(mask, eff, np.inf).min(axis=1)
+    assert np.all(ub >= own - 1e-9)
+    assert np.all(lb <= others_min + 1e-9)

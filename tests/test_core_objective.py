@@ -1,0 +1,67 @@
+"""Tests for the k-means objective and the plain-Lloyd reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.balanced_kmeans import balanced_kmeans
+from repro.core.config import BalancedKMeansConfig
+from repro.core.objective import kmeans_objective, lloyd_kmeans
+from repro.core.seeding import sfc_seeding
+
+
+def _pts(n=1500, seed=0):
+    return np.random.default_rng(seed).random((n, 2))
+
+
+class TestObjective:
+    def test_zero_on_centers(self):
+        pts = _pts(10)
+        a = np.arange(10)
+        assert kmeans_objective(pts, a, pts) == pytest.approx(0.0)
+
+    def test_matches_naive(self):
+        pts = _pts(200, seed=1)
+        centers = pts[:4]
+        a = np.random.default_rng(2).integers(0, 4, 200)
+        naive = sum(np.sum((pts[i] - centers[a[i]]) ** 2) for i in range(200))
+        assert kmeans_objective(pts, a, centers) == pytest.approx(naive)
+
+    def test_weighted(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        centers = np.array([[0.0, 0.0]])
+        a = np.zeros(2, dtype=np.int64)
+        assert kmeans_objective(pts, a, centers, weights=np.array([1.0, 3.0])) == pytest.approx(3.0)
+
+
+class TestLloyd:
+    def test_objective_monotone(self):
+        pts = _pts(seed=3)
+        centers = sfc_seeding(pts, 8)
+        _, _, history = lloyd_kmeans(pts, centers)
+        diffs = np.diff(history)
+        assert np.all(diffs <= 1e-9)
+
+    def test_assignment_valid(self):
+        pts = _pts(seed=4)
+        a, centers, _ = lloyd_kmeans(pts, sfc_seeding(pts, 6))
+        assert a.min() >= 0 and a.max() < 6
+
+    def test_converges_on_separated_blobs(self):
+        rng = np.random.default_rng(5)
+        blobs = [rng.normal(c, 0.03, (100, 2)) for c in [(0, 0), (1, 0), (0, 1)]]
+        pts = np.concatenate(blobs)
+        a, centers, _ = lloyd_kmeans(pts, pts[[0, 100, 200]])
+        # each blob is one cluster
+        for b in range(3):
+            assert len(np.unique(a[100 * b : 100 * (b + 1)])) == 1
+
+    def test_balanced_pays_bounded_objective_premium(self):
+        """Balance costs objective value, but not catastrophically (uniform data)."""
+        pts = _pts(2000, seed=6)
+        k = 8
+        centers0 = sfc_seeding(pts, k)
+        lloyd_a, lloyd_c, _ = lloyd_kmeans(pts, centers0)
+        res = balanced_kmeans(pts, k, config=BalancedKMeansConfig(use_sampling=False), rng=7)
+        obj_lloyd = kmeans_objective(pts, lloyd_a, lloyd_c)
+        obj_balanced = kmeans_objective(pts, res.assignment, res.centers)
+        assert obj_balanced < 2.0 * obj_lloyd

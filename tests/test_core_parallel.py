@@ -1,0 +1,74 @@
+"""Tests for the threaded assignment backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.balanced_kmeans import balanced_kmeans
+from repro.core.config import BalancedKMeansConfig
+from repro.core.parallel import get_executor, resolve_threads, shutdown_executors
+
+
+class TestResolve:
+    def test_serial(self):
+        assert resolve_threads(1) == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_threads(0) >= 1
+
+    def test_explicit(self):
+        assert resolve_threads(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_threads(-1)
+
+
+class TestExecutorCache:
+    def test_serial_is_none(self):
+        assert get_executor(1) is None
+
+    def test_pool_reused(self):
+        a = get_executor(2)
+        b = get_executor(2)
+        assert a is b
+        shutdown_executors()
+
+    def test_different_counts_different_pools(self):
+        a = get_executor(2)
+        b = get_executor(3)
+        assert a is not b
+        shutdown_executors()
+
+
+class TestThreadedKMeans:
+    def test_identical_to_serial(self):
+        """Same chunks, same kernels: threading must not change anything."""
+        pts = np.random.default_rng(0).random((6000, 2))
+        base = BalancedKMeansConfig(use_sampling=False, chunk_size=512)
+        serial = balanced_kmeans(pts, 12, config=base, rng=1)
+        threaded = balanced_kmeans(pts, 12, config=base.with_(n_threads=4), rng=1)
+        assert np.array_equal(serial.assignment, threaded.assignment)
+        assert np.allclose(serial.centers, threaded.centers)
+        assert serial.iterations == threaded.iterations
+        shutdown_executors()
+
+    def test_threaded_weighted_3d(self):
+        rng = np.random.default_rng(2)
+        pts = rng.random((4000, 3))
+        w = rng.uniform(1, 5, 4000)
+        cfg = BalancedKMeansConfig(n_threads=2, chunk_size=256)
+        res = balanced_kmeans(pts, 8, weights=w, config=cfg, rng=3)
+        assert res.imbalance <= 0.031
+        shutdown_executors()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BalancedKMeansConfig(n_threads=-2)
+
+    def test_stats_consistent_under_threads(self):
+        pts = np.random.default_rng(4).random((5000, 2))
+        base = BalancedKMeansConfig(use_sampling=False, chunk_size=512)
+        serial = balanced_kmeans(pts, 8, config=base, rng=5)
+        threaded = balanced_kmeans(pts, 8, config=base.with_(n_threads=4), rng=5)
+        assert serial.skip_fraction == pytest.approx(threaded.skip_fraction)
+        shutdown_executors()

@@ -1,0 +1,92 @@
+"""Tests for center seeding strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.seeding import kmeanspp_seeding, random_seeding, seed_centers, sfc_seeding
+
+
+class TestSfcSeeding:
+    def test_positions_formula(self):
+        """Centers sit at sortedPoints[i*n/k + n/2k] (Algorithm 2, line 7)."""
+        n, k = 100, 4
+        pts = np.column_stack([np.linspace(0, 1, n), np.zeros(n)])
+        # on a 1-D-like set, the Hilbert order is the x order
+        centers = sfc_seeding(pts, k)
+        expected_idx = [i * n // k + n // (2 * k) for i in range(k)]
+        assert np.allclose(np.sort(centers[:, 0]), pts[expected_idx, 0])
+
+    def test_centers_are_input_points(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((200, 2))
+        centers = sfc_seeding(pts, 8)
+        for c in centers:
+            assert np.any(np.all(np.isclose(pts, c), axis=1))
+
+    def test_centers_well_spread(self):
+        """SFC seeding spreads centers: no two coincide, min pairwise distance
+        is a reasonable fraction of the domain."""
+        rng = np.random.default_rng(1)
+        pts = rng.random((2000, 2))
+        centers = sfc_seeding(pts, 16)
+        d = np.linalg.norm(centers[:, None] - centers[None, :], axis=2)
+        np.fill_diagonal(d, np.inf)
+        assert d.min() > 0.05
+
+    def test_with_precomputed_order(self):
+        rng = np.random.default_rng(2)
+        pts = rng.random((300, 2))
+        from repro.sfc.curves import sfc_index
+
+        order = np.argsort(sfc_index(pts), kind="stable")
+        a = sfc_seeding(pts, 5, order=order)
+        b = sfc_seeding(pts, 5)
+        assert np.allclose(a, b)
+
+    def test_k_equals_n(self):
+        pts = np.random.default_rng(3).random((6, 2))
+        centers = sfc_seeding(pts, 6)
+        assert centers.shape == (6, 2)
+        assert len(np.unique(centers, axis=0)) == 6
+
+
+class TestRandomSeeding:
+    def test_distinct_points(self):
+        pts = np.random.default_rng(4).random((50, 2))
+        centers = random_seeding(pts, 10, rng=0)
+        assert len(np.unique(centers, axis=0)) == 10
+
+    def test_deterministic_with_seed(self):
+        pts = np.random.default_rng(5).random((50, 2))
+        assert np.array_equal(random_seeding(pts, 5, rng=1), random_seeding(pts, 5, rng=1))
+
+
+class TestKmeansPP:
+    def test_shape(self):
+        pts = np.random.default_rng(6).random((100, 3))
+        assert kmeanspp_seeding(pts, 7, rng=0).shape == (7, 3)
+
+    def test_spreads_over_clusters(self):
+        """With 4 well-separated blobs and k=4, k-means++ hits all blobs."""
+        rng = np.random.default_rng(7)
+        blobs = [rng.normal(c, 0.05, (50, 2)) for c in [(0, 0), (0, 5), (5, 0), (5, 5)]]
+        pts = np.concatenate(blobs)
+        centers = kmeanspp_seeding(pts, 4, rng=1)
+        labels = {(round(c[0] / 5), round(c[1] / 5)) for c in centers}
+        assert len(labels) == 4
+
+    def test_degenerate_identical_points(self):
+        pts = np.ones((20, 2))
+        centers = kmeanspp_seeding(pts, 3, rng=2)
+        assert np.allclose(centers, 1.0)
+
+
+class TestDispatch:
+    def test_all_methods(self):
+        pts = np.random.default_rng(8).random((60, 2))
+        for method in ("sfc", "random", "kmeans++"):
+            assert seed_centers(pts, 4, method, rng=0).shape == (4, 2)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            seed_centers(np.random.rand(10, 2), 2, "magic")

@@ -1,0 +1,85 @@
+"""Tests for spectral embedding + non-geometric partitioning."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.embed.spectral import partition_graph, spectral_embedding
+from repro.metrics.cut import edge_cut
+from repro.metrics.imbalance import imbalance
+from repro.mesh.graph import GeometricMesh
+from repro.mesh.grid import grid_mesh
+
+
+class TestEmbedding:
+    def test_shape_and_range(self):
+        mesh = grid_mesh((12, 10))
+        coords = spectral_embedding(mesh, dim=2)
+        assert coords.shape == (120, 2)
+        assert coords.min() >= -1e-9 and coords.max() <= 1.0 + 1e-9
+
+    def test_neighbors_are_close(self):
+        """Adjacent vertices land closer than random pairs."""
+        mesh = grid_mesh((15, 15))
+        coords = spectral_embedding(mesh, dim=2)
+        edges = mesh.edge_array()
+        edge_dist = np.linalg.norm(coords[edges[:, 0]] - coords[edges[:, 1]], axis=1).mean()
+        rng = np.random.default_rng(0)
+        rand_pairs = rng.integers(0, mesh.n, (2000, 2))
+        rand_dist = np.linalg.norm(coords[rand_pairs[:, 0]] - coords[rand_pairs[:, 1]], axis=1).mean()
+        assert edge_dist < 0.5 * rand_dist
+
+    def test_networkx_input(self):
+        g = nx.circular_ladder_graph(30)
+        coords = spectral_embedding(g, dim=2)
+        assert coords.shape == (60, 2)
+
+    def test_scipy_input(self):
+        mesh = grid_mesh((8, 8))
+        coords = spectral_embedding(mesh.to_scipy(), dim=2)
+        assert coords.shape == (64, 2)
+
+    def test_3d(self):
+        mesh = grid_mesh((6, 6, 4))
+        coords = spectral_embedding(mesh, dim=3)
+        assert coords.shape == (144, 3)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            spectral_embedding(grid_mesh((5, 5)), dim=4)
+
+    def test_rejects_isolated_vertices(self):
+        coords = np.random.default_rng(1).random((4, 2))
+        mesh = GeometricMesh.from_edges(coords, np.array([[0, 1]]))
+        with pytest.raises(ValueError, match="isolated"):
+            spectral_embedding(mesh, dim=2)
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            spectral_embedding([[0, 1], [1, 0]])
+
+
+class TestPartitionGraph:
+    def test_balanced_on_nongeometric_graph(self):
+        """The future-work pipeline: partition a graph that has no coordinates."""
+        g = nx.random_partition_graph([80, 80, 80, 80], 0.15, 0.005, seed=0)
+        coords, result = partition_graph(g, 4, rng=0)
+        assert coords.shape == (320, 2)
+        assert result.imbalance <= 0.031
+
+    def test_respects_community_structure(self):
+        """With k = #planted communities, the cut should be near the planted cut."""
+        sizes = [60, 60, 60]
+        g = nx.random_partition_graph(sizes, 0.25, 0.004, seed=1)
+        adjacency = nx.to_scipy_sparse_array(g)
+        coords_mesh = GeometricMesh.from_scipy(np.random.default_rng(0).random((180, 2)), adjacency)
+        _, result = partition_graph(g, 3, rng=1)
+        spectral_cut = edge_cut(coords_mesh, result.assignment, 3)
+        rng = np.random.default_rng(2)
+        random_cut = edge_cut(coords_mesh, rng.integers(0, 3, 180), 3)
+        assert spectral_cut < 0.4 * random_cut
+
+    def test_mesh_input_end_to_end(self):
+        mesh = grid_mesh((14, 14))
+        _, result = partition_graph(mesh, 4, rng=2)
+        assert imbalance(result.assignment, 4) <= 0.05

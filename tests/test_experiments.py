@@ -1,0 +1,158 @@
+"""Smoke + shape tests for every experiment driver."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations, components, figure1, figure2, figure3, figure4, tables
+from repro.experiments.harness import PAPER_TOOLS, format_rows, run_tool_on_mesh, run_tools_on_mesh
+from repro.mesh.delaunay import delaunay_mesh
+
+
+@pytest.fixture(scope="module")
+def small_mesh():
+    return delaunay_mesh(600, rng=0)
+
+
+class TestHarness:
+    def test_run_tool(self, small_mesh):
+        row = run_tool_on_mesh(small_mesh, "RCB", 4, seed=0)
+        assert row.tool == "RCB" and row.k == 4
+        assert row.time > 0 and row.cut > 0
+
+    def test_run_all_tools(self, small_mesh):
+        rows = run_tools_on_mesh(small_mesh, 4, seed=0)
+        assert [r.tool for r in rows] == list(PAPER_TOOLS)
+
+    def test_format_rows(self, small_mesh):
+        rows = run_tools_on_mesh(small_mesh, 4, tools=("RCB",), seed=0)
+        text = format_rows(rows, title="test")
+        assert "RCB" in text and "totComm" in text
+
+    def test_repeats_average(self, small_mesh):
+        row = run_tool_on_mesh(small_mesh, "HSFC", 4, repeats=2)
+        assert row.time > 0
+
+
+class TestFigure1:
+    def test_writes_all_panels(self, tmp_path):
+        out = figure1.run(str(tmp_path), n=700, k=4, seed=0, tools=("RCB", "Geographer"))
+        assert set(out) == {"input", "RCB", "Geographer"}
+        for path in out.values():
+            assert open(path).read().startswith("<svg")
+
+
+class TestFigure2:
+    def test_structure_and_baseline(self):
+        res = figure2.run(k=8, scale=0.06, seed=0, max_instances_per_class=1,
+                          classes=("dimacs2d", "mesh3d"), with_spmv=False)
+        assert set(res.ratios) == {"dimacs2d", "mesh3d"}
+        for matrix in res.ratios.values():
+            for metric, value in matrix["Geographer"].items():
+                assert value == pytest.approx(1.0)
+        text = figure2.format_result(res)
+        assert "ratios vs Geographer" in text
+
+
+class TestFigure3:
+    def test_weak_runs(self):
+        points = figure3.run_weak(points_per_rank=300, rank_counts=(2, 32),
+                                  measured_max_ranks=2, seed=0)
+        assert {p.nranks for p in points} == {2, 32}
+        text = figure3.format_points(points, title="weak")
+        assert "p=32" in text and "modeled" in text
+
+    def test_strong_runs(self):
+        points = figure3.run_strong(n=1_000_000, rank_counts=(64, 128), seed=0)
+        assert all(p.mode == "modeled" for p in points)
+
+
+class TestFigure4:
+    def test_timing_and_fits(self):
+        points = figure4.run(points_per_block=300, scale=0.05, seed=0,
+                             tools=("RCB", "HSFC"), names=("hugetric", "delaunay2d_s"))
+        assert len(points) == 4
+        fits = figure4.fit_trends(points)
+        assert set(fits) == {"RCB", "HSFC"}
+        text = figure4.format_result(points)
+        assert "least-squares" in text
+
+    def test_power_of_two_k(self):
+        from repro.experiments.figure4 import _power_of_two_k
+
+        assert _power_of_two_k(1024, 250) == 4
+        assert _power_of_two_k(100, 250) == 1
+        assert _power_of_two_k(6000, 1000) in (4, 8)
+
+
+class TestTables:
+    def test_table2_rows(self):
+        rows = tables.run_table2(k=4, scale=0.05, seed=0,
+                                 instances=("hugetric", "NACA0015"), with_spmv=False)
+        assert len(rows) == 2 * len(PAPER_TOOLS)
+        graphs = {r.graph for r in rows}
+        assert graphs == {"hugetric", "NACA0015"}
+
+    def test_winners(self):
+        rows = tables.run_table1(k=4, scale=0.05, seed=0,
+                                 instances=("hugetrace",), with_spmv=False)
+        best = tables.winners(rows, "totCommVol")
+        assert set(best) == {"hugetrace"}
+        assert best["hugetrace"] in PAPER_TOOLS
+
+    def test_format(self):
+        rows = tables.run_table2(k=4, scale=0.05, seed=0,
+                                 instances=("M6",), with_spmv=False)
+        text = tables.format_table(rows, "Table 2 (scaled)")
+        assert "Table 2" in text and "M6" in text
+
+
+class TestComponents:
+    def test_fractions_sum_to_one(self):
+        rows = components.run(points_per_rank=300, rank_counts=(2,),
+                              modeled_rank_counts=(1024,), seed=0)
+        for row in rows:
+            assert abs(sum(row.fractions.values()) - 1.0) < 1e-9
+
+    def test_redistribution_grows_with_p(self):
+        """Paper: redistribution share grows with process count."""
+        rows = components.run(points_per_rank=200, rank_counts=(),
+                              modeled_rank_counts=(64, 16384), seed=0)
+        by_p = {r.nranks: r.fractions for r in rows}
+        assert by_p[16384]["redistribute"] > by_p[64]["redistribute"]
+
+    def test_format(self):
+        rows = components.run(points_per_rank=200, rank_counts=(2,),
+                              modeled_rank_counts=(), seed=0)
+        text = components.format_result(rows)
+        assert "redistribute" in text
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def mesh(self):
+        return delaunay_mesh(1200, rng=1)
+
+    def test_bounds_identical_results(self, mesh):
+        rows = ablations.run_bounds(mesh, k=8, seed=0)
+        assert all(r.extra["agreement"] == 1.0 for r in rows)
+
+    def test_seeding_rows(self, mesh):
+        rows = ablations.run_seeding(mesh, k=8, seed=0)
+        assert {r.variant for r in rows} == {"sfc", "random", "kmeans++"}
+        assert all(r.imbalance <= 0.05 for r in rows)
+
+    def test_erosion_rows(self, mesh):
+        rows = ablations.run_erosion(mesh, k=8, seed=0)
+        assert len(rows) == 2
+
+    def test_sampling_rows(self, mesh):
+        rows = ablations.run_sampling(mesh, k=8, seed=0)
+        on = next(r for r in rows if r.variant == "sampling on")
+        off = next(r for r in rows if r.variant == "sampling off")
+        assert on.extra["full_rounds"] <= off.extra["full_rounds"] + 2
+
+    def test_curve_rows(self, mesh):
+        rows = ablations.run_curve(mesh, k=8, seed=0)
+        assert len(rows) == 4
+        text = ablations.format_rows(rows)
+        assert "hilbert" in text and "morton" in text

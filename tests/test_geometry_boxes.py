@@ -1,0 +1,98 @@
+"""Tests for repro.geometry.boxes — the §4.4 pruning geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.boxes import BoundingBox
+
+
+def _finite_points(dim, max_n=32):
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(1, max_n), st.just(dim)),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+
+
+class TestConstruction:
+    def test_from_points(self):
+        bb = BoundingBox.from_points(np.array([[0.0, 2.0], [1.0, -1.0]]))
+        assert np.array_equal(bb.lo, [0.0, -1.0])
+        assert np.array_equal(bb.hi, [1.0, 2.0])
+
+    def test_rejects_lo_above_hi(self):
+        with pytest.raises(ValueError):
+            BoundingBox(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points(np.zeros((0, 2)))
+
+    def test_properties(self):
+        bb = BoundingBox(np.array([0.0, 0.0]), np.array([3.0, 4.0]))
+        assert bb.dim == 2
+        assert np.array_equal(bb.center, [1.5, 2.0])
+        assert np.array_equal(bb.extent, [3.0, 4.0])
+        assert bb.diagonal == pytest.approx(5.0)
+        assert bb.widest_dimension() == 1
+
+
+class TestDistances:
+    def setup_method(self):
+        self.bb = BoundingBox(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+
+    def test_inside_is_zero(self):
+        assert self.bb.min_dist(np.array([[0.5, 0.5]]))[0] == 0.0
+
+    def test_outside_axis(self):
+        assert self.bb.min_dist(np.array([[2.0, 0.5]]))[0] == pytest.approx(1.0)
+
+    def test_outside_corner(self):
+        assert self.bb.min_dist(np.array([[2.0, 2.0]]))[0] == pytest.approx(np.sqrt(2.0))
+
+    def test_max_dist_center(self):
+        # farthest corner from the center is at distance diag/2
+        assert self.bb.max_dist(np.array([[0.5, 0.5]]))[0] == pytest.approx(np.sqrt(0.5))
+
+    def test_max_dist_origin_corner(self):
+        assert self.bb.max_dist(np.array([[0.0, 0.0]]))[0] == pytest.approx(np.sqrt(2.0))
+
+    def test_contains(self):
+        pts = np.array([[0.5, 0.5], [1.5, 0.5]])
+        assert np.array_equal(self.bb.contains(pts), [True, False])
+
+    @settings(max_examples=50, deadline=None)
+    @given(_finite_points(2), _finite_points(2))
+    def test_min_le_max_and_bracket_actual(self, cloud, queries):
+        """min_dist <= dist(q, p) <= max_dist for every p in the box's cloud."""
+        bb = BoundingBox.from_points(cloud)
+        mn = bb.min_dist(queries)
+        mx = bb.max_dist(queries)
+        assert np.all(mn <= mx + 1e-9)
+        for q, lo, hi in zip(queries, mn, mx):
+            d = np.linalg.norm(cloud - q, axis=1)
+            assert np.all(d >= lo - 1e-9)
+            assert np.all(d <= hi + 1e-9)
+
+
+class TestSplitUnion:
+    def test_split(self):
+        bb = BoundingBox(np.array([0.0, 0.0]), np.array([2.0, 1.0]))
+        left, right = bb.split(0, 0.5)
+        assert left.hi[0] == 0.5 and right.lo[0] == 0.5
+        assert left.hi[1] == 1.0
+
+    def test_split_out_of_range(self):
+        bb = BoundingBox(np.array([0.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            bb.split(0, 2.0)
+
+    def test_union(self):
+        a = BoundingBox(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = BoundingBox(np.array([-1.0, 0.5]), np.array([0.5, 2.0]))
+        u = a.union(b)
+        assert np.array_equal(u.lo, [-1.0, 0.0])
+        assert np.array_equal(u.hi, [1.0, 2.0])

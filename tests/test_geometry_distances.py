@@ -1,0 +1,119 @@
+"""Tests for repro.geometry.distances — effective-distance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.distances import (
+    effective_distances,
+    pairwise_distances,
+    pairwise_sq_distances,
+    top2_effective,
+)
+
+
+def _pts(n_range=(1, 20), d=2, lim=50):
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(*n_range), st.just(d)),
+        elements=st.floats(-lim, lim, allow_nan=False),
+    )
+
+
+class TestPairwise:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        p = rng.random((30, 3))
+        c = rng.random((7, 3))
+        naive = np.linalg.norm(p[:, None, :] - c[None, :, :], axis=2)
+        assert np.allclose(pairwise_distances(p, c), naive)
+
+    def test_zero_distance(self):
+        p = np.array([[1.0, 2.0]])
+        assert pairwise_sq_distances(p, p)[0, 0] == pytest.approx(0.0)
+
+    def test_no_negative_squares(self):
+        # catastrophic cancellation case: nearly identical large coordinates
+        p = np.full((4, 2), 1e8)
+        c = p + 1e-9
+        assert np.all(pairwise_sq_distances(p, c) >= 0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_pts(), _pts(n_range=(1, 8)))
+    def test_property_matches_naive(self, p, c):
+        naive = np.linalg.norm(p[:, None, :] - c[None, :, :], axis=2)
+        assert np.allclose(pairwise_distances(p, c), naive, atol=1e-6)
+
+
+class TestEffective:
+    def test_influence_scales(self):
+        p = np.array([[0.0, 0.0]])
+        c = np.array([[3.0, 4.0]])
+        eff = effective_distances(p, c, np.array([2.0]))
+        assert eff[0, 0] == pytest.approx(2.5)
+
+    def test_influence_must_be_positive(self):
+        with pytest.raises(ValueError):
+            effective_distances(np.zeros((1, 2)), np.zeros((1, 2)), np.array([0.0]))
+
+    def test_higher_influence_attracts(self):
+        """A cluster with higher influence wins ties (weighted Voronoi)."""
+        p = np.array([[0.5, 0.0]])
+        centers = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assign, _, _ = top2_effective(p, centers, np.array([1.0, 2.0]))
+        assert assign[0] == 1
+
+
+class TestTop2:
+    def test_best_below_second(self):
+        rng = np.random.default_rng(1)
+        p = rng.random((50, 2))
+        c = rng.random((6, 2))
+        infl = rng.uniform(0.5, 2.0, 6)
+        assign, best, second = top2_effective(p, c, infl)
+        assert np.all(best <= second)
+        eff = effective_distances(p, c, infl)
+        assert np.allclose(best, eff.min(axis=1))
+        assert np.array_equal(assign, eff.argmin(axis=1))
+
+    def test_second_is_true_runner_up(self):
+        rng = np.random.default_rng(2)
+        p = rng.random((40, 3))
+        c = rng.random((5, 3))
+        infl = np.ones(5)
+        _, _, second = top2_effective(p, c, infl)
+        eff = effective_distances(p, c, infl)
+        expected = np.sort(eff, axis=1)[:, 1]
+        assert np.allclose(second, expected)
+
+    def test_single_center(self):
+        p = np.random.default_rng(3).random((5, 2))
+        assign, best, second = top2_effective(p, p[:1], np.ones(1))
+        assert np.all(assign == 0)
+        assert np.all(np.isinf(second))
+
+    def test_candidate_subset_maps_to_global_ids(self):
+        rng = np.random.default_rng(4)
+        p = rng.random((20, 2))
+        c = rng.random((8, 2))
+        infl = np.ones(8)
+        full_assign, full_best, full_second = top2_effective(p, c, infl)
+        # restricting to all candidates must be identical
+        cand = np.arange(8)
+        a2, b2, s2 = top2_effective(p, c, infl, cand)
+        assert np.array_equal(full_assign, a2)
+        assert np.allclose(full_best, b2)
+        assert np.allclose(full_second, s2)
+
+    def test_candidate_subset_partial(self):
+        rng = np.random.default_rng(5)
+        p = rng.random((10, 2))
+        c = rng.random((6, 2))
+        infl = np.ones(6)
+        cand = np.array([1, 4, 5])
+        assign, best, _ = top2_effective(p, c, infl, cand)
+        assert set(np.unique(assign)).issubset(set(cand.tolist()))
+        eff = effective_distances(p, c[cand], infl[cand])
+        assert np.allclose(best, eff.min(axis=1))

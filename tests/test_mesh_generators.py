@@ -1,0 +1,180 @@
+"""Tests for every mesh generator family."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.adaptive import hugebubbles_like, hugetrace_like, hugetric_like
+from repro.mesh.alya import airway_mesh
+from repro.mesh.climate import climate_mesh
+from repro.mesh.delaunay import delaunay_mesh
+from repro.mesh.fem2d import airfoil_mesh, graded_fem_mesh, naca_half_thickness
+from repro.mesh.grid import grid_mesh
+from repro.mesh.rgg import connectivity_radius, rgg_mesh
+
+
+class TestGrid:
+    def test_2d_counts(self):
+        mesh = grid_mesh((4, 3))
+        assert mesh.n == 12
+        assert mesh.m == 4 * 2 + 3 * 3  # vertical runs + horizontal runs
+
+    def test_3d_counts(self):
+        mesh = grid_mesh((2, 2, 2))
+        assert mesh.n == 8
+        assert mesh.m == 12  # cube edges
+
+    def test_single_row(self):
+        mesh = grid_mesh((5, 1))
+        assert mesh.m == 4
+
+    def test_validates(self):
+        grid_mesh((3, 3)).validate()
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            grid_mesh((3,))
+        with pytest.raises(ValueError):
+            grid_mesh((0, 3))
+
+
+class TestDelaunay:
+    def test_2d_structure(self):
+        mesh = delaunay_mesh(400, rng=0)
+        assert mesh.n == 400
+        assert mesh.is_connected()  # Delaunay triangulations are connected
+        # planar: m <= 3n - 6
+        assert mesh.m <= 3 * mesh.n - 6
+        assert mesh.cells is not None and mesh.cells.shape[1] == 3
+
+    def test_3d_structure(self):
+        mesh = delaunay_mesh(300, dim=3, rng=1)
+        assert mesh.n == 300 and mesh.dim == 3
+        assert mesh.is_connected()
+
+    def test_deterministic(self):
+        a = delaunay_mesh(100, rng=5)
+        b = delaunay_mesh(100, rng=5)
+        assert np.array_equal(a.coords, b.coords)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_explicit_points(self):
+        pts = np.random.default_rng(0).random((50, 2))
+        mesh = delaunay_mesh(0, points=pts)
+        assert np.array_equal(mesh.coords, pts)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            delaunay_mesh(2, dim=2)
+
+
+class TestRgg:
+    def test_radius_decreases_with_n(self):
+        assert connectivity_radius(10_000, 2) < connectivity_radius(100, 2)
+
+    def test_structure(self):
+        mesh = rgg_mesh(500, rng=0)
+        assert mesh.n == 500
+        # degree should be around pi * factor^2 * log n
+        assert 3 < mesh.degrees().mean() < 40
+
+    def test_custom_radius(self):
+        dense = rgg_mesh(200, radius=0.3, rng=1)
+        sparse = rgg_mesh(200, radius=0.1, rng=1)
+        assert dense.m > sparse.m
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            rgg_mesh(100, dim=4)
+        with pytest.raises(ValueError):
+            rgg_mesh(100, radius=0.0)
+
+
+class TestAdaptive:
+    @pytest.mark.parametrize("gen", [hugetric_like, hugetrace_like])
+    def test_connected_and_sized(self, gen):
+        mesh = gen(1200, rng=0)
+        assert mesh.n == 1200
+        assert mesh.is_connected()
+        assert mesh.dim == 2
+
+    def test_refinement_contrast(self):
+        """Adaptive meshes must have strongly non-uniform density."""
+        mesh = hugetric_like(2000, rng=0)
+        center = np.array([0.5, 0.5])
+        r = np.linalg.norm(mesh.coords - center, axis=1)
+        near_front = np.abs(r - 0.3) < 0.05
+        frac_near = near_front.mean()
+        # the refined band is ~20% of the area but holds far more points
+        assert frac_near > 0.35
+
+    def test_bubbles_have_holes(self):
+        mesh = hugebubbles_like(2500, n_bubbles=3, rng=1)
+        assert mesh.is_connected()  # largest component kept
+        # no vertex deep inside a bubble: generator rejects interior points
+        assert mesh.n > 1500
+
+    def test_deterministic(self):
+        a = hugetrace_like(600, rng=3)
+        b = hugetrace_like(600, rng=3)
+        assert np.array_equal(a.coords, b.coords)
+
+
+class TestFem2d:
+    def test_naca_profile_shape(self):
+        x = np.linspace(0, 1, 50)
+        y = naca_half_thickness(x)
+        assert y[0] == pytest.approx(0.0, abs=1e-12)
+        assert y.max() > 0.05  # thickest around 30% chord
+        assert y[-1] == pytest.approx(0.0, abs=2e-3)  # closed-ish trailing edge
+
+    def test_airfoil_mesh_has_hole(self):
+        mesh = airfoil_mesh(2500, rng=0)
+        assert mesh.is_connected()
+        # nothing inside the profile: check no vertex close to the camber line mid-chord
+        xf = (mesh.coords[:, 0] - 0.3) / 0.4
+        inside_band = (np.abs(xf - 0.4) < 0.1) & (np.abs(mesh.coords[:, 1] - 0.5) < 0.01)
+        assert inside_band.sum() == 0
+
+    def test_graded_mesh(self):
+        mesh = graded_fem_mesh(1500, n_features=3, rng=1)
+        assert mesh.n == 1500
+        assert mesh.is_connected()
+
+
+class TestClimate:
+    def test_weights_are_levels(self):
+        mesh = climate_mesh(1500, max_levels=47, rng=0)
+        w = mesh.node_weights
+        assert w.min() >= 1.0
+        assert w.max() <= 47.0
+        assert np.all(w == np.round(w))
+        assert len(np.unique(w)) > 5  # real bathymetry variation
+
+    def test_land_removed(self):
+        full = climate_mesh(1500, land_fraction=0.0, rng=1)
+        masked = climate_mesh(1500, land_fraction=0.5, rng=1)
+        # with land, the mesh covers less area: larger density in ocean
+        assert masked.is_connected()
+        assert full.is_connected()
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            climate_mesh(500, land_fraction=0.95)
+
+
+class TestAirway:
+    def test_structure(self):
+        mesh = airway_mesh(2500, levels=2, rng=0)
+        assert mesh.dim == 3
+        assert mesh.is_connected()
+        assert mesh.n > 1500
+
+    def test_elongated_geometry(self):
+        """Airways are much taller than wide — the anti-RCB shape."""
+        mesh = airway_mesh(2000, levels=1, rng=1)
+        extent = mesh.coords.max(axis=0) - mesh.coords.min(axis=0)
+        assert extent[2] > 1.5 * min(extent[0], extent[1])
+
+    def test_rejects_negative_levels(self):
+        with pytest.raises(ValueError):
+            airway_mesh(500, levels=-1)

@@ -1,0 +1,138 @@
+"""Tests for the GeometricMesh data structure."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.graph import GeometricMesh
+
+
+def _square():
+    """4-cycle with a diagonal."""
+    coords = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+    edges = np.array([[0, 1], [1, 2], [2, 3], [3, 0], [0, 2]])
+    return GeometricMesh.from_edges(coords, edges, name="square")
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        mesh = _square()
+        assert mesh.n == 4
+        assert mesh.m == 5
+        assert mesh.dim == 2
+
+    def test_symmetry(self):
+        mesh = _square()
+        mesh.validate()
+        # neighbour sets are symmetric
+        assert 2 in mesh.neighbors(0) and 0 in mesh.neighbors(2)
+
+    def test_self_loops_dropped(self):
+        coords = np.zeros((3, 2))
+        coords[1] = [1, 0]
+        coords[2] = [0, 1]
+        mesh = GeometricMesh.from_edges(coords, np.array([[0, 0], [0, 1], [1, 2]]))
+        assert mesh.m == 2
+
+    def test_duplicate_edges_merged(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0]])
+        mesh = GeometricMesh.from_edges(coords, np.array([[0, 1], [1, 0], [0, 1]]))
+        assert mesh.m == 1
+
+    def test_empty_edge_list(self):
+        mesh = GeometricMesh.from_edges(np.random.rand(3, 2), np.empty((0, 2)))
+        assert mesh.m == 0
+        assert np.all(mesh.degrees() == 0)
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(ValueError, match="out of range"):
+            GeometricMesh.from_edges(np.zeros((2, 2)) + [[0, 0], [1, 1]], np.array([[0, 5]]))
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(ValueError):
+            GeometricMesh(np.random.rand(3, 2), np.array([0, 1]), np.array([1]))
+
+    def test_node_weights_default_unit(self):
+        assert np.all(_square().node_weights == 1.0)
+
+    def test_total_weight(self):
+        mesh = GeometricMesh.from_edges(
+            np.random.rand(3, 2), np.array([[0, 1]]), node_weights=np.array([1.0, 2.0, 3.0])
+        )
+        assert mesh.total_weight == 6.0
+
+
+class TestScipyRoundtrip:
+    def test_to_scipy_symmetric(self):
+        a = _square().to_scipy()
+        assert (a != a.T).nnz == 0
+        assert a.diagonal().sum() == 0
+
+    def test_from_scipy(self):
+        mesh = _square()
+        back = GeometricMesh.from_scipy(mesh.coords, mesh.to_scipy())
+        assert back.m == mesh.m
+        assert np.array_equal(back.indptr, mesh.indptr)
+
+    def test_edge_array_each_edge_once(self):
+        edges = _square().edge_array()
+        assert edges.shape == (5, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+
+class TestStructure:
+    def test_degrees(self):
+        mesh = _square()
+        assert mesh.degrees().tolist() == [3, 2, 3, 2]
+
+    def test_connected(self):
+        assert _square().is_connected()
+
+    def test_components(self):
+        coords = np.array([[0.0, 0], [1, 0], [5, 5], [6, 5]])
+        mesh = GeometricMesh.from_edges(coords, np.array([[0, 1], [2, 3]]))
+        ncomp, labels = mesh.connected_components()
+        assert ncomp == 2
+        assert labels[0] == labels[1] and labels[2] == labels[3]
+
+    def test_largest_component(self):
+        coords = np.array([[0.0, 0], [1, 0], [2, 0], [9, 9]])
+        mesh = GeometricMesh.from_edges(coords, np.array([[0, 1], [1, 2]]))
+        big = mesh.largest_component()
+        assert big.n == 3 and big.is_connected()
+
+    def test_subgraph_relabels(self):
+        mesh = _square()
+        sub = mesh.subgraph(np.array([True, True, True, False]))
+        assert sub.n == 3
+        assert sub.m == 3  # edges 0-1, 1-2, 0-2
+        sub.validate()
+
+    def test_subgraph_keeps_weights(self):
+        mesh = GeometricMesh.from_edges(
+            np.random.rand(4, 2), np.array([[0, 1], [2, 3]]), node_weights=np.array([1.0, 2, 3, 4])
+        )
+        sub = mesh.subgraph(np.array([False, True, True, False]))
+        assert sub.node_weights.tolist() == [2.0, 3.0]
+
+    def test_subgraph_bad_mask(self):
+        with pytest.raises(ValueError):
+            _square().subgraph(np.array([True]))
+
+
+class TestPersistence:
+    def test_npz_roundtrip(self, tmp_path):
+        mesh = _square()
+        path = str(tmp_path / "mesh.npz")
+        mesh.save_npz(path)
+        back = GeometricMesh.load_npz(path)
+        assert back.n == mesh.n and back.m == mesh.m
+        assert back.name == "square"
+        assert np.array_equal(back.coords, mesh.coords)
+        assert np.array_equal(back.indices, mesh.indices)
+
+    def test_repr_mentions_weighted(self):
+        mesh = GeometricMesh.from_edges(
+            np.random.rand(2, 2), np.array([[0, 1]]), node_weights=np.array([1.0, 5.0])
+        )
+        assert "weighted" in repr(mesh)
+        assert "weighted" not in repr(_square())

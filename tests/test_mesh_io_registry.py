@@ -1,0 +1,108 @@
+"""Tests for METIS I/O and the instance registry."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.graph import GeometricMesh
+from repro.mesh.io import read_coords, read_metis, write_coords, write_metis
+from repro.mesh.registry import REGISTRY, instance_names, instances_in_class, make_instance
+
+
+def _mesh(weighted=False):
+    coords = np.array([[0.0, 0], [1, 0], [1, 1], [0, 1]])
+    w = np.array([1.0, 2, 3, 4]) if weighted else None
+    return GeometricMesh.from_edges(coords, np.array([[0, 1], [1, 2], [2, 3], [3, 0]]), node_weights=w)
+
+
+class TestMetisIO:
+    def test_roundtrip_unweighted(self, tmp_path):
+        mesh = _mesh()
+        gpath = str(tmp_path / "g.graph")
+        write_metis(mesh, gpath)
+        back = read_metis(gpath, coords=mesh.coords)
+        assert back.n == mesh.n and back.m == mesh.m
+        assert np.array_equal(back.indices, mesh.indices)
+
+    def test_roundtrip_weighted(self, tmp_path):
+        mesh = _mesh(weighted=True)
+        gpath = str(tmp_path / "g.graph")
+        write_metis(mesh, gpath)
+        back = read_metis(gpath, coords=mesh.coords)
+        assert np.array_equal(back.node_weights, mesh.node_weights)
+
+    def test_header_format(self, tmp_path):
+        mesh = _mesh(weighted=True)
+        gpath = str(tmp_path / "g.graph")
+        write_metis(mesh, gpath)
+        header = open(gpath).readline().split()
+        assert header[:2] == ["4", "4"]
+        assert header[2] == "010"
+
+    def test_coords_sidecar(self, tmp_path):
+        mesh = _mesh()
+        gpath = str(tmp_path / "m.graph")
+        write_metis(mesh, gpath)
+        write_coords(mesh.coords, str(tmp_path / "m.xyz"))
+        back = read_metis(gpath)  # picks up m.xyz automatically
+        assert np.allclose(back.coords, mesh.coords)
+
+    def test_missing_coords_raises(self, tmp_path):
+        mesh = _mesh()
+        gpath = str(tmp_path / "x.graph")
+        write_metis(mesh, gpath)
+        with pytest.raises(ValueError, match="no coordinates"):
+            read_metis(gpath)
+
+    def test_comment_lines_ignored(self, tmp_path):
+        gpath = str(tmp_path / "c.graph")
+        with open(gpath, "w") as fh:
+            fh.write("% a comment\n2 1\n2\n1\n")
+        mesh = read_metis(gpath, coords=np.array([[0.0, 0], [1, 0]]))
+        assert mesh.n == 2 and mesh.m == 1
+
+    def test_coords_roundtrip(self, tmp_path):
+        coords = np.random.default_rng(0).random((20, 3))
+        path = str(tmp_path / "c.xyz")
+        write_coords(coords, path)
+        assert np.allclose(read_coords(path), coords)
+
+
+class TestRegistry:
+    def test_all_classes_present(self):
+        classes = {spec.instance_class for spec in REGISTRY.values()}
+        assert classes == {"dimacs2d", "climate25d", "mesh3d", "delaunay2d"}
+
+    def test_paper_families_covered(self):
+        names = set(instance_names())
+        for required in ("hugetric", "hugetrace", "hugebubbles", "NACA0015",
+                         "fesom_jigsaw", "alyaA", "alyaB", "rgg2d"):
+            assert required in names
+
+    def test_make_instance_scale(self):
+        small = make_instance("delaunay2d_s", scale=0.05, seed=0)
+        assert 64 <= small.n <= 1000
+
+    def test_make_instance_unknown(self):
+        with pytest.raises(KeyError):
+            make_instance("no_such_mesh")
+
+    def test_instances_in_class(self):
+        dimacs = instances_in_class("dimacs2d")
+        assert "hugetric" in dimacs and len(dimacs) >= 8
+
+    def test_instances_in_unknown_class(self):
+        with pytest.raises(KeyError):
+            instances_in_class("martian")
+
+    def test_weighted_flag_matches_meshes(self):
+        spec = REGISTRY["fesom_f2glo"]
+        assert spec.weighted
+        mesh = spec.make(scale=0.08, seed=0)
+        assert not np.all(mesh.node_weights == 1.0)
+
+    def test_name_propagates(self):
+        mesh = make_instance("M6", scale=0.08, seed=0)
+        assert mesh.name == "M6"
+
+    def test_paper_sizes_recorded(self):
+        assert REGISTRY["delaunay2d_l"].paper_n == 2_000_000_000

@@ -1,0 +1,80 @@
+"""Tests for communication-volume metrics against a brute-force reference."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.delaunay import delaunay_mesh
+from repro.mesh.grid import grid_mesh
+from repro.metrics.commvolume import boundary_pairs, comm_volumes, max_comm_volume, total_comm_volume
+
+
+def _brute_force_volumes(mesh, assignment, k):
+    """Direct per-vertex count of distinct foreign neighbour blocks."""
+    out = np.zeros(k, dtype=np.int64)
+    for v in range(mesh.n):
+        foreign = {int(assignment[u]) for u in mesh.neighbors(v)} - {int(assignment[v])}
+        out[assignment[v]] += len(foreign)
+    return out
+
+
+class TestCommVolume:
+    def test_matches_brute_force_random(self):
+        mesh = delaunay_mesh(250, rng=0)
+        a = np.random.default_rng(1).integers(0, 5, mesh.n)
+        assert np.array_equal(comm_volumes(mesh, a, 5), _brute_force_volumes(mesh, a, 5))
+
+    def test_matches_brute_force_grid(self):
+        mesh = grid_mesh((6, 6))
+        a = (mesh.coords[:, 0] >= 3).astype(np.int64) + 2 * (mesh.coords[:, 1] >= 3).astype(np.int64)
+        assert np.array_equal(comm_volumes(mesh, a, 4), _brute_force_volumes(mesh, a, 4))
+
+    def test_single_block_is_zero(self):
+        mesh = grid_mesh((4, 4))
+        assert total_comm_volume(mesh, np.zeros(16, dtype=np.int64), 1) == 0
+
+    def test_straight_cut_volume(self):
+        # 4x4 grid halved: each side sends its 4 boundary vertices to the other
+        mesh = grid_mesh((4, 4))
+        a = (mesh.coords[:, 0] >= 2).astype(np.int64)
+        assert comm_volumes(mesh, a, 2).tolist() == [4, 4]
+
+    def test_max_and_total(self):
+        mesh = delaunay_mesh(200, rng=2)
+        a = np.random.default_rng(3).integers(0, 4, mesh.n)
+        vols = comm_volumes(mesh, a, 4)
+        assert max_comm_volume(mesh, a, 4) == vols.max()
+        assert total_comm_volume(mesh, a, 4) == vols.sum()
+
+    def test_volume_le_degree_sum(self):
+        """comm(v) <= deg(v), so block volume <= sum of member degrees."""
+        mesh = delaunay_mesh(150, rng=4)
+        a = np.random.default_rng(5).integers(0, 3, mesh.n)
+        vols = comm_volumes(mesh, a, 3)
+        for b in range(3):
+            deg_sum = mesh.degrees()[a == b].sum()
+            assert vols[b] <= deg_sum
+
+
+class TestBoundaryPairs:
+    def test_unique_pairs(self):
+        mesh = grid_mesh((4, 4))
+        a = (mesh.coords[:, 0] >= 2).astype(np.int64)
+        pairs = boundary_pairs(mesh, a, 2)
+        keys = pairs[:, 0] * 2 + pairs[:, 1]
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_no_self_block_pairs(self):
+        mesh = delaunay_mesh(150, rng=6)
+        a = np.random.default_rng(7).integers(0, 4, mesh.n)
+        pairs = boundary_pairs(mesh, a, 4)
+        assert np.all(a[pairs[:, 0]] != pairs[:, 1])
+
+    def test_empty_when_uncut(self):
+        mesh = grid_mesh((3, 3))
+        assert boundary_pairs(mesh, np.zeros(9, dtype=np.int64), 1).shape == (0, 2)
+
+    def test_counts_equal_volumes(self):
+        mesh = delaunay_mesh(200, rng=8)
+        a = np.random.default_rng(9).integers(0, 5, mesh.n)
+        pairs = boundary_pairs(mesh, a, 5)
+        assert pairs.shape[0] == total_comm_volume(mesh, a, 5)

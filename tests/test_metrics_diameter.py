@@ -1,0 +1,117 @@
+"""Tests for the iFUB diameter lower bound."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.mesh.delaunay import delaunay_mesh
+from repro.mesh.graph import GeometricMesh
+from repro.mesh.grid import grid_mesh
+from repro.metrics.diameter import (
+    bfs_distances,
+    block_diameters,
+    harmonic_mean_diameter,
+    ifub_lower_bound,
+)
+
+
+class TestBfs:
+    def test_path_graph(self):
+        mesh = grid_mesh((5, 1))
+        dist = bfs_distances(mesh.indptr, mesh.indices, 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4]
+
+    def test_disconnected_marked(self):
+        coords = np.array([[0.0, 0], [1, 0], [5, 5]])
+        mesh = GeometricMesh.from_edges(coords, np.array([[0, 1]]))
+        dist = bfs_distances(mesh.indptr, mesh.indices, 0)
+        assert dist[2] == -1
+
+    def test_matches_networkx(self):
+        mesh = delaunay_mesh(200, rng=0)
+        dist = bfs_distances(mesh.indptr, mesh.indices, 0)
+        g = nx.Graph(mesh.edge_array().tolist())
+        expected = nx.single_source_shortest_path_length(g, 0)
+        for v, d in expected.items():
+            assert dist[v] == d
+
+
+class TestIfub:
+    def test_path_graph_exact(self):
+        mesh = grid_mesh((7, 1))
+        assert ifub_lower_bound(mesh.indptr, mesh.indices) == 6.0
+
+    def test_cycle_lower_bound(self):
+        g = nx.cycle_graph(12)
+        coords = np.random.default_rng(0).random((12, 2))
+        mesh = GeometricMesh.from_edges(coords, np.array(list(g.edges)))
+        lb = ifub_lower_bound(mesh.indptr, mesh.indices)
+        assert lb <= 6.0  # true diameter
+        assert lb >= 5.0  # double sweep on a cycle is near-exact
+
+    def test_is_lower_bound_on_random_meshes(self):
+        for seed in range(5):
+            mesh = delaunay_mesh(120, rng=seed)
+            g = nx.Graph(mesh.edge_array().tolist())
+            true_diam = nx.diameter(g)
+            lb = ifub_lower_bound(mesh.indptr, mesh.indices, seed=seed)
+            assert lb <= true_diam
+            assert lb >= 0.5 * true_diam  # 2-approximation (double sweep)
+
+    def test_usually_tight_on_meshes(self):
+        """"Often already tight" (paper §5.2.4): within one hop on meshes."""
+        exact = 0
+        for seed in range(8):
+            mesh = delaunay_mesh(100, rng=seed + 100)
+            g = nx.Graph(mesh.edge_array().tolist())
+            true_diam = nx.diameter(g)
+            lb = ifub_lower_bound(mesh.indptr, mesh.indices, seed=seed)
+            assert lb >= true_diam - 1
+            exact += lb == true_diam
+        assert exact >= 3
+
+    def test_disconnected_infinite(self):
+        coords = np.array([[0.0, 0], [1, 0], [5, 5], [6, 5]])
+        mesh = GeometricMesh.from_edges(coords, np.array([[0, 1], [2, 3]]))
+        assert ifub_lower_bound(mesh.indptr, mesh.indices) == float("inf")
+
+    def test_single_vertex(self):
+        coords = np.array([[0.0, 0.0]])
+        mesh = GeometricMesh.from_edges(coords, np.empty((0, 2)))
+        assert ifub_lower_bound(mesh.indptr, mesh.indices) == 0.0
+
+
+class TestBlockDiameters:
+    def test_per_block(self):
+        mesh = grid_mesh((4, 2))
+        a = (mesh.coords[:, 0] >= 2).astype(np.int64)
+        diams = block_diameters(mesh, a, 2)
+        assert diams.tolist() == [2.0, 2.0]  # each half is a 2x2 block
+
+    def test_disconnected_block(self):
+        mesh = grid_mesh((5, 1))  # path 0-1-2-3-4
+        a = np.array([0, 1, 0, 1, 1])  # block 0 = {0, 2} disconnected
+        diams = block_diameters(mesh, a, 2)
+        assert np.isinf(diams[0])
+
+    def test_empty_block_zero(self):
+        mesh = grid_mesh((3, 1))
+        a = np.zeros(3, dtype=np.int64)
+        diams = block_diameters(mesh, a, 2)
+        assert diams[1] == 0.0
+
+    def test_harmonic_mean_finite(self):
+        mesh = delaunay_mesh(300, rng=1)
+        a = np.random.default_rng(2).integers(0, 4, mesh.n)
+        hm = harmonic_mean_diameter(mesh, a, 4)
+        diams = block_diameters(mesh, a, 4)
+        finite = diams[np.isfinite(diams) & (diams > 0)]
+        if finite.size:
+            assert hm <= diams[diams > 0].max() + 1e-9
+
+    def test_harmonic_mean_ignores_inf(self):
+        mesh = grid_mesh((5, 1))
+        a = np.array([0, 1, 0, 1, 1])  # block 0 disconnected (inf), block 1 too
+        hm = harmonic_mean_diameter(mesh, a, 2)
+        # all blocks disconnected -> inf
+        assert hm == float("inf") or hm > 0

@@ -1,0 +1,85 @@
+"""Tests for imbalance and edge-cut metrics (definitions of paper §2)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.mesh.delaunay import delaunay_mesh
+from repro.mesh.graph import GeometricMesh
+from repro.mesh.grid import grid_mesh
+from repro.metrics.cut import edge_cut, external_edges
+from repro.metrics.imbalance import block_weights, imbalance, is_balanced, max_block_weight
+
+
+class TestImbalance:
+    def test_perfect_balance(self):
+        a = np.array([0, 0, 1, 1])
+        assert imbalance(a, 2) == 0.0
+
+    def test_formula(self):
+        # n=4, k=2 -> Lmax base ceil(4/2)=2; sizes (3,1) -> 3/2 - 1 = 0.5
+        a = np.array([0, 0, 0, 1])
+        assert imbalance(a, 2) == pytest.approx(0.5)
+
+    def test_weighted(self):
+        a = np.array([0, 1])
+        w = np.array([3.0, 1.0])
+        # ideal = ceil(4/2) = 2; max block 3 -> imbalance 0.5
+        assert imbalance(a, 2, w) == pytest.approx(0.5)
+
+    def test_block_weights(self):
+        a = np.array([0, 2, 2])
+        bw = block_weights(a, 3, np.array([1.0, 2.0, 3.0]))
+        assert bw.tolist() == [1.0, 0.0, 5.0]
+
+    def test_empty_block_counts(self):
+        a = np.zeros(4, dtype=np.int64)
+        assert block_weights(a, 2).tolist() == [4.0, 0.0]
+
+    def test_max_block_weight(self):
+        a = np.array([0, 0, 1])
+        assert max_block_weight(a, 2) == 2.0
+
+    def test_is_balanced(self):
+        a = np.array([0, 0, 1, 1])
+        assert is_balanced(a, 2, epsilon=0.0)
+        assert not is_balanced(np.array([0, 0, 0, 1]), 2, epsilon=0.03)
+
+
+class TestEdgeCut:
+    def test_grid_straight_cut(self):
+        # 4x4 grid split in half vertically: cut = 4
+        mesh = grid_mesh((4, 4))
+        a = (mesh.coords[:, 0] >= 2).astype(np.int64)
+        assert edge_cut(mesh, a, 2) == 4
+
+    def test_no_cut(self):
+        mesh = grid_mesh((3, 3))
+        assert edge_cut(mesh, np.zeros(9, dtype=np.int64), 1) == 0
+
+    def test_all_singletons(self):
+        mesh = grid_mesh((2, 2))
+        a = np.arange(4)
+        assert edge_cut(mesh, a, 4) == mesh.m
+
+    def test_against_networkx(self):
+        mesh = delaunay_mesh(300, rng=0)
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, mesh.n)
+        g = nx.Graph(mesh.edge_array().tolist())
+        g.add_nodes_from(range(mesh.n))
+        expected = sum(1 for u, v in g.edges if a[u] != a[v])
+        assert edge_cut(mesh, a, 4) == expected
+
+    def test_external_edges_sum_is_twice_cut(self):
+        mesh = delaunay_mesh(200, rng=2)
+        a = np.random.default_rng(3).integers(0, 3, mesh.n)
+        ext = external_edges(mesh, a, 3)
+        assert ext.sum() == 2 * edge_cut(mesh, a, 3)
+
+    def test_external_edges_per_block(self):
+        mesh = grid_mesh((2, 2))  # square cycle
+        a = np.array([0, 0, 1, 1])  # ids: (0,0),(0,1),(1,0),(1,1) row-major x-major
+        ext = external_edges(mesh, a, 2)
+        assert ext.sum() == 2 * edge_cut(mesh, a, 2)
+        assert np.all(ext >= 0)

@@ -1,0 +1,98 @@
+"""Tests for MetricRow, evaluate_partition and the Figure-2 aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.delaunay import delaunay_mesh
+from repro.metrics.report import (
+    MetricRow,
+    aggregate_ratios,
+    evaluate_partition,
+    geometric_mean,
+    harmonic_mean,
+)
+
+
+class TestMeans:
+    def test_geometric_mean_basic(self):
+        assert geometric_mean(np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_geometric_mean_identity(self):
+        assert geometric_mean(np.array([3.0])) == pytest.approx(3.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean(np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            geometric_mean(np.array([]))
+
+    def test_harmonic_mean_basic(self):
+        assert harmonic_mean(np.array([1.0, 1.0, 2.0])) == pytest.approx(3 / 2.5)
+
+    def test_harmonic_mean_inf_contributes_zero(self):
+        # one infinite diameter should not destroy the mean
+        hm = harmonic_mean(np.array([2.0, np.inf]))
+        assert hm == pytest.approx(2 / 0.5)
+
+    def test_harmonic_all_inf(self):
+        assert harmonic_mean(np.array([np.inf, np.inf])) == float("inf")
+
+
+class TestEvaluate:
+    def test_row_fields(self):
+        mesh = delaunay_mesh(300, rng=0)
+        a = np.random.default_rng(1).integers(0, 4, mesh.n)
+        row = evaluate_partition(mesh, a, 4, tool="X", time=1.5)
+        assert row.tool == "X"
+        assert row.n == 300 and row.k == 4
+        assert row.cut > 0
+        assert row.total_comm_vol >= row.max_comm_vol
+        assert row.time_spmv_comm > 0
+        assert row.metric("edgeCut") == row.cut
+
+    def test_metric_unknown_name(self):
+        row = MetricRow("g", "t", 2, 10)
+        with pytest.raises(KeyError):
+            row.metric("nonsense")
+
+    def test_without_spmv(self):
+        mesh = delaunay_mesh(150, rng=2)
+        a = np.zeros(mesh.n, dtype=np.int64)
+        row = evaluate_partition(mesh, a, 1, with_spmv=False)
+        assert row.time_spmv_comm == 0.0
+
+
+class TestAggregateRatios:
+    def _rows(self):
+        return [
+            MetricRow("g1", "A", 2, 10, cut=100, max_comm_vol=10, total_comm_vol=50, harm_diameter=5, time_spmv_comm=1e-5),
+            MetricRow("g1", "B", 2, 10, cut=200, max_comm_vol=20, total_comm_vol=100, harm_diameter=10, time_spmv_comm=2e-5),
+            MetricRow("g2", "A", 2, 10, cut=10, max_comm_vol=1, total_comm_vol=5, harm_diameter=2, time_spmv_comm=1e-5),
+            MetricRow("g2", "B", 2, 10, cut=40, max_comm_vol=2, total_comm_vol=10, harm_diameter=4, time_spmv_comm=1e-5),
+        ]
+
+    def test_baseline_is_one(self):
+        ratios = aggregate_ratios(self._rows(), baseline_tool="A")
+        for metric, value in ratios["A"].items():
+            assert value == pytest.approx(1.0), metric
+
+    def test_geometric_mean_of_ratios(self):
+        ratios = aggregate_ratios(self._rows(), baseline_tool="A")
+        # B/A cut ratios: 2 and 4 -> geometric mean sqrt(8)
+        assert ratios["B"]["edgeCut"] == pytest.approx(np.sqrt(8.0))
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_ratios(self._rows(), baseline_tool="Z")
+
+    def test_skips_zero_baseline_metric(self):
+        rows = self._rows()
+        rows[0].cut = 0  # g1 baseline zero -> only g2 contributes
+        ratios = aggregate_ratios(rows, baseline_tool="A")
+        assert ratios["B"]["edgeCut"] == pytest.approx(4.0)
+
+    def test_infinite_values_skipped(self):
+        rows = self._rows()
+        rows[1].harm_diameter = float("inf")
+        ratios = aggregate_ratios(rows, baseline_tool="A")
+        assert ratios["B"]["harmDiam"] == pytest.approx(2.0)  # only g2

@@ -1,0 +1,87 @@
+"""Tests for block-shape metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.delaunay import delaunay_mesh
+from repro.mesh.grid import grid_mesh
+from repro.metrics.shape import (
+    block_aspect_ratios,
+    block_compactness,
+    disconnected_blocks,
+    shape_report,
+)
+from repro.partitioners.base import get_partitioner
+
+
+class TestAspect:
+    def test_square_block(self):
+        pts = np.random.default_rng(0).random((100, 2))
+        a = np.zeros(100, dtype=np.int64)
+        ratios = block_aspect_ratios(pts, a, 1)
+        assert ratios[0] < 1.5
+
+    def test_strip_block(self):
+        rng = np.random.default_rng(1)
+        pts = np.column_stack([rng.random(100), 0.05 * rng.random(100)])
+        ratios = block_aspect_ratios(pts, np.zeros(100, dtype=np.int64), 1)
+        assert ratios[0] > 5.0
+
+    def test_empty_and_singleton_blocks(self):
+        pts = np.random.default_rng(2).random((3, 2))
+        a = np.array([0, 0, 1])
+        ratios = block_aspect_ratios(pts, a, 3)
+        assert ratios[1] == 1.0  # singleton
+        assert ratios[2] == 1.0  # empty
+
+    def test_rcb_strips_vs_kmeans_blobs(self):
+        """Figure 1 quantified: on an elongated domain RCB makes worse-aspect
+        blocks than balanced k-means."""
+        rng = np.random.default_rng(3)
+        pts = np.column_stack([rng.random(4000) * 8.0, rng.random(4000)])
+        k = 8
+        rcb = get_partitioner("RCB").partition(pts, k)
+        geo = get_partitioner("Geographer").partition(pts, k, rng=0)
+        # Not asserting strict dominance per block, only on the mean
+        assert block_aspect_ratios(pts, geo, k).mean() <= block_aspect_ratios(pts, rcb, k).mean() * 1.5
+
+
+class TestCompactness:
+    def test_ball_is_near_one(self):
+        rng = np.random.default_rng(4)
+        angles = rng.uniform(0, 2 * np.pi, 2000)
+        radii = np.sqrt(rng.random(2000))
+        pts = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+        c = block_compactness(pts, np.zeros(2000, dtype=np.int64), 1)
+        assert 0.7 < c[0] < 1.4
+
+    def test_fragmented_block_scores_high(self):
+        rng = np.random.default_rng(5)
+        left = rng.random((200, 2)) * 0.1
+        right = rng.random((200, 2)) * 0.1 + np.array([5.0, 0.0])
+        middle = rng.random((400, 2)) * np.array([5.0, 0.1]) + np.array([0.0, 2.0])
+        pts = np.concatenate([left, right, middle])
+        a = np.concatenate([np.zeros(400, dtype=np.int64), np.ones(400, dtype=np.int64)])
+        c = block_compactness(pts, a, 2)
+        assert c[0] > 2.0  # the split block
+
+
+class TestDisconnected:
+    def test_connected_partition(self):
+        mesh = grid_mesh((6, 6))
+        a = (mesh.coords[:, 0] >= 3).astype(np.int64)
+        assert disconnected_blocks(mesh, a, 2) == 0
+
+    def test_fragmented_partition(self):
+        mesh = grid_mesh((6, 1))
+        a = np.array([0, 1, 0, 1, 0, 1])  # both blocks shattered
+        assert disconnected_blocks(mesh, a, 2) == 2
+
+
+class TestReport:
+    def test_keys_and_finiteness(self):
+        mesh = delaunay_mesh(600, rng=6)
+        a = get_partitioner("MultiJagged").partition_mesh(mesh, 6)
+        report = shape_report(mesh, a, 6)
+        assert set(report) == {"max_aspect", "mean_aspect", "mean_compactness", "disconnected_blocks"}
+        assert all(np.isfinite(v) for v in report.values())

@@ -1,0 +1,197 @@
+"""Tests for RCB, RIB, MultiJagged and HSFC — balance and shape invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.imbalance import imbalance
+from repro.partitioners._split import distribute_parts, weighted_quantile_positions, weighted_split_position
+from repro.partitioners.base import available_partitioners, get_partitioner
+from repro.partitioners.multijagged import MultiJaggedPartitioner
+from repro.partitioners.rib import inertial_axis
+
+BASELINES = ("RCB", "RIB", "MultiJagged", "HSFC")
+
+
+def _cloud(n=1000, d=2, seed=0):
+    return np.random.default_rng(seed).random((n, d))
+
+
+class TestSplitHelpers:
+    def test_weighted_split_half(self):
+        w = np.ones(10)
+        assert weighted_split_position(w, 0.5) == 5
+
+    def test_weighted_split_respects_weights(self):
+        w = np.array([10.0, 1.0, 1.0, 1.0, 1.0])
+        # half the weight (7) sits inside the first element
+        assert weighted_split_position(w, 0.5) == 1
+
+    def test_split_never_empty(self):
+        w = np.array([100.0, 1.0])
+        pos = weighted_split_position(w, 0.5)
+        assert pos == 1  # cannot return 0 or 2
+
+    def test_split_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            weighted_split_position(np.ones(4), 0.0)
+
+    def test_quantile_positions_monotone(self):
+        w = np.ones(100)
+        pos = weighted_quantile_positions(w, np.array([0.25, 0.5, 0.75]))
+        assert pos.tolist() == [25, 50, 75]
+
+    def test_quantile_positions_no_empty_slabs(self):
+        w = np.array([50.0] + [1.0] * 9)
+        pos = weighted_quantile_positions(w, np.array([0.2, 0.4, 0.6, 0.8]))
+        assert np.all(np.diff(pos) >= 1)
+        assert pos[0] >= 1 and pos[-1] <= 9
+
+    def test_distribute_parts(self):
+        assert distribute_parts(10, 3).tolist() == [4, 3, 3]
+        assert distribute_parts(9, 3).tolist() == [3, 3, 3]
+        assert distribute_parts(5, 5).tolist() == [1] * 5
+
+    def test_distribute_rejects_bad(self):
+        with pytest.raises(ValueError):
+            distribute_parts(3, 4)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        names = available_partitioners()
+        for tool in BASELINES + ("Geographer",):
+            assert tool in names
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_partitioner("ParMetis")
+
+    def test_k1_trivial(self):
+        for tool in BASELINES:
+            a = get_partitioner(tool).partition(_cloud(50), 1)
+            assert np.all(a == 0)
+
+
+@pytest.mark.parametrize("tool", BASELINES)
+class TestBaselineInvariants:
+    def test_all_blocks_used(self, tool):
+        a = get_partitioner(tool).partition(_cloud(), 7)
+        assert set(np.unique(a)) == set(range(7))
+
+    def test_balance_unit_weights(self, tool):
+        a = get_partitioner(tool).partition(_cloud(), 8)
+        assert imbalance(a, 8) <= 0.03
+
+    def test_balance_nonpow2(self, tool):
+        a = get_partitioner(tool).partition(_cloud(n=997), 6)
+        assert imbalance(a, 6) <= 0.05
+
+    def test_balance_weighted(self, tool):
+        rng = np.random.default_rng(1)
+        pts = rng.random((1200, 2))
+        w = rng.uniform(0.5, 2.0, 1200)
+        a = get_partitioner(tool).partition(pts, 8, weights=w)
+        assert imbalance(a, 8, w) <= 0.1  # weighted splits are off by <= max weight
+
+    def test_3d(self, tool):
+        a = get_partitioner(tool).partition(_cloud(d=3, seed=2), 4)
+        assert imbalance(a, 4) <= 0.03
+
+    def test_deterministic(self, tool):
+        p = get_partitioner(tool)
+        a = p.partition(_cloud(seed=3), 5, rng=0)
+        b = p.partition(_cloud(seed=3), 5, rng=0)
+        assert np.array_equal(a, b)
+
+
+class TestRCBShape:
+    def test_cuts_are_axis_aligned(self):
+        """With k=2 the RCB cut is a vertical/horizontal line: one coordinate separates."""
+        pts = _cloud(seed=4)
+        a = get_partitioner("RCB").partition(pts, 2)
+        dim = np.argmax(pts.max(axis=0) - pts.min(axis=0))
+        lo_max = pts[a == 0][:, dim].max()
+        hi_min = pts[a == 1][:, dim].min()
+        assert lo_max <= hi_min or pts[a == 1][:, dim].max() <= pts[a == 0][:, dim].min()
+
+
+class TestRIB:
+    def test_inertial_axis_elongated_cloud(self):
+        rng = np.random.default_rng(5)
+        pts = np.column_stack([rng.normal(0, 5.0, 500), rng.normal(0, 0.5, 500)])
+        axis = inertial_axis(pts, np.ones(500))
+        assert abs(axis[0]) > 0.95  # dominant direction is x
+
+    def test_rib_cuts_along_diagonal(self):
+        """On a diagonal strip, RIB's k=2 cut separates along the diagonal,
+        which axis-aligned RCB cannot do as cleanly."""
+        rng = np.random.default_rng(6)
+        t = rng.random(800)
+        pts = np.column_stack([t, t]) + rng.normal(0, 0.02, (800, 2))
+        a = get_partitioner("RIB").partition(pts, 2)
+        proj = pts @ np.array([1.0, 1.0]) / np.sqrt(2)
+        # projections of the two halves barely overlap
+        overlap = min(proj[a == 0].max(), proj[a == 1].max()) - max(proj[a == 0].min(), proj[a == 1].min())
+        spread = proj.max() - proj.min()
+        assert overlap < 0.2 * spread
+
+
+class TestMultiJagged:
+    def test_explicit_parts(self):
+        mj = MultiJaggedPartitioner(parts_per_level=(4, 4))
+        a = mj.partition(_cloud(seed=7), 16)
+        assert imbalance(a, 16) <= 0.03
+
+    def test_prime_k(self):
+        a = get_partitioner("MultiJagged").partition(_cloud(seed=8), 13)
+        assert set(np.unique(a)) == set(range(13))
+        assert imbalance(a, 13) <= 0.05
+
+    def test_fewer_levels_than_rcb(self):
+        """MJ blocks are rectangles: for k=16 in 2D expect ~4 slabs per axis,
+        giving aspect ratios near 1 (vs RCB's possible strips)."""
+        pts = _cloud(n=4000, seed=9)
+        a = MultiJaggedPartitioner(parts_per_level=(4, 4)).partition(pts, 16)
+        aspects = []
+        for b in range(16):
+            block = pts[a == b]
+            ext = block.max(axis=0) - block.min(axis=0)
+            aspects.append(ext.max() / max(ext.min(), 1e-9))
+        assert np.median(aspects) < 3.0
+
+
+class TestHSFC:
+    def test_blocks_are_contiguous_chunks(self):
+        from repro.sfc.curves import sfc_index
+
+        pts = _cloud(seed=10)
+        a = get_partitioner("HSFC").partition(pts, 5)
+        order = np.argsort(sfc_index(pts), kind="stable")
+        blocks_along_curve = a[order]
+        # block ids along the curve are non-decreasing
+        assert np.all(np.diff(blocks_along_curve) >= 0)
+
+    def test_morton_variant(self):
+        from repro.partitioners.hsfc import HSFCPartitioner
+
+        a = HSFCPartitioner(curve="morton").partition(_cloud(seed=11), 4)
+        assert imbalance(a, 4) <= 0.03
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(60, 400),
+    k=st.integers(2, 12),
+    seed=st.integers(0, 1000),
+    tool=st.sampled_from(BASELINES),
+)
+def test_property_baselines_balanced(n, k, seed, tool):
+    """Every baseline respects epsilon=3% on uniform points for any (n, k)."""
+    pts = np.random.default_rng(seed).random((n, 2))
+    a = get_partitioner(tool).partition(pts, k)
+    assert a.shape == (n,)
+    assert set(np.unique(a)) == set(range(k))
+    # one-point granularity: allow ceil-based slack on tiny instances
+    assert imbalance(a, k) <= max(0.03, 1.5 * k / n)

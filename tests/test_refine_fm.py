@@ -1,0 +1,86 @@
+"""Tests for the FM-style boundary refinement extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.cut import edge_cut
+from repro.metrics.imbalance import imbalance, is_balanced
+from repro.mesh.delaunay import delaunay_mesh
+from repro.mesh.grid import grid_mesh
+from repro.partitioners.base import get_partitioner
+from repro.refine.fm import fm_refine
+
+
+class TestInvariants:
+    def test_cut_never_increases(self):
+        mesh = delaunay_mesh(800, rng=0)
+        a = get_partitioner("HSFC").partition_mesh(mesh, 8)
+        refined, stats = fm_refine(mesh, a, 8)
+        assert stats.cut_after <= stats.cut_before
+        assert edge_cut(mesh, refined, 8) == stats.cut_after
+
+    def test_balance_preserved(self):
+        mesh = delaunay_mesh(800, rng=1)
+        a = get_partitioner("RCB").partition_mesh(mesh, 8)
+        refined, _ = fm_refine(mesh, a, 8, epsilon=0.03)
+        assert is_balanced(refined, 8, 0.03, mesh.node_weights)
+
+    def test_input_not_mutated(self):
+        mesh = delaunay_mesh(300, rng=2)
+        a = get_partitioner("HSFC").partition_mesh(mesh, 4)
+        before = a.copy()
+        fm_refine(mesh, a, 4)
+        assert np.array_equal(a, before)
+
+    def test_weighted_balance(self):
+        mesh = delaunay_mesh(600, rng=3)
+        rng = np.random.default_rng(4)
+        mesh.node_weights[:] = rng.uniform(1.0, 5.0, mesh.n)
+        a = get_partitioner("MultiJagged").partition_mesh(mesh, 6)
+        refined, _ = fm_refine(mesh, a, 6, epsilon=0.05)
+        assert imbalance(refined, 6, mesh.node_weights) <= 0.05 + 1e-9
+
+
+class TestEffectiveness:
+    def test_improves_hsfc_partitions(self):
+        """SFC partitions have wrinkled boundaries — refinement smooths them."""
+        mesh = delaunay_mesh(2000, rng=5)
+        a = get_partitioner("HSFC").partition_mesh(mesh, 8)
+        _, stats = fm_refine(mesh, a, 8, max_passes=5)
+        assert stats.improvement > 0.05
+        assert stats.moves > 0
+
+    def test_optimal_partition_untouched(self):
+        """A straight grid cut is locally optimal: nothing to move."""
+        mesh = grid_mesh((8, 8))
+        a = (mesh.coords[:, 0] >= 4).astype(np.int64)
+        refined, stats = fm_refine(mesh, a, 2)
+        assert stats.moves == 0
+        assert np.array_equal(refined, a)
+
+    def test_stats_improvement_property(self):
+        mesh = delaunay_mesh(500, rng=6)
+        a = get_partitioner("HSFC").partition_mesh(mesh, 4)
+        _, stats = fm_refine(mesh, a, 4)
+        assert 0.0 <= stats.improvement <= 1.0
+
+    def test_repeated_refinement_converges(self):
+        mesh = delaunay_mesh(700, rng=7)
+        a = get_partitioner("HSFC").partition_mesh(mesh, 6)
+        refined1, _ = fm_refine(mesh, a, 6, max_passes=10)
+        refined2, stats2 = fm_refine(mesh, refined1, 6, max_passes=10)
+        # a second full run finds little or nothing left
+        assert stats2.improvement < 0.02
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 500), k=st.integers(2, 8))
+def test_property_refinement_invariants(seed, k):
+    mesh = delaunay_mesh(250, rng=seed)
+    a = get_partitioner("HSFC").partition_mesh(mesh, k)
+    eps = max(0.03, imbalance(a, k, mesh.node_weights))
+    refined, stats = fm_refine(mesh, a, k, epsilon=eps)
+    assert stats.cut_after <= stats.cut_before
+    assert imbalance(refined, k, mesh.node_weights) <= eps + 1e-9

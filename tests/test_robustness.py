@@ -1,0 +1,132 @@
+"""Failure-injection and degenerate-input tests.
+
+A production partitioner meets hostile inputs: duplicate points, collinear
+clouds, zero weights, k close to n.  These tests pin down that every such
+case terminates, returns a structurally valid assignment, and degrades
+gracefully (no crashes, no infinite loops, no invalid block ids).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.balanced_kmeans import balanced_kmeans
+from repro.core.config import BalancedKMeansConfig
+from repro.experiments.harness import PAPER_TOOLS
+from repro.metrics.imbalance import imbalance
+from repro.partitioners.base import get_partitioner
+
+
+def _valid(assignment, n, k):
+    assert assignment.shape == (n,)
+    assert assignment.min() >= 0 and assignment.max() < k
+
+
+class TestDegenerateGeometry:
+    def test_identical_points_terminate(self):
+        """All points coincide: balance is impossible, but the run must end."""
+        pts = np.ones((200, 2))
+        res = balanced_kmeans(pts, 4, rng=0, config=BalancedKMeansConfig(max_iterations=10))
+        _valid(res.assignment, 200, 4)
+        assert not res.converged or res.imbalance >= 0  # terminated, didn't lie
+
+    def test_collinear_points(self):
+        pts = np.column_stack([np.linspace(0, 1, 500), np.zeros(500)])
+        res = balanced_kmeans(pts, 8, rng=1)
+        _valid(res.assignment, 500, 8)
+        assert res.imbalance <= 0.031
+
+    @pytest.mark.parametrize("tool", PAPER_TOOLS)
+    def test_collinear_points_all_tools(self, tool):
+        pts = np.column_stack([np.linspace(0, 1, 400), np.full(400, 0.5)])
+        a = get_partitioner(tool).partition(pts, 4, rng=0)
+        _valid(a, 400, 4)
+        assert imbalance(a, 4) <= 0.05
+
+    @pytest.mark.parametrize("tool", ["RCB", "RIB", "MultiJagged", "HSFC"])
+    def test_duplicate_heavy_cloud(self, tool):
+        """90% of the points are one duplicated location."""
+        rng = np.random.default_rng(2)
+        pts = np.concatenate([np.tile([[0.5, 0.5]], (900, 1)), rng.random((100, 2))])
+        a = get_partitioner(tool).partition(pts, 4, rng=0)
+        _valid(a, 1000, 4)
+
+    def test_extreme_aspect_domain(self):
+        rng = np.random.default_rng(3)
+        pts = np.column_stack([rng.random(800) * 1e6, rng.random(800) * 1e-6])
+        res = balanced_kmeans(pts, 8, rng=4)
+        _valid(res.assignment, 800, 8)
+        assert res.imbalance <= 0.05
+
+    def test_tiny_coordinates(self):
+        rng = np.random.default_rng(5)
+        pts = rng.random((500, 2)) * 1e-12
+        res = balanced_kmeans(pts, 4, rng=6)
+        _valid(res.assignment, 500, 4)
+
+
+class TestDegenerateWeights:
+    def test_zero_weight_points(self):
+        rng = np.random.default_rng(7)
+        pts = rng.random((1000, 2))
+        w = rng.random(1000)
+        w[:300] = 0.0
+        res = balanced_kmeans(pts, 6, weights=w, rng=8)
+        _valid(res.assignment, 1000, 6)
+        assert res.imbalance <= 0.05
+
+    def test_one_dominant_weight(self):
+        """One point holds half the total weight: imbalance floor is ~k/2."""
+        rng = np.random.default_rng(9)
+        pts = rng.random((500, 2))
+        w = np.ones(500)
+        w[0] = 500.0
+        res = balanced_kmeans(pts, 4, weights=w, rng=10, config=BalancedKMeansConfig(max_iterations=15))
+        _valid(res.assignment, 500, 4)
+
+    def test_extreme_weight_range(self):
+        rng = np.random.default_rng(11)
+        pts = rng.random((800, 2))
+        w = 10.0 ** rng.uniform(-6, 6, 800)
+        res = balanced_kmeans(pts, 4, weights=w, rng=12, config=BalancedKMeansConfig(max_iterations=60))
+        _valid(res.assignment, 800, 4)
+
+
+class TestExtremeK:
+    def test_k_equals_n(self):
+        pts = np.random.default_rng(13).random((32, 2))
+        res = balanced_kmeans(pts, 32, rng=14, config=BalancedKMeansConfig(max_iterations=20))
+        _valid(res.assignment, 32, 32)
+        assert len(np.unique(res.assignment)) >= 28  # nearly all singleton blocks
+
+    def test_k_close_to_n(self):
+        pts = np.random.default_rng(15).random((100, 2))
+        res = balanced_kmeans(pts, 77, rng=16, config=BalancedKMeansConfig(max_iterations=15))
+        _valid(res.assignment, 100, 77)
+        assert len(np.unique(res.assignment)) >= 60
+
+    @pytest.mark.parametrize("tool", ["RCB", "MultiJagged", "HSFC"])
+    def test_baselines_k_equals_n(self, tool):
+        pts = np.random.default_rng(17).random((24, 2))
+        a = get_partitioner(tool).partition(pts, 24)
+        assert len(np.unique(a)) == 24  # perfect: one point per block
+
+
+class TestDistributedRobustness:
+    def test_more_ranks_than_reasonable(self):
+        """p close to n/2: tiny local chunks must still work."""
+        from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
+
+        pts = np.random.default_rng(18).random((120, 2))
+        res = distributed_balanced_kmeans(
+            pts, k=4, nranks=16, rng=19, config=BalancedKMeansConfig(max_iterations=10)
+        )
+        _valid(res.assignment, 120, 4)
+
+    def test_uneven_initial_distribution(self):
+        """n not divisible by p: block distribution sizes differ."""
+        from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
+
+        pts = np.random.default_rng(20).random((1003, 2))
+        res = distributed_balanced_kmeans(pts, k=5, nranks=7, rng=21)
+        _valid(res.assignment, 1003, 5)
+        assert res.imbalance <= 0.05

@@ -1,0 +1,112 @@
+"""Tests for the virtual communicator (SPMD simulation substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.comm import CostLedger, VirtualComm
+from repro.runtime.costmodel import MachineModel
+
+
+def _comm(p=4):
+    return VirtualComm(p, MachineModel(alpha=1e-6, beta=1e-9))
+
+
+class TestLedger:
+    def test_totals(self):
+        led = CostLedger()
+        led.charge_compute(1.0, "a")
+        led.charge_comm(0.5, "allreduce", "a")
+        assert led.total_seconds == 1.5
+        assert led.stages["a"] == 1.5
+        assert led.collectives["allreduce"] == 0.5
+
+    def test_merge(self):
+        a, b = CostLedger(), CostLedger()
+        a.charge_compute(1.0, "x")
+        b.charge_compute(2.0, "x")
+        b.charge_comm(1.0, "allgather")
+        a.merge(b)
+        assert a.compute_seconds == 3.0
+        assert a.stages["x"] == 3.0
+
+
+class TestRunLocal:
+    def test_results_per_rank(self):
+        comm = _comm()
+        results = comm.run_local(lambda r: r * r)
+        assert results == [0, 1, 4, 9]
+
+    def test_charges_max_not_sum(self):
+        import time
+
+        comm = _comm(2)
+
+        def slow_rank(r):
+            time.sleep(0.01 if r == 0 else 0.0)
+            return r
+
+        comm.run_local(slow_rank)
+        # total charge ~ 0.01 (the max), not ~0.01 + small
+        assert 0.009 < comm.ledger.compute_seconds < 0.05
+
+    def test_supersteps_counted(self):
+        comm = _comm()
+        comm.run_local(lambda r: None)
+        comm.run_local(lambda r: None)
+        assert comm.ledger.supersteps == 2
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        comm = _comm()
+        arrays = [np.full(3, float(r)) for r in range(4)]
+        out = comm.allreduce(arrays)
+        assert np.allclose(out, 6.0)
+        assert comm.ledger.comm_seconds > 0
+
+    def test_allreduce_shape_check(self):
+        comm = _comm()
+        with pytest.raises(ValueError):
+            comm.allreduce([np.zeros(2)] * 3)
+
+    def test_allgather_concat(self):
+        comm = _comm(3)
+        out = comm.allgather([np.array([r]) for r in range(3)])
+        assert out.tolist() == [0, 1, 2]
+
+    def test_alltoallv_exchange(self):
+        comm = _comm(2)
+        send = [
+            [np.array([0.0]), np.array([1.0, 1.0])],
+            [np.array([10.0]), np.array([11.0])],
+        ]
+        recv = comm.alltoallv(send)
+        assert recv[0].tolist() == [0.0, 10.0]
+        assert recv[1].tolist() == [1.0, 1.0, 11.0]
+
+    def test_alltoallv_preserves_rank_order(self):
+        """Concatenation happens in rank order (needed by distsort)."""
+        comm = _comm(3)
+        send = [[np.array([float(i * 10 + j)]) for j in range(3)] for i in range(3)]
+        recv = comm.alltoallv(send)
+        assert recv[1].tolist() == [1.0, 11.0, 21.0]
+
+    def test_stage_attribution(self):
+        comm = _comm()
+        comm.set_stage("phase1")
+        comm.allreduce([np.zeros(1)] * 4)
+        assert "phase1" in comm.ledger.stages
+
+    def test_broadcast(self):
+        comm = _comm()
+        out = comm.broadcast(np.arange(3))
+        assert out.tolist() == [0, 1, 2]
+
+    def test_modeled_compute(self):
+        comm = VirtualComm(4, MachineModel(compute_rate=1e6))
+        comm.charge_modeled_compute(1e6)
+        assert comm.ledger.compute_seconds == pytest.approx(1.0)
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            VirtualComm(0)

@@ -1,0 +1,94 @@
+"""Tests for the scaling drivers (Figure 3/4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.costmodel import MachineModel
+from repro.runtime.scaling import (
+    CostCalibration,
+    calibrate,
+    modeled_time,
+    strong_scaling,
+    weak_scaling,
+)
+
+
+@pytest.fixture(scope="module")
+def calib():
+    return calibrate(points_per_rank=500, nranks=2, rng=0)
+
+
+class TestCalibration:
+    def test_structure_counts(self, calib):
+        assert calib.kmeans_iterations >= 1
+        assert calib.reduces_per_iteration >= 1.0
+
+
+class TestModeledTime:
+    def test_all_tools(self, calib):
+        for tool in ("Geographer", "MultiJagged", "RCB", "RIB", "HSFC"):
+            secs, breakdown = modeled_time(tool, 1_000_000, 64, 64, calib)
+            assert secs > 0
+            assert abs(sum(breakdown.values()) - secs) < 1e-12
+
+    def test_unknown_tool(self, calib):
+        with pytest.raises(ValueError):
+            modeled_time("ParMetis", 1000, 4, 4, calib)
+
+    def test_rcb_scales_worse_than_mj(self, calib):
+        """Weak scaling shape: doubling p and n, RCB's time grows faster."""
+        def growth(tool):
+            t1, _ = modeled_time(tool, 256 * 4000, 256, 256, calib)
+            t2, _ = modeled_time(tool, 8192 * 4000, 8192, 8192, calib)
+            return t2 / t1
+
+        assert growth("RCB") > growth("MultiJagged")
+        assert growth("RCB") > growth("Geographer")
+
+    def test_island_kink(self, calib):
+        """Crossing the 8192-core island makes 16384 slower (Figure 3b)."""
+        m = MachineModel()
+        t8k, _ = modeled_time("Geographer", 2_000_000_000, 8192, 8192, calib, m)
+        t16k, _ = modeled_time("Geographer", 2_000_000_000, 16384, 16384, calib, m)
+        assert t16k > t8k
+
+    def test_no_island_no_kink(self, calib):
+        m = MachineModel(island_size=1 << 20)
+        t8k, _ = modeled_time("HSFC", 2_000_000_000, 8192, 8192, calib, m)
+        t16k, _ = modeled_time("HSFC", 2_000_000_000, 16384, 16384, calib, m)
+        # strong scaling without island penalty: 16k not dramatically slower
+        assert t16k < t8k * 1.5
+
+
+class TestCurves:
+    def test_weak_scaling_rows(self):
+        points = weak_scaling(
+            tools=("Geographer", "HSFC"),
+            points_per_rank=400,
+            rank_counts=(2, 64),
+            measured_max_ranks=2,
+            rng=0,
+        )
+        assert len(points) == 4
+        modes = {(p.tool, p.nranks): p.mode for p in points}
+        assert modes[("Geographer", 2)] == "measured"
+        assert modes[("Geographer", 64)] == "modeled"
+
+    def test_weak_scaling_n_grows(self):
+        points = weak_scaling(tools=("HSFC",), points_per_rank=100,
+                              rank_counts=(4, 8), measured_max_ranks=0, rng=1)
+        by_p = {p.nranks: p.n for p in points}
+        assert by_p[8] == 2 * by_p[4]
+
+    def test_strong_scaling_fixed_n(self):
+        points = strong_scaling(tools=("RCB",), n=10_000_000,
+                                rank_counts=(64, 128), measured_max_ranks=0, rng=2)
+        assert all(p.n == 10_000_000 for p in points)
+        assert all(p.mode == "modeled" for p in points)
+
+    def test_rcb_strong_scaling_poor(self):
+        """Paper: RCB climbs from ~6.5s at 1024 to ~23s at 16384."""
+        points = strong_scaling(tools=("RCB",), n=2_000_000_000,
+                                rank_counts=(1024, 16384), measured_max_ranks=0, rng=3)
+        t = {p.nranks: p.seconds for p in points}
+        assert t[16384] > t[1024]

@@ -1,0 +1,67 @@
+"""Tests for the float-point SFC front end."""
+
+import numpy as np
+import pytest
+
+from repro.sfc.curves import DEFAULT_BITS, normalize_to_cells, sfc_index
+
+
+class TestNormalize:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-5, 7, size=(500, 2))
+        cells = normalize_to_cells(pts, 8)
+        assert cells.min() >= 0 and cells.max() <= 255
+
+    def test_degenerate_dimension(self):
+        pts = np.column_stack([np.linspace(0, 1, 10), np.zeros(10)])
+        cells = normalize_to_cells(pts, 6)
+        assert np.all(cells[:, 1] == 0)
+        assert len(np.unique(cells[:, 0])) > 1
+
+    def test_explicit_box(self):
+        pts = np.array([[0.25, 0.25]])
+        cells_own = normalize_to_cells(pts, 4)
+        cells_box = normalize_to_cells(pts, 4, box=(np.zeros(2), np.ones(2)))
+        assert np.array_equal(cells_own, [[0, 0]])  # own box collapses
+        assert np.array_equal(cells_box, [[4, 4]])
+
+    def test_global_box_consistency(self):
+        """Two halves of a point set indexed with the global box must agree
+        with indexing the whole set at once — the distributed-runtime need."""
+        rng = np.random.default_rng(1)
+        pts = rng.random((200, 2))
+        lo, hi = pts.min(axis=0), pts.max(axis=0)
+        whole = sfc_index(pts)
+        left = sfc_index(pts[:100], box=(lo, hi))
+        right = sfc_index(pts[100:], box=(lo, hi))
+        assert np.array_equal(whole, np.concatenate([left, right]))
+
+
+class TestSfcIndex:
+    def test_shapes_and_dtype(self):
+        pts = np.random.default_rng(0).random((100, 3))
+        ix = sfc_index(pts)
+        assert ix.shape == (100,) and ix.dtype == np.int64
+
+    def test_unknown_curve(self):
+        with pytest.raises(ValueError, match="unknown curve"):
+            sfc_index(np.zeros((2, 2)), curve="peano")
+
+    def test_default_bits(self):
+        assert DEFAULT_BITS[2] * 2 <= 62
+        assert DEFAULT_BITS[3] * 3 <= 62
+
+    def test_locality_of_sorted_points(self):
+        """Consecutive points along the curve should be spatially close."""
+        rng = np.random.default_rng(2)
+        pts = rng.random((2000, 2))
+        order = np.argsort(sfc_index(pts))
+        sorted_pts = pts[order]
+        consecutive = np.linalg.norm(np.diff(sorted_pts, axis=0), axis=1)
+        random_pairs = np.linalg.norm(pts[:-1] - pts[1:], axis=1)
+        assert consecutive.mean() < 0.25 * random_pairs.mean()
+
+    def test_morton_dispatch(self):
+        pts = np.random.default_rng(3).random((50, 2))
+        assert not np.array_equal(sfc_index(pts, "hilbert"), sfc_index(pts, "morton"))

@@ -1,0 +1,105 @@
+"""Tests for the Hilbert curve — bijectivity, inverse, and the locality property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc.hilbert import hilbert_cell, hilbert_index
+
+
+def _full_grid(dim, bits):
+    side = 1 << bits
+    axes = [np.arange(side)] * dim
+    return np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1).reshape(-1, dim)
+
+
+class TestBijectivity:
+    @pytest.mark.parametrize("dim,bits", [(2, 1), (2, 2), (2, 3), (2, 5), (3, 1), (3, 2), (3, 3)])
+    def test_full_grid_bijective(self, dim, bits):
+        cells = _full_grid(dim, bits)
+        h = hilbert_index(cells, bits)
+        assert h.min() == 0
+        assert h.max() == (1 << (bits * dim)) - 1
+        assert len(np.unique(h)) == cells.shape[0]
+
+    @pytest.mark.parametrize("dim,bits", [(2, 4), (3, 2)])
+    def test_inverse_roundtrip(self, dim, bits):
+        cells = _full_grid(dim, bits)
+        h = hilbert_index(cells, bits)
+        assert np.array_equal(hilbert_cell(h, bits, dim), cells)
+
+
+class TestLocality:
+    """The defining Hilbert property: consecutive indices are grid neighbours."""
+
+    @pytest.mark.parametrize("dim,bits", [(2, 2), (2, 4), (2, 6), (3, 2), (3, 3)])
+    def test_unit_steps(self, dim, bits):
+        cells = _full_grid(dim, bits)
+        order = np.argsort(hilbert_index(cells, bits))
+        steps = np.abs(np.diff(cells[order], axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_better_locality_than_morton(self):
+        """Walking the curve: Hilbert steps are always unit, Morton jumps."""
+        from repro.sfc.morton import morton_index
+
+        bits = 5
+        cells = _full_grid(2, bits)
+        h_order = np.argsort(hilbert_index(cells, bits))
+        m_order = np.argsort(morton_index(cells, bits))
+        h_steps = np.linalg.norm(np.diff(cells[h_order], axis=0), axis=1)
+        m_steps = np.linalg.norm(np.diff(cells[m_order], axis=0), axis=1)
+        assert h_steps.max() == 1.0
+        assert m_steps.max() > 1.0
+        assert h_steps.mean() < m_steps.mean()
+
+
+class TestValidation:
+    def test_rejects_float_cells(self):
+        with pytest.raises(TypeError):
+            hilbert_index(np.zeros((2, 2)), 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            hilbert_index(np.array([[0, 16]]), 4)
+        with pytest.raises(ValueError):
+            hilbert_index(np.array([[-1, 0]]), 4)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            hilbert_index(np.zeros((2, 4), dtype=np.int64), 4)
+
+    def test_rejects_overflow_bits(self):
+        with pytest.raises(ValueError):
+            hilbert_index(np.zeros((1, 2), dtype=np.int64), 32)
+        with pytest.raises(ValueError):
+            hilbert_cell(np.array([0]), 31, 3)
+
+    def test_rejects_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            hilbert_cell(np.array([1 << 8]), 4, 2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 255), st.integers(0, 255)), min_size=1, max_size=64),
+)
+def test_property_roundtrip_2d(cells):
+    arr = np.asarray(cells, dtype=np.int64)
+    h = hilbert_index(arr, 8)
+    assert np.array_equal(hilbert_cell(h, 8, 2), arr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 63), st.integers(0, 63), st.integers(0, 63)),
+        min_size=1,
+        max_size=64,
+    ),
+)
+def test_property_roundtrip_3d(cells):
+    arr = np.asarray(cells, dtype=np.int64)
+    h = hilbert_index(arr, 6)
+    assert np.array_equal(hilbert_cell(h, 6, 3), arr)

@@ -1,0 +1,46 @@
+"""Tests for the Morton (Z-order) curve."""
+
+import numpy as np
+import pytest
+
+from repro.sfc.morton import morton_cell, morton_index
+
+
+def _full_grid(dim, bits):
+    side = 1 << bits
+    axes = [np.arange(side)] * dim
+    return np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1).reshape(-1, dim)
+
+
+class TestMorton:
+    @pytest.mark.parametrize("dim,bits", [(2, 3), (2, 5), (3, 2), (3, 3)])
+    def test_bijective(self, dim, bits):
+        cells = _full_grid(dim, bits)
+        m = morton_index(cells, bits)
+        assert len(np.unique(m)) == cells.shape[0]
+        assert m.min() == 0 and m.max() == (1 << (bits * dim)) - 1
+
+    @pytest.mark.parametrize("dim,bits", [(2, 4), (3, 3)])
+    def test_roundtrip(self, dim, bits):
+        cells = _full_grid(dim, bits)
+        assert np.array_equal(morton_cell(morton_index(cells, bits), bits, dim), cells)
+
+    def test_known_2d_values(self):
+        # Z-order: (x, y) -> interleave with x highest bit first
+        cells = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+        m = morton_index(cells, 1)
+        assert m.tolist() == [0, 1, 2, 3]
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            morton_index(np.zeros((1, 2)), 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            morton_index(np.array([[4, 0]]), 2)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            morton_index(np.zeros((1, 3), dtype=np.int64), 21)
+        with pytest.raises(ValueError):
+            morton_cell(np.array([0]), 32, 2)

@@ -1,0 +1,104 @@
+"""Tests for halo plans and the distributed SpMV simulation."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.delaunay import delaunay_mesh
+from repro.mesh.grid import grid_mesh
+from repro.metrics.commvolume import comm_volumes, total_comm_volume
+from repro.partitioners.base import get_partitioner
+from repro.runtime.costmodel import MachineModel
+from repro.spmv.distspmv import comm_time_from_plan, distributed_spmv, spmv_comm_time
+from repro.spmv.halo import build_halo_plan
+
+
+def _partitioned_mesh(seed=0, n=400, k=6):
+    mesh = delaunay_mesh(n, rng=seed)
+    assignment = get_partitioner("RCB").partition_mesh(mesh, k)
+    return mesh, assignment, k
+
+
+class TestHaloPlan:
+    def test_volumes_match_comm_metric(self):
+        """Halo send volumes ARE the communication-volume metric."""
+        mesh, a, k = _partitioned_mesh()
+        plan = build_halo_plan(mesh, a, k)
+        assert np.array_equal(plan.send_volumes, comm_volumes(mesh, a, k))
+        assert plan.total_volume == total_comm_volume(mesh, a, k)
+
+    def test_volume_matrix_consistency(self):
+        mesh, a, k = _partitioned_mesh(1)
+        plan = build_halo_plan(mesh, a, k)
+        assert np.all(np.diag(plan.volume) == 0)
+        assert plan.volume.sum() == plan.pair_vertices.shape[0]
+
+    def test_pairs_are_boundary_vertices(self):
+        mesh, a, k = _partitioned_mesh(2)
+        plan = build_halo_plan(mesh, a, k)
+        for v, dest in zip(plan.pair_vertices[:50], plan.pair_dest[:50]):
+            nbr_blocks = set(a[mesh.neighbors(v)].tolist())
+            assert dest in nbr_blocks
+
+    def test_uncut_plan_empty(self):
+        mesh = grid_mesh((4, 4))
+        plan = build_halo_plan(mesh, np.zeros(16, dtype=np.int64), 1)
+        assert plan.total_volume == 0
+        assert comm_time_from_plan(plan) == 0.0
+
+    def test_message_counts(self):
+        mesh = grid_mesh((4, 4))
+        a = (mesh.coords[:, 0] >= 2).astype(np.int64)
+        plan = build_halo_plan(mesh, a, 2)
+        assert plan.message_counts.tolist() == [1, 1]
+
+
+class TestDistributedSpmv:
+    @pytest.mark.parametrize("tool", ["RCB", "HSFC", "Geographer"])
+    def test_matches_global_product(self, tool):
+        mesh = delaunay_mesh(350, rng=3)
+        k = 5
+        a = get_partitioner(tool).partition_mesh(mesh, k, rng=0)
+        x = np.random.default_rng(4).random(mesh.n)
+        y, t = distributed_spmv(mesh, a, k, x)
+        assert np.allclose(y, mesh.to_scipy() @ x)
+        assert t > 0
+
+    def test_k1_no_comm(self):
+        mesh = delaunay_mesh(150, rng=5)
+        x = np.ones(mesh.n)
+        y, t = distributed_spmv(mesh, np.zeros(mesh.n, dtype=np.int64), 1, x)
+        assert np.allclose(y, mesh.to_scipy() @ x)
+        assert t == 0.0
+
+    def test_bad_x_shape(self):
+        mesh = delaunay_mesh(100, rng=6)
+        with pytest.raises(ValueError):
+            distributed_spmv(mesh, np.zeros(mesh.n, dtype=np.int64), 1, np.ones(3))
+
+
+class TestCommTime:
+    def test_monotone_in_volume(self):
+        """A partition with double the halo volume costs more comm time."""
+        mesh = grid_mesh((8, 8))
+        one_cut = (mesh.coords[:, 0] >= 4).astype(np.int64)
+        stripes = (mesh.coords[:, 0].astype(np.int64)) % 2
+        t_good = spmv_comm_time(mesh, one_cut, 2)
+        t_bad = spmv_comm_time(mesh, stripes, 2)
+        assert t_bad > t_good
+
+    def test_machine_model_scales(self):
+        mesh, a, k = _partitioned_mesh(7)
+        slow = MachineModel(alpha=1e-3, beta=1e-6)
+        fast = MachineModel(alpha=1e-7, beta=1e-11)
+        assert spmv_comm_time(mesh, a, k, slow) > spmv_comm_time(mesh, a, k, fast)
+
+    def test_bottleneck_not_total(self):
+        """Time is the max block's cost: adding an isolated uncut block keeps it."""
+        mesh, a, k = _partitioned_mesh(8)
+        t = spmv_comm_time(mesh, a, k)
+        plan = build_halo_plan(mesh, a, k)
+        per_block_bytes = (plan.send_volumes + plan.recv_volumes) * 8
+        m = MachineModel()
+        msgs = (plan.volume > 0).sum(axis=1) + (plan.volume > 0).sum(axis=0)
+        expected = ((msgs * m.alpha + per_block_bytes * m.beta) * m.penalty(k)).max()
+        assert t == pytest.approx(expected)

@@ -1,0 +1,58 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(8)
+        b = ensure_rng(42).random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(8), ensure_rng(2).random(8))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        a = ensure_rng(np.int64(7)).random(4)
+        b = ensure_rng(7).random(4)
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_types(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+        with pytest.raises(TypeError):
+            ensure_rng(3.14)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.random(16) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_given_seed(self):
+        a = [c.random(4) for c in spawn_rngs(9, 2)]
+        b = [c.random(4) for c in spawn_rngs(9, 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,67 @@
+"""Tests for repro.util.timers."""
+
+import time
+
+from repro.util.timers import StageTimer, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.004
+        assert t.elapsed != first or t.elapsed >= 0
+
+
+class TestStageTimer:
+    def test_accumulates_per_stage(self):
+        st = StageTimer()
+        with st.stage("a"):
+            time.sleep(0.005)
+        with st.stage("a"):
+            time.sleep(0.005)
+        with st.stage("b"):
+            pass
+        assert st.stages["a"] >= 0.009
+        assert "b" in st.stages
+        assert st.total >= st.stages["a"]
+
+    def test_add_direct(self):
+        st = StageTimer()
+        st.add("x", 1.5)
+        st.add("x", 0.5)
+        assert st.stages["x"] == 2.0
+
+    def test_fractions_sum_to_one(self):
+        st = StageTimer()
+        st.add("a", 3.0)
+        st.add("b", 1.0)
+        fr = st.fractions()
+        assert abs(sum(fr.values()) - 1.0) < 1e-12
+        assert abs(fr["a"] - 0.75) < 1e-12
+
+    def test_fractions_empty(self):
+        assert StageTimer().fractions() == {}
+
+    def test_merge(self):
+        a = StageTimer()
+        a.add("x", 1.0)
+        b = StageTimer()
+        b.add("x", 2.0)
+        b.add("y", 1.0)
+        a.merge(b)
+        assert a.stages == {"x": 3.0, "y": 1.0}
+
+    def test_str_contains_stages(self):
+        st = StageTimer()
+        st.add("kmeans", 0.25)
+        assert "kmeans" in str(st)

@@ -1,0 +1,136 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_assignment,
+    check_epsilon,
+    check_k,
+    check_points,
+    check_weights,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "nope")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="custom message"):
+            require(False, "custom message")
+
+
+class TestCheckPoints:
+    def test_valid_2d(self):
+        pts = check_points([[0.0, 1.0], [2.0, 3.0]])
+        assert pts.shape == (2, 2) and pts.dtype == np.float64
+        assert pts.flags["C_CONTIGUOUS"]
+
+    def test_valid_3d(self):
+        assert check_points(np.zeros((5, 3))).shape == (5, 3)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D array"):
+            check_points(np.zeros(4))
+
+    def test_rejects_wrong_dim(self):
+        with pytest.raises(ValueError, match="dimension"):
+            check_points(np.zeros((4, 5)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_points(np.zeros((0, 2)))
+
+    def test_rejects_nan(self):
+        pts = np.zeros((3, 2))
+        pts[1, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            check_points(pts)
+
+    def test_custom_dims(self):
+        assert check_points(np.zeros((2, 5)), dims=(5,)).shape == (2, 5)
+
+
+class TestCheckWeights:
+    def test_none_gives_unit(self):
+        w = check_weights(None, 4)
+        assert np.array_equal(w, np.ones(4))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_weights(np.ones(3), 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_weights(np.array([1.0, -1.0]), 2)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_weights(np.zeros(3), 3)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_weights(np.array([1.0, np.nan]), 2)
+
+
+class TestCheckK:
+    def test_valid(self):
+        assert check_k(4, 10) == 4
+
+    def test_k_equals_n(self):
+        assert check_k(10, 10) == 10
+
+    def test_too_large(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            check_k(11, 10)
+
+    def test_zero(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            check_k(0, 10)
+
+    def test_non_integer(self):
+        with pytest.raises(TypeError):
+            check_k(2.5, 10)
+
+    def test_numpy_integer_ok(self):
+        assert check_k(np.int32(3), 10) == 3
+
+
+class TestCheckEpsilon:
+    def test_valid(self):
+        assert check_epsilon(0.03) == 0.03
+
+    def test_zero_ok(self):
+        assert check_epsilon(0) == 0.0
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            check_epsilon(-0.1)
+
+    def test_nan(self):
+        with pytest.raises(ValueError):
+            check_epsilon(float("nan"))
+
+
+class TestCheckAssignment:
+    def test_valid(self):
+        a = check_assignment(np.array([0, 1, 2]), 3, 3)
+        assert a.dtype == np.int64
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="lie in"):
+            check_assignment(np.array([0, 3]), 2, 3)
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            check_assignment(np.array([0, -1]), 2, 3)
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_assignment(np.array([0, 1]), 3, 3)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            check_assignment(np.array([0.0, 1.0]), 2, 2)

@@ -1,0 +1,62 @@
+"""Tests for SVG rendering and palettes."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.delaunay import delaunay_mesh
+from repro.mesh.rgg import rgg_mesh
+from repro.partitioners.base import get_partitioner
+from repro.viz.palette import block_colors, hex_color
+from repro.viz.svg import render_partition_svg
+
+
+class TestPalette:
+    def test_hex_format(self):
+        assert hex_color((1.0, 0.0, 0.0)) == "#ff0000"
+        assert hex_color((0.0, 0.0, 0.0)) == "#000000"
+
+    def test_clipping(self):
+        assert hex_color((2.0, -1.0, 0.5)) == "#ff0080"
+
+    def test_distinct_colors(self):
+        colors = block_colors(32)
+        assert len(set(colors)) == 32
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            block_colors(0)
+
+
+class TestSvg:
+    def test_triangles_rendered(self, tmp_path):
+        mesh = delaunay_mesh(200, rng=0)
+        a = get_partitioner("RCB").partition_mesh(mesh, 4)
+        path = str(tmp_path / "p.svg")
+        svg = render_partition_svg(mesh, a, path=path)
+        assert svg.startswith("<svg")
+        assert svg.count("<path") >= 4  # one path group per used colour
+        assert open(path).read() == svg
+
+    def test_points_fallback(self):
+        mesh = rgg_mesh(150, rng=1)  # no cells stored
+        a = get_partitioner("HSFC").partition_mesh(mesh, 3)
+        svg = render_partition_svg(mesh, a)
+        assert "<circle" in svg
+
+    def test_input_only(self):
+        mesh = delaunay_mesh(100, rng=2)
+        svg = render_partition_svg(mesh, None, title="input mesh")
+        assert "input mesh" in svg
+
+    def test_rejects_3d(self):
+        mesh = delaunay_mesh(120, dim=3, rng=3)
+        with pytest.raises(ValueError):
+            render_partition_svg(mesh, None)
+
+    def test_all_blocks_appear(self):
+        mesh = delaunay_mesh(300, rng=4)
+        k = 5
+        a = get_partitioner("MultiJagged").partition_mesh(mesh, k)
+        svg = render_partition_svg(mesh, a)
+        for color in block_colors(k):
+            assert color in svg
