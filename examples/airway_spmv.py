@@ -28,7 +28,7 @@ def main() -> None:
     print(f"\n{'tool':<14}{'totVolume':>10}{'maxVolume':>10}{'messages':>10}{'timeComm':>12}{'SpMV ok':>9}")
     print("-" * 65)
     for tool in ("Geographer", "HSFC", "MultiJagged", "RCB", "RIB"):
-        assignment = get_partitioner(tool).partition_mesh(mesh, k, rng=0)
+        assignment = get_partitioner(tool).partition_mesh(mesh, k, rng=0).assignment
         plan = build_halo_plan(mesh, assignment, k)
         y, t_comm = distributed_spmv(mesh, assignment, k, x)
         ok = np.allclose(y, reference)

@@ -27,12 +27,12 @@ def main() -> None:
 
     # --- why node weights matter -------------------------------------------
     geographer = get_partitioner("Geographer")
-    unweighted = geographer.partition(mesh.coords, k, weights=None, rng=0)
+    unweighted = geographer.partition(mesh.coords, k, weights=None, rng=0).assignment
     print("\nignoring the column depths:")
     print(f"  count imbalance : {imbalance(unweighted, k):>6.3f}  (balanced by construction)")
     print(f"  LOAD imbalance  : {imbalance(unweighted, k, w):>6.3f}  (what the simulation feels)")
 
-    weighted = geographer.partition(mesh.coords, k, weights=w, rng=0)
+    weighted = geographer.partition(mesh.coords, k, weights=w, rng=0).assignment
     print("balancing the column depths:")
     print(f"  LOAD imbalance  : {imbalance(weighted, k, w):>6.3f}")
 

@@ -49,7 +49,7 @@ def refinement_demo() -> None:
     print(f"{'tool':<14}{'cut before':>11}{'cut after':>11}{'gain':>7}{'totComm after':>14}{'imbal':>7}")
     print("-" * 64)
     for tool in ("Geographer", "HSFC", "MultiJagged", "RCB", "RIB"):
-        assignment = get_partitioner(tool).partition_mesh(mesh, k, rng=0)
+        assignment = get_partitioner(tool).partition_mesh(mesh, k, rng=0).assignment
         refined, stats = fm_refine(mesh, assignment, k, epsilon=0.03, max_passes=5)
         print(
             f"{tool:<14}{stats.cut_before:>11}{stats.cut_after:>11}{stats.improvement:>6.1%}"

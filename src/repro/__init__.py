@@ -18,19 +18,29 @@ Public API overview
 
 from repro.core import BalancedKMeansConfig, KMeansResult, balanced_kmeans
 from repro.mesh import GeometricMesh, make_instance
-from repro.metrics import evaluate_partition
-from repro.partitioners import available_partitioners, get_partitioner
+from repro.metrics import evaluate_partition, migration_volume
+from repro.partitioners import (
+    HierarchicalPartitioner,
+    PartitionResult,
+    available_partitioners,
+    get_partitioner,
+)
+from repro.runtime import MachineTopology
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "balanced_kmeans",
     "BalancedKMeansConfig",
     "KMeansResult",
+    "PartitionResult",
     "GeometricMesh",
     "make_instance",
     "evaluate_partition",
+    "migration_volume",
     "get_partitioner",
     "available_partitioners",
+    "HierarchicalPartitioner",
+    "MachineTopology",
     "__version__",
 ]

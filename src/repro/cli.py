@@ -2,13 +2,15 @@
 
 Commands
 --------
-- ``list``       — registry instances and available partitioners;
-- ``partition``  — partition an instance (or METIS file) and print metrics;
-- ``compare``    — all tools on one instance, Table-1/2 style;
-- ``visualize``  — write the partition (2-D meshes) as SVG;
-- ``scaling``    — weak/strong scaling series (Figure 3);
-- ``experiments``— regenerate a named paper artifact (figure1..figure4,
-  table1, table2, components).
+- ``list``        — registry instances and available partitioners;
+- ``partition``   — partition an instance (or METIS file) and print metrics;
+- ``hierarchical``— topology-aware multi-level partition (k = k1xk2x...);
+- ``repartition`` — adaptive warm-vs-cold repartitioning with migration volume;
+- ``compare``     — all tools on one instance, Table-1/2 style;
+- ``visualize``   — write the partition (2-D meshes) as SVG;
+- ``scaling``     — weak/strong scaling series (Figure 3);
+- ``experiments`` — regenerate a named paper artifact (figure1..figure4,
+  table1, table2, components, repartition).
 """
 
 from __future__ import annotations
@@ -39,6 +41,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--shape", action="store_true", help="also print shape metrics")
 
+    h = sub.add_parser("hierarchical", help="topology-aware multi-level partition")
+    h.add_argument("instance", help="registry instance name or .graph file path")
+    h.add_argument("--levels", default="2x3x4",
+                   help="factorisation k = k1xk2x... matching a machine hierarchy "
+                        "(islands x nodes x cores), e.g. 2x3x4 (default)")
+    h.add_argument("--tool", default="Geographer", help="inner partitioner per level")
+    h.add_argument("--epsilon", type=float, default=0.03)
+    h.add_argument("--scale", type=float, default=1.0)
+    h.add_argument("--seed", type=int, default=0)
+
+    rp = sub.add_parser("repartition", help="adaptive repartitioning: warm starts vs cold restarts")
+    rp.add_argument("-n", type=int, default=3000, help="mesh size (default 3000)")
+    rp.add_argument("-k", type=int, default=12)
+    rp.add_argument("--steps", type=int, default=4)
+    rp.add_argument("--epsilon", type=float, default=0.03)
+    rp.add_argument("--seed", type=int, default=0)
+
     c = sub.add_parser("compare", help="run all tools on one instance")
     c.add_argument("instance")
     c.add_argument("-k", type=int, default=16)
@@ -67,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     e = sub.add_parser("experiments", help="regenerate a paper artifact")
     e.add_argument("name", choices=("figure1", "figure2", "figure3", "figure4",
-                                    "table1", "table2", "components"))
+                                    "table1", "table2", "components", "repartition"))
     e.add_argument("--out", default="results", help="output directory for figure1 SVGs")
     e.add_argument("--scale", type=float, default=0.25)
     e.add_argument("--seed", type=int, default=0)
@@ -108,8 +127,49 @@ def _cmd_partition(args) -> None:
     if args.shape:
         from repro.partitioners.base import get_partitioner
 
-        assignment = get_partitioner(args.tool).partition_mesh(mesh, args.k, rng=args.seed)
-        print("\nshape:", shape_report(mesh, assignment, args.k))
+        result = get_partitioner(args.tool).partition_mesh(mesh, args.k, rng=args.seed)
+        print("\nshape:", shape_report(mesh, result.assignment, args.k))
+
+
+def _cmd_hierarchical(args) -> None:
+    import math
+
+    from repro.experiments.harness import format_rows
+    from repro.metrics.imbalance import imbalance
+    from repro.metrics.report import evaluate_partition
+    from repro.partitioners.hierarchical import HierarchicalPartitioner
+    from repro.runtime.costmodel import MachineTopology
+    from repro.util.timers import Timer
+
+    try:
+        levels = tuple(int(part) for part in args.levels.lower().split("x"))
+        topology = MachineTopology(branching=levels)
+    except ValueError:
+        raise SystemExit(f"bad --levels {args.levels!r}; expected positive factors like 2x3x4")
+    mesh = _load_mesh(args.instance, args.scale, args.seed)
+    partitioner = HierarchicalPartitioner(topology=topology, inner=args.tool)
+    with Timer() as t:
+        result = partitioner.partition_mesh(mesh, epsilon=args.epsilon, rng=args.seed)
+    print(f"{mesh}\nlevels {'x'.join(map(str, levels))} -> k={result.k}, "
+          f"inner={args.tool}, imbalance={result.imbalance:.3f}\n")
+    for level, name in enumerate(topology.level_names):
+        coarse = result.level_assignment(level)
+        coarse_k = math.prod(levels[: level + 1])
+        print(f"  level {level} ({name:>6}): {coarse_k:>4} blocks, "
+              f"imbalance {imbalance(coarse, coarse_k, mesh.node_weights):.3f}")
+    row = evaluate_partition(mesh, result.assignment, result.k,
+                             tool=f"Hier({args.tool})", time=t.elapsed)
+    print()
+    print(format_rows([row]))
+
+
+def _cmd_repartition(args) -> None:
+    from repro.experiments import repartitioning
+
+    rows = repartitioning.run(n=args.n, k=args.k, steps=args.steps,
+                              epsilon=args.epsilon, seed=args.seed)
+    print(repartitioning.format_result(
+        rows, title=f"adaptive repartitioning: n={args.n}, k={args.k}, {args.steps} steps"))
 
 
 def _cmd_compare(args) -> None:
@@ -130,8 +190,8 @@ def _cmd_refine(args) -> None:
     print(f"{'tool':<14}{'cut before':>11}{'cut after':>11}{'gain':>8}{'moves':>7}")
     print("-" * 51)
     for tool in PAPER_TOOLS:
-        assignment = get_partitioner(tool).partition_mesh(mesh, args.k, rng=args.seed)
-        _, stats = fm_refine(mesh, assignment, args.k, max_passes=args.passes)
+        result = get_partitioner(tool).partition_mesh(mesh, args.k, rng=args.seed)
+        _, stats = fm_refine(mesh, result.assignment, args.k, max_passes=args.passes)
         print(f"{tool:<14}{stats.cut_before:>11}{stats.cut_after:>11}{stats.improvement:>7.1%}{stats.moves:>7}")
 
 
@@ -140,8 +200,8 @@ def _cmd_visualize(args) -> None:
     from repro.viz.svg import render_partition_svg
 
     mesh = _load_mesh(args.instance, args.scale, args.seed)
-    assignment = get_partitioner(args.tool).partition_mesh(mesh, args.k, rng=args.seed)
-    render_partition_svg(mesh, assignment, path=args.output,
+    result = get_partitioner(args.tool).partition_mesh(mesh, args.k, rng=args.seed)
+    render_partition_svg(mesh, result.assignment, path=args.output,
                          title=f"{args.tool} on {mesh.name}, k={args.k}")
     print(f"wrote {args.output}")
 
@@ -159,7 +219,15 @@ def _cmd_scaling(args) -> None:
 
 
 def _cmd_experiments(args) -> None:
-    from repro.experiments import components, figure1, figure2, figure3, figure4, tables
+    from repro.experiments import (
+        components,
+        figure1,
+        figure2,
+        figure3,
+        figure4,
+        repartitioning,
+        tables,
+    )
 
     if args.name == "figure1":
         outputs = figure1.run(args.out, seed=args.seed)
@@ -179,6 +247,9 @@ def _cmd_experiments(args) -> None:
         print(tables.format_table(tables.run_table2(scale=args.scale, seed=args.seed), "Table 2 (scaled)"))
     elif args.name == "components":
         print(components.format_result(components.run(seed=args.seed)))
+    elif args.name == "repartition":
+        n = max(500, int(3000 * args.scale * 4))
+        print(repartitioning.format_result(repartitioning.run(n=n, seed=args.seed)))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -187,6 +258,8 @@ def main(argv: list[str] | None = None) -> int:
     dispatch = {
         "list": lambda: _cmd_list(),
         "partition": lambda: _cmd_partition(args),
+        "hierarchical": lambda: _cmd_hierarchical(args),
+        "repartition": lambda: _cmd_repartition(args),
         "compare": lambda: _cmd_compare(args),
         "refine": lambda: _cmd_refine(args),
         "visualize": lambda: _cmd_visualize(args),

@@ -21,7 +21,7 @@ from repro.geometry.boxes import BoundingBox
 from repro.sfc.curves import sfc_index
 from repro.util.rng import ensure_rng
 from repro.util.timers import StageTimer
-from repro.util.validation import check_k, check_points, check_weights
+from repro.util.validation import check_k, check_points, check_weights, normalize_targets
 
 __all__ = ["balanced_kmeans", "weighted_center_update"]
 
@@ -35,16 +35,17 @@ def weighted_center_update(
 ) -> np.ndarray:
     """New centers = weighted mean of assigned points; empty clusters keep their center.
 
-    Implemented as one ``bincount`` per dimension (Algorithm 2, line 12-13);
-    in the distributed version the per-rank partial sums feed an allreduce.
+    One fused ``bincount`` over a combined (cluster, dimension) key computes
+    all weighted coordinate sums at once (Algorithm 2, line 12-13); in the
+    distributed version the per-rank partial sums feed an allreduce.
     """
+    d = points.shape[1]
     wsum = np.bincount(assignment, weights=weights, minlength=k)
-    centers = np.empty_like(previous)
-    for d in range(points.shape[1]):
-        sums = np.bincount(assignment, weights=weights * points[:, d], minlength=k)
-        with np.errstate(invalid="ignore"):
-            centers[:, d] = np.where(wsum > 0, sums / np.maximum(wsum, 1e-300), previous[:, d])
-    return centers
+    keys = (assignment[:, None] * d + np.arange(d)).ravel()
+    sums = np.bincount(keys, weights=(weights[:, None] * points).ravel(), minlength=k * d)
+    sums = sums.reshape(k, d)
+    with np.errstate(invalid="ignore"):
+        return np.where(wsum[:, None] > 0, sums / np.maximum(wsum, 1e-300)[:, None], previous)
 
 
 def _reseed_empty(
@@ -117,13 +118,7 @@ def balanced_kmeans(
     timers = StageTimer()
 
     total_w = w.sum()
-    if target_weights is None:
-        targets = np.full(k, total_w / k)
-    else:
-        targets = np.ascontiguousarray(target_weights, dtype=np.float64)
-        if targets.shape != (k,) or np.any(targets <= 0):
-            raise ValueError(f"target_weights must be {k} positive values")
-        targets = targets * (total_w / targets.sum())
+    targets = normalize_targets(target_weights, k, total_w)
 
     if k == 1:
         return KMeansResult(

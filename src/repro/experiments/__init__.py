@@ -12,13 +12,23 @@ Module map (see DESIGN.md §4 for the full per-experiment index):
 - :mod:`repro.experiments.figure4` — running time vs n + trend fits;
 - :mod:`repro.experiments.tables` — Tables 1 and 2 per-graph detail;
 - :mod:`repro.experiments.components` — §5.3.2 stage breakdown;
-- :mod:`repro.experiments.ablations` — design-choice ablations.
+- :mod:`repro.experiments.ablations` — design-choice ablations;
+- :mod:`repro.experiments.repartitioning` — adaptive warm-vs-cold repartitioning.
 
 Scaling note: experiments default to scaled-down instances (DESIGN.md §2);
 pass ``scale`` > 1 to grow them when more compute is available.
 """
 
-from repro.experiments import ablations, components, figure1, figure2, figure3, figure4, tables
+from repro.experiments import (
+    ablations,
+    components,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    repartitioning,
+    tables,
+)
 from repro.experiments.harness import PAPER_TOOLS, format_rows, run_tool_on_mesh, run_tools_on_mesh
 
 __all__ = [
@@ -33,4 +43,5 @@ __all__ = [
     "tables",
     "components",
     "ablations",
+    "repartitioning",
 ]

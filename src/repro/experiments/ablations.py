@@ -104,7 +104,7 @@ def run_curve(mesh: GeometricMesh, k: int = 16, seed: int = 0) -> list[AblationR
     """Hilbert vs Morton, both for the SFC baseline and Geographer's bootstrap."""
     rows = []
     for curve in ("hilbert", "morton"):
-        assignment = HSFCPartitioner(curve=curve).partition_mesh(mesh, k, rng=seed)
+        assignment = HSFCPartitioner(curve=curve).partition_mesh(mesh, k, rng=seed).assignment
         vol = total_comm_volume(mesh, assignment, k)
         rows.append(AblationRow("curve/hsfc", curve, 0.0, 0, 0.0, 0.0, {"totCommVol": vol}))
         cfg = BalancedKMeansConfig(sfc_curve=curve, use_sampling=False)

@@ -42,7 +42,7 @@ def run(
     outputs["input"] = path
 
     for tool in tools:
-        assignment = get_partitioner(tool).partition_mesh(mesh, k, rng=seed)
+        assignment = get_partitioner(tool).partition_mesh(mesh, k, rng=seed).assignment
         sizes = np.bincount(assignment, minlength=k)
         path = os.path.join(out_dir, f"figure1_{tool}.svg")
         render_partition_svg(

@@ -34,13 +34,13 @@ def run_tool_on_mesh(
     """
     partitioner = get_partitioner(tool)
     elapsed = []
-    assignment = None
+    result = None
     for rep in range(max(1, repeats)):
         start = time.perf_counter()
-        assignment = partitioner.partition_mesh(mesh, k, epsilon=epsilon, rng=seed + rep)
+        result = partitioner.partition_mesh(mesh, k, epsilon=epsilon, rng=seed + rep)
         elapsed.append(time.perf_counter() - start)
     row = evaluate_partition(
-        mesh, assignment, k, tool=tool, time=float(np.mean(elapsed)),
+        mesh, result.assignment, k, tool=tool, time=float(np.mean(elapsed)),
         diameter_rounds=diameter_rounds, with_spmv=with_spmv,
     )
     return row

@@ -11,7 +11,12 @@ from repro.mesh.graph import GeometricMesh
 from repro.mesh.grid import grid_mesh
 from repro.mesh.delaunay import delaunay_mesh
 from repro.mesh.rgg import rgg_mesh
-from repro.mesh.adaptive import hugebubbles_like, hugetrace_like, hugetric_like
+from repro.mesh.adaptive import (
+    hugebubbles_like,
+    hugetrace_like,
+    hugetric_like,
+    refinement_sequence,
+)
 from repro.mesh.fem2d import airfoil_mesh, graded_fem_mesh
 from repro.mesh.climate import climate_mesh
 from repro.mesh.alya import airway_mesh
@@ -31,6 +36,7 @@ __all__ = [
     "hugetric_like",
     "hugetrace_like",
     "hugebubbles_like",
+    "refinement_sequence",
     "airfoil_mesh",
     "graded_fem_mesh",
     "climate_mesh",

@@ -19,7 +19,7 @@ from repro.mesh.delaunay import delaunay_edges
 from repro.mesh.graph import GeometricMesh
 from repro.util.rng import ensure_rng
 
-__all__ = ["hugetric_like", "hugetrace_like", "hugebubbles_like"]
+__all__ = ["hugetric_like", "hugetrace_like", "hugebubbles_like", "refinement_sequence"]
 
 # Refinement contrast: density at the feature relative to the background.
 _REFINE = 30.0
@@ -41,6 +41,60 @@ def hugetric_like(
     pts = rejection_sample(int(n), 2, lambda p: _front_density(p, center, radius), gen)
     edges, cells = delaunay_edges(pts)
     return GeometricMesh.from_edges(pts, edges, name=name, cells=cells)
+
+
+def refinement_sequence(
+    n: int,
+    steps: int = 5,
+    rng: int | np.random.Generator | None = None,
+    radii: tuple[float, float] = (0.2, 0.3),
+    contrast: float = 8.0,
+    name: str = "adaptive-front",
+) -> list[GeometricMesh]:
+    """A repartitioning workload: one mesh, a refinement front that moves.
+
+    Models the time loop of an adaptive simulation the way AMR load balancers
+    see it: the mesh connectivity is fixed, but the local work (node weights)
+    follows a feature — here a circular front whose radius grows from
+    ``radii[0]`` to ``radii[1]`` over the steps.  All returned meshes share
+    coordinates and adjacency; only ``node_weights`` differ, so successive
+    partitions are directly comparable and migration volume between them is
+    well defined.
+
+    ``contrast`` is the weight of a node on the front relative to the
+    background.  It defaults below the meshes' ``_REFINE`` because the
+    workload must stay *balanceable*: at 30x a single node can exceed an
+    epsilon-share of a block's target and no partitioner can meet the
+    tolerance.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    gen = ensure_rng(rng)
+    center = np.array([0.5, 0.5])
+    radii = np.linspace(radii[0], radii[1], steps)
+
+    def density(points: np.ndarray, radius: float) -> np.ndarray:
+        d = np.abs(np.linalg.norm(points - center, axis=1) - radius)
+        return 1.0 + contrast * np.exp(-((d / _SIGMA) ** 2))
+
+    # sample against the mid-sequence density so every step has resolution
+    # near its front without remeshing
+    pts = rejection_sample(int(n), 2, lambda p: density(p, float(radii[steps // 2])), gen)
+    edges, cells = delaunay_edges(pts)
+    base = GeometricMesh.from_edges(pts, edges, name=name, cells=cells)
+    meshes = []
+    for step, radius in enumerate(radii):
+        meshes.append(
+            GeometricMesh(
+                coords=base.coords,
+                indptr=base.indptr,
+                indices=base.indices,
+                node_weights=density(pts, float(radius)),
+                name=f"{name}[{step}]",
+                cells=base.cells,
+            )
+        )
+    return meshes
 
 
 def _random_trace(gen: np.random.Generator, steps: int = 32) -> tuple[np.ndarray, np.ndarray]:

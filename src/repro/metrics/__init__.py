@@ -1,13 +1,20 @@
 """Partition-quality metrics (paper §2 and §5.2.4).
 
-All metrics take a :class:`~repro.mesh.graph.GeometricMesh` plus an
-assignment vector and are fully vectorised.
+Graph metrics take a :class:`~repro.mesh.graph.GeometricMesh` plus an
+assignment vector; migration metrics compare two assignments of the same
+point set.  All are fully vectorised.
 """
 
 from repro.metrics.imbalance import block_weights, imbalance, max_block_weight
 from repro.metrics.cut import edge_cut, external_edges
 from repro.metrics.commvolume import comm_volumes, max_comm_volume, total_comm_volume
 from repro.metrics.diameter import block_diameters, harmonic_mean_diameter, ifub_lower_bound
+from repro.metrics.migration import (
+    migration_fraction,
+    migration_matrix,
+    migration_volume,
+    relabel_for_stability,
+)
 from repro.metrics.report import (
     MetricRow,
     aggregate_ratios,
@@ -28,6 +35,10 @@ __all__ = [
     "block_diameters",
     "ifub_lower_bound",
     "harmonic_mean_diameter",
+    "migration_matrix",
+    "migration_volume",
+    "migration_fraction",
+    "relabel_for_stability",
     "MetricRow",
     "evaluate_partition",
     "geometric_mean",

@@ -1,0 +1,112 @@
+"""Migration metrics between successive partitions (repartitioning quality).
+
+When an adaptive simulation repartitions, every point whose block changes
+must be migrated to another process; the migrated weight — not just the new
+partition's cut — determines the cost of adopting the new partition (Buluç
+et al., *Recent Advances in Graph Partitioning*, treat migration volume as a
+first-class repartitioning objective).  These metrics compare two
+assignments of the *same* point set; both plain arrays and
+:class:`~repro.partitioners.result.PartitionResult` objects are accepted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_weights
+
+__all__ = [
+    "migration_matrix",
+    "migration_volume",
+    "migration_fraction",
+    "relabel_for_stability",
+]
+
+
+def _labels(assignment) -> np.ndarray:
+    a = np.ascontiguousarray(assignment)
+    if a.ndim != 1:
+        raise ValueError(f"assignment must be 1-D, got shape {a.shape}")
+    if not np.issubdtype(a.dtype, np.integer):
+        raise TypeError(f"assignment must be integral, got dtype {a.dtype}")
+    return a.astype(np.int64, copy=False)
+
+
+def _pair(previous, current) -> tuple[np.ndarray, np.ndarray]:
+    prev, cur = _labels(previous), _labels(current)
+    if prev.shape != cur.shape:
+        raise ValueError(
+            f"partitions cover different point sets: {prev.shape} vs {cur.shape}; "
+            "migration is only defined over a common point set"
+        )
+    return prev, cur
+
+
+def migration_matrix(
+    previous, current, k_prev: int | None = None, k_cur: int | None = None,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Weight flow between old and new blocks: ``M[i, j]`` is the weight of
+    points moving from old block ``i`` to new block ``j``.
+
+    The diagonal is the weight that stays put; everything off-diagonal must
+    migrate.
+    """
+    prev, cur = _pair(previous, current)
+    w = check_weights(weights, prev.shape[0])
+    kp = int(k_prev) if k_prev is not None else int(prev.max()) + 1
+    kc = int(k_cur) if k_cur is not None else int(cur.max()) + 1
+    if prev.min() < 0 or prev.max() >= kp or cur.min() < 0 or cur.max() >= kc:
+        raise ValueError("assignment values out of range for the given block counts")
+    flat = prev * kc + cur
+    return np.bincount(flat, weights=w, minlength=kp * kc).reshape(kp, kc)
+
+
+def migration_volume(previous, current, weights: np.ndarray | None = None) -> float:
+    """Total weight of points whose block id changes between the partitions."""
+    prev, cur = _pair(previous, current)
+    w = check_weights(weights, prev.shape[0])
+    return float(w[prev != cur].sum())
+
+
+def migration_fraction(previous, current, weights: np.ndarray | None = None) -> float:
+    """Migrated share of the total weight, in ``[0, 1]``."""
+    prev, cur = _pair(previous, current)
+    w = check_weights(weights, prev.shape[0])
+    return float(w[prev != cur].sum() / w.sum())
+
+
+def relabel_for_stability(
+    previous, current, k: int | None = None, weights: np.ndarray | None = None
+) -> np.ndarray:
+    """Renumber ``current``'s blocks to minimise migration against ``previous``.
+
+    A cold repartitioning run may find essentially the same blocks under
+    permuted ids, which would charge the full point set as migrated.  This
+    greedily matches new blocks to old ones by descending overlap weight (a
+    near-optimal linear-assignment heuristic that needs no LP) and returns
+    the relabelled assignment.  Block counts must agree.
+    """
+    prev, cur = _pair(previous, current)
+    kk = int(k) if k is not None else int(max(prev.max(), cur.max())) + 1
+    overlap = migration_matrix(prev, cur, kk, kk, weights)
+    order = np.argsort(overlap, axis=None)[::-1]
+    old_taken = np.zeros(kk, dtype=bool)
+    new_taken = np.zeros(kk, dtype=bool)
+    mapping = np.full(kk, -1, dtype=np.int64)  # new id -> old id
+    matched = 0
+    for flat in order:
+        if matched == kk:
+            break
+        i, j = divmod(int(flat), kk)
+        if old_taken[i] or new_taken[j]:
+            continue
+        mapping[j] = i
+        old_taken[i] = True
+        new_taken[j] = True
+        matched += 1
+    # any unmatched new blocks (zero overlap everywhere) take the leftovers
+    leftovers = iter(np.flatnonzero(~old_taken))
+    for j in np.flatnonzero(mapping < 0):
+        mapping[j] = next(leftovers)
+    return mapping[cur]

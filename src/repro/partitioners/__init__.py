@@ -1,25 +1,38 @@
 """Geometric partitioners: Geographer plus the Zoltan-style baselines.
 
 All partitioners implement the :class:`~repro.partitioners.base.GeometricPartitioner`
-interface and are available through :func:`get_partitioner` by the names used
-in the paper's tables: ``Geographer``, ``RCB``, ``RIB``, ``MultiJagged``,
-``HSFC``.
+interface — ``partition`` for one-shot runs, ``repartition`` for warm-started
+incremental runs — and return :class:`~repro.partitioners.result.PartitionResult`.
+They are available through :func:`get_partitioner` by the names used in the
+paper's tables (``Geographer``, ``RCB``, ``RIB``, ``MultiJagged``, ``HSFC``)
+plus ``Hierarchical``, the topology-aware multi-level wrapper.
 """
 
 from repro.partitioners.base import (
     GeometricPartitioner,
+    RawPartition,
     available_partitioners,
     get_partitioner,
     register_partitioner,
+)
+from repro.partitioners.result import (
+    HierarchicalPartitionResult,
+    PartitionResult,
+    normalize_targets,
 )
 from repro.partitioners.rcb import RCBPartitioner
 from repro.partitioners.rib import RIBPartitioner
 from repro.partitioners.multijagged import MultiJaggedPartitioner
 from repro.partitioners.hsfc import HSFCPartitioner
 from repro.partitioners.geographer import GeographerPartitioner
+from repro.partitioners.hierarchical import HierarchicalPartitioner, factorize_blocks
 
 __all__ = [
     "GeometricPartitioner",
+    "PartitionResult",
+    "HierarchicalPartitionResult",
+    "RawPartition",
+    "normalize_targets",
     "get_partitioner",
     "register_partitioner",
     "available_partitioners",
@@ -28,4 +41,6 @@ __all__ = [
     "MultiJaggedPartitioner",
     "HSFCPartitioner",
     "GeographerPartitioner",
+    "HierarchicalPartitioner",
+    "factorize_blocks",
 ]

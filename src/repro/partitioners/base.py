@@ -1,32 +1,75 @@
-"""Partitioner interface and registry."""
+"""Partitioner interface and registry.
+
+Every partitioner maps a weighted point set to a k-way partition through one
+of two entry points:
+
+- :meth:`GeometricPartitioner.partition` — one-shot partitioning;
+- :meth:`GeometricPartitioner.repartition` — incremental re-partitioning of
+  a (possibly changed) point set given a previous result.  Center-based
+  partitioners warm-start from the previous centers, which keeps block ids
+  stable across calls and minimises migration in adaptive simulations;
+  cutters fall back to a cold run.
+
+Both return a :class:`~repro.partitioners.result.PartitionResult` carrying
+the assignment plus block weights, targets, imbalance, timers and (when
+available) centers.  Per-block ``target_weights`` make every partitioner
+usable on heterogeneous machines and as a level inside
+:class:`~repro.partitioners.hierarchical.HierarchicalPartitioner`.
+"""
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.mesh.graph import GeometricMesh
+from repro.partitioners.result import PartitionResult, normalize_targets
+from repro.util.timers import StageTimer, Timer
 from repro.util.validation import check_epsilon, check_k, check_points, check_weights
 
 __all__ = [
     "GeometricPartitioner",
+    "RawPartition",
     "register_partitioner",
     "get_partitioner",
     "available_partitioners",
 ]
 
 
+class RawPartition(NamedTuple):
+    """What ``_partition``/``_repartition`` hand back to the base class.
+
+    Cutters return a bare assignment (the base wraps it); center-based
+    partitioners attach centers and iteration diagnostics; hierarchical
+    partitioners additionally carry their per-level structure so the base
+    can build the richer result without any instance state.
+    """
+
+    assignment: np.ndarray
+    centers: np.ndarray | None = None
+    iterations: int = 0
+    converged: bool = True
+    timers: StageTimer | None = None
+    structure: tuple | None = None  # (levels, level_labels, node_centers)
+
+
 class GeometricPartitioner(ABC):
     """Direct k-way partitioner of weighted point sets.
 
-    Subclasses implement :meth:`_partition`; the public :meth:`partition`
-    validates arguments and canonicalises inputs.  Partitioners are geometric:
-    they see coordinates and weights only, never the adjacency (paper §2).
+    Subclasses implement :meth:`_partition` (and optionally
+    :meth:`_repartition` with ``supports_warm_start = True``); the public
+    entry points validate arguments, canonicalise inputs and wrap the outcome
+    in a :class:`PartitionResult`.  Partitioners are geometric: they see
+    coordinates and weights only, never the adjacency (paper §2).
     """
 
     #: Name used in the paper's tables and the registry.
     name: str = "abstract"
+
+    #: Whether :meth:`repartition` can exploit previous centers.
+    supports_warm_start: bool = False
 
     def partition(
         self,
@@ -35,8 +78,9 @@ class GeometricPartitioner(ABC):
         weights: np.ndarray | None = None,
         epsilon: float = 0.03,
         rng: int | np.random.Generator | None = None,
-    ) -> np.ndarray:
-        """Partition ``points`` into ``k`` blocks; returns an ``(n,)`` assignment.
+        target_weights: np.ndarray | None = None,
+    ) -> PartitionResult:
+        """Partition ``points`` into ``k`` blocks.
 
         Parameters
         ----------
@@ -47,22 +91,63 @@ class GeometricPartitioner(ABC):
         weights:
             Optional per-point load; blocks balance total weight.
         epsilon:
-            Balance tolerance: block weight <= (1 + epsilon) * ceil(W / k).
+            Balance tolerance: block weight <= (1 + epsilon) * target.
         rng:
             Seed or generator for the stochastic parts (ignored by
             deterministic partitioners).
+        target_weights:
+            Optional ``(k,)`` per-block capacities (only ratios matter);
+            defaults to uniform targets.
+
+        Returns
+        -------
+        :class:`~repro.partitioners.result.PartitionResult`
         """
-        pts = check_points(points)
-        k = check_k(k, pts.shape[0])
-        w = check_weights(weights, pts.shape[0])
-        eps = check_epsilon(epsilon)
+        pts, k, w, eps = self._check_args(points, k, weights, epsilon)
+        targets = normalize_targets(target_weights, k, float(w.sum()))
         if k == 1:
-            return np.zeros(pts.shape[0], dtype=np.int64)
-        assignment = self._partition(pts, k, w, eps, rng)
-        assignment = np.ascontiguousarray(assignment, dtype=np.int64)
-        if assignment.shape != (pts.shape[0],):
-            raise AssertionError(f"{self.name}: bad assignment shape {assignment.shape}")
-        return assignment
+            return self._finalize(RawPartition(np.zeros(pts.shape[0], dtype=np.int64)),
+                                  k, w, eps, targets, elapsed=0.0)
+        with Timer() as t:
+            raw = self._partition(pts, k, w, eps, rng, targets)
+        return self._finalize(raw, k, w, eps, targets, elapsed=t.elapsed)
+
+    def repartition(
+        self,
+        previous: PartitionResult | np.ndarray,
+        points: np.ndarray,
+        k: int | None = None,
+        weights: np.ndarray | None = None,
+        epsilon: float = 0.03,
+        rng: int | np.random.Generator | None = None,
+        target_weights: np.ndarray | None = None,
+    ) -> PartitionResult:
+        """Re-partition a (possibly changed) point set given a previous result.
+
+        ``points``/``weights`` may differ from the previous call — that is the
+        adaptive-simulation scenario: the mesh refines, loads shift, and the
+        partition must follow.  When the partitioner supports warm starts and
+        ``previous`` carries centers of the right shape, they seed the new run,
+        so convergence is faster and block ids stay stable (low migration
+        volume, measured by :func:`repro.metrics.migration.migration_volume`).
+        Otherwise this is a cold :meth:`partition`.
+
+        ``k`` defaults to the previous result's block count.
+        """
+        if k is None:
+            k = previous.k if isinstance(previous, PartitionResult) else int(np.asarray(previous).max()) + 1
+        pts, k, w, eps = self._check_args(points, k, weights, epsilon)
+        targets = normalize_targets(target_weights, k, float(w.sum()))
+        warm = self._warm_centers(previous, k, pts.shape[1])
+        if k == 1:
+            return self._finalize(RawPartition(np.zeros(pts.shape[0], dtype=np.int64)),
+                                  k, w, eps, targets, elapsed=0.0)
+        with Timer() as t:
+            if warm is not None:
+                raw = self._repartition(pts, k, w, eps, rng, targets, warm)
+            else:
+                raw = self._partition(pts, k, w, eps, rng, targets)
+        return self._finalize(raw, k, w, eps, targets, elapsed=t.elapsed)
 
     def partition_mesh(
         self,
@@ -70,9 +155,26 @@ class GeometricPartitioner(ABC):
         k: int,
         epsilon: float = 0.03,
         rng: int | np.random.Generator | None = None,
-    ) -> np.ndarray:
+        target_weights: np.ndarray | None = None,
+    ) -> PartitionResult:
         """Partition a mesh using its coordinates and node weights."""
-        return self.partition(mesh.coords, k, mesh.node_weights, epsilon, rng)
+        return self.partition(mesh.coords, k, mesh.node_weights, epsilon, rng,
+                              target_weights=target_weights)
+
+    def repartition_mesh(
+        self,
+        previous: PartitionResult | np.ndarray,
+        mesh: GeometricMesh,
+        k: int | None = None,
+        epsilon: float = 0.03,
+        rng: int | np.random.Generator | None = None,
+        target_weights: np.ndarray | None = None,
+    ) -> PartitionResult:
+        """Re-partition a mesh given a previous result (warm start when possible)."""
+        return self.repartition(previous, mesh.coords, k, mesh.node_weights, epsilon, rng,
+                                target_weights=target_weights)
+
+    # -- subclass hooks ----------------------------------------------------
 
     @abstractmethod
     def _partition(
@@ -82,7 +184,73 @@ class GeometricPartitioner(ABC):
         weights: np.ndarray,
         epsilon: float,
         rng: int | np.random.Generator | None,
-    ) -> np.ndarray: ...
+        targets: np.ndarray,
+    ) -> RawPartition | np.ndarray: ...
+
+    def _repartition(
+        self,
+        points: np.ndarray,
+        k: int,
+        weights: np.ndarray,
+        epsilon: float,
+        rng: int | np.random.Generator | None,
+        targets: np.ndarray,
+        centers: np.ndarray,
+    ) -> RawPartition | np.ndarray:
+        """Warm-started partitioning; only called when ``supports_warm_start``."""
+        raise NotImplementedError(f"{self.name} does not support warm starts")
+
+    # -- shared plumbing ----------------------------------------------------
+
+    @staticmethod
+    def _check_args(points, k, weights, epsilon):
+        pts = check_points(points)
+        k = check_k(k, pts.shape[0])
+        w = check_weights(weights, pts.shape[0])
+        eps = check_epsilon(epsilon)
+        return pts, k, w, eps
+
+    def _warm_centers(
+        self, previous: PartitionResult | np.ndarray, k: int, dim: int
+    ) -> np.ndarray | None:
+        """Previous centers usable as a warm start, or ``None``."""
+        if not self.supports_warm_start or not isinstance(previous, PartitionResult):
+            return None
+        centers = previous.centers
+        if centers is None or centers.shape != (k, dim):
+            return None
+        return np.array(centers, dtype=np.float64, copy=True)
+
+    def _finalize(
+        self,
+        raw: RawPartition | np.ndarray,
+        k: int,
+        weights: np.ndarray,
+        epsilon: float,
+        targets: np.ndarray,
+        elapsed: float,
+    ) -> PartitionResult:
+        if not isinstance(raw, RawPartition):
+            raw = RawPartition(np.asarray(raw))
+        assignment = np.ascontiguousarray(raw.assignment, dtype=np.int64)
+        if assignment.shape != (weights.shape[0],):
+            raise AssertionError(f"{self.name}: bad assignment shape {assignment.shape}")
+        block_weights = np.bincount(assignment, weights=weights, minlength=k)
+        timers = raw.timers if raw.timers is not None else StageTimer()
+        timers.add("partition", elapsed)
+        return PartitionResult(
+            assignment=assignment,
+            k=k,
+            block_weights=block_weights,
+            target_weights=targets,
+            imbalance=float((block_weights / targets).max() - 1.0),
+            epsilon=epsilon,
+            tool=self.name,
+            centers=raw.centers,
+            iterations=raw.iterations,
+            converged=raw.converged,
+            timers=timers,
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -1,7 +1,10 @@
 """Geographer: SFC bootstrap + balanced k-means (the paper's partitioner).
 
 Thin partitioner-interface wrapper around :func:`repro.core.balanced_kmeans`;
-labelled ``Geographer`` (called ``geoKmeans`` in Figure 2's legend).
+labelled ``Geographer`` (called ``geoKmeans`` in Figure 2's legend).  The only
+partitioner with ``supports_warm_start``: :meth:`repartition` seeds the new
+run from the previous centers, skipping the SFC bootstrap and the sampled
+initialisation rounds — the incremental path adaptive simulations rely on.
 """
 
 from __future__ import annotations
@@ -11,7 +14,7 @@ import numpy as np
 from repro.core.balanced_kmeans import balanced_kmeans
 from repro.core.config import BalancedKMeansConfig
 from repro.core.result import KMeansResult
-from repro.partitioners.base import GeometricPartitioner, register_partitioner
+from repro.partitioners.base import GeometricPartitioner, RawPartition, register_partitioner
 
 __all__ = ["GeographerPartitioner"]
 
@@ -28,13 +31,36 @@ class GeographerPartitioner(GeometricPartitioner):
     """
 
     name = "Geographer"
+    supports_warm_start = True
 
     def __init__(self, config: BalancedKMeansConfig | None = None) -> None:
         self.config = config or BalancedKMeansConfig()
         self.last_result: KMeansResult | None = None
 
-    def _partition(self, points, k, weights, epsilon, rng):
-        cfg = self.config if self.config.epsilon == epsilon else self.config.with_(epsilon=epsilon)
-        result = balanced_kmeans(points, k, weights=weights, config=cfg, rng=rng)
+    def _config_for(self, epsilon: float) -> BalancedKMeansConfig:
+        return self.config if self.config.epsilon == epsilon else self.config.with_(epsilon=epsilon)
+
+    def _wrap(self, result: KMeansResult) -> RawPartition:
         self.last_result = result
-        return result.assignment
+        return RawPartition(
+            assignment=result.assignment,
+            centers=result.centers,
+            iterations=result.iterations,
+            converged=result.converged,
+            timers=result.timers,
+        )
+
+    def _partition(self, points, k, weights, epsilon, rng, targets):
+        result = balanced_kmeans(points, k, weights=weights, config=self._config_for(epsilon),
+                                 rng=rng, target_weights=targets)
+        return self._wrap(result)
+
+    def _repartition(self, points, k, weights, epsilon, rng, targets, centers):
+        # warm start: previous centers replace seeding, and the sampled
+        # initialisation is pointless when centers are already near-optimal
+        cfg = self._config_for(epsilon)
+        if cfg.use_sampling:
+            cfg = cfg.with_(use_sampling=False)
+        result = balanced_kmeans(points, k, weights=weights, config=cfg, rng=rng,
+                                 target_weights=targets, centers=centers)
+        return self._wrap(result)

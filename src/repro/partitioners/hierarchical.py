@@ -1,0 +1,283 @@
+"""Topology-aware hierarchical partitioning.
+
+Given a factorisation ``k = k1 x k2 x ...`` — typically the branching of a
+:class:`~repro.runtime.costmodel.MachineTopology` (islands → nodes → cores) —
+the :class:`HierarchicalPartitioner` recursively applies any registered
+partitioner: level 0 splits the point set into ``k1`` island-blocks, each of
+which is split into ``k2`` node-blocks, and so on.  Points that share a
+high-level block therefore share an island, so the heavy communication of a
+simulation stays inside the cheap levels of the machine (cf. the per-level
+reductions in :mod:`repro.runtime.distributed_kmeans`).
+
+The flat assignment is the mixed-radix combination of the per-level labels;
+both are exposed on the returned
+:class:`~repro.partitioners.result.HierarchicalPartitionResult`, along with
+per-node centers that let :meth:`repartition` warm-start every recursion node
+independently.
+
+Per-level balance: to meet a flat tolerance ``epsilon`` over ``L`` levels,
+each level is run with ``(1 + epsilon)^(1/L) - 1`` so the per-level
+imbalances compound to at most ``epsilon``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.partitioners.base import (
+    GeometricPartitioner,
+    RawPartition,
+    get_partitioner,
+    register_partitioner,
+)
+from repro.partitioners.result import (
+    HierarchicalPartitionResult,
+    PartitionResult,
+    normalize_targets,
+)
+from repro.runtime.costmodel import MachineTopology
+from repro.util.rng import ensure_rng
+from repro.util.timers import StageTimer
+
+__all__ = ["HierarchicalPartitioner", "factorize_blocks"]
+
+
+def factorize_blocks(k: int, max_levels: int = 3) -> tuple[int, ...]:
+    """Default factorisation of ``k`` into at most ``max_levels`` factors.
+
+    Prime factors are merged greedily (smallest pair first) until at most
+    ``max_levels`` remain, then sorted descending so coarse levels cut into
+    fewer, larger blocks — e.g. ``24 -> (6, 2, 2)``, ``8192 -> (32, 16, 16)``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    factors: list[int] = []
+    rest = k
+    f = 2
+    while f * f <= rest:
+        while rest % f == 0:
+            factors.append(f)
+            rest //= f
+        f += 1
+    if rest > 1:
+        factors.append(rest)
+    if not factors:
+        return (1,)
+    while len(factors) > max_levels:
+        factors.sort()
+        factors[1] *= factors[0]
+        factors.pop(0)
+    return tuple(sorted(factors, reverse=True))
+
+
+@register_partitioner
+class HierarchicalPartitioner(GeometricPartitioner):
+    """Recursive multi-level wrapper around any registered partitioner.
+
+    Parameters
+    ----------
+    levels:
+        Explicit factorisation ``(k1, k2, ...)``; ``partition`` may then be
+        called with ``k = prod(levels)`` (or ``k=None`` to default to it).
+    topology:
+        Alternative to ``levels``: a machine hierarchy whose branching is the
+        factorisation (one partitioning level per machine level).
+    inner:
+        Inner partitioner applied at every level — a registry name or an
+        instance.  Defaults to ``Geographer``, which makes the hierarchy
+        warm-startable node by node.
+    inner_options:
+        Constructor kwargs when ``inner`` is a name.
+    """
+
+    name = "Hierarchical"
+    supports_warm_start = True
+
+    def __init__(
+        self,
+        levels: tuple[int, ...] | None = None,
+        topology: MachineTopology | None = None,
+        inner: str | GeometricPartitioner = "Geographer",
+        inner_options: dict | None = None,
+    ) -> None:
+        if levels is not None and topology is not None and tuple(levels) != topology.branching:
+            raise ValueError(f"levels {tuple(levels)} contradict topology branching {topology.branching}")
+        self.topology = topology
+        if topology is not None:
+            levels = topology.branching
+        self.levels = tuple(int(l) for l in levels) if levels is not None else None
+        if self.levels is not None and (not self.levels or any(l < 1 for l in self.levels)):
+            raise ValueError(f"levels must be positive integers, got {self.levels}")
+        if isinstance(inner, GeometricPartitioner):
+            self.inner = inner
+        else:
+            self.inner = get_partitioner(inner, **(inner_options or {}))
+        if isinstance(self.inner, HierarchicalPartitioner):
+            raise ValueError("inner partitioner must be flat, not Hierarchical")
+
+    # -- public entry points (k defaults to prod(levels)) -------------------
+
+    def partition(self, points, k=None, weights=None, epsilon=0.03, rng=None,
+                  target_weights=None) -> HierarchicalPartitionResult:
+        if k is None:
+            k = self.total_blocks()
+        return super().partition(points, k, weights, epsilon, rng, target_weights=target_weights)
+
+    def repartition(self, previous, points, k=None, weights=None, epsilon=0.03, rng=None,
+                    target_weights=None) -> HierarchicalPartitionResult:
+        if k is None and self.levels is not None:
+            k = self.total_blocks()
+        return super().repartition(previous, points, k, weights, epsilon, rng,
+                                   target_weights=target_weights)
+
+    def partition_mesh(self, mesh, k=None, epsilon=0.03, rng=None,
+                       target_weights=None) -> HierarchicalPartitionResult:
+        return self.partition(mesh.coords, k, mesh.node_weights, epsilon, rng,
+                              target_weights=target_weights)
+
+    def total_blocks(self) -> int:
+        if self.levels is None:
+            raise ValueError("HierarchicalPartitioner without fixed levels needs an explicit k")
+        return math.prod(self.levels)
+
+    def resolve_levels(self, k: int) -> tuple[int, ...]:
+        """The factorisation used for ``k`` blocks."""
+        if self.levels is not None:
+            if math.prod(self.levels) != k:
+                raise ValueError(f"k={k} does not match levels {self.levels} "
+                                 f"(prod={math.prod(self.levels)})")
+            return self.levels
+        return factorize_blocks(k)
+
+    # -- recursion -----------------------------------------------------------
+
+    @staticmethod
+    def _split_epsilon(epsilon: float, nlevels: int) -> list[float]:
+        """Per-level tolerances whose compound meets the flat ``epsilon``.
+
+        Imbalances multiply across levels, so the log-budget
+        ``log(1 + epsilon)`` is split over the levels — weighted toward the
+        leaves, where nodes hold the fewest points and per-point granularity
+        makes tight balance hardest (level ``l`` gets share ``l + 1``).
+        """
+        shares = np.arange(1, nlevels + 1, dtype=np.float64)
+        shares /= shares.sum()
+        return [float(np.expm1(np.log1p(epsilon) * s)) for s in shares]
+
+    def _partition(self, points, k, weights, epsilon, rng, targets):
+        return self._recurse(points, k, weights, epsilon, rng, targets, warm=None)
+
+    def _repartition(self, points, k, weights, epsilon, rng, targets, centers):
+        # ``centers`` is the previous node-centers dict (see _warm_centers)
+        return self._recurse(points, k, weights, epsilon, rng, targets, warm=centers)
+
+    def _warm_centers(self, previous, k, dim):
+        """Warm state for a repartition: the previous per-node centers."""
+        if not isinstance(previous, HierarchicalPartitionResult):
+            return None
+        if previous.levels != self.resolve_levels(k) or not previous.node_centers:
+            return None
+        if not self.inner.supports_warm_start:
+            return None
+        return previous.node_centers
+
+    def _recurse(self, points, k, weights, epsilon, rng, targets, warm):
+        levels = self.resolve_levels(k)
+        nlevels = len(levels)
+        eps_levels = self._split_epsilon(epsilon, nlevels)
+        gen = ensure_rng(rng)
+        n = points.shape[0]
+
+        assignment = np.zeros(n, dtype=np.int64)
+        level_labels = [np.zeros(n, dtype=np.int64) for _ in levels]
+        node_centers: dict[tuple[int, ...], np.ndarray] = {}
+        flat_centers = np.full((k, points.shape[1]), np.nan)
+        have_centers = True
+        timers = StageTimer()
+        iterations = 0
+        converged = True
+
+        # worklist of (member indices, level, flat block offset, node path)
+        stack: list[tuple[np.ndarray, int, int, tuple[int, ...]]] = [
+            (np.arange(n, dtype=np.int64), 0, 0, ())
+        ]
+        while stack:
+            members, level, flat0, path = stack.pop()
+            kl = levels[level]
+            stride = math.prod(levels[level + 1:]) if level + 1 < nlevels else 1
+            if kl == 1:
+                labels = np.zeros(members.shape[0], dtype=np.int64)
+                raw = RawPartition(labels)
+            else:
+                if members.shape[0] < kl:
+                    raise ValueError(
+                        f"cannot split {members.shape[0]} points into {kl} blocks at "
+                        f"level {level} (node {path}); too few points for levels {levels}"
+                    )
+                sub_pts = points[members]
+                sub_w = weights[members]
+                # this node's per-child capacities: group the flat targets by subtree
+                child_targets = targets[flat0 : flat0 + kl * stride].reshape(kl, stride).sum(axis=1)
+                child_targets = normalize_targets(child_targets, kl, float(sub_w.sum()))
+                warm_c = warm.get(path) if warm is not None else None
+                if warm_c is not None and warm_c.shape == (kl, points.shape[1]):
+                    raw = self.inner._repartition(sub_pts, kl, sub_w, eps_levels[level], gen,
+                                                  child_targets, np.array(warm_c, copy=True))
+                else:
+                    raw = self.inner._partition(sub_pts, kl, sub_w, eps_levels[level], gen,
+                                                child_targets)
+                if not isinstance(raw, RawPartition):
+                    raw = RawPartition(np.asarray(raw))
+                labels = np.ascontiguousarray(raw.assignment, dtype=np.int64)
+            level_labels[level][members] = labels
+            iterations += raw.iterations
+            converged = converged and raw.converged
+            if raw.timers is not None:
+                timers.merge(raw.timers)
+            if raw.centers is not None:
+                node_centers[path] = raw.centers
+            if level == nlevels - 1:
+                assignment[members] = flat0 + labels
+                if raw.centers is not None:
+                    flat_centers[flat0 : flat0 + kl] = raw.centers
+                else:
+                    have_centers = False
+            else:
+                for child in range(kl):
+                    stack.append((members[labels == child], level + 1,
+                                  flat0 + child * stride, path + (child,)))
+
+        return RawPartition(
+            assignment=assignment,
+            centers=flat_centers if have_centers else None,
+            iterations=iterations,
+            converged=converged,
+            timers=timers,
+            structure=(levels, level_labels, node_centers),
+        )
+
+    def _finalize(self, raw, k, weights, epsilon, targets, elapsed) -> HierarchicalPartitionResult:
+        structure = raw.structure if isinstance(raw, RawPartition) else None
+        flat = super()._finalize(raw, k, weights, epsilon, targets, elapsed)
+        # the trivial k == 1 path skips _recurse and carries no structure
+        levels, level_labels, node_centers = structure or (
+            (k,), [flat.assignment], {} if flat.centers is None else {(): flat.centers},
+        )
+        return HierarchicalPartitionResult(
+            assignment=flat.assignment,
+            k=flat.k,
+            block_weights=flat.block_weights,
+            target_weights=flat.target_weights,
+            imbalance=flat.imbalance,
+            epsilon=flat.epsilon,
+            tool=flat.tool,
+            centers=flat.centers,
+            iterations=flat.iterations,
+            converged=flat.converged,
+            timers=flat.timers,
+            levels=levels,
+            level_labels=level_labels,
+            node_centers=node_centers,
+        )

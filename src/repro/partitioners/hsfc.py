@@ -35,10 +35,10 @@ class HSFCPartitioner(GeometricPartitioner):
         self.curve = curve
         self.bits = bits
 
-    def _partition(self, points, k, weights, epsilon, rng):
+    def _partition(self, points, k, weights, epsilon, rng, targets):
         index = sfc_index(points, curve=self.curve, bits=self.bits)
         order = np.argsort(index, kind="stable")
-        fractions = np.arange(1, k) / k
+        fractions = np.cumsum(targets[:-1]) / targets.sum()
         cuts = weighted_quantile_positions(weights[order], fractions)
         assignment = np.empty(points.shape[0], dtype=np.int64)
         bounds = np.concatenate([[0], cuts, [points.shape[0]]])

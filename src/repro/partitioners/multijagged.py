@@ -44,7 +44,7 @@ class MultiJaggedPartitioner(GeometricPartitioner):
             return nblocks
         return max(2, min(nblocks, round(nblocks ** (1.0 / levels_remaining))))
 
-    def _partition(self, points, k, weights, epsilon, rng):
+    def _partition(self, points, k, weights, epsilon, rng, targets):
         dim = points.shape[1]
         assignment = np.empty(points.shape[0], dtype=np.int64)
         stack = [(np.arange(points.shape[0], dtype=np.int64), 0, k, 0)]
@@ -61,7 +61,10 @@ class MultiJaggedPartitioner(GeometricPartitioner):
             cut_dim = int(np.argmax(extent))
             order = np.argsort(local[:, cut_dim], kind="stable")
             sorted_members = members[order]
-            fractions = np.cumsum(counts[:-1]) / nblocks
+            # slab fractions follow the slabs' share of the subtree's targets
+            node_targets = targets[block0 : block0 + nblocks]
+            slab_targets = np.add.reduceat(node_targets, np.concatenate([[0], np.cumsum(counts[:-1])]))
+            fractions = np.cumsum(slab_targets[:-1]) / node_targets.sum()
             cuts = weighted_quantile_positions(weights[sorted_members], fractions)
             bounds = np.concatenate([[0], cuts, [len(members)]])
             next_block = block0

@@ -24,7 +24,7 @@ __all__ = ["RCBPartitioner"]
 class RCBPartitioner(GeometricPartitioner):
     name = "RCB"
 
-    def _partition(self, points, k, weights, epsilon, rng):
+    def _partition(self, points, k, weights, epsilon, rng, targets):
         assignment = np.empty(points.shape[0], dtype=np.int64)
         # worklist of (member indices, first block id, #blocks)
         stack = [(np.arange(points.shape[0], dtype=np.int64), 0, k)]
@@ -38,7 +38,11 @@ class RCBPartitioner(GeometricPartitioner):
             extent = local.max(axis=0) - local.min(axis=0)
             dim = int(np.argmax(extent))
             order = np.argsort(local[:, dim], kind="stable")
-            pos = weighted_split_position(weights[members][order], k1 / nblocks)
+            # split at the blocks' share of the subtree's target capacity
+            # (k1 : k2 for uniform targets, Zoltan-style)
+            node_targets = targets[block0 : block0 + nblocks]
+            fraction = node_targets[:k1].sum() / node_targets.sum()
+            pos = weighted_split_position(weights[members][order], fraction)
             left = members[order[:pos]]
             right = members[order[pos:]]
             stack.append((left, block0, k1))

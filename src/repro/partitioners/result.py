@@ -1,0 +1,165 @@
+"""Rich partition results returned by every partitioner.
+
+A :class:`PartitionResult` carries the assignment together with the
+diagnostics that repartitioning and hierarchical composition need: per-block
+weights, the (normalised) per-block targets, the achieved imbalance, stage
+timers, and — for center-based partitioners — the final cluster centers that
+seed a warm restart.
+
+The result quacks like the plain ``(n,)`` assignment array the partitioners
+used to return: ``np.asarray(result)``, ``result[mask]``, ``result == b``,
+``len(result)`` and ``result.shape`` all act on the assignment, so metrics
+and downstream code accept either form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.timers import StageTimer
+from repro.util.validation import normalize_targets
+
+__all__ = ["PartitionResult", "HierarchicalPartitionResult", "normalize_targets"]
+
+
+@dataclass(eq=False)
+class PartitionResult:
+    """Output of :meth:`GeometricPartitioner.partition` / ``repartition``.
+
+    Attributes
+    ----------
+    assignment:
+        ``(n,)`` int64 block ids in the caller's point order.
+    k:
+        Number of blocks.
+    block_weights:
+        ``(k,)`` achieved weight per block.
+    target_weights:
+        ``(k,)`` targets the run balanced against (sum equals total weight).
+    imbalance:
+        ``max(block_weights / target_weights) - 1`` — the smallest epsilon
+        the partition satisfies against its targets.
+    epsilon:
+        Tolerance the run was asked for.
+    tool:
+        Registry name of the producing partitioner.
+    centers:
+        ``(k, d)`` cluster centers when the partitioner is center-based
+        (Geographer and hierarchies thereof); ``None`` for the cutters.
+        A later :meth:`~GeometricPartitioner.repartition` warm-starts here.
+    iterations / converged:
+        Iteration count and convergence flag when meaningful (0 / True for
+        single-pass cutters).
+    timers:
+        Stage breakdown; always includes a ``"partition"`` total.
+    """
+
+    assignment: np.ndarray
+    k: int
+    block_weights: np.ndarray
+    target_weights: np.ndarray
+    imbalance: float
+    epsilon: float
+    tool: str
+    centers: np.ndarray | None = None
+    iterations: int = 0
+    converged: bool = True
+    timers: StageTimer = field(default_factory=StageTimer)
+
+    # -- assignment-array duck typing -------------------------------------
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        if dtype is None or np.dtype(dtype) == self.assignment.dtype:
+            return self.assignment if not copy else self.assignment.copy()
+        return self.assignment.astype(dtype)
+
+    def __len__(self) -> int:
+        return self.assignment.shape[0]
+
+    def __getitem__(self, item):
+        return self.assignment[item]
+
+    def __iter__(self):
+        return iter(self.assignment)
+
+    def __eq__(self, other):
+        return self.assignment == np.asarray(other)
+
+    def __ne__(self, other):
+        return self.assignment != np.asarray(other)
+
+    # __eq__ is elementwise (ndarray semantics), so hash by identity to keep
+    # results usable as dict keys / set members
+    __hash__ = object.__hash__
+
+    def copy(self) -> np.ndarray:
+        return self.assignment.copy()
+
+    def astype(self, dtype, **kwargs) -> np.ndarray:
+        return self.assignment.astype(dtype, **kwargs)
+
+    def min(self, *args, **kwargs):
+        return self.assignment.min(*args, **kwargs)
+
+    def max(self, *args, **kwargs):
+        return self.assignment.max(*args, **kwargs)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.assignment.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.assignment.dtype
+
+    @property
+    def n(self) -> int:
+        return self.assignment.shape[0]
+
+    def balanced(self, epsilon: float | None = None) -> bool:
+        """Whether the partition meets ``epsilon`` (default: the requested one)."""
+        eps = self.epsilon if epsilon is None else float(epsilon)
+        return self.imbalance <= eps + 1e-12
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(tool={self.tool!r}, k={self.k}, n={self.n}, "
+            f"imbalance={self.imbalance:.4f}, iterations={self.iterations}, "
+            f"converged={self.converged})"
+        )
+
+
+@dataclass(eq=False, repr=False)
+class HierarchicalPartitionResult(PartitionResult):
+    """Flat partition plus the per-level structure that produced it.
+
+    Attributes
+    ----------
+    levels:
+        The factorisation ``(k1, k2, ...)`` with ``prod(levels) == k``.
+    level_labels:
+        One ``(n,)`` array per level: the block id *within* each point's
+        level-``l`` parent (values in ``[0, levels[l])``).  The flat id is
+        the mixed-radix combination of the per-level labels.
+    node_centers:
+        Centers of every recursion node keyed by its path (a tuple of
+        per-level labels; the root is ``()``), when the inner partitioner
+        exposes centers.  Feeds node-by-node warm restarts.
+    """
+
+    levels: tuple[int, ...] = ()
+    level_labels: list[np.ndarray] = field(default_factory=list)
+    node_centers: dict[tuple[int, ...], np.ndarray] = field(default_factory=dict)
+
+    def level_assignment(self, level: int) -> np.ndarray:
+        """Flat id of each point's ancestor block at ``level`` (coarse ids).
+
+        ``level_assignment(len(levels) - 1)`` equals :attr:`assignment`.
+        """
+        if not (0 <= level < len(self.levels)):
+            raise ValueError(f"level must be in [0, {len(self.levels)}), got {level}")
+        out = np.zeros(self.n, dtype=np.int64)
+        for l in range(level + 1):
+            out = out * self.levels[l] + self.level_labels[l]
+        return out

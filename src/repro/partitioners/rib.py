@@ -39,7 +39,7 @@ def inertial_axis(points: np.ndarray, weights: np.ndarray) -> np.ndarray:
 class RIBPartitioner(GeometricPartitioner):
     name = "RIB"
 
-    def _partition(self, points, k, weights, epsilon, rng):
+    def _partition(self, points, k, weights, epsilon, rng, targets):
         assignment = np.empty(points.shape[0], dtype=np.int64)
         stack = [(np.arange(points.shape[0], dtype=np.int64), 0, k)]
         while stack:
@@ -52,7 +52,9 @@ class RIBPartitioner(GeometricPartitioner):
             axis = inertial_axis(local, weights[members])
             projection = local @ axis
             order = np.argsort(projection, kind="stable")
-            pos = weighted_split_position(weights[members][order], k1 / nblocks)
+            node_targets = targets[block0 : block0 + nblocks]
+            fraction = node_targets[:k1].sum() / node_targets.sum()
+            pos = weighted_split_position(weights[members][order], fraction)
             stack.append((members[order[:pos]], block0, k1))
             stack.append((members[order[pos:]], block0 + k1, nblocks - k1))
         return assignment

@@ -9,7 +9,7 @@ BSP cost of the paper's algorithm, whose only communication is global
 reductions and one initial redistribution (Algorithms 1-2, blue lines).
 """
 
-from repro.runtime.costmodel import SUPERMUC_LIKE, MachineModel
+from repro.runtime.costmodel import SUPERMUC_LIKE, SUPERMUC_TOPOLOGY, MachineModel, MachineTopology
 from repro.runtime.comm import CostLedger, VirtualComm
 from repro.runtime.distsort import distributed_sort
 from repro.runtime.distributed_kmeans import DistributedKMeansResult, distributed_balanced_kmeans
@@ -17,7 +17,9 @@ from repro.runtime.scaling import ScalingPoint, strong_scaling, weak_scaling
 
 __all__ = [
     "MachineModel",
+    "MachineTopology",
     "SUPERMUC_LIKE",
+    "SUPERMUC_TOPOLOGY",
     "VirtualComm",
     "CostLedger",
     "distributed_sort",

@@ -17,7 +17,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.runtime.costmodel import SUPERMUC_LIKE, MachineModel
+from repro.runtime.costmodel import SUPERMUC_LIKE, MachineModel, MachineTopology
 
 __all__ = ["CostLedger", "VirtualComm"]
 
@@ -73,11 +73,21 @@ class VirtualComm:
         :meth:`set_stage`), feeding the §5.3.2 component breakdown.
     """
 
-    def __init__(self, nranks: int, machine: MachineModel | None = None) -> None:
+    def __init__(
+        self,
+        nranks: int,
+        machine: MachineModel | None = None,
+        topology: "MachineTopology | None" = None,
+    ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         self.nranks = int(nranks)
         self.machine = machine or SUPERMUC_LIKE
+        if topology is not None and topology.total != self.nranks:
+            raise ValueError(
+                f"topology has {topology.total} leaves but communicator has {self.nranks} ranks"
+            )
+        self.topology = topology
         self.ledger = CostLedger()
         self._stage: str | None = None
 
@@ -113,14 +123,19 @@ class VirtualComm:
         """Sum-allreduce of equal-shaped per-rank arrays; result is replicated.
 
         Summation runs in rank order, making the simulation deterministic.
+        With a :class:`MachineTopology` attached, the cost is that of staged
+        per-level reductions (cores → nodes → islands) instead of one flat
+        tree over all ranks.
         """
         self._check_ranks(per_rank)
         out = np.array(per_rank[0], dtype=np.float64, copy=True)
         for arr in per_rank[1:]:
             out += arr
-        self.ledger.charge_comm(
-            self.machine.allreduce(out.nbytes, self.nranks), "allreduce", self._stage
-        )
+        if self.topology is not None:
+            cost = self.machine.hierarchical_allreduce(out.nbytes, self.topology)
+        else:
+            cost = self.machine.allreduce(out.nbytes, self.nranks)
+        self.ledger.charge_comm(cost, "allreduce", self._stage)
         return out
 
     def allgather(self, per_rank: Sequence[np.ndarray]) -> np.ndarray:

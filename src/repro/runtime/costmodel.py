@@ -16,7 +16,67 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["MachineModel", "SUPERMUC_LIKE"]
+__all__ = ["MachineModel", "MachineTopology", "SUPERMUC_LIKE", "SUPERMUC_TOPOLOGY"]
+
+
+@dataclass(frozen=True)
+class MachineTopology:
+    """The process hierarchy of a machine: islands → nodes → cores.
+
+    ``branching`` lists the fan-out per level from the root down, e.g.
+    ``(2, 3, 4)`` for 2 islands of 3 nodes of 4 cores = 24 ranks.  The same
+    object drives both sides of topology-aware partitioning: the
+    :class:`~repro.partitioners.hierarchical.HierarchicalPartitioner` uses it
+    as the factorisation ``k = k1 x k2 x ...`` (one partitioning level per
+    machine level), and the simulated runtime uses it to cost collectives as
+    staged per-level reductions instead of one flat tree.
+    """
+
+    branching: tuple[int, ...]
+    level_names: tuple[str, ...] = ()
+
+    _DEFAULT_NAMES = ("island", "node", "core")
+
+    def __post_init__(self) -> None:
+        branching = tuple(int(b) for b in self.branching)
+        if not branching or any(b < 1 for b in branching):
+            raise ValueError(f"branching must be positive integers, got {self.branching}")
+        object.__setattr__(self, "branching", branching)
+        if not self.level_names:
+            if len(branching) <= len(self._DEFAULT_NAMES):
+                names = self._DEFAULT_NAMES[-len(branching):]
+            else:
+                names = tuple(f"level{i}" for i in range(len(branching)))
+            object.__setattr__(self, "level_names", names)
+        elif len(self.level_names) != len(branching):
+            raise ValueError("level_names must match branching in length")
+
+    @property
+    def nlevels(self) -> int:
+        return len(self.branching)
+
+    @property
+    def total(self) -> int:
+        """Total leaf count (ranks / blocks)."""
+        return math.prod(self.branching)
+
+    def subtree_size(self, level: int) -> int:
+        """Leaves under one level-``level`` group (``total`` at the root, 1 past the leaves)."""
+        return math.prod(self.branching[level:])
+
+    @classmethod
+    def from_factorization(cls, *branching: int) -> "MachineTopology":
+        """Build from an explicit factorisation, e.g. ``from_factorization(2, 3, 4)``."""
+        return cls(branching=tuple(branching))
+
+    def machine_model(self, **kwargs) -> "MachineModel":
+        """A :class:`MachineModel` whose island size matches this hierarchy."""
+        kwargs.setdefault("island_size", self.subtree_size(1) if self.nlevels > 1 else self.total)
+        return MachineModel(**kwargs)
+
+    def __str__(self) -> str:
+        parts = [f"{n} {name}s" for n, name in zip(self.branching, self.level_names)]
+        return f"MachineTopology({' x '.join(parts)} = {self.total})"
 
 
 @dataclass(frozen=True)
@@ -84,6 +144,24 @@ class MachineModel:
             return 0.0
         return ((nranks - 1) * self.alpha + self.beta * float(max_bytes_per_rank)) * self.penalty(nranks)
 
+    def hierarchical_allreduce(self, nbytes: float, topology: "MachineTopology") -> float:
+        """Topology-aware allreduce: staged per-level tree reductions.
+
+        Reduce within the innermost groups first (cores of a node, then nodes
+        of an island), crossing the island boundary only at the root stage —
+        so only ``ceil(log2(#islands))`` rounds pay the island penalty, versus
+        every round in the flat tree.  This is the reduction structure the
+        hierarchical partitioner's per-level block layout enables.
+        """
+        total = 0.0
+        for level, fanout in enumerate(topology.branching):
+            if fanout <= 1:
+                continue
+            rounds = math.ceil(math.log2(fanout))
+            penalty = self.island_factor if level == 0 and topology.total > self.island_size else 1.0
+            total += rounds * (self.alpha + self.beta * float(nbytes)) * penalty
+        return total
+
     def compute(self, point_ops: float) -> float:
         """Modeled local compute time for ``point_ops`` point-operations."""
         return float(point_ops) / self.compute_rate
@@ -92,3 +170,7 @@ class MachineModel:
 #: Default machine: tuned so simulated absolute times land in the same
 #: seconds-range as the paper's SuperMUC runs (shape is what matters).
 SUPERMUC_LIKE = MachineModel()
+
+#: A SuperMUC-like hierarchy: 2 islands x 512 nodes x 16 cores = 16 384 ranks,
+#: matching the paper's largest strong-scaling configuration.
+SUPERMUC_TOPOLOGY = MachineTopology(branching=(2, 512, 16))

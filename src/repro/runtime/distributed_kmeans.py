@@ -32,7 +32,7 @@ from repro.core.bounds import init_bounds, relax_for_influence, relax_for_moveme
 from repro.core.config import BalancedKMeansConfig
 from repro.core.influence import adapt_influence, erode_influence
 from repro.runtime.comm import CostLedger, VirtualComm
-from repro.runtime.costmodel import MachineModel
+from repro.runtime.costmodel import MachineModel, MachineTopology
 from repro.runtime.distsort import distributed_sort
 from repro.sfc.curves import DEFAULT_BITS, sfc_index
 from repro.util.rng import ensure_rng, spawn_rngs
@@ -80,12 +80,22 @@ def distributed_balanced_kmeans(
     config: BalancedKMeansConfig | None = None,
     machine: MachineModel | None = None,
     rng: int | np.random.Generator | None = None,
+    centers: np.ndarray | None = None,
+    topology: MachineTopology | None = None,
 ) -> DistributedKMeansResult:
     """Run Geographer on ``nranks`` simulated MPI processes.
 
     ``points`` is the global point set; it is dealt out block-wise to the
     virtual ranks (as if read from a partitioned file), then redistributed by
     Hilbert index exactly as the paper describes.
+
+    ``centers`` warm-starts the run (repartitioning): SFC seeding's allgather
+    and the sampled initialisation rounds are skipped, exactly as in the
+    serial :func:`~repro.core.balanced_kmeans.balanced_kmeans` path.
+
+    ``topology`` attaches a machine hierarchy so every allreduce is costed as
+    staged per-level reductions (cores → nodes → islands) instead of one flat
+    tree; ``topology.total`` must equal ``nranks``.
     """
     cfg = config or BalancedKMeansConfig()
     pts = check_points(points)
@@ -93,7 +103,9 @@ def distributed_balanced_kmeans(
     k = check_k(k, n)
     w = check_weights(weights, n)
     gen = ensure_rng(rng)
-    comm = VirtualComm(nranks, machine)
+    if machine is None and topology is not None:
+        machine = topology.machine_model()
+    comm = VirtualComm(nranks, machine, topology)
     p = comm.nranks
     dim = pts.shape[1]
     bits = cfg.sfc_bits or DEFAULT_BITS[dim]
@@ -126,18 +138,24 @@ def distributed_balanced_kmeans(
 
     # -- SFC seeding from the global sorted order (Algorithm 2, line 7) ------
     comm.set_stage("seeding")
-    positions = (np.arange(k, dtype=np.int64) * n) // k + n // (2 * k)
-    positions = np.minimum(positions, n - 1)
+    warm_start = centers is not None
+    if warm_start:
+        centers = np.array(centers, dtype=np.float64, copy=True)
+        if centers.shape != (k, dim):
+            raise ValueError(f"warm-start centers must have shape ({k}, {dim})")
+    else:
+        positions = (np.arange(k, dtype=np.int64) * n) // k + n // (2 * k)
+        positions = np.minimum(positions, n - 1)
 
-    def local_seeds(r: int) -> np.ndarray:
-        inside = (positions >= offsets[r]) & (positions < offsets[r] + counts[r])
-        which = np.flatnonzero(inside)
-        rows = positions[which] - offsets[r]
-        return np.column_stack([which.astype(np.float64), local_pts[r][rows]])
+        def local_seeds(r: int) -> np.ndarray:
+            inside = (positions >= offsets[r]) & (positions < offsets[r] + counts[r])
+            which = np.flatnonzero(inside)
+            rows = positions[which] - offsets[r]
+            return np.column_stack([which.astype(np.float64), local_pts[r][rows]])
 
-    seeds = comm.allgather(comm.run_local(local_seeds)).reshape(-1, dim + 1)
-    centers = np.empty((k, dim))
-    centers[seeds[:, 0].astype(np.int64)] = seeds[:, 1:]
+        seeds = comm.allgather(comm.run_local(local_seeds)).reshape(-1, dim + 1)
+        centers = np.empty((k, dim))
+        centers[seeds[:, 0].astype(np.int64)] = seeds[:, 1:]
 
     influence = np.ones(k)
     total_w = float(comm.allreduce(comm.run_local(lambda r: np.array([local_w[r].sum()])))[0])
@@ -151,8 +169,9 @@ def distributed_balanced_kmeans(
     rank_rngs = spawn_rngs(gen, p)
 
     # -- sampled initialisation rounds (per rank, §4.5) -----------------------
+    # (skipped on warm starts: the previous centers are already near-optimal)
     sample_sizes: list[int] = []
-    if cfg.use_sampling:
+    if cfg.use_sampling and not warm_start:
         smallest = int(counts.min())
         size = cfg.initial_sample_size
         if smallest > 2 * size:

@@ -193,9 +193,9 @@ def _curve(
                 from repro.partitioners.base import get_partitioner
 
                 start = time.perf_counter()
-                assignment = get_partitioner(tool).partition(pts, k)
+                result = get_partitioner(tool).partition(pts, k)
                 measured_wall = time.perf_counter() - start
-                imbalance = float(np.bincount(assignment, minlength=k).max() / (n / k) - 1.0)
+                imbalance = float(np.bincount(result.assignment, minlength=k).max() / (n / k) - 1.0)
             mode = "measured"
         out.append(ScalingPoint(tool, p, n, k, secs, mode, breakdown, measured_wall, imbalance))
     return out

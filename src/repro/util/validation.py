@@ -16,6 +16,7 @@ __all__ = [
     "check_k",
     "check_epsilon",
     "check_assignment",
+    "normalize_targets",
 ]
 
 
@@ -74,6 +75,25 @@ def check_epsilon(epsilon: float) -> float:
     if not np.isfinite(eps) or eps < 0:
         raise ValueError(f"epsilon must be a finite value >= 0, got {epsilon}")
     return eps
+
+
+def normalize_targets(
+    target_weights: np.ndarray | None, k: int, total_weight: float
+) -> np.ndarray:
+    """Canonicalise per-block target weights to ``k`` positives summing to ``total_weight``.
+
+    ``None`` means uniform targets (the homogeneous-machine default); explicit
+    targets express heterogeneous capacities (paper footnote 1) and only their
+    ratios matter.
+    """
+    if target_weights is None:
+        return np.full(k, total_weight / k)
+    targets = np.ascontiguousarray(target_weights, dtype=np.float64)
+    if targets.shape != (k,):
+        raise ValueError(f"target_weights must have shape ({k},), got {targets.shape}")
+    if not np.all(np.isfinite(targets)) or np.any(targets <= 0):
+        raise ValueError("target_weights must be finite and positive")
+    return targets * (total_weight / targets.sum())
 
 
 def check_assignment(assignment: np.ndarray, n: int, k: int) -> np.ndarray:

@@ -69,3 +69,18 @@ class TestCommands:
     def test_experiments_components(self, capsys):
         assert main(["experiments", "components"]) == 0
         assert "redistribute" in capsys.readouterr().out
+
+    def test_hierarchical(self, capsys):
+        assert main(["hierarchical", "delaunay2d_s", "--levels", "2x2",
+                     "--scale", "0.05", "--tool", "RCB"]) == 0
+        out = capsys.readouterr().out
+        assert "level 0" in out and "level 1" in out and "k=4" in out
+
+    def test_hierarchical_bad_levels(self):
+        with pytest.raises(SystemExit, match="bad --levels"):
+            main(["hierarchical", "delaunay2d_s", "--levels", "two-by-two", "--scale", "0.05"])
+
+    def test_repartition(self, capsys):
+        assert main(["repartition", "-n", "800", "-k", "4", "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "iters warm" in out and "migr cold" in out

@@ -58,6 +58,118 @@ class TestCenterUpdate:
         centers = weighted_center_update(pts, np.ones(1), np.zeros(1, dtype=np.int64), 2, prev)
         assert np.allclose(centers[1], [5.0, 5.0])
 
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_fused_bincount_matches_per_dimension_reference(self, d):
+        """The single fused accumulation equals the per-dimension bincount loop."""
+        rng = np.random.default_rng(40 + d)
+        n, k = 1000, 7
+        pts = rng.random((n, d))
+        w = rng.uniform(0.1, 3.0, n)
+        a = rng.integers(0, k, n)
+        a[a == 5] = 4  # leave cluster 5 empty
+        prev = rng.random((k, d))
+        reference = np.empty((k, d))
+        wsum = np.bincount(a, weights=w, minlength=k)
+        for dd in range(d):
+            sums = np.bincount(a, weights=w * pts[:, dd], minlength=k)
+            reference[:, dd] = np.where(wsum > 0, sums / np.maximum(wsum, 1e-300), prev[:, dd])
+        assert np.array_equal(weighted_center_update(pts, w, a, k, prev), reference)
+
+
+class TestReseedEmpty:
+    """_reseed_empty relocates empty clusters into the heaviest one."""
+
+    def _state(self, n=40, k=3, seed=0):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, 2))
+        assignment = np.zeros(n, dtype=np.int64)  # everything in cluster 0
+        centers = np.array([[0.5, 0.5], [2.0, 2.0], [3.0, 3.0]])
+        influence = np.array([1.0, 0.7, 0.3])
+        block_weights = np.array([float(n), 0.0, 0.0])
+        return pts, assignment, centers, influence, block_weights, rng
+
+    def test_noop_when_no_empty_cluster(self):
+        from repro.core.balanced_kmeans import _reseed_empty
+
+        pts, assignment, centers, influence, bw, rng = self._state()
+        bw = np.array([20.0, 10.0, 10.0])
+        before = centers.copy()
+        assert not _reseed_empty(pts, assignment, centers, influence, bw, rng)
+        assert np.array_equal(centers, before)
+
+    def test_empty_centers_move_to_far_points_of_heaviest(self):
+        from repro.core.balanced_kmeans import _reseed_empty
+
+        pts, assignment, centers, influence, bw, rng = self._state()
+        assert _reseed_empty(pts, assignment, centers, influence, bw, rng)
+        # relocated centers now sit on actual points, not at (2,2)/(3,3)
+        for c in (1, 2):
+            assert np.any(np.all(np.isclose(pts, centers[c]), axis=1))
+            assert influence[c] == 1.0  # influence reset
+            assert bw[c] == 0.0
+
+    def test_first_relocation_is_farthest_point(self):
+        from repro.core.balanced_kmeans import _reseed_empty
+
+        pts, assignment, centers, influence, bw, rng = self._state(seed=1)
+        d = np.linalg.norm(pts - centers[0], axis=1)
+        farthest = pts[int(np.argmax(d))].copy()
+        _reseed_empty(pts, assignment, centers, influence, bw, rng)
+        assert np.allclose(centers[1], farthest)
+
+    def test_singleton_heaviest_uses_random_point(self):
+        from repro.core.balanced_kmeans import _reseed_empty
+
+        pts = np.random.default_rng(2).random((5, 2))
+        # cluster 1 is heaviest (one very heavy point) but holds exactly one
+        # point, so the relocation falls back to a random point
+        assignment = np.array([0, 0, 0, 0, 1], dtype=np.int64)
+        centers = np.array([[0.2, 0.2], [0.9, 0.9], [5.0, 5.0]])
+        influence = np.ones(3)
+        bw = np.array([0.5, 4.0, 0.0])
+        assert _reseed_empty(pts, assignment, centers, influence, bw,
+                             np.random.default_rng(3))
+        assert np.any(np.all(np.isclose(pts, centers[2]), axis=1))
+
+    def test_end_to_end_random_seeding_fills_all_blocks(self):
+        """Random seeding on clustered data can create empties; the driver recovers."""
+        rng = np.random.default_rng(4)
+        dense = rng.normal((0.1, 0.1), 0.01, (900, 2))
+        outliers = rng.uniform(0.8, 1.0, (12, 2))
+        pts = np.concatenate([dense, outliers])
+        cfg = BalancedKMeansConfig(seeding="random", use_sampling=False, max_iterations=80)
+        res = balanced_kmeans(pts, 6, config=cfg, rng=5)
+        assert set(np.unique(res.assignment)) == set(range(6))
+
+
+class TestTargetNormalization:
+    """target_weights are ratios: any positive scaling balances identically."""
+
+    def test_scaling_invariance(self):
+        pts = _uniform(1200, seed=30)
+        ratios = np.array([3.0, 1.0, 1.0, 1.0])
+        a = balanced_kmeans(pts, 4, target_weights=ratios, rng=31)
+        b = balanced_kmeans(pts, 4, target_weights=ratios * 1e6, rng=31)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_targets_rescaled_to_total_weight(self):
+        pts = _uniform(1000, seed=32)
+        w = np.random.default_rng(33).uniform(0.5, 2.0, 1000)
+        res = balanced_kmeans(pts, 4, weights=w, target_weights=np.array([1.0, 1.0, 1.0, 5.0]),
+                              rng=34, config=BalancedKMeansConfig(max_iterations=80))
+        bw = np.bincount(res.assignment, weights=w, minlength=4)
+        assert bw[3] > 2.5 * bw[:3].max()  # heavy block really got ~5/8 of the load
+
+    @pytest.mark.parametrize("bad", [
+        np.array([1.0, 0.0, 1.0]),
+        np.array([1.0, -1.0, 1.0]),
+        np.array([1.0, np.nan, 1.0]),
+        np.ones(4),  # wrong length for k=3
+    ])
+    def test_invalid_targets_rejected(self, bad):
+        with pytest.raises(ValueError):
+            balanced_kmeans(_uniform(100), 3, target_weights=bad)
+
 
 class TestBalancedKMeans:
     def test_balance_uniform(self):

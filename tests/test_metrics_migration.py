@@ -1,0 +1,94 @@
+"""Tests for migration metrics between successive partitions."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.migration import (
+    migration_fraction,
+    migration_matrix,
+    migration_volume,
+    relabel_for_stability,
+)
+
+
+class TestVolume:
+    def test_identical_partitions(self):
+        a = np.array([0, 1, 2, 0, 1])
+        assert migration_volume(a, a) == 0.0
+        assert migration_fraction(a, a) == 0.0
+
+    def test_unit_weights_count_moves(self):
+        prev = np.array([0, 0, 1, 1])
+        cur = np.array([0, 1, 1, 0])
+        assert migration_volume(prev, cur) == 2.0
+        assert migration_fraction(prev, cur) == pytest.approx(0.5)
+
+    def test_weighted(self):
+        prev = np.array([0, 0, 1])
+        cur = np.array([0, 1, 1])
+        w = np.array([1.0, 10.0, 2.0])
+        assert migration_volume(prev, cur, weights=w) == 10.0
+        assert migration_fraction(prev, cur, weights=w) == pytest.approx(10.0 / 13.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="different point sets"):
+            migration_volume(np.zeros(3, dtype=np.int64), np.zeros(4, dtype=np.int64))
+
+    def test_accepts_partition_results(self):
+        from repro.partitioners import get_partitioner
+
+        pts = np.random.default_rng(0).random((500, 2))
+        a = get_partitioner("RCB").partition(pts, 4)
+        b = get_partitioner("HSFC").partition(pts, 4)
+        vol = migration_volume(a, b)
+        assert 0.0 <= vol <= 500.0
+
+
+class TestMatrix:
+    def test_diagonal_is_stay_weight(self):
+        prev = np.array([0, 0, 1, 1, 1])
+        cur = np.array([0, 1, 1, 1, 0])
+        m = migration_matrix(prev, cur, 2, 2)
+        assert m[0, 0] == 1.0 and m[0, 1] == 1.0
+        assert m[1, 1] == 2.0 and m[1, 0] == 1.0
+        assert m.sum() == 5.0
+        # off-diagonal mass equals migration volume
+        assert m.sum() - np.trace(m) == migration_volume(prev, cur)
+
+    def test_rectangular_k_change(self):
+        prev = np.array([0, 0, 1, 1])
+        cur = np.array([0, 1, 2, 3])
+        m = migration_matrix(prev, cur, 2, 4)
+        assert m.shape == (2, 4)
+        assert m.sum() == 4.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            migration_matrix(np.array([0, 5]), np.array([0, 1]), 2, 2)
+
+
+class TestRelabel:
+    def test_permutation_fully_recovered(self):
+        prev = np.array([0, 0, 1, 1, 2, 2])
+        cur = np.array([2, 2, 0, 0, 1, 1])  # same blocks, permuted ids
+        relabelled = relabel_for_stability(prev, cur, 3)
+        assert np.array_equal(relabelled, prev)
+        assert migration_volume(prev, relabelled) == 0.0
+
+    def test_never_worse_than_raw(self):
+        rng = np.random.default_rng(1)
+        prev = rng.integers(0, 6, 400)
+        cur = rng.integers(0, 6, 400)
+        relabelled = relabel_for_stability(prev, cur, 6)
+        assert migration_volume(prev, relabelled) <= migration_volume(prev, cur)
+
+    def test_relabelling_is_a_permutation(self):
+        rng = np.random.default_rng(2)
+        prev = rng.integers(0, 5, 300)
+        cur = rng.integers(0, 5, 300)
+        relabelled = relabel_for_stability(prev, cur, 5)
+        # block contents unchanged, only ids renamed
+        for b in range(5):
+            members_new = np.flatnonzero(cur == b)
+            ids = np.unique(relabelled[members_new])
+            assert ids.size == 1

@@ -1,0 +1,142 @@
+"""Tests for the rich PartitionResult API and the repartition entry point."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.imbalance import imbalance
+from repro.partitioners import (
+    GeographerPartitioner,
+    PartitionResult,
+    get_partitioner,
+    normalize_targets,
+)
+
+ALL_TOOLS = ("RCB", "RIB", "MultiJagged", "HSFC", "Geographer")
+
+
+def _cloud(n=1000, d=2, seed=0):
+    return np.random.default_rng(seed).random((n, d))
+
+
+class TestNormalizeTargets:
+    def test_none_is_uniform(self):
+        t = normalize_targets(None, 4, 100.0)
+        assert np.allclose(t, 25.0)
+
+    def test_ratios_rescaled_to_total(self):
+        t = normalize_targets(np.array([2.0, 1.0, 1.0]), 3, 8.0)
+        assert np.allclose(t, [4.0, 2.0, 2.0])
+        assert t.sum() == pytest.approx(8.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            normalize_targets(np.ones(3), 4, 1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            normalize_targets(np.array([1.0, 0.0]), 2, 1.0)
+        with pytest.raises(ValueError):
+            normalize_targets(np.array([1.0, -2.0]), 2, 1.0)
+        with pytest.raises(ValueError):
+            normalize_targets(np.array([1.0, np.inf]), 2, 1.0)
+
+
+@pytest.mark.parametrize("tool", ALL_TOOLS)
+class TestPartitionResult:
+    def test_rich_fields(self, tool):
+        pts = _cloud()
+        res = get_partitioner(tool).partition(pts, 8, rng=0)
+        assert isinstance(res, PartitionResult)
+        assert res.tool == tool and res.k == 8 and res.n == 1000
+        assert res.block_weights.shape == (8,)
+        assert res.block_weights.sum() == pytest.approx(1000.0)
+        assert res.target_weights.sum() == pytest.approx(1000.0)
+        assert res.imbalance >= 0.0
+        assert "partition" in res.timers.stages
+
+    def test_imbalance_consistent_with_metric(self, tool):
+        pts = _cloud(seed=1)
+        res = get_partitioner(tool).partition(pts, 8, rng=0)
+        # result imbalance uses W/k, metric uses ceil(W/k): result is >= metric
+        assert res.imbalance >= imbalance(res.assignment, 8) - 1e-12
+
+    def test_acts_like_assignment_array(self, tool):
+        pts = _cloud(seed=2)
+        res = get_partitioner(tool).partition(pts, 5, rng=0)
+        assert np.asarray(res).dtype == np.int64
+        assert len(res) == 1000 and res.shape == (1000,)
+        assert set(np.unique(res)) == set(range(5))
+        mask = res == 0
+        assert mask.dtype == bool and pts[mask].shape[0] == int(mask.sum())
+        assert np.array_equal(res[mask], np.zeros(int(mask.sum()), dtype=np.int64))
+        assert int(res.min()) == 0 and int(res.max()) == 4
+
+    def test_heterogeneous_targets(self, tool):
+        """2:1:1:1 capacities (paper footnote 1) for every partitioner."""
+        pts = _cloud(n=2000, seed=3)
+        targets = np.array([2.0, 1.0, 1.0, 1.0])
+        res = get_partitioner(tool).partition(pts, 4, rng=0, target_weights=targets)
+        shares = res.block_weights / res.block_weights.sum()
+        assert np.all(np.abs(shares - targets / targets.sum()) < 0.05)
+        assert res.imbalance <= 0.1
+
+    def test_k1_trivial(self, tool):
+        res = get_partitioner(tool).partition(_cloud(50), 1)
+        assert np.all(res.assignment == 0)
+        assert res.imbalance == 0.0 and res.k == 1
+
+    def test_repartition_same_points(self, tool):
+        """repartition always works; warm-startable tools keep ids stable."""
+        p = get_partitioner(tool)
+        pts = _cloud(seed=4)
+        first = p.partition(pts, 6, rng=0)
+        second = p.repartition(first, pts, rng=1)
+        assert isinstance(second, PartitionResult)
+        assert second.k == 6  # k defaults to the previous result's
+        assert second.imbalance <= max(first.imbalance, 0.05)
+
+
+class TestWarmStart:
+    def test_geographer_supports_warm_start(self):
+        assert GeographerPartitioner.supports_warm_start
+        for tool in ("RCB", "RIB", "MultiJagged", "HSFC"):
+            assert not get_partitioner(tool).supports_warm_start
+
+    def test_warm_start_converges_faster_on_perturbation(self):
+        from repro.core.config import BalancedKMeansConfig
+
+        p = GeographerPartitioner(BalancedKMeansConfig(use_sampling=False))
+        rng = np.random.default_rng(5)
+        pts = rng.random((2500, 2))
+        first = p.partition(pts, 8, rng=0)
+        moved = pts + rng.normal(0.0, 0.004, pts.shape)
+        warm = p.repartition(first, moved, rng=1)
+        cold = p.partition(moved, 8, rng=1)
+        assert warm.iterations < cold.iterations
+        assert warm.imbalance <= 0.031
+
+    def test_warm_start_keeps_ids_stable(self):
+        from repro.metrics.migration import migration_fraction
+
+        p = GeographerPartitioner()
+        pts = _cloud(n=2000, seed=6)
+        first = p.partition(pts, 8, rng=0)
+        warm = p.repartition(first, pts + 0.002, rng=1)
+        assert migration_fraction(first, warm) < 0.2
+
+    def test_repartition_from_bare_array_is_cold(self):
+        p = GeographerPartitioner()
+        pts = _cloud(seed=7)
+        bare = np.zeros(1000, dtype=np.int64)
+        bare[500:] = 3
+        res = p.repartition(bare, pts)  # k inferred as 4, no centers -> cold
+        assert res.k == 4
+        assert set(np.unique(res.assignment)) == set(range(4))
+
+    def test_repartition_ignores_mismatched_centers(self):
+        p = GeographerPartitioner()
+        pts = _cloud(seed=8)
+        first = p.partition(pts, 6, rng=0)
+        res = p.repartition(first, pts, k=9, rng=0)  # 6 centers cannot seed k=9
+        assert res.k == 9
+        assert set(np.unique(res.assignment)) == set(range(9))

@@ -1,0 +1,174 @@
+"""Tests for the topology-aware HierarchicalPartitioner."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.imbalance import imbalance
+from repro.partitioners import (
+    HierarchicalPartitioner,
+    HierarchicalPartitionResult,
+    factorize_blocks,
+    get_partitioner,
+)
+from repro.runtime.costmodel import MachineTopology
+
+
+def _cloud(n=3000, d=2, seed=0):
+    return np.random.default_rng(seed).random((n, d))
+
+
+class TestFactorize:
+    def test_small(self):
+        assert factorize_blocks(1) == (1,)
+        assert factorize_blocks(7) == (7,)
+        assert factorize_blocks(6) == (3, 2)
+
+    def test_merges_to_max_levels(self):
+        levels = factorize_blocks(24)
+        assert len(levels) <= 3 and int(np.prod(levels)) == 24
+        levels = factorize_blocks(8192)
+        assert len(levels) <= 3 and int(np.prod(levels)) == 8192
+
+    def test_rejects_bad(self):
+        with pytest.raises(ValueError):
+            factorize_blocks(0)
+
+
+class TestConstruction:
+    def test_from_topology(self):
+        topo = MachineTopology(branching=(2, 3, 4))
+        h = HierarchicalPartitioner(topology=topo)
+        assert h.levels == (2, 3, 4) and h.total_blocks() == 24
+
+    def test_levels_topology_conflict(self):
+        with pytest.raises(ValueError):
+            HierarchicalPartitioner(levels=(2, 2), topology=MachineTopology(branching=(2, 3)))
+
+    def test_registered(self):
+        h = get_partitioner("Hierarchical", levels=(2, 2))
+        assert isinstance(h, HierarchicalPartitioner)
+
+    def test_no_nested_hierarchy(self):
+        with pytest.raises(ValueError):
+            HierarchicalPartitioner(levels=(2, 2), inner=HierarchicalPartitioner(levels=(2,)))
+
+    def test_k_mismatch(self):
+        h = HierarchicalPartitioner(levels=(2, 3))
+        with pytest.raises(ValueError):
+            h.partition(_cloud(500), 7)
+
+
+class TestAcceptance:
+    """The ISSUE 1 acceptance scenario: k = 2 x 3 x 4 -> flat 24-way."""
+
+    def test_2x3x4_meets_flat_epsilon(self):
+        pts = _cloud(n=4000, seed=1)
+        epsilon = 0.03
+        h = HierarchicalPartitioner(levels=(2, 3, 4))
+        res = h.partition(pts, rng=0, epsilon=epsilon)
+        assert isinstance(res, HierarchicalPartitionResult)
+        assert res.k == 24
+        assert set(np.unique(res.assignment)) == set(range(24))
+        # the flat 24-way partition meets the same epsilon as a flat call
+        assert res.imbalance <= epsilon + 1e-9
+        assert imbalance(res.assignment, 24) <= epsilon + 1e-9
+
+    def test_per_level_labels_exposed(self):
+        pts = _cloud(n=4000, seed=1)
+        res = HierarchicalPartitioner(levels=(2, 3, 4)).partition(pts, rng=0)
+        assert res.levels == (2, 3, 4)
+        assert len(res.level_labels) == 3
+        for labels, kl in zip(res.level_labels, res.levels):
+            assert labels.shape == (4000,)
+            assert set(np.unique(labels)) == set(range(kl))
+        # mixed-radix combination of the per-level labels is the flat id
+        flat = (res.level_labels[0] * 3 + res.level_labels[1]) * 4 + res.level_labels[2]
+        assert np.array_equal(flat, res.assignment)
+        assert np.array_equal(res.level_assignment(2), res.assignment)
+
+    def test_every_level_is_balanced(self):
+        pts = _cloud(n=4000, seed=2)
+        res = HierarchicalPartitioner(levels=(2, 3, 4)).partition(pts, rng=0, epsilon=0.03)
+        coarse_k = 1
+        for level, kl in enumerate(res.levels):
+            coarse_k *= kl
+            assert imbalance(res.level_assignment(level), coarse_k) <= 0.03 + 1e-9
+
+
+class TestInnerPartitioners:
+    @pytest.mark.parametrize("inner", ["RCB", "MultiJagged", "HSFC"])
+    def test_cutter_inner(self, inner):
+        pts = _cloud(n=2000, seed=3)
+        res = HierarchicalPartitioner(levels=(2, 3), inner=inner).partition(pts, rng=0)
+        assert res.k == 6
+        assert set(np.unique(res.assignment)) == set(range(6))
+        assert res.imbalance <= 0.03 + 1e-9
+        assert res.centers is None  # cutters expose no centers
+
+    def test_geographer_inner_exposes_centers(self):
+        pts = _cloud(n=2000, seed=4)
+        res = HierarchicalPartitioner(levels=(2, 3)).partition(pts, rng=0)
+        assert res.centers is not None and res.centers.shape == (6, 2)
+        assert () in res.node_centers  # root node
+        assert res.node_centers[()].shape == (2, 2)
+
+    def test_default_factorization_used_without_levels(self):
+        pts = _cloud(n=2000, seed=5)
+        res = HierarchicalPartitioner().partition(pts, 12, rng=0)
+        assert res.k == 12
+        assert int(np.prod(res.levels)) == 12 and len(res.levels) > 1
+
+    def test_heterogeneous_targets_respected(self):
+        pts = _cloud(n=3000, seed=6)
+        targets = np.array([3.0, 1.0, 1.0, 1.0])  # first block 3x capacity
+        res = HierarchicalPartitioner(levels=(2, 2)).partition(
+            pts, rng=0, target_weights=targets)
+        shares = res.block_weights / res.block_weights.sum()
+        assert np.all(np.abs(shares - targets / targets.sum()) < 0.05)
+
+
+class TestHierarchicalRepartition:
+    def test_warm_repartition_converges_faster(self):
+        from repro.core.config import BalancedKMeansConfig
+        from repro.partitioners.geographer import GeographerPartitioner
+
+        inner = GeographerPartitioner(BalancedKMeansConfig(use_sampling=False))
+        h = HierarchicalPartitioner(levels=(2, 3), inner=inner)
+        rng = np.random.default_rng(7)
+        pts = rng.random((2500, 2))
+        first = h.partition(pts, rng=0)
+        moved = pts + rng.normal(0.0, 0.004, pts.shape)
+        warm = h.repartition(first, moved, rng=1)
+        cold = h.partition(moved, rng=1)
+        assert warm.iterations < cold.iterations
+        assert warm.imbalance <= 0.031
+
+    def test_warm_repartition_low_migration(self):
+        from repro.metrics.migration import migration_fraction
+
+        h = HierarchicalPartitioner(levels=(2, 3))
+        pts = _cloud(n=2000, seed=8)
+        first = h.partition(pts, rng=0)
+        warm = h.repartition(first, pts + 0.002, rng=1)
+        assert migration_fraction(first, warm) < 0.25
+
+    def test_migration_stays_local_in_topology(self):
+        """Most migrated weight moves within islands, not across them."""
+        from repro.mesh.adaptive import refinement_sequence
+        from repro.metrics.migration import migration_fraction
+
+        mesh, moved = refinement_sequence(1500, steps=4, rng=0)[:2]
+        h = HierarchicalPartitioner(levels=(2, 3, 4))
+        first = h.partition_mesh(mesh, rng=0)
+        warm = h.repartition_mesh(first, moved, rng=1)
+        island = migration_fraction(first.level_assignment(0), warm.level_assignment(0),
+                                    weights=moved.node_weights)
+        flat = migration_fraction(first, warm, weights=moved.node_weights)
+        assert island < 0.6 * flat
+
+    def test_cold_fallback_with_cutter_inner(self):
+        h = HierarchicalPartitioner(levels=(2, 2), inner="RCB")
+        pts = _cloud(n=1000, seed=9)
+        first = h.partition(pts, rng=0)
+        again = h.repartition(first, pts, rng=0)  # no centers -> cold, same result
+        assert np.array_equal(first.assignment, again.assignment)

@@ -81,6 +81,8 @@ class TestDocumentedWorkflows:
         from repro.mesh import instance_names
         from repro.partitioners import available_partitioners
 
-        assert available_partitioners() == ["Geographer", "HSFC", "MultiJagged", "RCB", "RIB"]
+        assert available_partitioners() == [
+            "Geographer", "HSFC", "Hierarchical", "MultiJagged", "RCB", "RIB",
+        ]
         for name in ("hugetric", "fesom_jigsaw", "alyaB", "delaunay2d_l", "NACA0015"):
             assert name in instance_names()

@@ -1,0 +1,63 @@
+"""Adaptive-mesh repartitioning: the warm-start acceptance scenario."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.adaptive import refinement_sequence
+from repro.experiments import repartitioning
+
+
+class TestRefinementSequence:
+    def test_shared_mesh_changing_weights(self):
+        meshes = refinement_sequence(600, steps=3, rng=0)
+        assert len(meshes) == 3
+        base = meshes[0]
+        for mesh in meshes[1:]:
+            assert mesh.coords is base.coords
+            assert mesh.indptr is base.indptr and mesh.indices is base.indices
+            assert not np.array_equal(mesh.node_weights, base.node_weights)
+
+    def test_weights_follow_the_front(self):
+        meshes = refinement_sequence(800, steps=2, rng=1, radii=(0.15, 0.35))
+        r = np.linalg.norm(meshes[0].coords - np.array([0.5, 0.5]), axis=1)
+        near_first = np.abs(r - 0.15) < 0.02
+        near_last = np.abs(r - 0.35) < 0.02
+        # the refined region carries high weight at its own step only
+        assert meshes[0].node_weights[near_first].mean() > meshes[0].node_weights[near_last].mean()
+        assert meshes[1].node_weights[near_last].mean() > meshes[1].node_weights[near_first].mean()
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            refinement_sequence(100, steps=0)
+
+
+class TestWarmVsCold:
+    """ISSUE 1 acceptance: warm repartition converges in fewer iterations
+    than cold start on a refinement sequence, with migration volume reported."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return repartitioning.run(n=2000, k=8, steps=4, seed=1)
+
+    def test_warm_needs_fewer_iterations(self, rows):
+        cold = sum(r.iterations_cold for r in rows[1:])
+        warm = sum(r.iterations_warm for r in rows[1:])
+        assert warm < cold
+
+    def test_migration_volume_reported(self, rows):
+        assert rows[0].migration_cold == 0.0 and rows[0].migration_warm == 0.0
+        for row in rows[1:]:
+            assert row.migration_cold > 0.0
+            assert row.migration_warm > 0.0
+            assert 0.0 <= row.migration_frac_warm <= 1.0
+            assert 0.0 <= row.migration_frac_cold <= 1.0
+
+    def test_both_strategies_stay_balanced(self, rows):
+        for row in rows:
+            assert row.imbalance_cold <= 0.031
+            assert row.imbalance_warm <= 0.031
+
+    def test_format_result(self, rows):
+        text = repartitioning.format_result(rows)
+        assert "iters cold" in text and "migr warm" in text
+        assert "totals over steps" in text
