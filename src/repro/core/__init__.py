@@ -8,12 +8,15 @@ maintenance (Eq. 4-5) in :mod:`repro.core.bounds`.
 """
 
 from repro.core.config import BalancedKMeansConfig
+from repro.core.kernels import SweepWorkspace, resolve_backend
 from repro.core.result import IterationStats, KMeansResult
 from repro.core.balanced_kmeans import balanced_kmeans
 from repro.core.seeding import kmeanspp_seeding, random_seeding, sfc_seeding
 
 __all__ = [
     "BalancedKMeansConfig",
+    "SweepWorkspace",
+    "resolve_backend",
     "KMeansResult",
     "IterationStats",
     "balanced_kmeans",

@@ -15,6 +15,14 @@ numpy arrays:
 - after assignment, block weights are reduced and influence values adapted
   (Eq. 1); the loop repeats until balanced or the iteration cap is hit.
 
+All sweep-invariant geometry (point norms, center norms, ``influence**-2``,
+static SFC block boxes, scratch buffers) lives in a
+:class:`~repro.core.kernels.SweepWorkspace` threaded through every call; the
+top-2 reduction itself runs in squared space (see
+:mod:`repro.geometry.distances`).  When ``sfc_sort`` is on, chunks are
+aligned to the workspace's static blocks so the pruning rule reuses boxes
+computed once per run and box-to-center distances computed once per phase.
+
 In the distributed runtime the block-weight reduction (line 31, the only
 communication in Algorithm 1) becomes an allreduce over ranks; all other
 steps read rank-local arrays only.
@@ -29,9 +37,9 @@ import numpy as np
 from repro.core.bounds import relax_for_influence
 from repro.core.config import BalancedKMeansConfig
 from repro.core.influence import adapt_influence
+from repro.core.kernels import SweepWorkspace
 from repro.core.parallel import get_executor
 from repro.geometry.boxes import BoundingBox
-from repro.geometry.distances import top2_effective
 
 __all__ = ["AssignStats", "assign_points", "assign_and_balance"]
 
@@ -69,19 +77,49 @@ class AssignStats:
         self.sweeps += other.sweeps
 
 
-def _box_candidates(chunk_points: np.ndarray, centers: np.ndarray, influence: np.ndarray) -> np.ndarray | None:
-    """Candidate center indices for a chunk, or ``None`` for "all centers"."""
+def _box_candidates(
+    chunk_points: np.ndarray, centers: np.ndarray, inv_influence_sq: np.ndarray
+) -> np.ndarray | None:
+    """Candidate center indices for a chunk, or ``None`` for "all centers".
+
+    Runs entirely in squared space (sqrt is monotone, so the §4.4 comparison
+    is unchanged); ``inv_influence_sq`` is the per-sweep cached
+    ``influence ** -2`` — callers convert influence once per sweep, not once
+    per chunk.
+    """
     k = centers.shape[0]
     if k <= 2:
         return None
     bb = BoundingBox.from_points(chunk_points)
-    min_eff = bb.min_dist(centers) / influence
-    max_eff = bb.max_dist(centers) / influence
+    min_eff = bb.min_sq_dist(centers) * inv_influence_sq
+    max_eff = bb.max_sq_dist(centers) * inv_influence_sq
     threshold = np.partition(max_eff, 1)[1]  # second-smallest max_eff
     cand = np.flatnonzero(min_eff <= threshold)
     if cand.shape[0] >= k:
         return None
     return cand
+
+
+def _static_block_chunks(need: np.ndarray, workspace: SweepWorkspace) -> list[tuple[np.ndarray, int]]:
+    """Split the sorted ``need`` indices along the workspace's static blocks.
+
+    Returns ``(chunk, block_id)`` pairs for every non-empty block, so each
+    chunk can look up its precomputed bounding-box candidate set.
+    """
+    block_size = workspace.block_size
+    first = int(need[0]) // block_size
+    last = int(need[-1]) // block_size
+    if first == last:
+        return [(need, first)]
+    boundaries = np.arange(first + 1, last + 1) * block_size
+    cuts = np.searchsorted(need, boundaries)
+    chunks = []
+    prev = 0
+    for b, cut in enumerate(np.append(cuts, need.shape[0])):
+        if cut > prev:
+            chunks.append((need[prev:cut], first + b))
+            prev = cut
+    return chunks
 
 
 def assign_points(
@@ -93,14 +131,27 @@ def assign_points(
     lb: np.ndarray,
     config: BalancedKMeansConfig,
     stats: AssignStats | None = None,
+    workspace: SweepWorkspace | None = None,
 ) -> int:
     """One assignment sweep; updates ``assignment``/``ub``/``lb`` in place.
+
+    ``workspace`` carries cached geometry across sweeps (and runs); callers
+    that sweep more than once over the same points should construct one
+    :class:`~repro.core.kernels.SweepWorkspace` and reuse it.  When omitted,
+    an ephemeral workspace is built for this sweep only.
 
     Returns the number of points that needed evaluation (the rest were
     certified unchanged by their bounds).
     """
     n = points.shape[0]
     k = centers.shape[0]
+    if workspace is None:
+        workspace = SweepWorkspace(points, config, k)
+    elif workspace.points.shape != points.shape:
+        raise ValueError(
+            f"workspace was built for {workspace.points.shape} points, got {points.shape}"
+        )
+    workspace.prepare(centers, influence)
     if config.use_bounds:
         need = np.flatnonzero(ub >= lb)
     else:
@@ -109,25 +160,44 @@ def assign_points(
         stats.sweeps += 1
         stats.points_total += n
         stats.points_skipped += n - need.shape[0]
+    if need.shape[0] == 0:
+        return 0
 
-    def process_chunk(chunk: np.ndarray) -> int:
-        cpts = points[chunk]
-        cand = _box_candidates(cpts, centers, influence) if config.use_box_pruning else None
-        assign, best, second = top2_effective(cpts, centers, influence, cand)
-        assignment[chunk] = assign
-        ub[chunk] = best
-        lb[chunk] = second
+    inv_influence_sq = workspace.inv_influence_sq
+
+    def process_chunk(task: tuple[np.ndarray, int]) -> int:
+        chunk, block = task
+        # contiguous chunks (the common case on cold sweeps) gather and
+        # scatter through slices, avoiding fancy-indexing copies
+        if int(chunk[-1]) - int(chunk[0]) + 1 == chunk.shape[0]:
+            sel = slice(int(chunk[0]), int(chunk[-1]) + 1)
+        else:
+            sel = chunk
+        cpts = points[sel]
+        if not config.use_box_pruning:
+            cand = None
+        elif block >= 0:
+            cand = workspace.block_candidates(block)
+        else:
+            cand = _box_candidates(cpts, centers, inv_influence_sq)
+        assign, best, second = workspace.top2(cpts, sel, cand)
+        assignment[sel] = assign
+        ub[sel] = best
+        lb[sel] = second
         return k if cand is None else cand.shape[0]
 
-    chunks = [need[s : s + config.chunk_size] for s in range(0, need.shape[0], config.chunk_size)]
-    executor = get_executor(config.n_threads) if len(chunks) > 1 else None
+    if workspace.has_static_blocks and config.use_box_pruning:
+        tasks = _static_block_chunks(need, workspace)
+    else:
+        tasks = [(need[s : s + config.chunk_size], -1) for s in range(0, need.shape[0], config.chunk_size)]
+    executor = get_executor(config.n_threads) if len(tasks) > 1 else None
     if executor is None:
-        evaluated_per_chunk = [process_chunk(chunk) for chunk in chunks]
+        evaluated_per_chunk = [process_chunk(task) for task in tasks]
     else:
         # chunks touch disjoint index ranges, so concurrent writes are safe
-        evaluated_per_chunk = list(executor.map(process_chunk, chunks))
+        evaluated_per_chunk = list(executor.map(process_chunk, tasks))
     if stats is not None:
-        for chunk, evaluated in zip(chunks, evaluated_per_chunk):
+        for (chunk, _), evaluated in zip(tasks, evaluated_per_chunk):
             stats.center_evals += evaluated * chunk.shape[0]
             stats.center_evals_possible += k * chunk.shape[0]
     return int(need.shape[0])
@@ -155,15 +225,22 @@ def assign_and_balance(
     lb: np.ndarray,
     target_weights: np.ndarray,
     config: BalancedKMeansConfig,
+    workspace: SweepWorkspace | None = None,
 ) -> BalanceOutcome:
     """Algorithm 1: alternate assignment sweeps with influence adaptation.
 
     Mutates ``assignment``, ``ub``, ``lb`` in place; returns the new influence
     vector (the input array is not modified) plus balance diagnostics.
+    ``workspace`` (optional) is reused across the phase's sweeps; the phase
+    geometry is refreshed unconditionally on entry, so callers may mutate
+    ``centers`` in place between phases.
     """
     k = centers.shape[0]
     dim = points.shape[1]
     influence = np.array(influence, dtype=np.float64, copy=True)
+    if workspace is None:
+        workspace = SweepWorkspace(points, config, k)
+    workspace.begin_phase(centers)
     stats = AssignStats()
     block_w = np.zeros(k)
     imbalance = np.inf
@@ -171,7 +248,7 @@ def assign_and_balance(
     iterations = 0
     for it in range(config.max_balance_iterations):
         iterations = it + 1
-        assign_points(points, centers, influence, assignment, ub, lb, config, stats)
+        assign_points(points, centers, influence, assignment, ub, lb, config, stats, workspace)
         block_w = np.bincount(assignment, weights=weights, minlength=k)
         imbalance = float((block_w / target_weights).max() - 1.0)
         if imbalance <= config.epsilon:

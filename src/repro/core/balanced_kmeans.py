@@ -14,6 +14,7 @@ from repro.core.assign import assign_and_balance
 from repro.core.bounds import init_bounds, relax_for_influence, relax_for_movement
 from repro.core.config import BalancedKMeansConfig
 from repro.core.influence import erode_influence, estimate_cluster_diameters
+from repro.core.kernels import SweepWorkspace
 from repro.core.result import IterationStats, KMeansResult
 from repro.core.sampling import sample_schedule
 from repro.core.seeding import seed_centers
@@ -191,6 +192,9 @@ def balanced_kmeans(
             centers = new_centers
 
     # --- main loop (Algorithm 2, lines 10-19) ------------------------------
+    # One workspace for the whole run: per-point squared norms and the static
+    # SFC block boxes are computed once here, then reused by every sweep.
+    workspace = SweepWorkspace(work_pts, cfg, k)
     assignment = np.zeros(n, dtype=np.int64)
     ub, lb = init_bounds(n)
     converged = False
@@ -199,7 +203,9 @@ def balanced_kmeans(
     for it in range(cfg.max_iterations):
         iterations = it + 1
         with timers.stage("assign"):
-            outcome = assign_and_balance(work_pts, work_w, centers, influence, assignment, ub, lb, targets, cfg)
+            outcome = assign_and_balance(
+                work_pts, work_w, centers, influence, assignment, ub, lb, targets, cfg, workspace
+            )
         influence = outcome.influence
         final_imbalance = outcome.imbalance
 

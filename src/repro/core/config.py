@@ -46,11 +46,26 @@ class BalancedKMeansConfig:
         sort + redistribution, §4.1).
     chunk_size:
         Points per chunk in the vectorised assignment kernel; bounds the
-        ``chunk x k`` distance matrix.
+        ``chunk x k`` distance matrix.  Doubles as the static SFC block size
+        for the cached pruning boxes.  The default keeps the two
+        ``chunk x k`` scratch matrices L2-resident for typical ``k`` (the
+        elementwise passes of the squared-space kernel are memory-bound;
+        2048 x 64 doubles = 1 MiB per buffer) while giving the §4.4 rule
+        tight boxes — measured ~2x faster end-to-end than 8192 on the
+        ``n=200k, k=64`` trajectory workload.
     n_threads:
         Shared-memory workers for the assignment sweep: 1 = serial
         (default), 0 = one per core, n = exactly n threads.  Results are
         identical to serial; only wall-clock changes.
+    kernel_backend:
+        Top-2 reduction backend for the assignment sweep: ``"numpy"``
+        (default, vectorised squared-space kernel) or ``"numba"`` (fused
+        JIT loop avoiding the dense ``chunk x k`` matrix).  ``"numba"``
+        silently falls back to ``"numpy"`` when numba is not installed, so
+        it is always safe to request.  The numba path's dot-product
+        accumulation order differs from the GEMM, so its bounds can differ
+        in the last ulp and an assignment can flip at an exact
+        floating-point near-tie; away from ties the partitions agree.
     influence_floor / influence_ceil:
         Hard guards against degenerate influence values on pathological
         inputs.
@@ -70,8 +85,9 @@ class BalancedKMeansConfig:
     sfc_curve: str = "hilbert"
     sfc_bits: int | None = None
     sfc_sort: bool = True
-    chunk_size: int = 8192
+    chunk_size: int = 2048
     n_threads: int = 1
+    kernel_backend: str = "numpy"
     influence_floor: float = 1e-9
     influence_ceil: float = 1e9
     track_stats: bool = True
@@ -93,6 +109,8 @@ class BalancedKMeansConfig:
             raise ValueError("chunk_size must be >= 1")
         if self.n_threads < 0:
             raise ValueError("n_threads must be >= 0 (0 = one per core)")
+        if self.kernel_backend not in ("numpy", "numba"):
+            raise ValueError(f"unknown kernel_backend {self.kernel_backend!r}")
         if not (0 < self.influence_floor < 1 < self.influence_ceil):
             raise ValueError("need influence_floor < 1 < influence_ceil")
 

@@ -1,0 +1,285 @@
+"""Kernel engine for the assignment sweep: cached geometry + backend dispatch.
+
+The assignment sweep (Algorithm 1's inner loop) is the hot path of the whole
+partitioner, and most of its inputs are invariant across large parts of a
+run:
+
+- per-point squared norms never change while the point set is fixed
+  (computed once per :class:`SweepWorkspace`);
+- per-center squared norms and the block-box-to-center distance ranges only
+  change when the *centers* move (once per assign-and-balance phase, not per
+  balance iteration);
+- ``influence ** -2`` and the box-pruning candidate sets only change once
+  per sweep (not per chunk);
+- the ``(chunk, k)`` distance scratch can be preallocated once and reused
+  via ``out=`` kwargs (per worker thread, since chunks may run in a pool).
+
+:class:`SweepWorkspace` owns all of that cached state and threads it through
+:func:`repro.core.assign.assign_points`; the actual top-2 reduction runs in
+squared space (see :mod:`repro.geometry.distances`) on one of two backends:
+
+``"numpy"``
+    Vectorised two-pass masked ``argmin`` over the scaled squared-distance
+    matrix (the default; always available).
+``"numba"``
+    A fused JIT loop that computes the dot product, scaled comparison and
+    top-2 tracking per point without materialising the ``(chunk, k)``
+    matrix.  Falls back silently to ``"numpy"`` when numba is not
+    installed, so the backend switch is safe to enable unconditionally.
+
+Static SFC block decomposition (§4.4 accelerated): when ``sfc_sort`` is on
+the points are processed in space-filling-curve order, so the workspace cuts
+them once into fixed ``chunk_size`` blocks and caches each block's bounding
+box *and* its raw squared min/max distances to every center (refreshed only
+when centers move).  A balance iteration then derives its pruning candidate
+sets by rescaling those ranges with the current ``influence ** -2`` — a
+``(nblocks, k)`` elementwise pass — instead of re-deriving boxes from raw
+points for every chunk of every sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.geometry.boxes import block_bounds, blocks_min_max_sq
+from repro.geometry.distances import top2_effective
+
+__all__ = ["HAVE_NUMBA", "resolve_backend", "SweepWorkspace"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # noqa: F401
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMBA = False
+
+_NUMBA_KERNEL = None
+
+
+def resolve_backend(name: str) -> str:
+    """Resolve a configured backend name to an available one.
+
+    ``"numba"`` silently degrades to ``"numpy"`` when numba is missing, so
+    configs are portable across environments.
+    """
+    if name not in ("numpy", "numba"):
+        raise ValueError(f"unknown kernel backend {name!r}")
+    if name == "numba" and not HAVE_NUMBA:
+        return "numpy"
+    return name
+
+
+def _get_numba_kernel():
+    """Compile (once) and return the fused top-2 kernel."""
+    global _NUMBA_KERNEL
+    if _NUMBA_KERNEL is None:  # pragma: no cover - requires numba
+        from numba import njit
+
+        @njit(nogil=True, cache=False)
+        def _top2(points, centers, p_sq, c_sq, inv2, influence):
+            m, d = points.shape
+            k = centers.shape[0]
+            assign = np.empty(m, dtype=np.int64)
+            best = np.empty(m, dtype=np.float64)
+            second = np.empty(m, dtype=np.float64)
+            for i in range(m):
+                s0 = np.inf
+                s1 = np.inf
+                j0 = 0
+                j1 = -1
+                sq0 = 0.0
+                sq1 = 0.0
+                for j in range(k):
+                    dot = 0.0
+                    for dd in range(d):
+                        dot += points[i, dd] * centers[j, dd]
+                    sq = p_sq[i] - 2.0 * dot + c_sq[j]
+                    if sq < 0.0:
+                        sq = 0.0
+                    s = sq * inv2[j]
+                    if s < s0:
+                        s1 = s0
+                        j1 = j0
+                        sq1 = sq0
+                        s0 = s
+                        j0 = j
+                        sq0 = sq
+                    elif s < s1:
+                        s1 = s
+                        j1 = j
+                        sq1 = sq
+                assign[i] = j0
+                best[i] = np.sqrt(sq0) / influence[j0]
+                if j1 >= 0:
+                    second[i] = np.sqrt(sq1) / influence[j1]
+                else:
+                    second[i] = np.inf
+            return assign, best, second
+
+        _NUMBA_KERNEL = _top2
+    return _NUMBA_KERNEL
+
+
+class SweepWorkspace:
+    """Sweep-invariant cached geometry for assignment sweeps over one point set.
+
+    Lifetimes of the cached pieces:
+
+    ==========================  =========================================
+    cached                      recomputed when
+    ==========================  =========================================
+    ``points_sq``               never (points are fixed per workspace)
+    static block boxes          never (SFC order is fixed per workspace)
+    ``centers_sq``, block       :meth:`begin_phase` — i.e. when the center
+    min/max squared ranges      array changes (checked by identity)
+    ``inv_influence_sq``,       every :meth:`prepare` call (per sweep)
+    pruning candidate sets
+    scratch buffers             never (allocated lazily per worker thread)
+    ==========================  =========================================
+
+    Center changes are detected by object identity, so callers that mutate a
+    center array *in place* must call :meth:`begin_phase` explicitly
+    (``assign_and_balance`` does this once per phase).
+    """
+
+    def __init__(self, points: np.ndarray, config, k: int):
+        self.points = np.ascontiguousarray(points, dtype=np.float64)
+        self.k = int(k)
+        self.config = config
+        self.backend = resolve_backend(getattr(config, "kernel_backend", "numpy"))
+        self.points_sq = np.einsum("ij,ij->i", self.points, self.points)
+        self._tls = threading.local()
+        self._centers_ref: np.ndarray | None = None
+        self.centers: np.ndarray | None = None
+        self.centers_sq: np.ndarray | None = None
+        self.influence: np.ndarray | None = None
+        self.inv_influence_sq: np.ndarray | None = None
+        # static SFC block decomposition (boxes computed once per run);
+        # empty point sets (e.g. an empty rank in the distributed runtime)
+        # have nothing to sweep, so no blocks
+        self.block_size = int(config.chunk_size)
+        self.has_static_blocks = bool(
+            config.sfc_sort and config.use_box_pruning and self.k > 2 and self.points.shape[0] > 0
+        )
+        if self.has_static_blocks:
+            self.block_lo, self.block_hi = block_bounds(self.points, self.block_size)
+            self.n_blocks = self.block_lo.shape[0]
+        else:
+            self.block_lo = self.block_hi = None
+            self.n_blocks = 0
+        self._block_min_sq: np.ndarray | None = None
+        self._block_max_sq: np.ndarray | None = None
+        self._block_cand_mask: np.ndarray | None = None
+        self._block_cand_counts: np.ndarray | None = None
+        self._block_cand_cache: dict[int, np.ndarray | None] = {}
+
+    # -- phase / sweep setup ------------------------------------------------
+
+    def begin_phase(self, centers: np.ndarray) -> None:
+        """Cache geometry that only depends on the centers (once per phase)."""
+        if centers.shape[0] != self.k:
+            raise ValueError(f"expected {self.k} centers, got {centers.shape[0]}")
+        self._centers_ref = centers
+        self.centers = np.ascontiguousarray(centers, dtype=np.float64)
+        self.centers_sq = np.einsum("ij,ij->i", self.centers, self.centers)
+        if self.has_static_blocks:
+            self._block_min_sq, self._block_max_sq = blocks_min_max_sq(
+                self.block_lo, self.block_hi, self.centers
+            )
+
+    def prepare(self, centers: np.ndarray, influence: np.ndarray) -> None:
+        """Per-sweep setup: refresh center caches if needed, rescale for influence."""
+        if centers is not self._centers_ref:
+            self.begin_phase(centers)
+        influence = np.asarray(influence, dtype=np.float64)
+        if np.any(influence <= 0):
+            raise ValueError("influence values must be strictly positive")
+        self.influence = influence
+        self.inv_influence_sq = influence**-2.0
+        self._block_cand_cache.clear()
+        if self.has_static_blocks:
+            # exact §4.4 rule in squared space, all blocks at once: a center
+            # whose min effective distance to the box exceeds the
+            # second-smallest max effective distance can be neither best nor
+            # runner-up for any point in the box.
+            min_eff = self._block_min_sq * self.inv_influence_sq[None, :]
+            max_eff = self._block_max_sq * self.inv_influence_sq[None, :]
+            threshold = np.partition(max_eff, 1, axis=1)[:, 1]
+            self._block_cand_mask = min_eff <= threshold[:, None]
+            self._block_cand_counts = self._block_cand_mask.sum(axis=1)
+
+    # -- pruning ------------------------------------------------------------
+
+    def block_candidates(self, block: int) -> np.ndarray | None:
+        """Candidate centers for static block ``block`` under the current sweep.
+
+        Returns ``None`` for "evaluate all centers" (no pruning possible).
+        """
+        if self._block_cand_mask is None:
+            return None
+        if self._block_cand_counts[block] >= self.k:
+            return None
+        cached = self._block_cand_cache.get(block, False)
+        if cached is False:
+            cached = np.flatnonzero(self._block_cand_mask[block])
+            self._block_cand_cache[block] = cached
+        return cached
+
+    # -- kernels ------------------------------------------------------------
+
+    def _scratch(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-thread ``(chunk_size, k)`` scratch (chunks may run in a pool)."""
+        bufs = getattr(self._tls, "bufs", None)
+        if bufs is None:
+            bufs = (
+                np.empty((self.block_size, self.k)),
+                np.empty((self.block_size, self.k)),
+            )
+            self._tls.bufs = bufs
+        return bufs
+
+    def top2(
+        self,
+        chunk_points: np.ndarray,
+        chunk_idx: np.ndarray | slice,
+        candidate_idx: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Top-2 effective distances for one chunk, using all cached geometry.
+
+        ``chunk_idx`` selects the chunk's rows within the workspace point set
+        (index array or slice) so the cached per-point norms line up with
+        ``chunk_points``.
+        """
+        p_sq = self.points_sq[chunk_idx]
+        if self.backend == "numba":  # pragma: no cover - requires numba
+            kernel = _get_numba_kernel()
+            if candidate_idx is None:
+                centers, c_sq = self.centers, self.centers_sq
+                inv2, infl = self.inv_influence_sq, self.influence
+            else:
+                centers = self.centers[candidate_idx]
+                c_sq = self.centers_sq[candidate_idx]
+                inv2 = self.inv_influence_sq[candidate_idx]
+                infl = self.influence[candidate_idx]
+            assign, best, second = kernel(
+                np.ascontiguousarray(chunk_points), centers, p_sq, c_sq, inv2, infl
+            )
+            if candidate_idx is not None:
+                assign = np.asarray(candidate_idx, dtype=np.int64)[assign]
+            return assign, best, second
+        sq_out = scaled_out = None
+        if candidate_idx is None and chunk_points.shape[0] <= self.block_size:
+            sq_out, scaled_out = self._scratch()
+        return top2_effective(
+            chunk_points,
+            self.centers,
+            self.influence,
+            candidate_idx,
+            p_sq=p_sq,
+            c_sq=self.centers_sq,
+            inv_influence_sq=self.inv_influence_sq,
+            sq_out=sq_out,
+            scaled_out=scaled_out,
+        )

@@ -11,16 +11,26 @@ it exists behind a switch with bit-identical results.
 
 Enable via ``BalancedKMeansConfig(n_threads=...)``; results are bit-identical
 to the serial path (same chunks, same kernels — only the schedule differs).
+
+Pool lifecycle: pools are cached per worker count and reused across k-means
+iterations and runs (thread startup is ~ms, the assignment sweep may be
+called hundreds of times).  At most :data:`_MAX_POOLS` distinct sizes are
+kept alive — least-recently-used sizes are shut down on demand, so a
+long-lived session sweeping over many ``n_threads`` values does not leak one
+pool per size — and an ``atexit`` hook tears everything down at interpreter
+shutdown.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ThreadPoolExecutor
 
 __all__ = ["resolve_threads", "get_executor", "shutdown_executors"]
 
-_POOLS: dict[int, ThreadPoolExecutor] = {}
+_POOLS: dict[int, ThreadPoolExecutor] = {}  # insertion order = LRU order
+_MAX_POOLS = 2
 
 
 def resolve_threads(n_threads: int) -> int:
@@ -35,21 +45,27 @@ def resolve_threads(n_threads: int) -> int:
 def get_executor(n_threads: int) -> ThreadPoolExecutor | None:
     """A cached thread pool for ``n_threads`` workers, or ``None`` for serial.
 
-    Pools are reused across k-means iterations and runs (thread startup is
-    ~ms, the assignment sweep may be called hundreds of times).
+    Requesting a size marks it most-recently-used; stale sizes beyond
+    :data:`_MAX_POOLS` are shut down and evicted.
     """
     workers = resolve_threads(n_threads)
     if workers <= 1:
         return None
-    pool = _POOLS.get(workers)
+    pool = _POOLS.pop(workers, None)
     if pool is None:
         pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-assign")
-        _POOLS[workers] = pool
+    _POOLS[workers] = pool  # re-insert as most recently used
+    while len(_POOLS) > _MAX_POOLS:
+        oldest = next(iter(_POOLS))
+        _POOLS.pop(oldest).shutdown(wait=False)
     return pool
 
 
 def shutdown_executors() -> None:
-    """Tear down all cached pools (used by tests)."""
+    """Tear down all cached pools (tests and the ``atexit`` hook)."""
     for pool in _POOLS.values():
         pool.shutdown(wait=True)
     _POOLS.clear()
+
+
+atexit.register(shutdown_executors)

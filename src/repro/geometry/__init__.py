@@ -1,17 +1,21 @@
 """Geometric primitives: bounding boxes and (effective-)distance kernels."""
 
-from repro.geometry.boxes import BoundingBox
+from repro.geometry.boxes import BoundingBox, block_bounds, blocks_min_max_sq
 from repro.geometry.distances import (
     effective_distances,
     pairwise_distances,
     pairwise_sq_distances,
     top2_effective,
+    top2_effective_reference,
 )
 
 __all__ = [
     "BoundingBox",
+    "block_bounds",
+    "blocks_min_max_sq",
     "pairwise_sq_distances",
     "pairwise_distances",
     "effective_distances",
     "top2_effective",
+    "top2_effective_reference",
 ]

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BoundingBox"]
+__all__ = ["BoundingBox", "block_bounds", "blocks_min_max_sq"]
 
 
 @dataclass(frozen=True)
@@ -70,18 +70,20 @@ class BoundingBox:
         pts = np.asarray(points, dtype=np.float64)
         return np.all((pts >= self.lo) & (pts <= self.hi), axis=-1)
 
-    def min_dist(self, points: np.ndarray) -> np.ndarray:
-        """Euclidean distance from each query point to the nearest box point.
+    def min_sq_dist(self, points: np.ndarray) -> np.ndarray:
+        """Squared distance from each query point to the nearest box point.
 
         Zero for points inside the box.  Vectorised over an ``(m, d)`` array.
+        The squared form is what the box-pruning rule compares (sqrt is
+        monotone, so pruning in squared space is exact and sqrt-free).
         """
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
         below = np.maximum(self.lo - pts, 0.0)
         above = np.maximum(pts - self.hi, 0.0)
-        return np.sqrt(np.sum(below * below + above * above, axis=-1))
+        return np.sum(below * below + above * above, axis=-1)
 
-    def max_dist(self, points: np.ndarray) -> np.ndarray:
-        """Euclidean distance from each query point to the farthest box corner.
+    def max_sq_dist(self, points: np.ndarray) -> np.ndarray:
+        """Squared distance from each query point to the farthest box corner.
 
         The farthest corner is found per-dimension: it is whichever of
         ``lo``/``hi`` is farther from the query coordinate.
@@ -90,7 +92,15 @@ class BoundingBox:
         d_lo = np.abs(pts - self.lo)
         d_hi = np.abs(pts - self.hi)
         farthest = np.maximum(d_lo, d_hi)
-        return np.sqrt(np.sum(farthest * farthest, axis=-1))
+        return np.sum(farthest * farthest, axis=-1)
+
+    def min_dist(self, points: np.ndarray) -> np.ndarray:
+        """Euclidean distance from each query point to the nearest box point."""
+        return np.sqrt(self.min_sq_dist(points))
+
+    def max_dist(self, points: np.ndarray) -> np.ndarray:
+        """Euclidean distance from each query point to the farthest box corner."""
+        return np.sqrt(self.max_sq_dist(points))
 
     def split(self, dim: int, value: float) -> tuple["BoundingBox", "BoundingBox"]:
         """Split the box at ``value`` along axis ``dim`` (used by RCB/MJ)."""
@@ -104,3 +114,41 @@ class BoundingBox:
 
     def union(self, other: "BoundingBox") -> "BoundingBox":
         return BoundingBox(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+
+def block_bounds(points: np.ndarray, block_size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Bounding boxes of consecutive ``block_size`` slices of ``points``.
+
+    Returns ``(lo, hi)`` arrays of shape ``(nblocks, d)`` where block ``b``
+    covers rows ``[b * block_size, (b + 1) * block_size)``.  When the points
+    are sorted along a space-filling curve these static blocks are spatially
+    compact, so their boxes (computed once per run) can replace the per-sweep
+    per-chunk boxes in the pruning rule.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError("block_bounds requires a non-empty (n, d) array")
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    starts = np.arange(0, pts.shape[0], block_size)
+    lo = np.minimum.reduceat(pts, starts, axis=0)
+    hi = np.maximum.reduceat(pts, starts, axis=0)
+    return lo, hi
+
+
+def blocks_min_max_sq(
+    lo: np.ndarray, hi: np.ndarray, centers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Squared min/max distances from every block box to every center.
+
+    ``lo``/``hi`` are ``(nblocks, d)`` stacked box bounds; returns two
+    ``(nblocks, k)`` arrays.  Computed once per center set (the influence
+    scaling happens per sweep, outside this function).
+    """
+    c = np.asarray(centers, dtype=np.float64)
+    below = np.maximum(lo[:, None, :] - c[None, :, :], 0.0)
+    above = np.maximum(c[None, :, :] - hi[:, None, :], 0.0)
+    min_sq = np.sum(below * below + above * above, axis=-1)
+    farthest = np.maximum(np.abs(c[None, :, :] - lo[:, None, :]), np.abs(c[None, :, :] - hi[:, None, :]))
+    max_sq = np.sum(farthest * farthest, axis=-1)
+    return min_sq, max_sq

@@ -8,6 +8,23 @@ Assignment minimises the effective distance, which produces multiplicatively
 weighted Voronoi regions.  All kernels are vectorised; the only Python-level
 loop in the hot path is over chunks of points (to bound the ``chunk x k``
 temporary).
+
+Squared-space trick (the kernel-engine hot path): because ``sqrt`` is
+monotone, ``argmin_c dist(p, c) / influence(c)`` equals
+``argmin_c |p - c|^2 * influence(c)^-2``, so the top-2 reduction runs on the
+squared-distance matrix scaled by the precomputed ``inv_influence_sq`` and
+only the two *winning* columns per point are pushed through ``sqrt`` and the
+division.  The winning values are computed with exactly the same elementwise
+operations (``sqrt(sq) / influence``) as the full-matrix reference, so the
+returned ``(assign, best, second)`` triple is bit-identical to
+:func:`top2_effective_reference` whenever the selection is unambiguous (i.e.
+outside exact floating-point ties, which have measure zero for continuous
+inputs).
+
+All sweep-invariant inputs (per-point squared norms, per-sweep center norms,
+``influence ** -2``, scratch buffers) can be supplied by the caller — see
+:class:`repro.core.kernels.SweepWorkspace` — and are recomputed on the fly
+when omitted, keeping the standalone call signature unchanged.
 """
 
 from __future__ import annotations
@@ -19,21 +36,41 @@ __all__ = [
     "pairwise_distances",
     "effective_distances",
     "top2_effective",
+    "top2_effective_reference",
 ]
 
 
-def pairwise_sq_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+def pairwise_sq_distances(
+    points: np.ndarray,
+    centers: np.ndarray,
+    p_sq: np.ndarray | None = None,
+    c_sq: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Squared Euclidean distances, shape ``(n, k)``.
 
     Uses the expansion ``|p - c|^2 = |p|^2 - 2 p.c + |c|^2`` so the dominant
     cost is a single GEMM; negatives from floating-point cancellation are
     clipped to zero.
+
+    ``p_sq`` / ``c_sq`` optionally supply precomputed squared norms (the
+    kernel engine caches them per run / per sweep); ``out`` supplies a
+    preallocated C-contiguous ``(n, k)`` buffer receiving the GEMM and all
+    subsequent elementwise passes, eliminating per-chunk allocations.
     """
     p = np.asarray(points, dtype=np.float64)
     c = np.asarray(centers, dtype=np.float64)
-    p_sq = np.einsum("ij,ij->i", p, p)
-    c_sq = np.einsum("ij,ij->i", c, c)
-    sq = p_sq[:, None] - 2.0 * (p @ c.T) + c_sq[None, :]
+    if p_sq is None:
+        p_sq = np.einsum("ij,ij->i", p, p)
+    if c_sq is None:
+        c_sq = np.einsum("ij,ij->i", c, c)
+    if out is None:
+        sq = p_sq[:, None] - 2.0 * (p @ c.T) + c_sq[None, :]
+    else:
+        sq = np.dot(p, c.T, out=out)
+        sq *= -2.0
+        sq += p_sq[:, None]
+        sq += c_sq[None, :]
     np.maximum(sq, 0.0, out=sq)
     return sq
 
@@ -53,13 +90,52 @@ def effective_distances(
     return pairwise_distances(points, centers) / influence[None, :]
 
 
-def top2_effective(
+def top2_effective_reference(
     points: np.ndarray,
     centers: np.ndarray,
     influence: np.ndarray,
     candidate_idx: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Best and second-best effective distance per point.
+    """Reference top-2 reduction via the full effective-distance matrix.
+
+    Materialises the dense ``sqrt``-and-divide matrix and reduces it with two
+    masked ``argmin`` passes.  This is the golden path the squared-space
+    kernel (:func:`top2_effective`) is property-tested against, and the
+    "old path" timed by ``benchmarks/test_kernels_bench.py``.
+    """
+    if candidate_idx is not None:
+        centers = centers[candidate_idx]
+        influence = np.asarray(influence)[candidate_idx]
+    eff = effective_distances(points, centers, influence)
+    n, k = eff.shape
+    if k == 1:
+        assign = np.zeros(n, dtype=np.int64)
+        best = eff[:, 0].copy()
+        second = np.full(n, np.inf)
+    else:
+        assign = eff.argmin(axis=1).astype(np.int64)
+        rows = np.arange(n)
+        best = eff[rows, assign]
+        eff[rows, assign] = np.inf
+        second = eff[rows, eff.argmin(axis=1)]
+    if candidate_idx is not None:
+        assign = np.asarray(candidate_idx, dtype=np.int64)[assign]
+    return assign, best, second
+
+
+def top2_effective(
+    points: np.ndarray,
+    centers: np.ndarray,
+    influence: np.ndarray,
+    candidate_idx: np.ndarray | None = None,
+    *,
+    p_sq: np.ndarray | None = None,
+    c_sq: np.ndarray | None = None,
+    inv_influence_sq: np.ndarray | None = None,
+    sq_out: np.ndarray | None = None,
+    scaled_out: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Best and second-best effective distance per point (squared-space kernel).
 
     Parameters
     ----------
@@ -67,6 +143,15 @@ def top2_effective(
         Optional index array restricting the evaluated centers (produced by
         the bounding-box pruning rule).  Returned assignments are *global*
         center indices.
+    p_sq, c_sq, inv_influence_sq:
+        Optional cached geometry: per-point squared norms (aligned with
+        ``points``), per-center squared norms and ``influence ** -2``
+        (aligned with the *full* center set; sliced internally when
+        ``candidate_idx`` is given).  Computed on the fly when omitted.
+    sq_out, scaled_out:
+        Optional preallocated C-contiguous scratch of shape ``>= (n, k)``
+        for the squared-distance and scaled matrices (only used when no
+        candidate subset is active, so the GEMM ``out=`` stays contiguous).
 
     Returns
     -------
@@ -75,24 +160,36 @@ def top2_effective(
         distance, ``second[i]`` the runner-up distance (``inf`` when only one
         candidate exists).
     """
+    influence = np.asarray(influence, dtype=np.float64)
+    if inv_influence_sq is None:
+        if np.any(influence <= 0):
+            raise ValueError("influence values must be strictly positive")
+        inv_influence_sq = influence**-2.0
     if candidate_idx is not None:
         centers = centers[candidate_idx]
-        influence = np.asarray(influence)[candidate_idx]
-    eff = effective_distances(points, centers, influence)
-    k = eff.shape[1]
+        influence = influence[candidate_idx]
+        inv_influence_sq = inv_influence_sq[candidate_idx]
+        c_sq = None if c_sq is None else c_sq[candidate_idx]
+        sq_out = scaled_out = None  # sliced GEMM output would not be contiguous
+    n = np.asarray(points).shape[0]
+    k = centers.shape[0]
+    use_scratch = sq_out is not None and sq_out.shape[0] >= n and sq_out.shape[1] == k
+    sq = pairwise_sq_distances(points, centers, p_sq=p_sq, c_sq=c_sq, out=sq_out[:n] if use_scratch else None)
     if k == 1:
-        assign = np.zeros(eff.shape[0], dtype=np.int64)
-        best = eff[:, 0].copy()
-        second = np.full(eff.shape[0], np.inf)
+        assign = np.zeros(n, dtype=np.int64)
+        best = np.sqrt(sq[:, 0]) / influence[0]
+        second = np.full(n, np.inf)
     else:
-        part = np.argpartition(eff, 1, axis=1)[:, :2]
-        rows = np.arange(eff.shape[0])
-        d0 = eff[rows, part[:, 0]]
-        d1 = eff[rows, part[:, 1]]
-        swap = d1 < d0
-        best = np.where(swap, d1, d0)
-        second = np.where(swap, d0, d1)
-        assign = np.where(swap, part[:, 1], part[:, 0]).astype(np.int64)
+        if use_scratch and scaled_out is not None and scaled_out.shape[0] >= n and scaled_out.shape[1] == k:
+            scaled = np.multiply(sq, inv_influence_sq[None, :], out=scaled_out[:n])
+        else:
+            scaled = sq * inv_influence_sq[None, :]
+        assign = scaled.argmin(axis=1).astype(np.int64)
+        rows = np.arange(n)
+        best = np.sqrt(sq[rows, assign]) / influence[assign]
+        scaled[rows, assign] = np.inf
+        runner = scaled.argmin(axis=1)
+        second = np.sqrt(sq[rows, runner]) / influence[runner]
     if candidate_idx is not None:
         assign = np.asarray(candidate_idx, dtype=np.int64)[assign]
     return assign, best, second

@@ -31,6 +31,7 @@ from repro.core.assign import assign_points
 from repro.core.bounds import init_bounds, relax_for_influence, relax_for_movement
 from repro.core.config import BalancedKMeansConfig
 from repro.core.influence import adapt_influence, erode_influence
+from repro.core.kernels import SweepWorkspace
 from repro.runtime.comm import CostLedger, VirtualComm
 from repro.runtime.costmodel import MachineModel, MachineTopology
 from repro.runtime.distsort import distributed_sort
@@ -167,6 +168,10 @@ def distributed_balanced_kmeans(
     assignment = [np.zeros(c, dtype=np.int64) for c in counts]
     bound_pairs = [init_bounds(c) for c in counts]
     rank_rngs = spawn_rngs(gen, p)
+    # rank-local kernel workspaces, built once after redistribution and
+    # reused across every sweep/iteration (point norms + static block boxes
+    # are sweep-invariant; center/influence caches refresh per phase/sweep)
+    workspaces = [SweepWorkspace(local_pts[r], cfg, k) for r in range(p)]
 
     # -- sampled initialisation rounds (per rank, §4.5) -----------------------
     # (skipped on warm starts: the previous centers are already near-optimal)
@@ -187,6 +192,7 @@ def distributed_balanced_kmeans(
             s_pts, s_w, s_assign = local_pts, local_w, assignment
             s_bounds = bound_pairs
             s_targets = targets
+            s_workspaces = workspaces
         else:
             s_pts = [local_pts[r][subset[r]] for r in range(p)]
             s_w = [local_w[r][subset[r]] for r in range(p)]
@@ -194,13 +200,15 @@ def distributed_balanced_kmeans(
             s_bounds = [init_bounds(len(subset[r])) for r in range(p)]
             frac = sum(float(sw.sum()) for sw in s_w) / total_w
             s_targets = targets * frac
+            s_workspaces = [SweepWorkspace(s_pts[r], cfg, k) for r in range(p)]
         balanced = False
         for bit in range(cfg.max_balance_iterations):
             comm.set_stage("kmeans")
 
             def sweep(r: int) -> np.ndarray:
                 ub, lb = s_bounds[r]
-                assign_points(s_pts[r], centers, influence, s_assign[r], ub, lb, cfg)
+                assign_points(s_pts[r], centers, influence, s_assign[r], ub, lb, cfg,
+                              workspace=s_workspaces[r])
                 return np.bincount(s_assign[r], weights=s_w[r], minlength=k)
 
             block_w = comm.allreduce(comm.run_local(sweep))

@@ -39,6 +39,38 @@ class TestExecutorCache:
         assert a is not b
         shutdown_executors()
 
+    def test_stale_sizes_evicted(self):
+        """Long-lived sessions must not leak one pool per distinct n_threads."""
+        from repro.core import parallel
+
+        shutdown_executors()
+        pools = [get_executor(w) for w in (2, 3, 4, 5)]
+        assert len(parallel._POOLS) <= parallel._MAX_POOLS
+        # the least-recently-used pools were shut down, the newest survives
+        assert pools[0]._shutdown and pools[1]._shutdown
+        assert not pools[-1]._shutdown
+        shutdown_executors()
+
+    def test_lru_touch_keeps_pool_alive(self):
+        shutdown_executors()
+        a = get_executor(2)
+        get_executor(3)
+        assert get_executor(2) is a  # re-request marks it most recently used
+        get_executor(4)  # evicts 3, not 2
+        assert not a._shutdown
+        shutdown_executors()
+
+    def test_shutdown_idempotent_and_registered_atexit(self):
+        import atexit
+
+        shutdown_executors()
+        shutdown_executors()  # second call is a no-op
+        # re-registering the exact handler would be a bug magnet; make sure
+        # the module-level registration survives (unregister returns None
+        # regardless, but a registered callable can be unregistered once)
+        atexit.unregister(shutdown_executors)
+        atexit.register(shutdown_executors)
+
 
 class TestThreadedKMeans:
     def test_identical_to_serial(self):
