@@ -1,0 +1,81 @@
+"""Repo-level pytest configuration: tier markers + golden regression fixtures.
+
+Markers (registered in pyproject.toml):
+
+- ``tier1`` — the default tier; applied automatically to every test that
+  carries neither ``slow`` nor ``process_backend``, so ``pytest -m tier1``
+  is the fast gate.
+- ``slow`` — long-running tests, excluded from the tier-1 selection.
+- ``process_backend`` — tests that spawn real worker processes
+  (:class:`repro.runtime.procomm.ProcessComm`); CI runs them as their own
+  job via ``pytest -m process_backend``.
+
+Golden fixtures: tests call ``golden("name", {...})`` to compare a dict of
+metrics against ``tests/golden/name.json``.  Run with ``--update-golden``
+to (re)freeze the snapshots after an intentional kernel/backend change;
+the diff of the JSON files then documents exactly what moved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "tests", "golden")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden regression fixtures under tests/golden/",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if not any(m.name in ("slow", "process_backend") for m in item.iter_markers()):
+            item.add_marker(pytest.mark.tier1)
+
+
+@pytest.fixture
+def golden(request):
+    """Compare a flat dict of metrics against a frozen JSON snapshot.
+
+    Ints compare exactly; floats with 1e-9 relative tolerance (they are
+    deterministic on one machine but may move across numpy releases, and a
+    kernel change that shifts them more than that is exactly what this
+    guard exists to surface).
+    """
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, value: dict) -> None:
+        path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        if update:
+            os.makedirs(GOLDEN_DIR, exist_ok=True)
+            with open(path, "w") as fh:
+                json.dump(value, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            pytest.skip(f"golden fixture {name!r} updated")
+        if not os.path.exists(path):
+            pytest.fail(
+                f"missing golden fixture {path}; run pytest --update-golden to create it"
+            )
+        with open(path) as fh:
+            frozen = json.load(fh)
+        assert sorted(value) == sorted(frozen), (
+            f"golden fixture {name!r} keys changed: {sorted(value)} vs {sorted(frozen)}"
+        )
+        for key, want in frozen.items():
+            got = value[key]
+            if isinstance(want, float):
+                assert got == pytest.approx(want, rel=1e-9, abs=1e-12), (
+                    f"{name}.{key}: got {got!r}, frozen {want!r}"
+                )
+            else:
+                assert got == want, f"{name}.{key}: got {got!r}, frozen {want!r}"
+
+    return check

@@ -9,8 +9,9 @@ Public API overview
 - :mod:`repro.mesh` — synthetic twins of the paper's benchmark meshes.
 - :mod:`repro.metrics` — edge cut, communication volumes, iFUB diameters,
   imbalance, and the Figure-2 aggregation.
-- :mod:`repro.runtime` — simulated SPMD/MPI runtime with an alpha-beta cost
-  model for the scaling experiments (Figures 3-4).
+- :mod:`repro.runtime` — SPMD runtime behind pluggable execution backends:
+  ``"virtual"`` (alpha-beta cost model, for the Figure 3-4 scaling
+  experiments) and ``"process"`` (real worker processes, measured timings).
 - :mod:`repro.spmv` — halo-exchange plans and the SpMV communication-time
   metric (``timeComm``).
 - :mod:`repro.experiments` — one module per paper table/figure.
@@ -25,9 +26,9 @@ from repro.partitioners import (
     available_partitioners,
     get_partitioner,
 )
-from repro.runtime import MachineTopology
+from repro.runtime import MachineTopology, available_backends, make_comm
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "balanced_kmeans",
@@ -42,5 +43,7 @@ __all__ = [
     "available_partitioners",
     "HierarchicalPartitioner",
     "MachineTopology",
+    "make_comm",
+    "available_backends",
     "__version__",
 ]

@@ -8,9 +8,17 @@ Commands
 - ``repartition`` — adaptive warm-vs-cold repartitioning with migration volume;
 - ``compare``     — all tools on one instance, Table-1/2 style;
 - ``visualize``   — write the partition (2-D meshes) as SVG;
+- ``distributed`` — run the distributed Geographer on an execution backend;
+- ``spmv``        — execute a distributed SpMV through the halo plan;
 - ``scaling``     — weak/strong scaling series (Figure 3);
 - ``experiments`` — regenerate a named paper artifact (figure1..figure4,
   table1, table2, components, repartition).
+
+Commands that exercise the SPMD runtime (``distributed``, ``spmv``,
+``scaling``) accept ``--backend virtual|process``: virtual simulates ranks
+in-process and reports machine-model (modeled) timings; process runs real
+worker processes and reports measured wall-clock.  The default honours the
+``REPRO_BACKEND`` environment variable, then falls back to virtual.
 """
 
 from __future__ import annotations
@@ -79,9 +87,39 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--scale", type=float, default=1.0)
     v.add_argument("--seed", type=int, default=0)
 
+    from repro.runtime.comm import available_backends
+
+    backends = available_backends()
+
+    d = sub.add_parser("distributed", help="distributed Geographer on an execution backend")
+    d.add_argument("instance", help="registry instance name or .graph file path")
+    d.add_argument("-k", type=int, default=16, help="number of blocks (default 16)")
+    d.add_argument("-p", "--nranks", type=int, default=4, help="ranks (default 4)")
+    d.add_argument("--backend", choices=backends, default=None,
+                   help="execution backend (default: $REPRO_BACKEND, then virtual)")
+    d.add_argument("--epsilon", type=float, default=0.03)
+    d.add_argument("--scale", type=float, default=1.0)
+    d.add_argument("--seed", type=int, default=0)
+
+    sp = sub.add_parser("spmv", help="distributed SpMV through the halo plan")
+    sp.add_argument("instance", help="registry instance name or .graph file path")
+    sp.add_argument("-k", type=int, default=16, help="number of blocks (default 16)")
+    sp.add_argument("-p", "--nranks", type=int, default=4, help="ranks (default 4)")
+    sp.add_argument("--backend", choices=backends, default=None,
+                    help="execution backend (default: $REPRO_BACKEND, then virtual)")
+    sp.add_argument("--tool", default="Geographer", help="partitioner producing the blocks")
+    sp.add_argument("--scale", type=float, default=1.0)
+    sp.add_argument("--seed", type=int, default=0)
+
     s = sub.add_parser("scaling", help="weak/strong scaling series")
     s.add_argument("mode", choices=("weak", "strong"))
     s.add_argument("--ranks", type=int, nargs="+", default=None)
+    s.add_argument("--backend", choices=backends, default=None,
+                   help="execution backend for the measured points (rank counts up to "
+                        "--measured-max-ranks; larger points are always modeled)")
+    s.add_argument("--measured-max-ranks", type=int, default=None,
+                   help="back points with a real run up to this many ranks "
+                        "(default: 8 for weak, 0 for strong; 16 when --backend is given)")
     s.add_argument("--seed", type=int, default=0)
 
     e = sub.add_parser("experiments", help="regenerate a paper artifact")
@@ -206,15 +244,60 @@ def _cmd_visualize(args) -> None:
     print(f"wrote {args.output}")
 
 
+def _cmd_distributed(args) -> None:
+    from repro.experiments.harness import format_ledger, format_rows, run_distributed_on_mesh
+
+    mesh = _load_mesh(args.instance, args.scale, args.seed)
+    print(f"{mesh}")
+    row, result = run_distributed_on_mesh(
+        mesh, args.k, args.nranks, backend=args.backend,
+        epsilon=args.epsilon, seed=args.seed,
+    )
+    print(format_rows([row]))
+    state = "converged" if result.converged else "iteration cap"
+    print(f"\nbackend={result.backend} p={result.nranks}: "
+          f"{result.iterations} iterations ({state}), imbalance {result.imbalance:.3f}")
+    print(format_ledger(result.ledger, measured=result.measured))
+
+
+def _cmd_spmv(args) -> None:
+    import numpy as np
+
+    from repro.experiments.harness import format_ledger
+    from repro.partitioners.base import get_partitioner
+    from repro.runtime.comm import make_comm
+    from repro.spmv.distspmv import distributed_spmv
+
+    mesh = _load_mesh(args.instance, args.scale, args.seed)
+    result = get_partitioner(args.tool).partition_mesh(mesh, args.k, rng=args.seed)
+    x = np.random.default_rng(args.seed).random(mesh.n)
+    with make_comm(args.nranks, backend=args.backend) as comm:
+        y, comm_time = distributed_spmv(mesh, result.assignment, args.k, x, comm=comm)
+        err = float(np.abs(y - mesh.to_scipy() @ x).max())
+        print(f"{mesh}\n{args.tool} partition, k={args.k}, p={comm.nranks}, "
+              f"backend={comm.kind}")
+        print(f"max |y_dist - y_global| = {err:.3e}  (halo plan complete: {err == 0.0})")
+        print(f"modeled halo-exchange time: {comm_time:.3e} s")
+        print(format_ledger(comm.ledger, measured=comm.measured))
+
+
 def _cmd_scaling(args) -> None:
     from repro.experiments import figure3
 
+    # asking for a backend means asking for measured points: raise the
+    # measured cutoff so small rank counts actually execute on it
+    measured_max = args.measured_max_ranks
+    if measured_max is None and args.backend is not None:
+        measured_max = 16
+    extra = {} if measured_max is None else {"measured_max_ranks": measured_max}
     if args.mode == "weak":
         ranks = tuple(args.ranks) if args.ranks else (32, 128, 512, 2048, 8192)
-        points = figure3.run_weak(rank_counts=ranks, seed=args.seed)
+        points = figure3.run_weak(rank_counts=ranks, seed=args.seed,
+                                  backend=args.backend, **extra)
     else:
         ranks = tuple(args.ranks) if args.ranks else (1024, 2048, 4096, 8192, 16384)
-        points = figure3.run_strong(rank_counts=ranks, seed=args.seed)
+        points = figure3.run_strong(rank_counts=ranks, seed=args.seed,
+                                    backend=args.backend, **extra)
     print(figure3.format_points(points, title=f"{args.mode} scaling"))
 
 
@@ -263,6 +346,8 @@ def main(argv: list[str] | None = None) -> int:
         "compare": lambda: _cmd_compare(args),
         "refine": lambda: _cmd_refine(args),
         "visualize": lambda: _cmd_visualize(args),
+        "distributed": lambda: _cmd_distributed(args),
+        "spmv": lambda: _cmd_spmv(args),
         "scaling": lambda: _cmd_scaling(args),
         "experiments": lambda: _cmd_experiments(args),
     }

@@ -28,6 +28,7 @@ def run_weak(
     measured_max_ranks: int = 8,
     machine: MachineModel | None = None,
     seed: int = 0,
+    backend: str | None = None,
 ) -> list[ScalingPoint]:
     """Figure 3a (paper: 250k points/rank; default here 4k for laptop scale)."""
     return weak_scaling(
@@ -36,6 +37,7 @@ def run_weak(
         measured_max_ranks=measured_max_ranks,
         machine=machine,
         rng=seed,
+        backend=backend,
     )
 
 
@@ -45,6 +47,7 @@ def run_strong(
     measured_max_ranks: int = 0,
     machine: MachineModel | None = None,
     seed: int = 0,
+    backend: str | None = None,
 ) -> list[ScalingPoint]:
     """Figure 3b (paper: Delaunay2B; local work fully modeled at this n)."""
     return strong_scaling(
@@ -53,6 +56,7 @@ def run_strong(
         measured_max_ranks=measured_max_ranks,
         machine=machine,
         rng=seed,
+        backend=backend,
     )
 
 

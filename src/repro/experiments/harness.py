@@ -11,7 +11,15 @@ from repro.mesh.graph import GeometricMesh
 from repro.metrics.report import MetricRow, evaluate_partition
 from repro.partitioners.base import get_partitioner
 
-__all__ = ["PAPER_TOOLS", "run_tool_on_mesh", "run_tools_on_mesh", "format_rows", "format_matrix"]
+__all__ = [
+    "PAPER_TOOLS",
+    "format_ledger",
+    "format_matrix",
+    "format_rows",
+    "run_distributed_on_mesh",
+    "run_tool_on_mesh",
+    "run_tools_on_mesh",
+]
 
 #: Tools compared in Tables 1-2 (paper order).
 PAPER_TOOLS = ("Geographer", "HSFC", "MultiJagged", "RCB", "RIB")
@@ -61,6 +69,64 @@ def run_tools_on_mesh(
         run_tool_on_mesh(mesh, tool, k, epsilon, seed, repeats, with_spmv, diameter_rounds)
         for tool in tools
     ]
+
+
+def run_distributed_on_mesh(
+    mesh: GeometricMesh,
+    k: int,
+    nranks: int,
+    backend: str | None = None,
+    epsilon: float = 0.03,
+    seed: int = 0,
+    with_spmv: bool = True,
+):
+    """Partition ``mesh`` through the distributed runtime on a chosen backend.
+
+    Returns ``(row, result)``: the Table-1/2 metric row (wall-clock of the
+    whole run in ``row.time``) plus the
+    :class:`~repro.runtime.distributed_kmeans.DistributedKMeansResult`
+    carrying the per-stage ledger (modeled on the virtual backend, measured
+    on process backends).
+    """
+    from repro.core.config import BalancedKMeansConfig
+    from repro.runtime.comm import resolve_backend_name
+    from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
+
+    cfg = BalancedKMeansConfig(epsilon=epsilon)
+    start = time.perf_counter()
+    result = distributed_balanced_kmeans(
+        mesh.coords, k, nranks, weights=mesh.node_weights, config=cfg,
+        rng=seed, backend=backend,
+    )
+    elapsed = time.perf_counter() - start
+    tool = f"Geographer[p={nranks},{resolve_backend_name(backend)}]"
+    row = evaluate_partition(mesh, result.assignment, k, tool=tool, time=elapsed,
+                             with_spmv=with_spmv)
+    return row, result
+
+
+def format_ledger(ledger, measured: bool = False, title: str = "") -> str:
+    """Render a :class:`~repro.runtime.comm.CostLedger` as a stage table.
+
+    ``measured`` labels the seconds as real wall-clock (process backends)
+    instead of machine-model time (virtual backend).
+    """
+    label = "measured" if measured else "modeled"
+    header = f"{'stage':<16}{f'{label} s':>12}{'share':>8}"
+    lines = [title, header, "-" * len(header)] if title else [header, "-" * len(header)]
+    total = ledger.total_seconds
+    for stage, secs in sorted(ledger.stages.items()):
+        share = secs / total if total > 0 else 0.0
+        lines.append(f"{stage:<16}{secs:>12.4e}{share:>8.1%}")
+    lines.append(f"{'total':<16}{total:>12.4e}{'':>8}")
+    lines.append(
+        f"supersteps {ledger.supersteps}, compute {ledger.compute_seconds:.4e} s, "
+        f"comm {ledger.comm_seconds:.4e} s"
+    )
+    counts = ", ".join(f"{op} x{n}" for op, n in sorted(ledger.collective_counts.items()))
+    if counts:
+        lines.append(f"collectives: {counts}")
+    return "\n".join(lines)
 
 
 def _fmt(value: float) -> str:

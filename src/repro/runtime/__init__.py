@@ -1,16 +1,35 @@
-"""Simulated SPMD runtime (the MPI substitute).
+"""SPMD runtime: execution backends behind one collective protocol.
 
-The paper runs on up to 16 384 MPI processes; this package simulates that
-execution model on one machine.  Algorithms are written in bulk-synchronous
-style against :class:`VirtualComm`: rank-local numpy arrays plus global
-collectives.  Per-superstep wall-clock is ``max`` of the measured rank-local
-compute times plus the machine-model cost of the collective — exactly the
-BSP cost of the paper's algorithm, whose only communication is global
-reductions and one initial redistribution (Algorithms 1-2, blue lines).
+The paper runs on up to 16 384 MPI processes; this package executes that
+model behind the :class:`~repro.runtime.comm.Comm` protocol.  Algorithms
+are written in bulk-synchronous style — rank-local numpy arrays plus global
+collectives — and run unchanged on any registered backend:
+
+``"virtual"`` (default)
+    Ranks execute in the driver process; the ledger charges the
+    SuperMUC-like machine model (modeled seconds), which is what the
+    paper's scaling figures plot.
+``"process"``
+    Ranks are real worker processes (``multiprocessing`` + shared memory);
+    the ledger holds measured wall-clock per stage.
+
+Backends produce bit-identical partitions (same collectives, same rank
+order); select one per call (``backend="process"``), via an existing
+communicator (``comm=...``), or globally with the ``REPRO_BACKEND``
+environment variable.
 """
 
 from repro.runtime.costmodel import SUPERMUC_LIKE, SUPERMUC_TOPOLOGY, MachineModel, MachineTopology
-from repro.runtime.comm import CostLedger, VirtualComm
+from repro.runtime.comm import (
+    BACKENDS,
+    Comm,
+    CostLedger,
+    VirtualComm,
+    available_backends,
+    make_comm,
+    register_backend,
+    resolve_backend_name,
+)
 from repro.runtime.distsort import distributed_sort
 from repro.runtime.distributed_kmeans import DistributedKMeansResult, distributed_balanced_kmeans
 from repro.runtime.scaling import ScalingPoint, strong_scaling, weak_scaling
@@ -20,8 +39,16 @@ __all__ = [
     "MachineTopology",
     "SUPERMUC_LIKE",
     "SUPERMUC_TOPOLOGY",
+    "BACKENDS",
+    "Comm",
     "VirtualComm",
+    "ProcessComm",
+    "SharedArray",
     "CostLedger",
+    "available_backends",
+    "make_comm",
+    "register_backend",
+    "resolve_backend_name",
     "distributed_sort",
     "distributed_balanced_kmeans",
     "DistributedKMeansResult",
@@ -29,3 +56,14 @@ __all__ = [
     "strong_scaling",
     "ScalingPoint",
 ]
+
+
+def __getattr__(name):
+    # ProcessComm/SharedArray resolve lazily so `import repro` stays light
+    # (multiprocessing machinery + atexit hook load on first use, matching
+    # the lazy backend registry in repro.runtime.comm)
+    if name in ("ProcessComm", "SharedArray"):
+        from repro.runtime import procomm
+
+        return getattr(procomm, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

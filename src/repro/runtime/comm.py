@@ -1,16 +1,44 @@
-"""Virtual communicator: rank-local state + collectives with cost accounting.
+"""Execution-backend substrate: the :class:`Comm` protocol + virtual backend.
 
-Programs written against :class:`VirtualComm` look like mpi4py code turned
-inside out: instead of one process per rank, the driver holds *lists indexed
-by rank* and calls collectives on them.  Each collective (a) computes the
-combined value exactly (so simulated algorithms produce real output) and
-(b) charges the machine-model cost to the ledger.  Local compute is timed
-per rank by :meth:`run_local`; the superstep contributes the *maximum* rank
-time, which is what a barrier-synchronised MPI program would experience.
+Programs in this repo are written in bulk-synchronous SPMD style turned
+inside out: instead of one process per rank, the *driver* holds lists
+indexed by rank and calls collectives on them.  :class:`Comm` is the
+contract those programs are written against:
+
+- :meth:`Comm.run_local` runs ``fn(rank)`` for every rank (the BSP
+  superstep).  Rank functions must follow a **superstep contract**: state
+  that survives from one superstep to the next either (a) is *returned*
+  fresh and carried forward by the driver, or (b) lives in a
+  :meth:`Comm.share` array mutated in place — in-driver backends share the
+  driver's memory trivially, process backends through shared memory.
+  Mutating an ordinary captured array works only on in-driver backends and
+  is a bug.
+- :meth:`Comm.allreduce` / :meth:`Comm.allgather` / :meth:`Comm.alltoallv`
+  / :meth:`Comm.broadcast` combine per-rank arrays exactly, in rank order,
+  on every backend — the module-level ``combine_*`` helpers below are the
+  single implementation both backends call, which is what makes results
+  *bit-identical* across backends (tested by
+  ``tests/test_backend_equivalence.py``).
+- :meth:`Comm.share` places a large read-mostly array (points, weights)
+  where workers can reach it cheaply; process backends use
+  ``multiprocessing.shared_memory``, the virtual backend returns the array
+  unchanged.
+- every collective and superstep charges the :class:`CostLedger`.  The
+  virtual backend charges the *machine model* (modeled seconds on a
+  SuperMUC-like machine, feeding the paper's scaling figures); process
+  backends charge *measured* wall-clock (``Comm.measured`` tells which).
+
+Backends register under a name in :data:`BACKENDS`; :func:`make_comm`
+resolves a name (argument > ``REPRO_BACKEND`` env var > ``"virtual"``) and
+constructs the communicator.  The ``"process"`` backend
+(:class:`repro.runtime.procomm.ProcessComm`) runs every rank as a real
+worker process and is imported lazily on first use.
 """
 
 from __future__ import annotations
 
+import importlib
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -19,12 +47,27 @@ import numpy as np
 
 from repro.runtime.costmodel import SUPERMUC_LIKE, MachineModel, MachineTopology
 
-__all__ = ["CostLedger", "VirtualComm"]
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "Comm",
+    "CostLedger",
+    "VirtualComm",
+    "available_backends",
+    "make_comm",
+    "register_backend",
+    "resolve_backend_name",
+]
 
 
 @dataclass
 class CostLedger:
-    """Accumulated simulated wall-clock, split into compute and communication."""
+    """Accumulated wall-clock, split into compute and communication.
+
+    The same ledger shape serves both backend families: the virtual backend
+    fills it with machine-model (modeled) seconds, the process backend with
+    measured seconds.  ``Comm.measured`` says which interpretation applies.
+    """
 
     compute_seconds: float = 0.0
     comm_seconds: float = 0.0
@@ -59,8 +102,141 @@ class CostLedger:
             self.stages[key] = self.stages.get(key, 0.0) + val
 
 
-class VirtualComm:
+# -- shared collective combination kernels ----------------------------------
+# Both backends call these, so the combined values (and their floating-point
+# reduction order: strictly rank 0, 1, 2, ...) are identical by construction.
+
+
+def combine_allreduce(per_rank: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum-allreduce in rank order (deterministic reduction order)."""
+    out = np.array(per_rank[0], dtype=np.float64, copy=True)
+    for arr in per_rank[1:]:
+        out += arr
+    return out
+
+
+def combine_allgather(per_rank: Sequence[np.ndarray]) -> tuple[np.ndarray, int]:
+    """Rank-order concatenation; also returns the largest per-rank byte count."""
+    arrays = [np.atleast_1d(np.asarray(a)) for a in per_rank]
+    return np.concatenate(arrays), max(a.nbytes for a in arrays)
+
+
+def combine_alltoallv(send: Sequence[Sequence[np.ndarray]], nranks: int) -> tuple[list[np.ndarray], int]:
+    """Personalised exchange ``recv[j] = concat_i send[i][j]`` (rank order).
+
+    Also returns the bottleneck byte count (max over ranks of off-rank bytes
+    sent or received), which is what the machine model charges.
+    """
+    recv: list[np.ndarray] = []
+    for j in range(nranks):
+        parts = [np.atleast_1d(np.asarray(send[i][j])) for i in range(nranks)]
+        recv.append(np.concatenate(parts))
+    max_bytes = 0
+    for i in range(nranks):
+        out_bytes = sum(np.asarray(send[i][j]).nbytes for j in range(nranks) if j != i)
+        in_bytes = sum(np.asarray(send[i2][i]).nbytes for i2 in range(nranks) if i2 != i)
+        max_bytes = max(max_bytes, out_bytes, in_bytes)
+    return recv, max_bytes
+
+
+class Comm:
+    """Base class / protocol for execution backends.
+
+    Subclasses implement :meth:`run_local` plus the four collectives and set
+    the class attributes below.  Construction signature is shared:
+    ``Backend(nranks, machine=None, topology=None)``.
+
+    Attributes
+    ----------
+    kind:
+        Registry name of the backend (``"virtual"``, ``"process"``, ...).
+    measured:
+        ``True`` when the ledger holds measured wall-clock seconds,
+        ``False`` when it holds machine-model (modeled) seconds.
+    persistent_state:
+        ``True`` when rank functions run in the driver process, so closures
+        share driver memory across supersteps (rank-local caches such as
+        :class:`~repro.core.kernels.SweepWorkspace` survive between calls).
+        ``False`` when rank functions execute in worker processes and only
+        returned values persist.
+    """
+
+    kind: str = "abstract"
+    measured: bool = False
+    persistent_state: bool = True
+
+    def __init__(self, nranks: int) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = int(nranks)
+        self.ledger = CostLedger()
+        self._stage: str | None = None
+
+    def set_stage(self, stage: str | None) -> None:
+        """Mutable label under which subsequent costs are recorded."""
+        self._stage = stage
+
+    # -- backend surface (implemented by subclasses) ------------------------
+
+    def run_local(self, fn: Callable[[int], object]) -> list:
+        raise NotImplementedError
+
+    def allreduce(self, per_rank: Sequence[np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def allgather(self, per_rank: Sequence[np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def alltoallv(self, send: Sequence[Sequence[np.ndarray]]) -> list[np.ndarray]:
+        raise NotImplementedError
+
+    def broadcast(self, value: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- shared-data + lifecycle --------------------------------------------
+
+    def share(self, array: np.ndarray) -> np.ndarray:
+        """Place a read-mostly array where rank functions can reach it cheaply.
+
+        The virtual backend returns the array as-is (ranks already share the
+        driver's memory); the process backend copies it into a
+        ``multiprocessing.shared_memory`` segment so shipping a closure that
+        captures it costs a few bytes of handle, not the array.
+        """
+        return np.asarray(array)
+
+    def release(self, *arrays: np.ndarray) -> None:
+        """Free shared arrays before :meth:`close` (no-op on in-driver backends).
+
+        Long runs that :meth:`share` a dataset, transform it, and share the
+        result should release the stale segments so the peak shared-memory
+        footprint stays at one copy.  Released views must not be used again.
+        """
+
+    def close(self) -> None:
+        """Release backend resources (workers, shared memory).  Idempotent."""
+
+    def __enter__(self) -> "Comm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_ranks(self, seq: Sequence) -> None:
+        if len(seq) != self.nranks:
+            raise ValueError(f"expected {self.nranks} per-rank entries, got {len(seq)}")
+
+
+class VirtualComm(Comm):
     """A simulated MPI communicator over ``nranks`` virtual processes.
+
+    Each collective (a) computes the combined value exactly (so simulated
+    algorithms produce real output) and (b) charges the machine-model cost
+    to the ledger.  Local compute is timed per rank by :meth:`run_local`;
+    the superstep contributes the *maximum* rank time, which is what a
+    barrier-synchronised MPI program would experience.
 
     Parameters
     ----------
@@ -68,10 +244,14 @@ class VirtualComm:
         Number of simulated ranks (the paper's ``p``).
     machine:
         Cost model; defaults to the SuperMUC-like configuration.
-    stage:
-        Mutable label under which subsequent costs are recorded (set via
-        :meth:`set_stage`), feeding the §5.3.2 component breakdown.
+    topology:
+        Optional machine hierarchy; allreduces are then costed as staged
+        per-level reductions (cores → nodes → islands).
     """
+
+    kind = "virtual"
+    measured = False
+    persistent_state = True
 
     def __init__(
         self,
@@ -79,20 +259,13 @@ class VirtualComm:
         machine: MachineModel | None = None,
         topology: "MachineTopology | None" = None,
     ) -> None:
-        if nranks < 1:
-            raise ValueError(f"nranks must be >= 1, got {nranks}")
-        self.nranks = int(nranks)
+        super().__init__(nranks)
         self.machine = machine or SUPERMUC_LIKE
         if topology is not None and topology.total != self.nranks:
             raise ValueError(
                 f"topology has {topology.total} leaves but communicator has {self.nranks} ranks"
             )
         self.topology = topology
-        self.ledger = CostLedger()
-        self._stage: str | None = None
-
-    def set_stage(self, stage: str | None) -> None:
-        self._stage = stage
 
     # -- local compute -----------------------------------------------------
 
@@ -128,9 +301,7 @@ class VirtualComm:
         tree over all ranks.
         """
         self._check_ranks(per_rank)
-        out = np.array(per_rank[0], dtype=np.float64, copy=True)
-        for arr in per_rank[1:]:
-            out += arr
+        out = combine_allreduce(per_rank)
         if self.topology is not None:
             cost = self.machine.hierarchical_allreduce(out.nbytes, self.topology)
         else:
@@ -141,9 +312,7 @@ class VirtualComm:
     def allgather(self, per_rank: Sequence[np.ndarray]) -> np.ndarray:
         """Concatenate per-rank arrays; every rank receives the full result."""
         self._check_ranks(per_rank)
-        arrays = [np.atleast_1d(np.asarray(a)) for a in per_rank]
-        out = np.concatenate(arrays)
-        per_rank_bytes = max(a.nbytes for a in arrays)
+        out, per_rank_bytes = combine_allgather(per_rank)
         self.ledger.charge_comm(
             self.machine.allgather(per_rank_bytes, self.nranks), "allgather", self._stage
         )
@@ -156,15 +325,7 @@ class VirtualComm:
         (in rank order, so a globally sorted sequence stays sorted).
         """
         self._check_ranks(send)
-        recv: list[np.ndarray] = []
-        for j in range(self.nranks):
-            parts = [np.atleast_1d(np.asarray(send[i][j])) for i in range(self.nranks)]
-            recv.append(np.concatenate(parts))
-        max_bytes = 0
-        for i in range(self.nranks):
-            out_bytes = sum(np.asarray(send[i][j]).nbytes for j in range(self.nranks) if j != i)
-            in_bytes = sum(np.asarray(send[i2][i]).nbytes for i2 in range(self.nranks) if i2 != i)
-            max_bytes = max(max_bytes, out_bytes, in_bytes)
+        recv, max_bytes = combine_alltoallv(send, self.nranks)
         self.ledger.charge_comm(
             self.machine.alltoallv(max_bytes, self.nranks), "alltoallv", self._stage
         )
@@ -178,6 +339,53 @@ class VirtualComm:
         )
         return arr
 
-    def _check_ranks(self, seq: Sequence) -> None:
-        if len(seq) != self.nranks:
-            raise ValueError(f"expected {self.nranks} per-rank entries, got {len(seq)}")
+
+# -- backend registry --------------------------------------------------------
+
+#: Environment variable consulted when no backend is named explicitly.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Registered backend constructors, keyed by name.
+BACKENDS: dict[str, type[Comm]] = {}
+
+#: Backends imported on first use (keeps ``import repro`` light and avoids
+#: a circular import: procomm imports this module).
+_LAZY_BACKENDS: dict[str, str] = {"process": "repro.runtime.procomm"}
+
+
+def register_backend(name: str, cls: type[Comm]) -> None:
+    """Register an execution backend under ``name`` (e.g. a future mpi4py one)."""
+    BACKENDS[name] = cls
+
+
+def available_backends() -> list[str]:
+    """Names accepted by :func:`make_comm` (including lazily imported ones)."""
+    return sorted(set(BACKENDS) | set(_LAZY_BACKENDS))
+
+
+def resolve_backend_name(backend: str | None = None) -> str:
+    """Resolve a backend name: explicit argument > ``REPRO_BACKEND`` > virtual."""
+    return backend or os.environ.get(BACKEND_ENV) or "virtual"
+
+
+def make_comm(
+    nranks: int,
+    backend: str | None = None,
+    machine: MachineModel | None = None,
+    topology: MachineTopology | None = None,
+) -> Comm:
+    """Construct a communicator for ``nranks`` ranks on the chosen backend.
+
+    Process backends own real resources — close them (``with make_comm(...)
+    as comm:`` or ``comm.close()``) when done; algorithm entry points that
+    build their own communicator do this automatically.
+    """
+    name = resolve_backend_name(backend)
+    if name not in BACKENDS and name in _LAZY_BACKENDS:
+        importlib.import_module(_LAZY_BACKENDS[name])
+    if name not in BACKENDS:
+        raise ValueError(f"unknown execution backend {name!r}; choose from {available_backends()}")
+    return BACKENDS[name](nranks, machine=machine, topology=topology)
+
+
+register_backend("virtual", VirtualComm)

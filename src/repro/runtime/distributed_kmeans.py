@@ -1,4 +1,4 @@
-"""Distributed Geographer: balanced k-means over the simulated SPMD runtime.
+"""Distributed Geographer: balanced k-means over the SPMD runtime.
 
 Mirrors the paper's parallelisation exactly (§4.1, Algorithms 1-2):
 
@@ -15,10 +15,17 @@ Mirrors the paper's parallelisation exactly (§4.1, Algorithms 1-2):
 - each movement iteration adds one ``k x (d+1)`` allreduce for the weighted
   center sums (Algorithm 2, line 13).
 
-Because the simulation executes the real kernels on real data, the returned
-partition is a genuine balanced-k-means partition (agreeing with the serial
-implementation up to floating-point reduction order), while the ledger
-provides the simulated wall-clock used by the scaling figures.
+The algorithm is written against the :class:`~repro.runtime.comm.Comm`
+protocol: rank functions return the small per-superstep products (block
+weights, partial sums), while all large rank-local state — points, weights,
+assignments, Hamerly bounds — lives in :meth:`~repro.runtime.comm.Comm.share`
+arrays that rank functions mutate in place, so the same code runs on every
+execution backend and each superstep ships only kilobytes of handles and
+centers.  On the default ``"virtual"`` backend ranks execute in-process and
+the ledger holds the machine-model wall-clock used by the scaling figures;
+on the ``"process"`` backend each rank is a real worker process mutating the
+shared segments and the ledger holds measured wall-clock per stage.  Results
+are bit-identical across backends (tested).
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ from repro.core.bounds import init_bounds, relax_for_influence, relax_for_moveme
 from repro.core.config import BalancedKMeansConfig
 from repro.core.influence import adapt_influence, erode_influence
 from repro.core.kernels import SweepWorkspace
-from repro.runtime.comm import CostLedger, VirtualComm
+from repro.runtime.comm import Comm, CostLedger, make_comm
 from repro.runtime.costmodel import MachineModel, MachineTopology
 from repro.runtime.distsort import distributed_sort
 from repro.sfc.curves import DEFAULT_BITS, sfc_index
@@ -44,7 +51,11 @@ __all__ = ["DistributedKMeansResult", "distributed_balanced_kmeans"]
 
 @dataclass
 class DistributedKMeansResult:
-    """Partition plus simulated-execution diagnostics."""
+    """Partition plus execution diagnostics.
+
+    ``ledger`` holds modeled seconds on the virtual backend and measured
+    wall-clock on process backends (``measured`` records which).
+    """
 
     assignment: np.ndarray  # in the caller's original point order
     centers: np.ndarray
@@ -54,13 +65,15 @@ class DistributedKMeansResult:
     imbalance: float
     nranks: int
     ledger: CostLedger = field(default_factory=CostLedger)
+    backend: str = "virtual"
+    measured: bool = False
 
     @property
     def simulated_seconds(self) -> float:
         return self.ledger.total_seconds
 
     def stage_fractions(self) -> dict[str, float]:
-        """Share of simulated time per stage (the §5.3.2 component split)."""
+        """Share of ledger time per stage (the §5.3.2 component split)."""
         total = self.ledger.total_seconds
         if total <= 0:
             return {}
@@ -83,11 +96,13 @@ def distributed_balanced_kmeans(
     rng: int | np.random.Generator | None = None,
     centers: np.ndarray | None = None,
     topology: MachineTopology | None = None,
+    backend: str | None = None,
+    comm: Comm | None = None,
 ) -> DistributedKMeansResult:
-    """Run Geographer on ``nranks`` simulated MPI processes.
+    """Run Geographer on ``nranks`` SPMD processes (virtual or real).
 
     ``points`` is the global point set; it is dealt out block-wise to the
-    virtual ranks (as if read from a partitioned file), then redistributed by
+    ranks (as if read from a partitioned file), then redistributed by
     Hilbert index exactly as the paper describes.
 
     ``centers`` warm-starts the run (repartitioning): SFC seeding's allgather
@@ -97,6 +112,13 @@ def distributed_balanced_kmeans(
     ``topology`` attaches a machine hierarchy so every allreduce is costed as
     staged per-level reductions (cores → nodes → islands) instead of one flat
     tree; ``topology.total`` must equal ``nranks``.
+
+    ``backend`` selects the execution backend (``"virtual"`` | ``"process"``;
+    default: the ``REPRO_BACKEND`` env var, then ``"virtual"``).  Pass an
+    existing communicator via ``comm`` instead to reuse its workers and read
+    its ledger afterwards; a comm this function creates is always closed
+    before returning, even on error, and a reused comm gets every segment
+    this run shared released and its stage label restored.
     """
     cfg = config or BalancedKMeansConfig()
     pts = check_points(points)
@@ -106,14 +128,38 @@ def distributed_balanced_kmeans(
     gen = ensure_rng(rng)
     if machine is None and topology is not None:
         machine = topology.machine_model()
-    comm = VirtualComm(nranks, machine, topology)
+    owns_comm = comm is None
+    if comm is None:
+        comm = make_comm(nranks, backend=backend, machine=machine, topology=topology)
+    elif comm.nranks != nranks:
+        raise ValueError(f"comm has {comm.nranks} ranks but nranks={nranks}")
+    prev_stage = comm._stage
+    try:
+        return _distributed_balanced_kmeans(comm, pts, k, w, cfg, gen, centers)
+    finally:
+        if owns_comm:
+            comm.close()
+        else:  # leave a reused communicator the way we found it
+            comm.set_stage(prev_stage)
+
+
+def _distributed_balanced_kmeans(
+    comm: Comm,
+    pts: np.ndarray,
+    k: int,
+    w: np.ndarray,
+    cfg: BalancedKMeansConfig,
+    gen: np.random.Generator,
+    centers: np.ndarray | None,
+) -> DistributedKMeansResult:
     p = comm.nranks
+    n = pts.shape[0]
     dim = pts.shape[1]
     bits = cfg.sfc_bits or DEFAULT_BITS[dim]
 
     # -- initial block distribution (payload: coords | weight | original id)
     owned = _split_blocks(n, p)
-    payload = [np.column_stack([pts[ix], w[ix], ix.astype(np.float64)]) for ix in owned]
+    payload = [comm.share(np.column_stack([pts[ix], w[ix], ix.astype(np.float64)])) for ix in owned]
 
     # -- global bounding box: local boxes + tiny allgather ------------------
     comm.set_stage("sfc_index")
@@ -131,11 +177,48 @@ def distributed_balanced_kmeans(
     # -- distributed sort + equalising redistribution ------------------------
     comm.set_stage("redistribute")
     _, sorted_payload = distributed_sort(comm, keys, payload)
-    local_pts = [sp[:, :dim].copy() for sp in sorted_payload]
-    local_w = [sp[:, dim].copy() for sp in sorted_payload]
+    # post-redistribution rank state: shared segments mutated in place by the
+    # rank functions; the pre-sort payload segments are released immediately
+    # so only one shared copy of the data remains
+    local_pts = [comm.share(np.ascontiguousarray(sp[:, :dim])) for sp in sorted_payload]
+    local_w = [comm.share(np.ascontiguousarray(sp[:, dim])) for sp in sorted_payload]
     local_ids = [sp[:, dim + 1].astype(np.int64) for sp in sorted_payload]
+    comm.release(*payload)
+    del payload
     counts = np.array([lp.shape[0] for lp in local_pts], dtype=np.int64)
     offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+
+    assignment: list[np.ndarray] = []
+    bound_pairs: list[tuple[np.ndarray, np.ndarray]] = []
+    try:
+        return _kmeans_loop(comm, local_pts, local_w, local_ids, counts, offsets,
+                            assignment, bound_pairs, glo, ghi, n, k, dim, cfg, gen, centers)
+    finally:
+        # a reused communicator gets this run's segments back immediately;
+        # on an owned comm close() (in the caller) covers the error paths
+        comm.release(*local_pts, *local_w, *assignment,
+                     *(b for pair in bound_pairs for b in pair))
+
+
+def _kmeans_loop(
+    comm: Comm,
+    local_pts: list[np.ndarray],
+    local_w: list[np.ndarray],
+    local_ids: list[np.ndarray],
+    counts: np.ndarray,
+    offsets: np.ndarray,
+    assignment: list[np.ndarray],
+    bound_pairs: list[tuple[np.ndarray, np.ndarray]],
+    glo: np.ndarray,
+    ghi: np.ndarray,
+    n: int,
+    k: int,
+    dim: int,
+    cfg: BalancedKMeansConfig,
+    gen: np.random.Generator,
+    centers: np.ndarray | None,
+) -> DistributedKMeansResult:
+    p = comm.nranks
 
     # -- SFC seeding from the global sorted order (Algorithm 2, line 7) ------
     comm.set_stage("seeding")
@@ -159,19 +242,23 @@ def distributed_balanced_kmeans(
         centers[seeds[:, 0].astype(np.int64)] = seeds[:, 1:]
 
     influence = np.ones(k)
-    total_w = float(comm.allreduce(comm.run_local(lambda r: np.array([local_w[r].sum()])))[0])
+    total_w = float(comm.allreduce(comm.run_local(lambda r: np.array([float(local_w[r].sum())])))[0])
     targets = np.full(k, total_w / k)
     extent = ghi - glo
     delta_threshold = cfg.delta_threshold_rel * float(np.linalg.norm(extent))
 
-    # -- per-rank mutable state ----------------------------------------------
-    assignment = [np.zeros(c, dtype=np.int64) for c in counts]
-    bound_pairs = [init_bounds(c) for c in counts]
+    # -- per-rank mutable state: shared, mutated in place by rank functions --
+    assignment.extend(comm.share(np.zeros(c, dtype=np.int64)) for c in counts)
+    bound_pairs.extend(tuple(comm.share(b) for b in init_bounds(int(c))) for c in counts)
     rank_rngs = spawn_rngs(gen, p)
-    # rank-local kernel workspaces, built once after redistribution and
-    # reused across every sweep/iteration (point norms + static block boxes
-    # are sweep-invariant; center/influence caches refresh per phase/sweep)
-    workspaces = [SweepWorkspace(local_pts[r], cfg, k) for r in range(p)]
+    # rank-local kernel workspaces: when ranks run in the driver process
+    # (persistent_state), one workspace per rank survives across every
+    # sweep/iteration (point norms + static block boxes are sweep-invariant).
+    # Worker-process ranks rebuild an ephemeral workspace per sweep instead
+    # (assign_points does this when given None) — bit-identical results, the
+    # caches are exact — so the unpicklable workspace never crosses a pipe.
+    keep_state = comm.persistent_state
+    workspaces = [SweepWorkspace(local_pts[r], cfg, k) if keep_state else None for r in range(p)]
 
     # -- sampled initialisation rounds (per rank, §4.5) -----------------------
     # (skipped on warm starts: the previous centers are already near-optimal)
@@ -194,13 +281,13 @@ def distributed_balanced_kmeans(
             s_targets = targets
             s_workspaces = workspaces
         else:
-            s_pts = [local_pts[r][subset[r]] for r in range(p)]
-            s_w = [local_w[r][subset[r]] for r in range(p)]
-            s_assign = [np.zeros(len(subset[r]), dtype=np.int64) for r in range(p)]
-            s_bounds = [init_bounds(len(subset[r])) for r in range(p)]
+            s_pts = [comm.share(local_pts[r][subset[r]]) for r in range(p)]
+            s_w = [comm.share(local_w[r][subset[r]]) for r in range(p)]
+            s_assign = [comm.share(np.zeros(len(subset[r]), dtype=np.int64)) for r in range(p)]
+            s_bounds = [tuple(comm.share(b) for b in init_bounds(len(subset[r]))) for r in range(p)]
             frac = sum(float(sw.sum()) for sw in s_w) / total_w
             s_targets = targets * frac
-            s_workspaces = [SweepWorkspace(s_pts[r], cfg, k) for r in range(p)]
+            s_workspaces = [SweepWorkspace(s_pts[r], cfg, k) if keep_state else None for r in range(p)]
         balanced = False
         for bit in range(cfg.max_balance_iterations):
             comm.set_stage("kmeans")
@@ -264,6 +351,8 @@ def distributed_balanced_kmeans(
         if subset is None and cfg.use_bounds:
             comm.run_local(lambda r: relax_for_influence(*bound_pairs[r], assignment[r], old_influence, influence))
             comm.run_local(lambda r: relax_for_movement(*bound_pairs[r], assignment[r], deltas, influence))
+        if subset is not None:
+            comm.release(*s_pts, *s_w, *s_assign, *(b for pair in s_bounds for b in pair))
         return float(deltas.max()), new_centers, balanced
 
     for size in sample_sizes:
@@ -297,4 +386,6 @@ def distributed_balanced_kmeans(
         imbalance=final_imbalance,
         nranks=p,
         ledger=comm.ledger,
+        backend=comm.kind,
+        measured=comm.measured,
     )

@@ -1,23 +1,28 @@
-"""Distributed sample sort + exact redistribution over :class:`VirtualComm`.
+"""Distributed sample sort + exact redistribution over the :class:`Comm` protocol.
 
 Stands in for the scalable distributed quicksort of Axtmann et al. used by
 the paper (§4.1): points are globally sorted by space-filling-curve index and
 redistributed so every rank owns an equal, contiguous (hence spatially
 compact) chunk.  Sample sort has the same communication pattern (one
 splitter allgather + one alltoallv), which is what the cost model charges.
+
+The sort is written in pure-superstep style (rank functions return fresh
+arrays, nothing is mutated in place), so it runs unchanged on every
+execution backend; the global sorted order is bit-identical across backends
+and independent of how the input was distributed over ranks (both tested).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime.comm import VirtualComm
+from repro.runtime.comm import Comm
 
 __all__ = ["distributed_sort"]
 
 
 def distributed_sort(
-    comm: VirtualComm,
+    comm: Comm,
     keys: list[np.ndarray],
     payloads: list[np.ndarray] | None = None,
     oversample: int = 8,

@@ -1,0 +1,512 @@
+"""Process-parallel execution backend: real worker processes per rank.
+
+:class:`ProcessComm` implements the :class:`~repro.runtime.comm.Comm`
+protocol with one long-lived worker *process* per rank:
+
+- :meth:`ProcessComm.run_local` ships the rank function to every worker
+  over a pipe and executes all ranks concurrently.  Rank functions are
+  driver-local closures, which standard pickle refuses to serialise, so
+  they are shipped *by value*: the code object via :mod:`marshal`, the
+  closure cells and defaults via pickle (recursively, so closures capturing
+  other local functions work), and globals resolved in the worker by
+  importing the defining module.  Workers are forked from the driver, so
+  every module the driver can see, they can see.  The message is pickled
+  once per superstep (not once per worker), but a closure that captures a
+  whole per-rank list ships that list to *every* worker — keep large
+  captured state in :meth:`ProcessComm.share` arrays, whose handles cost
+  ~100 bytes, and return only what changed.
+- large read-mostly arrays go through :meth:`ProcessComm.share`, which
+  copies them into a ``multiprocessing.shared_memory`` segment once.  The
+  returned :class:`SharedArray` is a normal ndarray in every respect except
+  that pickling it (inside a shipped closure, or in a worker's return
+  value) costs a ~100-byte handle instead of the data.  Views that still
+  point into the segment also ship as handles; slices/copies whose data has
+  left the segment silently fall back to ordinary by-value pickling.
+- collectives reuse the exact combination kernels of the virtual backend
+  (``combine_*`` in :mod:`repro.runtime.comm`), executed in the driver on
+  the values the workers returned — so collective results are bit-identical
+  across backends by construction.
+- the ledger holds **measured** wall-clock: per superstep, the slowest
+  worker's in-process compute time is charged as compute and the remaining
+  dispatch/serialisation time as communication under op ``"dispatch"``;
+  collectives charge their measured driver-side time.
+
+Lifecycle: workers are started in ``__init__`` and torn down by
+:meth:`ProcessComm.close` (idempotent; also a context manager, mirroring
+the LRU/atexit pattern of :mod:`repro.core.parallel`).  An ``atexit`` hook
+closes every communicator still alive at interpreter shutdown, joining the
+workers and unlinking all shared-memory segments, so crashes and test
+failures do not leak ``/dev/shm`` blocks or zombie processes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import importlib
+import marshal
+import multiprocessing as mp
+import time
+import traceback
+import types
+import weakref
+from multiprocessing import shared_memory
+from multiprocessing.reduction import ForkingPickler
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.runtime.comm import (
+    Comm,
+    combine_allgather,
+    combine_allreduce,
+    combine_alltoallv,
+    register_backend,
+)
+from repro.runtime.costmodel import SUPERMUC_LIKE, MachineModel, MachineTopology
+
+__all__ = ["ProcessComm", "SharedArray", "shutdown_process_comms"]
+
+try:  # numpy >= 2.0 moved byte_bounds out of the top-level namespace
+    from numpy.lib.array_utils import byte_bounds as _byte_bounds
+except ImportError:  # pragma: no cover - numpy < 2.0
+    _byte_bounds = np.byte_bounds
+
+_JOIN_TIMEOUT = 5.0
+
+
+# -- closure shipping --------------------------------------------------------
+
+
+class _FrozenFunction:
+    """A driver-local function serialised by value (code + cells + defaults)."""
+
+    __slots__ = ("code", "module", "defaults", "kwdefaults", "cells")
+
+    def __init__(self, code: bytes, module: str, defaults: tuple, kwdefaults, cells: tuple):
+        self.code = code
+        self.module = module
+        self.defaults = defaults
+        self.kwdefaults = kwdefaults
+        self.cells = cells
+
+    def __getstate__(self):
+        return (self.code, self.module, self.defaults, self.kwdefaults, self.cells)
+
+    def __setstate__(self, state):
+        self.code, self.module, self.defaults, self.kwdefaults, self.cells = state
+
+
+def freeze_function(obj):
+    """Recursively convert function objects into picklable blobs.
+
+    Plain data passes through untouched (pickle handles it); function
+    objects — including lambdas and nested closures, which pickle rejects —
+    become :class:`_FrozenFunction`.  Cells and defaults are frozen
+    recursively so a closure may capture other local functions.
+    """
+    if isinstance(obj, types.FunctionType):
+        cells = tuple(freeze_function(c.cell_contents) for c in (obj.__closure__ or ()))
+        defaults = tuple(freeze_function(d) for d in (obj.__defaults__ or ()))
+        kwdefaults = (
+            {name: freeze_function(v) for name, v in obj.__kwdefaults__.items()}
+            if obj.__kwdefaults__ else None
+        )
+        return _FrozenFunction(marshal.dumps(obj.__code__), obj.__module__, defaults,
+                               kwdefaults, cells)
+    if isinstance(obj, Comm):
+        raise TypeError(
+            "rank functions must not capture the communicator (it owns processes "
+            "and pipes); capture comm.nranks or precomputed values instead"
+        )
+    return obj
+
+
+def thaw_function(obj):
+    """Inverse of :func:`freeze_function`; globals come from the defining module."""
+    if isinstance(obj, _FrozenFunction):
+        code = marshal.loads(obj.code)
+        try:
+            glb = importlib.import_module(obj.module).__dict__
+        except Exception:  # module not importable in the worker: builtins only
+            glb = {"__builtins__": __builtins__}
+        defaults = tuple(thaw_function(d) for d in obj.defaults) or None
+        cells = tuple(types.CellType(thaw_function(v)) for v in obj.cells)
+        fn = types.FunctionType(code, glb, code.co_name, defaults, cells)
+        if obj.kwdefaults:
+            fn.__kwdefaults__ = {name: thaw_function(v) for name, v in obj.kwdefaults.items()}
+        return fn
+    return obj
+
+
+# -- shared-memory arrays ----------------------------------------------------
+
+# Segments this process has attached to (worker side), keyed by name.  One
+# attachment per segment per process; closed when the worker exits.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _disable_shm_tracking() -> None:
+    """Stop this process's resource tracker from tracking shared memory.
+
+    Workers only ever *attach* to segments the driver created; the driver
+    owns unlink.  A forked worker shares the driver's tracker process, so a
+    worker-side register/unregister would corrupt the driver's accounting
+    (spurious KeyErrors in the tracker, or segments untracked while still
+    live).  Called once at worker startup, before any attachment.
+    """
+    try:  # pragma: no cover - tracker layout is an implementation detail
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        original_unregister = resource_tracker.unregister
+
+        def register(name, rtype):
+            if rtype != "shared_memory":
+                original_register(name, rtype)
+
+        def unregister(name, rtype):
+            if rtype != "shared_memory":
+                original_unregister(name, rtype)
+
+        resource_tracker.register = register
+        resource_tracker.unregister = unregister
+    except Exception:
+        pass
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=name)
+        _ATTACHED[name] = shm
+    return shm
+
+
+def _close_attachments() -> None:
+    for shm in _ATTACHED.values():
+        try:
+            shm.close()
+        except BufferError:  # arrays still alive; the OS unmaps at process exit
+            pass
+    _ATTACHED.clear()
+
+
+def _attach_view(name: str, offset: int, shape: tuple, strides: tuple, dtype: str) -> "SharedArray":
+    shm = _attach_segment(name)
+    arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset, strides=strides)
+    view = arr.view(SharedArray)
+    view._shm = shm
+    return view
+
+
+class SharedArray(np.ndarray):
+    """ndarray view over a ``multiprocessing.shared_memory`` segment.
+
+    Pickles as a ``(segment, offset, shape, strides, dtype)`` handle while
+    the viewed bytes lie inside the segment — which holds for the array
+    itself and any slice of it — and falls back to ordinary by-value
+    ndarray pickling for derived arrays (fancy-index results, ``.copy()``,
+    reductions) whose data has left the segment.
+    """
+
+    def __array_finalize__(self, obj):
+        self._shm = getattr(obj, "_shm", None)
+
+    def __reduce__(self):
+        shm = getattr(self, "_shm", None)
+        if shm is not None and self.size > 0:
+            seg_lo = np.frombuffer(shm.buf, dtype=np.uint8).__array_interface__["data"][0]
+            lo, hi = _byte_bounds(self)
+            if seg_lo <= lo and hi <= seg_lo + shm.size:
+                return (
+                    _attach_view,
+                    (shm.name, int(lo - seg_lo), self.shape, self.strides, self.dtype.str),
+                )
+        return self.view(np.ndarray).__reduce__()
+
+
+# -- worker loop -------------------------------------------------------------
+
+
+def _worker_main(rank: int, conn) -> None:
+    """Worker process: execute shipped rank functions until told to exit."""
+    _disable_shm_tracking()
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] == "run":
+                try:
+                    fn = thaw_function(msg[1])
+                    start = time.perf_counter()
+                    value = fn(rank)
+                    reply = ("ok", value, time.perf_counter() - start)
+                except BaseException:
+                    reply = ("err", traceback.format_exc())
+                try:
+                    conn.send(reply)
+                except Exception:  # unpicklable result: report, don't die
+                    conn.send(("err", traceback.format_exc()))
+                # drop references so released segments can actually unmap
+                fn = value = reply = msg = None
+            elif msg[0] == "release":
+                shm = _ATTACHED.pop(msg[1], None)
+                if shm is not None:
+                    try:
+                        shm.close()
+                    except BufferError:  # a view survived; unmapped at exit
+                        pass
+            else:  # "exit"
+                break
+    finally:
+        _close_attachments()
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+# -- the backend -------------------------------------------------------------
+
+_LIVE_COMMS: "weakref.WeakSet[ProcessComm]" = weakref.WeakSet()
+
+
+def shutdown_process_comms() -> None:
+    """Close every live :class:`ProcessComm` (tests and the ``atexit`` hook)."""
+    for comm in list(_LIVE_COMMS):
+        comm.close()
+
+
+class ProcessComm(Comm):
+    """Run ranks as real worker processes; report measured wall-clock.
+
+    Parameters
+    ----------
+    nranks:
+        Number of worker processes (the paper's ``p``).  Each rank is one
+        OS process, so keep this near the core count.
+    machine:
+        Accepted for constructor parity with :class:`VirtualComm`; kept for
+        reference (e.g. modeled-vs-measured comparisons) but never charged.
+    topology:
+        Accepted for parity; validated against ``nranks`` like the virtual
+        backend but otherwise unused — real hardware provides its own
+        hierarchy.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``"fork"`` where
+        available (required for shipping closures defined in non-importable
+        modules, e.g. test files, since forked workers inherit
+        ``sys.modules``).
+    """
+
+    kind = "process"
+    measured = True
+    persistent_state = False
+
+    def __init__(
+        self,
+        nranks: int,
+        machine: MachineModel | None = None,
+        topology: MachineTopology | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(nranks)
+        self.machine = machine or SUPERMUC_LIKE
+        if topology is not None and topology.total != self.nranks:
+            raise ValueError(
+                f"topology has {topology.total} leaves but communicator has {self.nranks} ranks"
+            )
+        self.topology = topology
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else None
+        ctx = mp.get_context(start_method)
+        self._workers: list = []
+        self._conns: list = []
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+        try:
+            for rank in range(self.nranks):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main, args=(rank, child), daemon=True,
+                    name=f"repro-rank-{rank}",
+                )
+                proc.start()
+                child.close()
+                self._workers.append(proc)
+                self._conns.append(parent)
+        except BaseException:
+            self.close()
+            raise
+        _LIVE_COMMS.add(self)
+
+    # -- local compute -----------------------------------------------------
+
+    def run_local(self, fn: Callable[[int], object]) -> list:
+        """Ship ``fn`` to every worker, run all ranks concurrently, gather results.
+
+        Charges the slowest worker's in-process time as compute and the
+        dispatch/serialisation remainder as communication (op ``"dispatch"``).
+        Exceptions raised by any rank re-raise in the driver with the
+        worker's traceback; the workers survive and stay usable.
+        """
+        self._ensure_open()
+        start = time.perf_counter()
+        # serialise once, send the same bytes to every worker: Connection.send
+        # would re-pickle the (possibly large) captured state p times.
+        # Connection.recv on the worker side is byte-compatible with
+        # send_bytes(ForkingPickler.dumps(...)).
+        blob = ForkingPickler.dumps(("run", freeze_function(fn)))
+        for conn in self._conns:
+            conn.send_bytes(blob)
+        results: list = []
+        worst = 0.0
+        failure: tuple[int, str] | None = None
+        for rank, conn in enumerate(self._conns):
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError) as exc:
+                self.close()
+                raise RuntimeError(f"rank {rank} worker died during superstep") from exc
+            if reply[0] == "err":
+                failure = failure or (rank, reply[1])
+            else:
+                results.append(reply[1])
+                worst = max(worst, reply[2])
+        if failure is not None:
+            raise RuntimeError(f"rank {failure[0]} raised during run_local:\n{failure[1]}")
+        wall = time.perf_counter() - start
+        self.ledger.charge_compute(worst, self._stage)
+        self.ledger.charge_comm(max(0.0, wall - worst), "dispatch", self._stage)
+        self.ledger.supersteps += 1
+        return results
+
+    # -- collectives ---------------------------------------------------------
+
+    def allreduce(self, per_rank: Sequence[np.ndarray]) -> np.ndarray:
+        self._check_ranks(per_rank)
+        start = time.perf_counter()
+        out = combine_allreduce(per_rank)
+        self.ledger.charge_comm(time.perf_counter() - start, "allreduce", self._stage)
+        return out
+
+    def allgather(self, per_rank: Sequence[np.ndarray]) -> np.ndarray:
+        self._check_ranks(per_rank)
+        start = time.perf_counter()
+        out, _ = combine_allgather(per_rank)
+        self.ledger.charge_comm(time.perf_counter() - start, "allgather", self._stage)
+        return out
+
+    def alltoallv(self, send: Sequence[Sequence[np.ndarray]]) -> list[np.ndarray]:
+        self._check_ranks(send)
+        start = time.perf_counter()
+        recv, _ = combine_alltoallv(send, self.nranks)
+        self.ledger.charge_comm(time.perf_counter() - start, "alltoallv", self._stage)
+        return recv
+
+    def broadcast(self, value: np.ndarray) -> np.ndarray:
+        arr = np.asarray(value)
+        self.ledger.charge_comm(0.0, "broadcast", self._stage)
+        return arr
+
+    # -- shared memory + lifecycle ------------------------------------------
+
+    def share(self, array: np.ndarray) -> np.ndarray:
+        """Copy ``array`` into a shared-memory segment owned by this comm.
+
+        The segment lives until :meth:`close`; the returned
+        :class:`SharedArray` (and its slices) pickle as tiny handles.
+        Shared views are invalidated by :meth:`close` — copy anything that
+        must outlive the communicator (``np.array(view)``) first.
+        """
+        self._ensure_open()
+        arr = np.ascontiguousarray(array)
+        if arr.nbytes == 0:
+            return arr
+        seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[...] = arr
+        shared = view.view(SharedArray)
+        shared._shm = seg
+        self._segments.append(seg)
+        return shared
+
+    def release(self, *arrays: np.ndarray) -> None:
+        """Unlink the segments backing ``arrays`` and detach them everywhere.
+
+        Workers drop their attachment at the next message; the driver closes
+        and unlinks immediately, so a run that shares a dataset, transforms
+        it, and shares the result keeps only one copy in ``/dev/shm``.  The
+        released views (driver- and worker-side) must not be used again.
+        A no-op on a closed comm (close already unlinked everything), so
+        cleanup paths may call it unconditionally.
+        """
+        if self._closed:
+            return
+        for arr in arrays:
+            seg = getattr(arr, "_shm", None)
+            if seg is None or seg not in self._segments:
+                continue
+            for conn in self._conns:
+                conn.send(("release", seg.name))
+            self._segments.remove(seg)
+            self._drop_segment(seg)
+
+    @staticmethod
+    def _drop_segment(seg: shared_memory.SharedMemory) -> None:
+        # the driver may also hold an attachment under this name (it
+        # unpickles worker-returned handles through _attach_segment)
+        attached = _ATTACHED.pop(seg.name, None)
+        for handle in (attached, seg):
+            if handle is None:
+                continue
+            try:
+                handle.close()
+            except BufferError:  # a view is still alive; unmapped at gc/exit
+                pass
+        try:
+            seg.unlink()
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        """Join/terminate workers and unlink shared memory.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for proc in self._workers:
+            proc.join(timeout=_JOIN_TIMEOUT)
+        for proc in self._workers:
+            if proc.is_alive():  # pragma: no cover - stuck worker safety net
+                proc.terminate()
+                proc.join(timeout=_JOIN_TIMEOUT)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for seg in self._segments:
+            self._drop_segment(seg)
+        self._segments.clear()
+        _LIVE_COMMS.discard(self)
+
+    def __del__(self):  # pragma: no cover - gc-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ProcessComm is closed")
+
+
+register_backend("process", ProcessComm)
+atexit.register(shutdown_process_comms)

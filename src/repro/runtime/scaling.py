@@ -67,7 +67,7 @@ class ScalingPoint:
     n: int
     k: int
     seconds: float
-    mode: str  # "measured" (backed by a simulated run) | "modeled"
+    mode: str  # "measured" (backed by a real run on an execution backend) | "modeled"
     breakdown: dict = field(default_factory=dict)
     measured_wall: float | None = None  # wall-clock of the backing simulated run
     imbalance: float | None = None
@@ -87,13 +87,20 @@ def calibrate(
     machine: MachineModel | None = None,
     rng: int | np.random.Generator | None = None,
     dim: int = 2,
+    backend: str | None = None,
 ) -> CostCalibration:
-    """Extract iteration/reduction counts from one small simulated run."""
+    """Extract iteration/reduction counts from one small calibration run.
+
+    ``backend`` selects the execution backend of the run; iteration and
+    reduction counts are bit-identical across backends, so the calibration
+    is too.
+    """
     gen = ensure_rng(rng)
     n = points_per_rank * nranks
     pts = gen.random((n, dim))
     cfg = BalancedKMeansConfig(use_sampling=False)
-    result = distributed_balanced_kmeans(pts, k=nranks, nranks=nranks, config=cfg, machine=machine, rng=gen)
+    result = distributed_balanced_kmeans(pts, k=nranks, nranks=nranks, config=cfg, machine=machine,
+                                         rng=gen, backend=backend)
     iters = max(result.iterations, 1)
     reduces = result.ledger.collective_counts.get("allreduce", iters)
     return CostCalibration(
@@ -172,6 +179,7 @@ def _curve(
     calib: CostCalibration,
     rng: np.random.Generator,
     dim: int,
+    backend: str | None = None,
 ) -> list[ScalingPoint]:
     out: list[ScalingPoint] = []
     for p, n, k in configs:
@@ -184,8 +192,9 @@ def _curve(
             pts = rng.random((n, dim))
             if tool == "Geographer":
                 cfg = BalancedKMeansConfig(use_sampling=False)
-                res = distributed_balanced_kmeans(pts, k=k, nranks=p, config=cfg, machine=machine, rng=rng)
-                measured_wall = res.simulated_seconds
+                res = distributed_balanced_kmeans(pts, k=k, nranks=p, config=cfg, machine=machine,
+                                                  rng=rng, backend=backend)
+                measured_wall = res.ledger.total_seconds
                 imbalance = res.imbalance
             else:
                 import time
@@ -209,14 +218,15 @@ def weak_scaling(
     machine: MachineModel | None = None,
     rng: int | np.random.Generator | None = None,
     dim: int = 2,
+    backend: str | None = None,
 ) -> list[ScalingPoint]:
     """Figure 3a: p = k doubles, n/p fixed (paper: 250k/rank, 32..8192 ranks)."""
     gen = ensure_rng(rng)
-    calib = calibrate(machine=machine, rng=gen, dim=dim)
+    calib = calibrate(machine=machine, rng=gen, dim=dim, backend=backend)
     out: list[ScalingPoint] = []
     configs = [(p, p * points_per_rank, p) for p in rank_counts]
     for tool in tools:
-        out.extend(_curve(tool, configs, measured_max_ranks, machine, calib, gen, dim))
+        out.extend(_curve(tool, configs, measured_max_ranks, machine, calib, gen, dim, backend))
     return out
 
 
@@ -228,12 +238,13 @@ def strong_scaling(
     machine: MachineModel | None = None,
     rng: int | np.random.Generator | None = None,
     dim: int = 2,
+    backend: str | None = None,
 ) -> list[ScalingPoint]:
     """Figure 3b: fixed n (paper: Delaunay2B), p = k doubling to 16384."""
     gen = ensure_rng(rng)
-    calib = calibrate(machine=machine, rng=gen, dim=dim)
+    calib = calibrate(machine=machine, rng=gen, dim=dim, backend=backend)
     out: list[ScalingPoint] = []
     configs = [(p, n, p) for p in rank_counts]
     for tool in tools:
-        out.extend(_curve(tool, configs, measured_max_ranks, machine, calib, gen, dim))
+        out.extend(_curve(tool, configs, measured_max_ranks, machine, calib, gen, dim, backend))
     return out

@@ -6,19 +6,32 @@ delivered by the halo plan.  Agreement with the global product proves the
 plan is complete (tested) — the same property the paper relies on when it
 measures SpMV communication on the real machine.
 
+The product runs on an execution backend: blocks are placed round-robin on
+``nranks`` ranks (:meth:`~repro.spmv.halo.HaloPlan.rank_blocks`) and each
+rank computes its blocks' rows.  On the default serial path (``nranks=1``,
+no backend) this is a plain loop; with ``backend="process"`` the ranks are
+real worker processes.  Row ranges of distinct blocks are disjoint, so the
+assembled ``y`` is bit-identical across backends and rank counts (tested).
+
 ``spmv_comm_time`` models the communication phase of one SpMV under the
 machine model: every block sends its boundary values (8 bytes each) to each
 neighbouring block in one message; blocks proceed in parallel, so the time
 is the bottleneck block's send+receive cost.  This is the quantity the paper
 reports as ``timeSpMVComm`` (averaged over 100 identical multiplications —
-deterministic here, so averaging is a no-op).
+deterministic here, so averaging is a no-op).  The modeled figure is
+returned on every backend; a process backend's *measured* exchange time is
+on the ledger of the communicator passed via ``comm``.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
+from scipy.sparse import csr_matrix
 
 from repro.mesh.graph import GeometricMesh
+from repro.runtime.comm import Comm, make_comm
 from repro.runtime.costmodel import SUPERMUC_LIKE, MachineModel
 from repro.spmv.halo import HaloPlan, build_halo_plan
 
@@ -50,19 +63,42 @@ def spmv_comm_time(
     return comm_time_from_plan(build_halo_plan(mesh, assignment, k), machine)
 
 
+def _block_rows(plan: HaloPlan, adjacency, x: np.ndarray, block: int) -> tuple[np.ndarray, np.ndarray]:
+    """Rows of ``y = A x`` owned by ``block``: ``(owned indices, values)``.
+
+    Each block assembles a masked input vector containing exactly its owned
+    entries plus the halo values it received; any missing halo entry would
+    corrupt ``y`` relative to the global product.
+    """
+    owned = plan.block_vertices(block)
+    if owned.size == 0:
+        return owned, np.empty(0)
+    x_local = plan.masked_input(x, block, owned=owned)
+    return owned, adjacency[owned] @ x_local
+
+
 def distributed_spmv(
     mesh: GeometricMesh,
     assignment: np.ndarray,
     k: int,
     x: np.ndarray,
     machine: MachineModel | None = None,
+    nranks: int = 1,
+    backend: str | None = None,
+    comm: Comm | None = None,
 ) -> tuple[np.ndarray, float]:
     """Execute ``y = A x`` blockwise through the halo plan.
 
-    Returns ``(y, comm_time)``.  Each block assembles a masked input vector
-    containing exactly its owned entries plus the halo values it received;
-    any missing halo entry would corrupt ``y`` relative to the global
-    product, which the test suite checks.
+    Returns ``(y, comm_time)`` with ``comm_time`` the modeled halo-exchange
+    bottleneck (the paper's ``timeSpMVComm``).
+
+    ``nranks``/``backend`` place the ``k`` blocks round-robin on an
+    execution backend (``backend=None`` with ``nranks=1`` keeps the plain
+    serial loop).  Pass an open communicator via ``comm`` to reuse its
+    workers and inspect its measured ledger afterwards; a comm created here
+    is closed before returning, and a reused one gets every shared segment
+    of this call released and its stage label restored, so repeated SpMVs
+    over one communicator keep ``/dev/shm`` flat.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (mesh.n,):
@@ -70,13 +106,55 @@ def distributed_spmv(
     plan = build_halo_plan(mesh, assignment, k)
     adjacency = mesh.to_scipy()
     y = np.zeros(mesh.n)
-    for block in range(k):
-        owned = np.flatnonzero(plan.owner == block)
-        if owned.size == 0:
-            continue
-        received = plan.pair_vertices[plan.pair_dest == block]
-        x_local = np.zeros(mesh.n)
-        x_local[owned] = x[owned]
-        x_local[received] = x[received]
-        y[owned] = adjacency[owned] @ x_local
+    owns_comm = comm is None
+    if comm is None and backend is None and nranks == 1:
+        for block in range(k):
+            owned, values = _block_rows(plan, adjacency, x, block)
+            y[owned] = values
+        return y, comm_time_from_plan(plan, machine)
+    if comm is None:
+        comm = make_comm(nranks, backend=backend, machine=machine)
+    prev_stage = comm._stage
+    shared: list[np.ndarray] = []
+    try:
+        comm.set_stage("spmv")
+        p = comm.nranks  # rank functions must not capture the comm itself
+        # everything large the rank functions touch goes through share():
+        # the input vector, the plan's per-vertex arrays and the CSR parts
+        # ship as shared-memory handles instead of p pickled copies
+        def share(arr: np.ndarray) -> np.ndarray:
+            shared.append(comm.share(arr))
+            return shared[-1]
+
+        x_exec = share(x)
+        plan_exec = replace(
+            plan,
+            owner=share(plan.owner),
+            pair_vertices=share(plan.pair_vertices),
+            pair_dest=share(plan.pair_dest),
+        )
+        csr = (share(adjacency.data), share(adjacency.indices),
+               share(adjacency.indptr), adjacency.shape)
+
+        def rank_rows(r: int) -> tuple[np.ndarray, np.ndarray]:
+            matrix = csr_matrix(csr[:3], shape=csr[3])
+            idx_parts: list[np.ndarray] = []
+            val_parts: list[np.ndarray] = []
+            for block in plan_exec.rank_blocks(r, p):
+                owned, values = _block_rows(plan_exec, matrix, x_exec, block)
+                if owned.size:
+                    idx_parts.append(owned)
+                    val_parts.append(values)
+            if not idx_parts:
+                return np.empty(0, dtype=np.int64), np.empty(0)
+            return np.concatenate(idx_parts), np.concatenate(val_parts)
+
+        for owned, values in comm.run_local(rank_rows):
+            y[owned] = values
+    finally:
+        if owns_comm:
+            comm.close()
+        else:  # leave a reused communicator the way we found it
+            comm.release(*shared)
+            comm.set_stage(prev_stage)
     return y, comm_time_from_plan(plan, machine)

@@ -59,6 +59,39 @@ class HaloPlan:
     def total_volume(self) -> int:
         return int(self.volume.sum())
 
+    # -- execution helpers (used by the distributed SpMV backends) ----------
+
+    def rank_blocks(self, rank: int, nranks: int) -> range:
+        """Blocks executed by ``rank`` under round-robin block placement.
+
+        With ``nranks < k`` each rank hosts several blocks (the paper's
+        ``k`` and ``p`` are independent); the round-robin map is what every
+        execution backend uses, so results do not depend on the backend.
+        """
+        if not 0 <= rank < nranks:
+            raise ValueError(f"rank must be in [0, {nranks}), got {rank}")
+        return range(rank, self.k, nranks)
+
+    def block_vertices(self, block: int) -> np.ndarray:
+        """Vertices owned by ``block``."""
+        return np.flatnonzero(self.owner == block)
+
+    def masked_input(self, x: np.ndarray, block: int, owned: np.ndarray | None = None) -> np.ndarray:
+        """The input vector as ``block`` sees it during one halo exchange.
+
+        Exactly the entries the block owns plus the halo values delivered to
+        it are populated; every other entry is zero, so a missing halo pair
+        corrupts the product relative to the global one (which the test
+        suite checks).
+        """
+        if owned is None:
+            owned = self.block_vertices(block)
+        received = self.pair_vertices[self.pair_dest == block]
+        x_local = np.zeros(x.shape[0])
+        x_local[owned] = x[owned]
+        x_local[received] = x[received]
+        return x_local
+
 
 def build_halo_plan(mesh: GeometricMesh, assignment: np.ndarray, k: int) -> HaloPlan:
     """Construct the halo plan for one partition."""

@@ -1,0 +1,79 @@
+"""Golden regression fixtures: frozen metric snapshots for fixed-seed runs.
+
+Each test computes paper metrics (cut, imbalance, communication volume,
+migration volume) for a small fixed-seed mesh and diffs them against the
+JSON snapshots under ``tests/golden/``.  Future kernel or backend changes
+that move any number show up as a diff of those files; refreeze
+intentionally with ``pytest tests/test_golden_regression.py --update-golden``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mesh.registry import make_instance
+from repro.metrics.commvolume import comm_volumes
+from repro.metrics.cut import edge_cut
+from repro.metrics.imbalance import imbalance
+from repro.metrics.migration import migration_fraction, migration_volume
+from repro.partitioners.base import get_partitioner
+from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
+
+K = 6
+SEED = 0
+
+
+def _partition_metrics(mesh, assignment):
+    volumes = comm_volumes(mesh, assignment, K)
+    return {
+        "n": int(mesh.n),
+        "m": int(mesh.m),
+        "cut": int(edge_cut(mesh, assignment)),
+        "imbalance": float(imbalance(assignment, K, mesh.node_weights)),
+        "max_comm_vol": int(volumes.max()),
+        "total_comm_vol": int(volumes.sum()),
+        "blocks_used": int(np.unique(assignment).size),
+    }
+
+
+class TestGoldenPartitions:
+    def test_geographer_on_rgg(self, golden):
+        mesh = make_instance("rgg2d", scale=0.05, seed=SEED)
+        result = get_partitioner("Geographer").partition_mesh(mesh, K, rng=SEED)
+        golden("geographer_rgg2d", _partition_metrics(mesh, result.assignment))
+
+    def test_geographer_on_structured_fem(self, golden):
+        mesh = make_instance("333SP", scale=0.05, seed=SEED)
+        result = get_partitioner("Geographer").partition_mesh(mesh, K, rng=SEED)
+        golden("geographer_333sp", _partition_metrics(mesh, result.assignment))
+
+    def test_distributed_run_on_rgg(self, golden):
+        """The p=4 distributed run (any backend: results are bit-identical)."""
+        mesh = make_instance("rgg2d", scale=0.05, seed=SEED)
+        res = distributed_balanced_kmeans(mesh.coords, K, nranks=4,
+                                          weights=mesh.node_weights, rng=SEED)
+        metrics = _partition_metrics(mesh, res.assignment)
+        metrics["iterations"] = int(res.iterations)
+        metrics["converged"] = bool(res.converged)
+        metrics["result_imbalance"] = float(res.imbalance)
+        golden("distributed_rgg2d_p4", metrics)
+
+    def test_migration_between_seeds(self, golden):
+        """Migration volume between two fixed-seed partitions of one mesh."""
+        mesh = make_instance("rgg2d", scale=0.05, seed=SEED)
+        tool = get_partitioner("Geographer")
+        first = tool.partition_mesh(mesh, K, rng=SEED)
+        second = tool.partition_mesh(mesh, K, rng=SEED + 1)
+        golden("migration_rgg2d", {
+            "volume": float(migration_volume(first.assignment, second.assignment,
+                                             mesh.node_weights)),
+            "fraction": float(migration_fraction(first.assignment, second.assignment,
+                                                 mesh.node_weights)),
+        })
+
+
+class TestGoldenMachinery:
+    def test_missing_fixture_fails_with_hint(self, golden, request):
+        if request.config.getoption("--update-golden"):
+            pytest.skip("only meaningful when not updating")
+        with pytest.raises(pytest.fail.Exception, match="--update-golden"):
+            golden("does_not_exist", {"x": 1})

@@ -1,0 +1,302 @@
+"""Unit tests for the process execution backend and the backend registry.
+
+Covers the machinery under the equivalence suite: closure shipping across
+pipes, shared-memory arrays and their pickling-by-handle, worker error
+propagation, and — per the teardown contract — that closing a communicator
+(explicitly, via the context manager, or on an exception inside an
+algorithm that owns one) joins every worker and unlinks every
+shared-memory segment.
+"""
+
+import multiprocessing as mp
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime.comm import (
+    BACKEND_ENV,
+    VirtualComm,
+    available_backends,
+    make_comm,
+    resolve_backend_name,
+)
+from repro.runtime.procomm import (
+    ProcessComm,
+    SharedArray,
+    freeze_function,
+    shutdown_process_comms,
+    thaw_function,
+)
+
+pytestmark = pytest.mark.process_backend
+
+
+def _segment_paths(comm):
+    return ["/dev/shm/" + seg.name for seg in comm._segments]
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        assert {"virtual", "process"} <= set(available_backends())
+
+    def test_make_comm_default_is_virtual(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        comm = make_comm(3)
+        assert isinstance(comm, VirtualComm) and comm.kind == "virtual"
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        assert resolve_backend_name() == "process"
+        assert resolve_backend_name("virtual") == "virtual"  # argument wins
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            make_comm(2, backend="quantum")
+
+    def test_process_backend_constructed_via_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        with make_comm(2) as comm:
+            assert isinstance(comm, ProcessComm)
+            assert comm.measured and not comm.persistent_state
+
+
+class TestClosureShipping:
+    def test_freeze_thaw_roundtrips_closures(self):
+        base = np.arange(4.0)
+
+        def outer(scale):
+            def fn(r):
+                return base * scale + r
+
+            return fn
+
+        thawed = thaw_function(pickle.loads(pickle.dumps(freeze_function(outer(3.0)))))
+        np.testing.assert_array_equal(thawed(2), base * 3.0 + 2)
+
+    def test_nested_local_functions_ship(self):
+        def helper(v):
+            return v + 1
+
+        def fn(r):
+            return helper(r) * 10
+
+        thawed = thaw_function(pickle.loads(pickle.dumps(freeze_function(fn))))
+        assert thawed(3) == 40
+
+    def test_capturing_comm_is_rejected(self):
+        with make_comm(2, backend="process") as comm:
+            captured = comm
+            with pytest.raises(TypeError, match="must not capture the communicator"):
+                comm.run_local(lambda r: captured.nranks)
+
+    def test_plain_data_passes_through(self):
+        payload = {"a": np.arange(3)}
+        assert freeze_function(payload) is payload
+
+    def test_keyword_only_defaults_survive(self):
+        offset = 5.0
+
+        def fn(r, *, scale=3.0):
+            return r * scale + offset
+
+        thawed = thaw_function(pickle.loads(pickle.dumps(freeze_function(fn))))
+        assert thawed(2) == 11.0
+        assert thawed(2, scale=10.0) == 25.0
+        with make_comm(2, backend="process") as comm:
+            assert comm.run_local(fn) == [5.0, 8.0]
+
+
+class TestRunLocal:
+    def test_ranks_run_in_distinct_processes(self):
+        with make_comm(3, backend="process") as comm:
+            pids = comm.run_local(lambda r: os.getpid())
+        assert len(set(pids)) == 3 and os.getpid() not in pids
+
+    def test_results_in_rank_order(self):
+        with make_comm(4, backend="process") as comm:
+            assert comm.run_local(lambda r: r * r) == [0, 1, 4, 9]
+
+    def test_worker_exception_propagates_and_workers_survive(self):
+        with make_comm(2, backend="process") as comm:
+
+            def boom(r):
+                if r == 1:
+                    raise ValueError("kapow from rank 1")
+                return r
+
+            with pytest.raises(RuntimeError, match="kapow from rank 1"):
+                comm.run_local(boom)
+            # the failed superstep does not poison the communicator
+            assert comm.run_local(lambda r: r + 10) == [10, 11]
+
+    def test_ledger_measures_wall_clock(self):
+        with make_comm(2, backend="process") as comm:
+            comm.set_stage("phase")
+            comm.run_local(lambda r: sum(range(1000)))
+            comm.allreduce([np.ones(4), np.ones(4)])
+        assert comm.ledger.supersteps == 1
+        assert comm.ledger.compute_seconds > 0
+        assert comm.ledger.stages["phase"] > 0
+        assert comm.ledger.collective_counts == {"dispatch": 1, "allreduce": 1}
+
+
+class TestSharedMemory:
+    def test_share_roundtrip_through_worker(self):
+        with make_comm(2, backend="process") as comm:
+            arr = comm.share(np.arange(12.0))
+            assert isinstance(arr, SharedArray)
+            sums = comm.run_local(lambda r: float(arr[r::2].sum()))
+            assert sums == [float(arr[0::2].sum()), float(arr[1::2].sum())]
+
+    def test_slice_pickles_by_handle_copy_by_value(self):
+        with make_comm(1, backend="process") as comm:
+            arr = comm.share(np.arange(20.0))
+            view = pickle.loads(pickle.dumps(arr[5:15]))
+            arr[7] = -99.0  # handle: the unpickled view aliases the segment
+            assert view[2] == -99.0
+            copied = pickle.loads(pickle.dumps(arr[[1, 3, 5]]))  # fancy copy left the segment
+            arr[3] = -1.0
+            assert copied[1] == 3.0
+
+    def test_worker_mutation_visible_in_driver(self):
+        with make_comm(2, backend="process") as comm:
+            arr = comm.share(np.zeros(2))
+            comm.run_local(lambda r: arr.__setitem__(r, r + 1.0))
+            np.testing.assert_array_equal(arr, [1.0, 2.0])
+
+    def test_zero_size_share_is_plain(self):
+        with make_comm(1, backend="process") as comm:
+            arr = comm.share(np.empty(0))
+            assert arr.nbytes == 0
+
+    def test_virtual_share_is_identity(self):
+        comm = VirtualComm(2)
+        src = np.arange(5.0)
+        assert comm.share(src) is src
+
+    def test_release_unlinks_segment_and_comm_stays_usable(self):
+        with make_comm(2, backend="process") as comm:
+            stale = comm.share(np.arange(16.0))
+            kept = comm.share(np.arange(4.0))
+            path = "/dev/shm/" + stale._shm.name
+            comm.run_local(lambda r: float(stale.sum()))  # workers attach it
+            comm.release(stale)
+            assert not os.path.exists(path)
+            assert comm._segments == [kept._shm]
+            assert comm.run_local(lambda r: float(kept[r])) == [0.0, 1.0]
+
+    def test_release_ignores_foreign_arrays(self):
+        with make_comm(1, backend="process") as comm:
+            comm.release(np.arange(3.0))  # plain array: nothing to do
+            assert comm.run_local(lambda r: r) == [0]
+
+    def test_virtual_release_is_noop(self):
+        comm = VirtualComm(2)
+        comm.release(np.arange(3.0))
+
+
+class TestTeardown:
+    def test_close_joins_workers_and_unlinks_segments(self):
+        comm = make_comm(2, backend="process")
+        comm.share(np.arange(64.0))
+        paths = _segment_paths(comm)
+        assert all(os.path.exists(p) for p in paths)
+        comm.close()
+        assert all(not proc.is_alive() for proc in comm._workers)
+        assert all(not os.path.exists(p) for p in paths)
+
+    def test_close_is_idempotent(self):
+        comm = make_comm(2, backend="process")
+        comm.close()
+        comm.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            comm.run_local(lambda r: r)
+
+    def test_context_manager_closes(self):
+        with make_comm(2, backend="process") as comm:
+            comm.run_local(lambda r: r)
+        assert all(not proc.is_alive() for proc in comm._workers)
+
+    def test_algorithm_error_does_not_leak(self):
+        """An exception inside an algorithm that built its own comm still
+        joins the workers and unlinks shared memory (atexit-style teardown)."""
+        from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
+
+        before = {p.pid for p in mp.active_children()}
+        pts = np.random.default_rng(0).random((200, 2))
+        with pytest.raises(ValueError, match="warm-start centers"):
+            distributed_balanced_kmeans(pts, k=3, nranks=2, rng=0, backend="process",
+                                        centers=np.zeros((2, 5)))
+        leaked = [p for p in mp.active_children()
+                  if p.pid not in before and p.name.startswith("repro-rank")]
+        assert leaked == []
+
+    def test_shutdown_process_comms_closes_live_comms(self):
+        comm = make_comm(2, backend="process")
+        comm.share(np.arange(8.0))
+        path = "/dev/shm/" + comm._segments[0].name
+        shutdown_process_comms()
+        assert comm._closed
+        assert not os.path.exists(path)
+
+    def test_comm_reuse_does_not_accumulate_segments(self):
+        """Repeated runs over one open communicator release every segment
+        they shared — /dev/shm stays flat (the repartitioning-loop case)."""
+        from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
+        from repro.spmv.distspmv import distributed_spmv
+        from repro.mesh.rgg import rgg_mesh
+
+        pts = np.random.default_rng(2).random((400, 2))
+        mesh = rgg_mesh(200, dim=2, rng=0)
+        a = np.random.default_rng(0).integers(0, 4, size=mesh.n)
+        x = np.random.default_rng(1).random(mesh.n)
+        with make_comm(2, backend="process") as comm:
+            results = []
+            for _ in range(3):
+                res = distributed_balanced_kmeans(pts, k=3, nranks=2, rng=5, comm=comm)
+                results.append(res.assignment)
+                distributed_spmv(mesh, a, 4, x, comm=comm)
+                assert comm._segments == []
+            np.testing.assert_array_equal(results[0], results[1])
+            np.testing.assert_array_equal(results[0], results[2])
+
+    def test_reused_comm_stage_restored(self):
+        from repro.mesh.rgg import rgg_mesh
+        from repro.spmv.distspmv import distributed_spmv
+
+        mesh = rgg_mesh(150, dim=2, rng=0)
+        a = np.random.default_rng(0).integers(0, 3, size=mesh.n)
+        x = np.random.default_rng(1).random(mesh.n)
+        with make_comm(2, backend="process") as comm:
+            comm.set_stage("mine")
+            distributed_spmv(mesh, a, 3, x, comm=comm)
+            comm.run_local(lambda r: r)
+            assert comm.ledger.stages.get("mine", 0.0) > 0
+            assert comm._stage == "mine"
+
+    def test_no_shm_leak_across_full_run(self):
+        from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
+
+        def our_segments():
+            try:
+                return {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
+            except FileNotFoundError:  # non-Linux layout: skip the fs check
+                pytest.skip("no /dev/shm on this platform")
+
+        before = our_segments()
+        pts = np.random.default_rng(1).random((500, 2))
+        distributed_balanced_kmeans(pts, k=4, nranks=3, rng=1, backend="process")
+        assert our_segments() <= before
+
+
+class TestTopologyParity:
+    def test_topology_total_validated(self):
+        from repro.runtime.costmodel import MachineTopology
+
+        topo = MachineTopology(branching=(2, 2))
+        with pytest.raises(ValueError, match="leaves"):
+            ProcessComm(3, topology=topo)
+        with make_comm(4, backend="process", topology=topo) as comm:
+            assert comm.topology is topo

@@ -1,0 +1,207 @@
+"""Property-based invariants of the runtime collectives and global results.
+
+Hypothesis drives random rank payloads through the collective surface and
+checks the algebra every backend must preserve:
+
+- allreduce equals the elementwise sum of the parts;
+- allgather concatenates in rank order;
+- alltoallv conserves elements (everything sent is received exactly once)
+  and delivers in rank order;
+- global results (the distributed sort, the distributed k-means partition)
+  are invariant under shuffling the input points.
+
+Integer-valued payloads make the sum checks exact regardless of reduction
+order.  The process backend reuses one module-wide communicator so
+hypothesis examples don't each pay the worker-startup cost.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.comm import VirtualComm, make_comm
+from repro.runtime.costmodel import MachineModel
+from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
+from repro.runtime.distsort import distributed_sort
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+_MACHINE = MachineModel(alpha=1e-6, beta=1e-9)
+
+
+def _virtual(p):
+    return VirtualComm(p, _MACHINE)
+
+
+# one shared process communicator per rank count (closed by the backend's
+# atexit hook); collectives and supersteps are cheap once the workers exist
+_PROC_COMMS = {}
+
+
+def _process(p):
+    comm = _PROC_COMMS.get(p)
+    if comm is None:
+        comm = _PROC_COMMS[p] = make_comm(p, backend="process")
+    return comm
+
+
+BACKEND_FACTORIES = {"virtual": _virtual, "process": _process}
+
+# process-backend cases carry the marker so `-m process_backend` runs them
+# and the tier-1 selection does not
+BACKENDS = ["virtual", pytest.param("process", marks=pytest.mark.process_backend)]
+
+
+@st.composite
+def rank_payloads(draw, max_ranks=5, max_len=12):
+    """Per-rank integer arrays (equal shapes), as float64 for exact sums."""
+    p = draw(st.integers(1, max_ranks))
+    width = draw(st.integers(1, max_len))
+    rows = [
+        draw(st.lists(st.integers(-1000, 1000), min_size=width, max_size=width))
+        for _ in range(p)
+    ]
+    return [np.array(row, dtype=np.float64) for row in rows]
+
+
+@st.composite
+def alltoall_payloads(draw, max_ranks=4, max_len=6):
+    p = draw(st.integers(1, max_ranks))
+    send = []
+    for _ in range(p):
+        row = []
+        for _ in range(p):
+            vals = draw(st.lists(st.integers(-1000, 1000), min_size=0, max_size=max_len))
+            row.append(np.array(vals, dtype=np.float64))
+        send.append(row)
+    return send
+
+
+class TestCollectiveAlgebra:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(per_rank=rank_payloads())
+    @SETTINGS
+    def test_allreduce_is_sum_of_parts(self, backend, per_rank):
+        comm = BACKEND_FACTORIES[backend](len(per_rank))
+        out = comm.allreduce(per_rank)
+        np.testing.assert_array_equal(out, np.sum(np.stack(per_rank), axis=0))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(per_rank=rank_payloads())
+    @SETTINGS
+    def test_allgather_preserves_rank_order(self, backend, per_rank):
+        comm = BACKEND_FACTORIES[backend](len(per_rank))
+        out = comm.allgather(per_rank)
+        np.testing.assert_array_equal(out, np.concatenate(per_rank))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(send=alltoall_payloads())
+    @SETTINGS
+    def test_alltoallv_conserves_elements(self, backend, send):
+        p = len(send)
+        comm = BACKEND_FACTORIES[backend](p)
+        recv = comm.alltoallv(send)
+        sent = np.sort(np.concatenate([chunk for row in send for chunk in row] or [np.empty(0)]))
+        received = np.sort(np.concatenate(recv))
+        np.testing.assert_array_equal(sent, received)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(send=alltoall_payloads())
+    @SETTINGS
+    def test_alltoallv_delivers_in_rank_order(self, backend, send):
+        p = len(send)
+        comm = BACKEND_FACTORIES[backend](p)
+        recv = comm.alltoallv(send)
+        for j in range(p):
+            expected = np.concatenate([np.atleast_1d(send[i][j]) for i in range(p)])
+            np.testing.assert_array_equal(recv[j], expected)
+
+    @given(per_rank=rank_payloads())
+    @SETTINGS
+    def test_broadcast_returns_value_unchanged(self, per_rank):
+        comm = _virtual(len(per_rank))
+        np.testing.assert_array_equal(comm.broadcast(per_rank[0]), per_rank[0])
+
+    def test_rank_count_mismatch_rejected(self):
+        comm = _virtual(3)
+        with pytest.raises(ValueError, match="expected 3 per-rank entries"):
+            comm.allreduce([np.zeros(2)] * 4)
+
+
+class TestSortInvariants:
+    @given(
+        keys=st.lists(st.integers(0, 1 << 30), min_size=1, max_size=60),
+        p=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    @SETTINGS
+    def test_global_order_invariant_under_shuffling(self, keys, p, seed):
+        """The rank-order concatenation is np.sort(keys), however the input
+        is permuted or distributed over ranks."""
+        arr = np.array(keys, dtype=np.float64)
+        shuffled = np.random.default_rng(seed).permutation(arr)
+        cuts = np.linspace(0, arr.size, p + 1).astype(int)
+        per_rank = [shuffled[cuts[r]:cuts[r + 1]] for r in range(p)]
+        out, _ = distributed_sort(_virtual(p), per_rank)
+        np.testing.assert_array_equal(np.concatenate(out), np.sort(arr))
+
+    @given(
+        keys=st.lists(st.integers(0, 1 << 30), min_size=2, max_size=40, unique=True),
+        p=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    @SETTINGS
+    def test_payload_follows_its_key(self, keys, p, seed):
+        arr = np.array(keys, dtype=np.float64)
+        payload = arr * 2.0 + 1.0  # recoverable from the key
+        perm = np.random.default_rng(seed).permutation(arr.size)
+        cuts = np.linspace(0, arr.size, p + 1).astype(int)
+        per_keys = [arr[perm][cuts[r]:cuts[r + 1]] for r in range(p)]
+        per_pay = [payload[perm][cuts[r]:cuts[r + 1]] for r in range(p)]
+        out_keys, out_pay = distributed_sort(_virtual(p), per_keys, per_pay)
+        np.testing.assert_array_equal(np.concatenate(out_pay), np.concatenate(out_keys) * 2.0 + 1.0)
+
+    @given(p=st.integers(1, 4), seed=st.integers(0, 2**16))
+    @SETTINGS
+    def test_equalized_chunks_differ_by_at_most_one(self, p, seed):
+        rng = np.random.default_rng(seed)
+        per_rank = [rng.random(int(rng.integers(0, 30))) for _ in range(p)]
+        out, _ = distributed_sort(_virtual(p), per_rank)
+        sizes = [chunk.size for chunk in out]
+        if sum(sizes) > 0:
+            assert max(sizes) - min(sizes) <= 1
+
+
+def _lattice_points(rng, n=220, grid=64):
+    """Distinct lattice points → distinct SFC keys → tie-free, exactly
+    permutation-equivariant runs."""
+    cells = rng.choice(grid * grid, size=n, replace=False)
+    return np.column_stack([cells // grid, cells % grid]).astype(np.float64) / grid
+
+
+class TestKMeansPermutationInvariance:
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_partition_equivariant_under_point_shuffling(self, seed):
+        """Shuffling the input points permutes the assignment and nothing else:
+        the SFC redistribution restores a canonical global order."""
+        rng = np.random.default_rng(seed)
+        pts = _lattice_points(rng)
+        perm = rng.permutation(pts.shape[0])
+        base = distributed_balanced_kmeans(pts, k=4, nranks=3, rng=9)
+        shuf = distributed_balanced_kmeans(pts[perm], k=4, nranks=3, rng=9)
+        np.testing.assert_array_equal(shuf.assignment, base.assignment[perm])
+        np.testing.assert_array_equal(shuf.centers, base.centers)
+        assert shuf.imbalance == base.imbalance
+
+    @pytest.mark.process_backend
+    def test_equivariance_holds_on_process_backend(self):
+        rng = np.random.default_rng(123)
+        pts = _lattice_points(rng)
+        perm = rng.permutation(pts.shape[0])
+        base = distributed_balanced_kmeans(pts, k=4, nranks=2, rng=9, backend="process")
+        shuf = distributed_balanced_kmeans(pts[perm], k=4, nranks=2, rng=9, backend="process")
+        np.testing.assert_array_equal(shuf.assignment, base.assignment[perm])
+        np.testing.assert_array_equal(shuf.centers, base.centers)
