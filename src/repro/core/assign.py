@@ -23,9 +23,25 @@ top-2 reduction itself runs in squared space (see
 aligned to the workspace's static blocks so the pruning rule reuses boxes
 computed once per run and box-to-center distances computed once per phase.
 
+Incremental engine (``config.use_incremental``, default on): the workspace's
+per-sub-block bound aggregates certify whole sub-blocks unchanged without
+reading any per-point array, so the per-sweep active scan runs only inside
+woken sub-blocks (with an adaptive fallback to the global scan when the
+trajectory is churning); each sweep additionally reports the per-cluster
+*weight delta* of the assignments it changed, so :func:`assign_and_balance`
+maintains the block weights incrementally instead of re-bincounting all
+``n`` points every balance iteration, and the bound relaxations between
+iterations use the candidate-local (cluster-exact) forms via the workspace.
+Every relaxation keeps the bounds *valid*, and every evaluation is exact,
+so assignments, influence, imbalance and block weights are identical to the
+full path; see
+:class:`~repro.core.config.BalancedKMeansConfig.use_incremental` for the
+exactness caveat on non-integer weights.
+
 In the distributed runtime the block-weight reduction (line 31, the only
-communication in Algorithm 1) becomes an allreduce over ranks; all other
-steps read rank-local arrays only.
+communication in Algorithm 1) becomes an allreduce over ranks — of the
+k-vector of deltas in incremental mode; all other steps read rank-local
+arrays only.
 """
 
 from __future__ import annotations
@@ -34,7 +50,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.bounds import relax_for_influence
+from repro.core.bounds import relax_for_influence, relax_for_influence_exclusive
 from repro.core.config import BalancedKMeansConfig
 from repro.core.influence import adapt_influence
 from repro.core.kernels import SweepWorkspace
@@ -46,7 +62,15 @@ __all__ = ["AssignStats", "assign_points", "assign_and_balance"]
 
 @dataclass
 class AssignStats:
-    """Counters validating the §4.3 claim that ~80 % of inner loops are skipped."""
+    """Counters validating the §4.3 claim that ~80 % of inner loops are skipped.
+
+    ``blocks_total`` / ``blocks_skipped`` count aggregate *sub-blocks*
+    certified unchanged by the incremental engine's block-level filter (a
+    skipped sub-block never touches its per-point arrays; both stay 0 when
+    the filter is parked or disabled).  ``points_changed`` counts
+    assignments that actually flipped — the size of the weight deltas the
+    incremental block-weight reduction is built from.
+    """
 
     points_total: int = 0
     points_skipped: int = 0
@@ -54,12 +78,22 @@ class AssignStats:
     center_evals_possible: int = 0
     balance_iterations: int = 0
     sweeps: int = 0
+    blocks_total: int = 0
+    blocks_skipped: int = 0
+    points_changed: int = 0
 
     @property
     def skip_fraction(self) -> float:
         if self.points_total == 0:
             return 0.0
         return self.points_skipped / self.points_total
+
+    @property
+    def block_skip_fraction(self) -> float:
+        """Fraction of static blocks certified unchanged without being scanned."""
+        if self.blocks_total == 0:
+            return 0.0
+        return self.blocks_skipped / self.blocks_total
 
     @property
     def pruning_fraction(self) -> float:
@@ -75,6 +109,9 @@ class AssignStats:
         self.center_evals_possible += other.center_evals_possible
         self.balance_iterations += other.balance_iterations
         self.sweeps += other.sweeps
+        self.blocks_total += other.blocks_total
+        self.blocks_skipped += other.blocks_skipped
+        self.points_changed += other.points_changed
 
 
 def _box_candidates(
@@ -104,22 +141,63 @@ def _static_block_chunks(need: np.ndarray, workspace: SweepWorkspace) -> list[tu
     """Split the sorted ``need`` indices along the workspace's static blocks.
 
     Returns ``(chunk, block_id)`` pairs for every non-empty block, so each
-    chunk can look up its precomputed bounding-box candidate set.
+    chunk can look up its precomputed bounding-box candidate set.  One
+    ``searchsorted`` over the block boundaries plus ``np.split`` — no
+    per-block Python work; this runs once per sweep on the hot path.
     """
     block_size = workspace.block_size
     first = int(need[0]) // block_size
     last = int(need[-1]) // block_size
     if first == last:
         return [(need, first)]
-    boundaries = np.arange(first + 1, last + 1) * block_size
+    boundaries = np.arange(first + 1, last + 1, dtype=np.int64) * block_size
     cuts = np.searchsorted(need, boundaries)
-    chunks = []
-    prev = 0
-    for b, cut in enumerate(np.append(cuts, need.shape[0])):
-        if cut > prev:
-            chunks.append((need[prev:cut], first + b))
-            prev = cut
-    return chunks
+    pieces = np.split(need, cuts)
+    return [(piece, first + b) for b, piece in enumerate(pieces) if piece.shape[0]]
+
+
+def _merge_sparse_chunks(
+    tasks: list[tuple[np.ndarray, int]], workspace: SweepWorkspace, chunk_size: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Coalesce underfilled per-block chunks of a sparse sweep.
+
+    When few points are active, per-static-block chunks hold a handful of
+    points each and Python dispatch dominates the sweep.  Adjacent chunks
+    are merged up to ``chunk_size`` points; the merged chunk is pruned with
+    the *union* of its blocks' cached candidate sets — a superset of every
+    member block's exact §4.4 set, so results are unchanged while dispatch
+    count drops by roughly the fill factor.
+    """
+    mask = workspace._block_cand_mask
+    counts = workspace._block_cand_counts
+    merged: list[tuple[np.ndarray, np.ndarray]] = []
+    acc: list[np.ndarray] = []
+    acc_mask = None
+    acc_n = 0
+    cand_cap = 0
+
+    def flush():
+        nonlocal acc, acc_mask, acc_n, cand_cap
+        if acc_n:
+            chunk = acc[0] if len(acc) == 1 else np.concatenate(acc)
+            merged.append((chunk, np.flatnonzero(acc_mask)))
+        acc, acc_mask, acc_n, cand_cap = [], None, 0, 0
+
+    for chunk, block in tasks:
+        # keep the union candidate set close to the members' own sets: a
+        # merge that doubles the candidates costs more in distance work
+        # than it saves in dispatch
+        if acc_n and (
+            acc_n + chunk.shape[0] > chunk_size
+            or int(np.count_nonzero(acc_mask | mask[block])) > cand_cap
+        ):
+            flush()
+        acc.append(chunk)
+        acc_mask = mask[block].copy() if acc_mask is None else acc_mask | mask[block]
+        acc_n += chunk.shape[0]
+        cand_cap = max(cand_cap, 2 * int(counts[block]) + 8)
+    flush()
+    return merged
 
 
 def assign_points(
@@ -132,6 +210,8 @@ def assign_points(
     config: BalancedKMeansConfig,
     stats: AssignStats | None = None,
     workspace: SweepWorkspace | None = None,
+    weights: np.ndarray | None = None,
+    delta_out: np.ndarray | None = None,
 ) -> int:
     """One assignment sweep; updates ``assignment``/``ub``/``lb`` in place.
 
@@ -140,32 +220,86 @@ def assign_points(
     :class:`~repro.core.kernels.SweepWorkspace` and reuse it.  When omitted,
     an ephemeral workspace is built for this sweep only.
 
+    When ``weights`` and ``delta_out`` (a zero-initialised ``(k,)`` float
+    array) are both given, the per-cluster weight delta of every assignment
+    this sweep *changed* is accumulated into ``delta_out`` — per chunk, in
+    block order — so callers can maintain block weights incrementally
+    instead of re-bincounting all points.
+
     Returns the number of points that needed evaluation (the rest were
     certified unchanged by their bounds).
     """
     n = points.shape[0]
     k = centers.shape[0]
     if workspace is None:
-        workspace = SweepWorkspace(points, config, k)
+        workspace = SweepWorkspace(points, config, k, ephemeral=True)
     elif workspace.points.shape != points.shape:
         raise ValueError(
             f"workspace was built for {workspace.points.shape} points, got {points.shape}"
         )
     workspace.prepare(centers, influence)
+    collect_delta = delta_out is not None and weights is not None
+
+    # -- fused numba path: one kernel call replaces the chunk orchestration --
+    if (
+        workspace.backend == "numba"
+        and workspace.has_static_blocks
+        and config.use_box_pruning
+    ):  # pragma: no cover - requires numba
+        evaluated, center_evals, delta, changed, blocks_active, blocks_total = workspace.fused_sweep(
+            assignment, ub, lb, config.use_bounds, weights if collect_delta else None
+        )
+        if collect_delta:
+            delta_out += delta
+        if stats is not None:
+            stats.sweeps += 1
+            stats.points_total += n
+            stats.points_skipped += n - evaluated
+            stats.center_evals += center_evals
+            stats.center_evals_possible += k * evaluated
+            stats.blocks_total += blocks_total
+            stats.blocks_skipped += blocks_total - blocks_active
+            stats.points_changed += changed
+        return evaluated
+
+    # -- active-point selection ---------------------------------------------
+    # In incremental mode with valid aggregates, the scan runs only inside
+    # woken sub-blocks: a sub-block whose max_ub < min_lb is certified
+    # unchanged without reading per-point arrays (pending relaxations are
+    # replayed for woken sub-blocks first).  The selected set is *identical*
+    # to the global flatnonzero(ub >= lb) — the aggregates are conservative
+    # by invariant.
+    woken: np.ndarray | None = None
+    selection = None
     if config.use_bounds:
+        selection = workspace.begin_incremental_sweep(assignment, ub, lb)
+    if selection is not None:
+        need, woken = selection
+        need_count = int(need.shape[0])
+        if stats is not None:
+            stats.blocks_total += workspace.n_subs
+            stats.blocks_skipped += workspace.n_subs - int(woken.shape[0])
+    elif config.use_bounds:
         need = np.flatnonzero(ub >= lb)
+        need_count = int(need.shape[0])
     else:
-        need = np.arange(n, dtype=np.int64)
+        need_count = n
+        if n > 0:
+            need = np.arange(n, dtype=np.int64)
     if stats is not None:
         stats.sweeps += 1
         stats.points_total += n
-        stats.points_skipped += n - need.shape[0]
-    if need.shape[0] == 0:
+        stats.points_skipped += n - need_count
+    if need_count == 0:
+        if woken is not None:
+            workspace.end_incremental_sweep(woken, ub, lb)
+        elif workspace.incremental and n > 0:
+            workspace.maybe_refresh_all(assignment, ub, lb)
         return 0
 
     inv_influence_sq = workspace.inv_influence_sq
 
-    def process_chunk(task: tuple[np.ndarray, int]) -> int:
+    def process_chunk(task: tuple[np.ndarray, int]) -> tuple[int, np.ndarray | None, int]:
         chunk, block = task
         # contiguous chunks (the common case on cold sweeps) gather and
         # scatter through slices, avoiding fancy-indexing copies
@@ -176,31 +310,56 @@ def assign_points(
         cpts = points[sel]
         if not config.use_box_pruning:
             cand = None
+        elif isinstance(block, np.ndarray):
+            cand = block if block.shape[0] < k else None  # merged-chunk union set
         elif block >= 0:
             cand = workspace.block_candidates(block)
         else:
             cand = _box_candidates(cpts, centers, inv_influence_sq)
+        old = assignment[sel].copy() if collect_delta else None
         assign, best, second = workspace.top2(cpts, sel, cand)
         assignment[sel] = assign
         ub[sel] = best
         lb[sel] = second
-        return k if cand is None else cand.shape[0]
+        delta_local = None
+        changed_count = 0
+        if collect_delta:
+            changed = np.flatnonzero(assign != old)
+            changed_count = int(changed.shape[0])
+            if changed_count:
+                wc = weights[sel][changed]
+                delta_local = np.bincount(assign[changed], weights=wc, minlength=k)
+                delta_local -= np.bincount(old[changed], weights=wc, minlength=k)
+        return (k if cand is None else cand.shape[0]), delta_local, changed_count
 
     if workspace.has_static_blocks and config.use_box_pruning:
         tasks = _static_block_chunks(need, workspace)
+        if workspace.incremental and len(tasks) > 4 * (need_count // config.chunk_size + 1):
+            tasks = _merge_sparse_chunks(tasks, workspace, config.chunk_size)
     else:
         tasks = [(need[s : s + config.chunk_size], -1) for s in range(0, need.shape[0], config.chunk_size)]
     executor = get_executor(config.n_threads) if len(tasks) > 1 else None
     if executor is None:
-        evaluated_per_chunk = [process_chunk(task) for task in tasks]
+        results = [process_chunk(task) for task in tasks]
     else:
         # chunks touch disjoint index ranges, so concurrent writes are safe
-        evaluated_per_chunk = list(executor.map(process_chunk, tasks))
+        results = list(executor.map(process_chunk, tasks))
+    if collect_delta:
+        for _, delta_local, _ in results:
+            if delta_local is not None:
+                delta_out += delta_local
     if stats is not None:
-        for (chunk, _), evaluated in zip(tasks, evaluated_per_chunk):
-            stats.center_evals += evaluated * chunk.shape[0]
+        for (chunk, _), (cand_count, _, changed_count) in zip(tasks, results):
+            stats.center_evals += cand_count * chunk.shape[0]
             stats.center_evals_possible += k * chunk.shape[0]
-    return int(need.shape[0])
+            stats.points_changed += changed_count
+    if woken is not None:
+        workspace.end_incremental_sweep(woken, ub, lb)
+    elif workspace.incremental:
+        # first bounded sweep (or a sweep with bounds off): every per-point
+        # bound is now current, so seed all aggregates once
+        workspace.maybe_refresh_all(assignment, ub, lb)
+    return need_count
 
 
 @dataclass
@@ -226,6 +385,7 @@ def assign_and_balance(
     target_weights: np.ndarray,
     config: BalancedKMeansConfig,
     workspace: SweepWorkspace | None = None,
+    initial_block_weights: np.ndarray | None = None,
 ) -> BalanceOutcome:
     """Algorithm 1: alternate assignment sweeps with influence adaptation.
 
@@ -234,6 +394,13 @@ def assign_and_balance(
     ``workspace`` (optional) is reused across the phase's sweeps; the phase
     geometry is refreshed unconditionally on entry, so callers may mutate
     ``centers`` in place between phases.
+
+    In incremental mode the block weights are maintained from per-sweep
+    assignment deltas: one full ``bincount`` when the phase has no prior
+    weight vector, then ``block_w += delta`` per balance iteration.
+    ``initial_block_weights`` lets a caller skip even that first full
+    reduction by passing the previous phase's block weights — valid only
+    when ``assignment`` is untouched since they were computed.
     """
     k = centers.shape[0]
     dim = points.shape[1]
@@ -241,15 +408,24 @@ def assign_and_balance(
     if workspace is None:
         workspace = SweepWorkspace(points, config, k)
     workspace.begin_phase(centers)
+    incremental = workspace.incremental
     stats = AssignStats()
-    block_w = np.zeros(k)
+    block_w: np.ndarray | None = None
+    if incremental and initial_block_weights is not None:
+        block_w = np.array(initial_block_weights, dtype=np.float64, copy=True)
     imbalance = np.inf
     balanced = False
     iterations = 0
     for it in range(config.max_balance_iterations):
         iterations = it + 1
-        assign_points(points, centers, influence, assignment, ub, lb, config, stats, workspace)
-        block_w = np.bincount(assignment, weights=weights, minlength=k)
+        if incremental and block_w is not None:
+            delta = np.zeros(k)
+            assign_points(points, centers, influence, assignment, ub, lb, config, stats,
+                          workspace, weights=weights, delta_out=delta)
+            block_w = block_w + delta
+        else:
+            assign_points(points, centers, influence, assignment, ub, lb, config, stats, workspace)
+            block_w = np.bincount(assignment, weights=weights, minlength=k)
         imbalance = float((block_w / target_weights).max() - 1.0)
         if imbalance <= config.epsilon:
             balanced = True
@@ -267,6 +443,9 @@ def assign_and_balance(
             ceil=config.influence_ceil,
         )
         if config.use_bounds:
-            relax_for_influence(ub, lb, assignment, old_influence, influence)
+            if not (incremental and workspace.queue_relax_influence(assignment, ub, lb, old_influence, influence)):
+                relax = relax_for_influence_exclusive if incremental else relax_for_influence
+                ratio_max, ratio_min = relax(ub, lb, assignment, old_influence, influence)
+                workspace.note_influence_relax(ratio_max, ratio_min)
     stats.balance_iterations = iterations
     return BalanceOutcome(influence, block_w, imbalance, iterations, balanced, stats)

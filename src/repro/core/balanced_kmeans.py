@@ -11,7 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.assign import assign_and_balance
-from repro.core.bounds import init_bounds, relax_for_influence, relax_for_movement
+from repro.core.bounds import (
+    init_bounds,
+    relax_for_influence,
+    relax_for_influence_exclusive,
+    relax_for_movement,
+    relax_for_movement_exclusive,
+)
 from repro.core.config import BalancedKMeansConfig
 from repro.core.influence import erode_influence, estimate_cluster_diameters
 from repro.core.kernels import SweepWorkspace
@@ -51,6 +57,7 @@ def weighted_center_update(
 
 def _reseed_empty(
     points: np.ndarray,
+    weights: np.ndarray,
     assignment: np.ndarray,
     centers: np.ndarray,
     influence: np.ndarray,
@@ -62,22 +69,37 @@ def _reseed_empty(
     Rare with SFC seeding (the paper relies on erosion to avoid anomalies),
     but random seeding on heterogeneous densities can produce empties; each
     is moved to the point farthest from the heaviest cluster's center.
-    Returns True if anything changed.
+
+    ``block_weights`` is updated between relocations — the chosen point's
+    weight moves from the donor cluster to the relocated center — and chosen
+    points are excluded from later picks, so several simultaneous empties
+    land on *distinct* points (possibly of distinct donors) instead of all
+    collapsing onto the same farthest point.  Returns True if anything
+    changed; the caller must then reset the runner-up bounds (a relocated
+    center may be anyone's new runner-up).
     """
     empty = np.flatnonzero(block_weights <= 0.0)
     if empty.size == 0:
         return False
+    taken: list[int] = []
     for c in empty:
         heaviest = int(np.argmax(block_weights))
         members = np.flatnonzero(assignment == heaviest)
+        if taken:
+            members = members[~np.isin(members, taken)]
         if members.size <= 1:
-            centers[c] = points[int(rng.integers(points.shape[0]))]
+            far = int(rng.integers(points.shape[0]))
+            centers[c] = points[far]
+            block_weights[c] = 0.0  # will be refilled next sweep
         else:
             diffs = points[members] - centers[heaviest]
-            far = members[int(np.argmax(np.einsum("ij,ij->i", diffs, diffs)))]
+            far = int(members[int(np.argmax(np.einsum("ij,ij->i", diffs, diffs)))])
             centers[c] = points[far]
+            w_far = float(weights[far])
+            block_weights[heaviest] -= w_far
+            block_weights[c] = w_far  # the stolen point seeds the new cluster
+        taken.append(far)
         influence[c] = 1.0
-        block_weights[c] = 0.0  # will be refilled next sweep
     return True
 
 
@@ -162,13 +184,26 @@ def balanced_kmeans(
 
     # --- sampled initialisation rounds (§4.5) -----------------------------
     with timers.stage("sampling"):
+        sample_ws: SweepWorkspace | None = None
+        prev_sample_idx: np.ndarray | None = None
         for sample_idx in sample_schedule(n, cfg, gen):
             s_pts = work_pts[sample_idx]
             s_w = work_w[sample_idx]
             s_targets = targets * (s_w.sum() / total_w)
             s_assign = np.zeros(sample_idx.shape[0], dtype=np.int64)
             s_ub, s_lb = init_bounds(sample_idx.shape[0])
-            outcome = assign_and_balance(s_pts, s_w, centers, influence, s_assign, s_ub, s_lb, s_targets, cfg)
+            # rounds of equal sample size draw the identical prefix of one
+            # permutation — reuse the workspace (point norms, block boxes)
+            # instead of rebuilding it; bounds are reset, so the stale block
+            # aggregates must be dropped
+            if sample_ws is None or prev_sample_idx is None or not np.array_equal(sample_idx, prev_sample_idx):
+                sample_ws = SweepWorkspace(s_pts, cfg, k)
+            else:
+                sample_ws.invalidate_block_bounds()
+            prev_sample_idx = sample_idx
+            outcome = assign_and_balance(
+                s_pts, s_w, centers, influence, s_assign, s_ub, s_lb, s_targets, cfg, sample_ws
+            )
             influence = outcome.influence
             new_centers = weighted_center_update(s_pts, s_w, s_assign, k, centers)
             deltas = np.linalg.norm(new_centers - centers, axis=1)
@@ -200,18 +235,25 @@ def balanced_kmeans(
     converged = False
     final_imbalance = np.inf
     iterations = 0
+    prev_block_w: np.ndarray | None = None
     for it in range(cfg.max_iterations):
         iterations = it + 1
         with timers.stage("assign"):
             outcome = assign_and_balance(
-                work_pts, work_w, centers, influence, assignment, ub, lb, targets, cfg, workspace
+                work_pts, work_w, centers, influence, assignment, ub, lb, targets, cfg,
+                workspace, initial_block_weights=prev_block_w,
             )
         influence = outcome.influence
         final_imbalance = outcome.imbalance
 
-        if _reseed_empty(work_pts, assignment, centers, influence, outcome.block_weights, gen):
+        if _reseed_empty(work_pts, work_w, assignment, centers, influence, outcome.block_weights, gen):
             lb[:] = 0.0  # a relocated center may now be anyone's runner-up
+            workspace.invalidate_block_bounds()
+            prev_block_w = None  # reseed redistributed the weight estimates
             continue
+        # assignments are untouched between phases, so the next phase can
+        # seed its incremental block weights from this outcome directly
+        prev_block_w = outcome.block_weights
 
         with timers.stage("update"):
             new_centers = weighted_center_update(work_pts, work_w, assignment, k, centers)
@@ -240,8 +282,15 @@ def balanced_kmeans(
             )
         centers = new_centers
         if cfg.use_bounds:
-            relax_for_influence(ub, lb, assignment, old_influence, influence)
-            relax_for_movement(ub, lb, assignment, deltas, influence)
+            incremental = workspace.incremental
+            if not (incremental and workspace.queue_relax_influence(assignment, ub, lb, old_influence, influence)):
+                relax_infl = relax_for_influence_exclusive if incremental else relax_for_influence
+                ratio_max, ratio_min = relax_infl(ub, lb, assignment, old_influence, influence)
+                workspace.note_influence_relax(ratio_max, ratio_min)
+            if not (incremental and workspace.queue_relax_movement(assignment, ub, lb, deltas, influence)):
+                relax_move = relax_for_movement_exclusive if incremental else relax_for_movement
+                growth, shrink = relax_move(ub, lb, assignment, deltas, influence)
+                workspace.note_movement_relax(growth, shrink)
 
     if cfg.sfc_sort:
         final_assignment = np.empty(n, dtype=np.int64)

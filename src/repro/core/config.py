@@ -57,6 +57,29 @@ class BalancedKMeansConfig:
         Shared-memory workers for the assignment sweep: 1 = serial
         (default), 0 = one per core, n = exactly n threads.  Results are
         identical to serial; only wall-clock changes.
+    use_incremental:
+        Incremental sweep engine (on by default): per-static-block bound
+        aggregates certify whole blocks unchanged in ``O(n/B)`` so the
+        per-sweep active-point scan never touches skipped blocks, block
+        weights are maintained from per-sweep assignment *deltas* instead of
+        a full ``bincount`` every balance iteration, and bound relaxations
+        use the per-point-exclusive (cluster-exact) forms.  With
+        integer-valued weights (including the default unit weights) every
+        result — assignments, centers, influence, imbalance and the
+        delta-maintained block weights — is bit-identical to the full
+        (``use_incremental=False``) path; arbitrary float weights can
+        differ in the last ulp (the delta sum associates differently),
+        which is deterministic and backend-identical but may steer the
+        influence trajectory to an equally valid partition.  Requires
+        ``use_bounds`` and the static SFC blocks
+        (``sfc_sort`` + ``use_box_pruning``) to engage; silently inert
+        otherwise.
+    incremental_block_size:
+        Granularity (points) of the incremental engine's bound aggregates.
+        Finer sub-blocks certify more aggressively — a sub-block is skipped
+        only when *every* point in it is certified, so the probability
+        decays with size — at the cost of a longer aggregate vector.
+        Clipped to ``chunk_size`` (aggregates never span static blocks).
     kernel_backend:
         Top-2 reduction backend for the assignment sweep: ``"numpy"``
         (default, vectorised squared-space kernel) or ``"numba"`` (fused
@@ -87,6 +110,8 @@ class BalancedKMeansConfig:
     sfc_sort: bool = True
     chunk_size: int = 2048
     n_threads: int = 1
+    use_incremental: bool = True
+    incremental_block_size: int = 256
     kernel_backend: str = "numpy"
     influence_floor: float = 1e-9
     influence_ceil: float = 1e9
@@ -107,6 +132,8 @@ class BalancedKMeansConfig:
             raise ValueError("initial_sample_size must be >= 1")
         if self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if self.incremental_block_size < 1:
+            raise ValueError("incremental_block_size must be >= 1")
         if self.n_threads < 0:
             raise ValueError("n_threads must be >= 0 (0 = one per core)")
         if self.kernel_backend not in ("numpy", "numba"):

@@ -35,7 +35,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.assign import assign_points
-from repro.core.bounds import init_bounds, relax_for_influence, relax_for_movement
+from repro.core.bounds import (
+    init_bounds,
+    relax_for_influence,
+    relax_for_influence_exclusive,
+    relax_for_movement,
+    relax_for_movement_exclusive,
+)
 from repro.core.config import BalancedKMeansConfig
 from repro.core.influence import adapt_influence, erode_influence
 from repro.core.kernels import SweepWorkspace
@@ -84,6 +90,33 @@ def _split_blocks(n: int, p: int) -> list[np.ndarray]:
     """Initial block distribution: rank r owns indices [r*n/p, (r+1)*n/p)."""
     bounds = (np.arange(p + 1) * n) // p
     return [np.arange(bounds[r], bounds[r + 1], dtype=np.int64) for r in range(p)]
+
+
+def _relax_influence_local(bounds, assignment, old_influence, new_influence, workspace, cfg) -> None:
+    """Rank-local influence relaxation (exclusive form in incremental mode).
+
+    Module-level so the rank closure ships cleanly to worker processes;
+    notifies the rank's persistent workspace (driver-resident backends only —
+    worker ranks rebuild ephemeral workspaces and pass ``None``).
+    """
+    ub, lb = bounds
+    if workspace is not None and workspace.queue_relax_influence(assignment, ub, lb, old_influence, new_influence):
+        return
+    relax = relax_for_influence_exclusive if cfg.use_incremental else relax_for_influence
+    ratio_max, ratio_min = relax(ub, lb, assignment, old_influence, new_influence)
+    if workspace is not None:
+        workspace.note_influence_relax(ratio_max, ratio_min)
+
+
+def _relax_movement_local(bounds, assignment, deltas, influence, workspace, cfg) -> None:
+    """Rank-local movement relaxation (exclusive form in incremental mode)."""
+    ub, lb = bounds
+    if workspace is not None and workspace.queue_relax_movement(assignment, ub, lb, deltas, influence):
+        return
+    relax = relax_for_movement_exclusive if cfg.use_incremental else relax_for_movement
+    growth, shrink = relax(ub, lb, assignment, deltas, influence)
+    if workspace is not None:
+        workspace.note_movement_relax(growth, shrink)
 
 
 def distributed_balanced_kmeans(
@@ -272,8 +305,20 @@ def _kmeans_loop(
                 size *= 2
     sample_perms = [rank_rngs[r].permutation(int(counts[r])) for r in range(p)]
 
-    def one_phase(subset: list[np.ndarray] | None) -> tuple[float, np.ndarray, bool]:
-        """One assign-and-balance phase + center update; returns (max delta, new centers, balanced)."""
+    incremental = bool(cfg.use_incremental and cfg.use_bounds)
+
+    def one_phase(
+        subset: list[np.ndarray] | None, block_w0: np.ndarray | None = None
+    ) -> tuple[float, np.ndarray, bool, np.ndarray]:
+        """One assign-and-balance phase + center update.
+
+        Returns ``(max delta, new centers, balanced, block weights)``.  In
+        incremental mode the global block weights are maintained from the
+        allreduced k-vector of per-rank assignment *deltas* (bit-identical
+        across backends via the shared combine kernels) — one full bincount
+        reduction seeds the phase unless ``block_w0`` carries the previous
+        phase's weights in.
+        """
         nonlocal influence
         if subset is None:
             s_pts, s_w, s_assign = local_pts, local_w, assignment
@@ -289,16 +334,29 @@ def _kmeans_loop(
             s_targets = targets * frac
             s_workspaces = [SweepWorkspace(s_pts[r], cfg, k) if keep_state else None for r in range(p)]
         balanced = False
+        block_w = np.array(block_w0, dtype=np.float64, copy=True) if (incremental and block_w0 is not None) else None
         for bit in range(cfg.max_balance_iterations):
             comm.set_stage("kmeans")
 
-            def sweep(r: int) -> np.ndarray:
-                ub, lb = s_bounds[r]
-                assign_points(s_pts[r], centers, influence, s_assign[r], ub, lb, cfg,
-                              workspace=s_workspaces[r])
-                return np.bincount(s_assign[r], weights=s_w[r], minlength=k)
+            if block_w is not None:
 
-            block_w = comm.allreduce(comm.run_local(sweep))
+                def sweep_delta(r: int) -> np.ndarray:
+                    ub, lb = s_bounds[r]
+                    delta = np.zeros(k)
+                    assign_points(s_pts[r], centers, influence, s_assign[r], ub, lb, cfg,
+                                  workspace=s_workspaces[r], weights=s_w[r], delta_out=delta)
+                    return delta
+
+                block_w = block_w + comm.allreduce(comm.run_local(sweep_delta))
+            else:
+
+                def sweep(r: int) -> np.ndarray:
+                    ub, lb = s_bounds[r]
+                    assign_points(s_pts[r], centers, influence, s_assign[r], ub, lb, cfg,
+                                  workspace=s_workspaces[r])
+                    return np.bincount(s_assign[r], weights=np.asarray(s_w[r]), minlength=k)
+
+                block_w = comm.allreduce(comm.run_local(sweep))
             imbalance = float((block_w / s_targets).max() - 1.0)
             if imbalance <= cfg.epsilon:
                 balanced = True
@@ -312,8 +370,11 @@ def _kmeans_loop(
             )
             if cfg.use_bounds:
                 comm.run_local(
-                    lambda r: relax_for_influence(*s_bounds[r], s_assign[r], old_influence, influence)
+                    lambda r: _relax_influence_local(s_bounds[r], s_assign[r], old_influence,
+                                                     influence, s_workspaces[r], cfg)
                 )
+            if not incremental:
+                block_w = None  # force a fresh bincount reduction next iteration
         # center update: one allreduce of k x (d+1) partial sums
         def partial_sums(r: int) -> np.ndarray:
             sums = np.empty((k, dim + 1))
@@ -349,24 +410,35 @@ def _kmeans_loop(
             influence = erode_influence(influence, deltas, beta,
                                         floor=cfg.influence_floor, ceil=cfg.influence_ceil)
         if subset is None and cfg.use_bounds:
-            comm.run_local(lambda r: relax_for_influence(*bound_pairs[r], assignment[r], old_influence, influence))
-            comm.run_local(lambda r: relax_for_movement(*bound_pairs[r], assignment[r], deltas, influence))
+            comm.run_local(lambda r: _relax_influence_local(bound_pairs[r], assignment[r],
+                                                            old_influence, influence,
+                                                            workspaces[r], cfg))
+            comm.run_local(lambda r: _relax_movement_local(bound_pairs[r], assignment[r],
+                                                           deltas, influence, workspaces[r], cfg))
         if subset is not None:
             comm.release(*s_pts, *s_w, *s_assign, *(b for pair in s_bounds for b in pair))
-        return float(deltas.max()), new_centers, balanced
+        return float(deltas.max()), new_centers, balanced, block_w
 
     for size in sample_sizes:
         subset = [sample_perms[r][: min(size, int(counts[r]))] for r in range(p)]
-        _, centers, _ = one_phase(subset)
+        _, centers, _, _ = one_phase(subset)
 
     converged = False
     iterations = 0
     final_imbalance = np.inf
+    prev_block_w: np.ndarray | None = None
     for it in range(cfg.max_iterations):
         iterations = it + 1
-        max_delta, new_centers, balanced = one_phase(None)
-        block_w = comm.allreduce(comm.run_local(lambda r: np.bincount(assignment[r], weights=local_w[r], minlength=k)))
-        final_imbalance = float((block_w / targets).max() - 1.0)
+        max_delta, new_centers, balanced, block_w = one_phase(None, prev_block_w)
+        if incremental:
+            # assignments are untouched after the phase's last sweep, so the
+            # phase's delta-maintained block weights *are* the global ones —
+            # no extra bincount reduction, and the next phase seeds from them
+            final_imbalance = float((block_w / targets).max() - 1.0)
+            prev_block_w = block_w
+        else:
+            block_w = comm.allreduce(comm.run_local(lambda r: np.bincount(assignment[r], weights=local_w[r], minlength=k)))
+            final_imbalance = float((block_w / targets).max() - 1.0)
         if max_delta < delta_threshold and balanced:
             converged = True
             break

@@ -74,6 +74,39 @@ class TestKMeansEquivalence:
         np.testing.assert_array_equal(virt.assignment, proc.assignment)
         np.testing.assert_array_equal(virt.centers, proc.centers)
 
+    @pytest.mark.parametrize("nranks", RANK_COUNTS)
+    @pytest.mark.parametrize("kernel_backend", ["numpy", "numba"])
+    def test_incremental_engine_equivalence(self, nranks, kernel_backend):
+        """{full, incremental} x {numpy, numba} x {virtual, process}: the
+        incremental sweep engine changes no result on any backend.
+
+        Integer weights keep every weight sum exact in float64, so even the
+        delta-maintained block weights cannot drift; ``kernel_backend``
+        "numba" silently degrades to numpy where numba is not installed
+        (the combination is then covered by construction).
+        """
+        rng = np.random.default_rng(21)
+        pts = rng.random((900, 2))
+        w = rng.integers(1, 5, 900).astype(np.float64)
+        runs = {}
+        for use_incremental in (False, True):
+            cfg = BalancedKMeansConfig(use_incremental=use_incremental,
+                                       kernel_backend=kernel_backend)
+            for backend in ("virtual", "process"):
+                runs[(use_incremental, backend)] = distributed_balanced_kmeans(
+                    pts, k=8, nranks=nranks, weights=w, rng=7, config=cfg, backend=backend
+                )
+        reference = runs[(False, "virtual")]
+        for key, res in runs.items():
+            np.testing.assert_array_equal(reference.assignment, res.assignment,
+                                          err_msg=f"assignment diverged for {key}")
+            np.testing.assert_array_equal(reference.centers, res.centers,
+                                          err_msg=f"centers diverged for {key}")
+            np.testing.assert_array_equal(reference.influence, res.influence,
+                                          err_msg=f"influence diverged for {key}")
+            assert reference.imbalance == res.imbalance, f"imbalance diverged for {key}"
+            assert reference.iterations == res.iterations
+
     def test_process_ledger_is_measured(self):
         pts = _pts(n=400)
         proc = distributed_balanced_kmeans(pts, k=3, nranks=2, rng=0, backend="process")

@@ -94,19 +94,19 @@ class TestReseedEmpty:
         pts, assignment, centers, influence, bw, rng = self._state()
         bw = np.array([20.0, 10.0, 10.0])
         before = centers.copy()
-        assert not _reseed_empty(pts, assignment, centers, influence, bw, rng)
+        assert not _reseed_empty(pts, np.ones(len(pts)), assignment, centers, influence, bw, rng)
         assert np.array_equal(centers, before)
 
     def test_empty_centers_move_to_far_points_of_heaviest(self):
         from repro.core.balanced_kmeans import _reseed_empty
 
         pts, assignment, centers, influence, bw, rng = self._state()
-        assert _reseed_empty(pts, assignment, centers, influence, bw, rng)
+        assert _reseed_empty(pts, np.ones(len(pts)), assignment, centers, influence, bw, rng)
         # relocated centers now sit on actual points, not at (2,2)/(3,3)
         for c in (1, 2):
             assert np.any(np.all(np.isclose(pts, centers[c]), axis=1))
             assert influence[c] == 1.0  # influence reset
-            assert bw[c] == 0.0
+            assert bw[c] == 1.0  # seeded with the stolen point's weight
 
     def test_first_relocation_is_farthest_point(self):
         from repro.core.balanced_kmeans import _reseed_empty
@@ -114,8 +114,34 @@ class TestReseedEmpty:
         pts, assignment, centers, influence, bw, rng = self._state(seed=1)
         d = np.linalg.norm(pts - centers[0], axis=1)
         farthest = pts[int(np.argmax(d))].copy()
-        _reseed_empty(pts, assignment, centers, influence, bw, rng)
+        _reseed_empty(pts, np.ones(len(pts)), assignment, centers, influence, bw, rng)
         assert np.allclose(centers[1], farthest)
+
+    def test_multiple_empties_get_distinct_points(self):
+        """Regression: simultaneous empties used to all land on the same
+        farthest point of the same heaviest cluster, yielding duplicate
+        centers; weight tracking + exclusion must keep them distinct."""
+        from repro.core.balanced_kmeans import _reseed_empty
+
+        pts, assignment, centers, influence, bw, rng = self._state()
+        assert _reseed_empty(pts, np.ones(len(pts)), assignment, centers, influence, bw, rng)
+        assert not np.allclose(centers[1], centers[2]), "empty centers collapsed onto one point"
+        # donor cluster paid for both stolen points
+        assert bw[0] == len(pts) - 2
+
+    def test_many_empties_all_distinct(self):
+        from repro.core.balanced_kmeans import _reseed_empty
+
+        rng = np.random.default_rng(6)
+        n, k = 60, 6
+        pts = rng.random((n, 2))
+        assignment = np.zeros(n, dtype=np.int64)
+        centers = np.vstack([[0.5, 0.5]] + [[2.0 + i, 2.0 + i] for i in range(k - 1)])
+        influence = np.ones(k)
+        bw = np.concatenate([[float(n)], np.zeros(k - 1)])
+        assert _reseed_empty(pts, np.ones(n), assignment, centers, influence, bw, rng)
+        uniq = np.unique(centers.round(12), axis=0)
+        assert uniq.shape[0] == k, "relocated centers must be pairwise distinct"
 
     def test_singleton_heaviest_uses_random_point(self):
         from repro.core.balanced_kmeans import _reseed_empty
@@ -127,7 +153,7 @@ class TestReseedEmpty:
         centers = np.array([[0.2, 0.2], [0.9, 0.9], [5.0, 5.0]])
         influence = np.ones(3)
         bw = np.array([0.5, 4.0, 0.0])
-        assert _reseed_empty(pts, assignment, centers, influence, bw,
+        assert _reseed_empty(pts, np.ones(5), assignment, centers, influence, bw,
                              np.random.default_rng(3))
         assert np.any(np.all(np.isclose(pts, centers[2]), axis=1))
 
