@@ -1,0 +1,63 @@
+"""Balance-benchmark regression check, shared by CI and local runs.
+
+Compares a freshly measured ``BENCH_balance.json`` against a committed
+baseline and fails (exit 1) when the incremental-engine phase time
+regressed beyond a threshold::
+
+    python benchmarks/check_regression.py \\
+        /tmp/BENCH_balance.committed.json BENCH_balance.json --threshold 1.2
+
+CI calls this after the tier-1 suite re-measures the trajectory (the step
+stays non-blocking there: shared runners are too noisy to gate on); local
+runs can call it directly after ``pytest benchmarks/test_balance_bench.py``.
+Inside GitHub Actions the failure also emits a ``::warning::`` annotation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def compare(committed: dict, fresh: dict, threshold: float) -> tuple[float, list[str]]:
+    """Return ``(ratio, report lines)`` for fresh-vs-committed phase time."""
+    old = committed["incremental"]["seconds"]
+    new = fresh["incremental"]["seconds"]
+    ratio = new / old
+    lines = [
+        f"incremental phase: committed {old:.2f}s, fresh {new:.2f}s ({ratio:.2f}x)",
+        f"fresh speedup over full path: {fresh['speedup_incremental_vs_full']:.2f}x",
+    ]
+    return ratio, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("committed", help="baseline BENCH_balance.json (the committed trajectory)")
+    parser.add_argument("fresh", help="freshly measured BENCH_balance.json")
+    parser.add_argument(
+        "--threshold", type=float, default=1.2,
+        help="fail when fresh/committed phase time exceeds this ratio (default 1.2)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.committed) as fh:
+        committed = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+    ratio, lines = compare(committed, fresh, args.threshold)
+    for line in lines:
+        print(line)
+    if ratio > args.threshold:
+        message = f"balance phase regressed {ratio:.2f}x vs committed trajectory"
+        if os.environ.get("GITHUB_ACTIONS"):
+            print(f"::warning::{message}")
+        else:
+            print(f"WARNING: {message}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

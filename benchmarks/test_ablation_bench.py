@@ -5,7 +5,6 @@ asserting the paper's claims: bounds skip ~80 % of inner loops and never
 change the result; SFC seeding converges faster than random.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.balanced_kmeans import balanced_kmeans

@@ -3,12 +3,16 @@
 Markers (registered in pyproject.toml):
 
 - ``tier1`` — the default tier; applied automatically to every test that
-  carries neither ``slow`` nor ``process_backend``, so ``pytest -m tier1``
-  is the fast gate.
+  carries none of ``slow``/``process_backend``/``mpi_backend``, so
+  ``pytest -m tier1`` is the fast gate.
 - ``slow`` — long-running tests, excluded from the tier-1 selection.
 - ``process_backend`` — tests that spawn real worker processes
   (:class:`repro.runtime.procomm.ProcessComm`); CI runs them as their own
   job via ``pytest -m process_backend``.
+- ``mpi_backend`` — tests that launch ``mpiexec`` subprocesses against the
+  MPI backend (:class:`repro.runtime.mpicomm.MPIComm`); they skip
+  themselves when ``mpi4py``/``mpiexec`` are absent, and CI runs them as a
+  dedicated job via ``pytest -m mpi_backend``.
 
 Golden fixtures: tests call ``golden("name", {...})`` to compare a dict of
 metrics against ``tests/golden/name.json``.  Run with ``--update-golden``
@@ -18,12 +22,17 @@ the diff of the JSON files then documents exactly what moved.
 
 from __future__ import annotations
 
+import importlib.util
 import json
 import os
+import shutil
+import subprocess
+import sys
 
 import pytest
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "tests", "golden")
+SRC_DIR = os.path.join(os.path.dirname(__file__), "src")
 
 
 def pytest_addoption(parser):
@@ -37,8 +46,38 @@ def pytest_addoption(parser):
 
 def pytest_collection_modifyitems(config, items):
     for item in items:
-        if not any(m.name in ("slow", "process_backend") for m in item.iter_markers()):
+        if not any(m.name in ("slow", "process_backend", "mpi_backend") for m in item.iter_markers()):
             item.add_marker(pytest.mark.tier1)
+
+
+@pytest.fixture(scope="session")
+def mpiexec_run():
+    """Callable launching ``python`` under ``mpiexec``; skips without MPI.
+
+    ``mpiexec_run(n, args)`` runs ``mpiexec -n <n> python <args...>`` with
+    ``src/`` on ``PYTHONPATH`` and returns the completed process (output
+    captured, never raises on non-zero exit — tests assert on returncode).
+    Open MPI refuses to oversubscribe small CI runners by default, so the
+    flag is added when that implementation is detected; MPICH needs none.
+    """
+    if shutil.which("mpiexec") is None or importlib.util.find_spec("mpi4py") is None:
+        pytest.skip("mpiexec and/or mpi4py unavailable")
+    probe = subprocess.run(
+        ["mpiexec", "--version"], capture_output=True, text=True, check=False
+    )
+    oversubscribe = ["--oversubscribe"] if "open" in probe.stdout.lower() else []
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = SRC_DIR + (os.pathsep + existing if existing else "")
+
+    def run(nranks: int, args: list[str], timeout: float = 600.0):
+        cmd = ["mpiexec", *oversubscribe, "-n", str(nranks), sys.executable, *args]
+        return subprocess.run(
+            cmd, capture_output=True, text=True, timeout=timeout, env=env,
+            cwd=os.path.dirname(__file__), check=False,
+        )
+
+    return run
 
 
 @pytest.fixture

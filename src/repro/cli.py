@@ -11,14 +11,18 @@ Commands
 - ``distributed`` — run the distributed Geographer on an execution backend;
 - ``spmv``        — execute a distributed SpMV through the halo plan;
 - ``scaling``     — weak/strong scaling series (Figure 3);
+- ``mpi``         — SPMD bridge: forward a command line to
+  :mod:`repro.runtime.mpi_main` (``mpiexec -n 4 repro mpi distributed ...``);
 - ``experiments`` — regenerate a named paper artifact (figure1..figure4,
   table1, table2, components, repartition).
 
 Commands that exercise the SPMD runtime (``distributed``, ``spmv``,
-``scaling``) accept ``--backend virtual|process``: virtual simulates ranks
-in-process and reports machine-model (modeled) timings; process runs real
-worker processes and reports measured wall-clock.  The default honours the
-``REPRO_BACKEND`` environment variable, then falls back to virtual.
+``scaling``) accept ``--backend virtual|process|mpi``: virtual simulates
+ranks in-process and reports machine-model (modeled) timings; process runs
+real worker processes and mpi runs real ``mpiexec``-launched ranks (launch
+through ``repro mpi`` / ``python -m repro.runtime.mpi_main``), both
+reporting measured wall-clock.  The default honours the ``REPRO_BACKEND``
+environment variable, then falls back to virtual.
 """
 
 from __future__ import annotations
@@ -121,6 +125,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="back points with a real run up to this many ranks "
                         "(default: 8 for weak, 0 for strong; 16 when --backend is given)")
     s.add_argument("--seed", type=int, default=0)
+
+    m = sub.add_parser(
+        "mpi",
+        help="run a repro command line SPMD under mpiexec (rank 0 drives, "
+             "other ranks serve; default backend becomes 'mpi')",
+    )
+    m.add_argument("mpi_argv", nargs=argparse.REMAINDER,
+                   help="forwarded verbatim to python -m repro.runtime.mpi_main, "
+                        "e.g. `mpiexec -n 4 repro mpi distributed rgg2d -p 4` or "
+                        "`mpiexec -n 4 repro mpi equivalence --ranks 1 2 4`")
 
     e = sub.add_parser("experiments", help="regenerate a paper artifact")
     e.add_argument("name", choices=("figure1", "figure2", "figure3", "figure4",
@@ -281,6 +295,12 @@ def _cmd_spmv(args) -> None:
         print(format_ledger(comm.ledger, measured=comm.measured))
 
 
+def _cmd_mpi(args) -> int:
+    from repro.runtime.mpi_main import main as mpi_main
+
+    return mpi_main(args.mpi_argv)
+
+
 def _cmd_scaling(args) -> None:
     from repro.experiments import figure3
 
@@ -348,11 +368,12 @@ def main(argv: list[str] | None = None) -> int:
         "visualize": lambda: _cmd_visualize(args),
         "distributed": lambda: _cmd_distributed(args),
         "spmv": lambda: _cmd_spmv(args),
+        "mpi": lambda: _cmd_mpi(args),
         "scaling": lambda: _cmd_scaling(args),
         "experiments": lambda: _cmd_experiments(args),
     }
-    dispatch[args.command]()
-    return 0
+    code = dispatch[args.command]()
+    return int(code or 0)
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ the ablation benchmarks can isolate its effect.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["BalancedKMeansConfig"]
 

@@ -86,7 +86,8 @@ def run_distributed_on_mesh(
     whole run in ``row.time``) plus the
     :class:`~repro.runtime.distributed_kmeans.DistributedKMeansResult`
     carrying the per-stage ledger (modeled on the virtual backend, measured
-    on process backends).
+    on the process and mpi backends; ``backend="mpi"`` requires an SPMD
+    launch through :mod:`repro.runtime.mpi_main`).
     """
     from repro.core.config import BalancedKMeansConfig
     from repro.runtime.comm import resolve_backend_name

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.mesh._sampling import min_dist_to_segments, rejection_sample
+from repro.mesh._sampling import rejection_sample
 from repro.mesh.delaunay import delaunay_edges
 from repro.mesh.graph import GeometricMesh
 from repro.util.rng import ensure_rng

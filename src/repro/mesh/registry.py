@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-import numpy as np
 
 from repro.mesh.adaptive import hugebubbles_like, hugetrace_like, hugetric_like
 from repro.mesh.alya import airway_mesh

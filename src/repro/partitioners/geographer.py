@@ -9,7 +9,6 @@ initialisation rounds — the incremental path adaptive simulations rely on.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.balanced_kmeans import balanced_kmeans
 from repro.core.config import BalancedKMeansConfig

@@ -12,6 +12,11 @@ collectives — and run unchanged on any registered backend:
 ``"process"``
     Ranks are real worker processes (``multiprocessing`` + shared memory);
     the ledger holds measured wall-clock per stage.
+``"mpi"``
+    Ranks are real MPI processes (``mpi4py``, launched under ``mpiexec``
+    via ``python -m repro.runtime.mpi_main``); the ledger holds measured
+    ``MPI.Wtime`` per stage.  Requires the optional ``mpi4py`` dependency;
+    everything else works without it.
 
 Backends produce bit-identical partitions (same collectives, same rank
 order); select one per call (``backend="process"``), via an existing
@@ -26,6 +31,7 @@ from repro.runtime.comm import (
     CostLedger,
     VirtualComm,
     available_backends,
+    backend_max_ranks,
     make_comm,
     register_backend,
     resolve_backend_name,
@@ -43,9 +49,12 @@ __all__ = [
     "Comm",
     "VirtualComm",
     "ProcessComm",
+    # MPIComm intentionally not in __all__: resolving it needs the optional
+    # mpi4py dependency; it is still importable lazily as runtime.MPIComm
     "SharedArray",
     "CostLedger",
     "available_backends",
+    "backend_max_ranks",
     "make_comm",
     "register_backend",
     "resolve_backend_name",
@@ -59,11 +68,15 @@ __all__ = [
 
 
 def __getattr__(name):
-    # ProcessComm/SharedArray resolve lazily so `import repro` stays light
-    # (multiprocessing machinery + atexit hook load on first use, matching
-    # the lazy backend registry in repro.runtime.comm)
+    # ProcessComm/SharedArray/MPIComm resolve lazily so `import repro` stays
+    # light and never requires the optional mpi4py dependency (matching the
+    # lazy backend registry in repro.runtime.comm)
     if name in ("ProcessComm", "SharedArray"):
         from repro.runtime import procomm
 
         return getattr(procomm, name)
+    if name == "MPIComm":
+        from repro.runtime import mpicomm
+
+        return mpicomm.MPIComm
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,94 @@
+"""Closure shipping shared by the process and MPI execution backends.
+
+Rank functions handed to :meth:`~repro.runtime.comm.Comm.run_local` are
+driver-local closures, which standard pickle refuses to serialise ("Can't
+pickle local object").  Both out-of-process backends therefore ship them
+*by value*: the code object via :mod:`marshal`, the closure cells and
+defaults via pickle (recursively, so closures capturing other local
+functions work), and globals resolved on the receiving side by importing
+the defining module.  That last step is what makes the scheme work on both
+transports:
+
+- :class:`~repro.runtime.procomm.ProcessComm` forks its workers, so every
+  module the driver can see (including non-importable test modules already
+  in ``sys.modules``) the workers can see;
+- :class:`~repro.runtime.mpicomm.MPIComm` ranks are separate ``mpiexec``
+  processes running the *same program*, so the defining module is either
+  importable or is the very ``__main__`` every rank executed.
+
+:func:`freeze_function` refuses to capture a live communicator — it owns
+processes, pipes, or an MPI handle, none of which belong inside a shipped
+closure — mirroring the superstep contract documented on
+:class:`~repro.runtime.comm.Comm`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import marshal
+import types
+
+__all__ = ["_FrozenFunction", "freeze_function", "thaw_function"]
+
+
+class _FrozenFunction:
+    """A driver-local function serialised by value (code + cells + defaults)."""
+
+    __slots__ = ("code", "module", "defaults", "kwdefaults", "cells")
+
+    def __init__(self, code: bytes, module: str, defaults: tuple, kwdefaults, cells: tuple):
+        self.code = code
+        self.module = module
+        self.defaults = defaults
+        self.kwdefaults = kwdefaults
+        self.cells = cells
+
+    def __getstate__(self):
+        return (self.code, self.module, self.defaults, self.kwdefaults, self.cells)
+
+    def __setstate__(self, state):
+        self.code, self.module, self.defaults, self.kwdefaults, self.cells = state
+
+
+def freeze_function(obj):
+    """Recursively convert function objects into picklable blobs.
+
+    Plain data passes through untouched (pickle handles it); function
+    objects — including lambdas and nested closures, which pickle rejects —
+    become :class:`_FrozenFunction`.  Cells and defaults are frozen
+    recursively so a closure may capture other local functions.
+    """
+    from repro.runtime.comm import Comm
+
+    if isinstance(obj, types.FunctionType):
+        cells = tuple(freeze_function(c.cell_contents) for c in (obj.__closure__ or ()))
+        defaults = tuple(freeze_function(d) for d in (obj.__defaults__ or ()))
+        kwdefaults = (
+            {name: freeze_function(v) for name, v in obj.__kwdefaults__.items()}
+            if obj.__kwdefaults__ else None
+        )
+        return _FrozenFunction(marshal.dumps(obj.__code__), obj.__module__, defaults,
+                               kwdefaults, cells)
+    if isinstance(obj, Comm):
+        raise TypeError(
+            "rank functions must not capture the communicator (it owns processes "
+            "and pipes); capture comm.nranks or precomputed values instead"
+        )
+    return obj
+
+
+def thaw_function(obj):
+    """Inverse of :func:`freeze_function`; globals come from the defining module."""
+    if isinstance(obj, _FrozenFunction):
+        code = marshal.loads(obj.code)
+        try:
+            glb = importlib.import_module(obj.module).__dict__
+        except Exception:  # module not importable in the worker: builtins only
+            glb = {"__builtins__": __builtins__}
+        defaults = tuple(thaw_function(d) for d in obj.defaults) or None
+        cells = tuple(types.CellType(thaw_function(v)) for v in obj.cells)
+        fn = types.FunctionType(code, glb, code.co_name, defaults, cells)
+        if obj.kwdefaults:
+            fn.__kwdefaults__ = {name: thaw_function(v) for name, v in obj.kwdefaults.items()}
+        return fn
+    return obj

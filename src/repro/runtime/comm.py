@@ -32,7 +32,11 @@ Backends register under a name in :data:`BACKENDS`; :func:`make_comm`
 resolves a name (argument > ``REPRO_BACKEND`` env var > ``"virtual"``) and
 constructs the communicator.  The ``"process"`` backend
 (:class:`repro.runtime.procomm.ProcessComm`) runs every rank as a real
-worker process and is imported lazily on first use.
+worker process; the ``"mpi"`` backend
+(:class:`repro.runtime.mpicomm.MPIComm`) runs ranks as ``mpiexec``-launched
+MPI processes via :mod:`mpi4py`.  Both are imported lazily on first use, so
+importing repro never requires their optional dependencies; a missing
+dependency surfaces as a :class:`RuntimeError` naming the package.
 """
 
 from __future__ import annotations
@@ -54,6 +58,7 @@ __all__ = [
     "CostLedger",
     "VirtualComm",
     "available_backends",
+    "backend_max_ranks",
     "make_comm",
     "register_backend",
     "resolve_backend_name",
@@ -213,6 +218,31 @@ class Comm:
         footprint stays at one copy.  Released views must not be used again.
         """
 
+    def collect(self, per_rank: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Return the rank-authoritative copy of each rank's shared array.
+
+        ``per_rank[r]`` is the :meth:`share` array rank ``r`` has been
+        mutating in place; the returned list holds the values as rank ``r``
+        last left them.  On backends where ranks mutate driver-visible
+        memory (virtual: driver arrays; process: shared-memory segments)
+        this is the identity, and charges nothing.  On the MPI backend the
+        copies live in each rank's address space and are fetched over the
+        wire, so algorithms must funnel every driver-side read of
+        worker-mutated state through this method.
+        """
+        self._check_ranks(per_rank)
+        return list(per_rank)
+
+    @classmethod
+    def max_ranks(cls) -> int | None:
+        """Largest ``nranks`` this backend can execute, or ``None`` (unbounded).
+
+        Driver-centric backends simulate or fork as many ranks as asked;
+        the MPI backend is capped by the real communicator size fixed at
+        ``mpiexec`` launch.
+        """
+        return None
+
     def close(self) -> None:
         """Release backend resources (workers, shared memory).  Idempotent."""
 
@@ -348,13 +378,30 @@ BACKEND_ENV = "REPRO_BACKEND"
 #: Registered backend constructors, keyed by name.
 BACKENDS: dict[str, type[Comm]] = {}
 
-#: Backends imported on first use (keeps ``import repro`` light and avoids
-#: a circular import: procomm imports this module).
-_LAZY_BACKENDS: dict[str, str] = {"process": "repro.runtime.procomm"}
+#: Backends imported on first use (keeps ``import repro`` light, avoids a
+#: circular import — both backend modules import this one — and keeps the
+#: optional ``mpi4py`` dependency out of every non-MPI code path).
+_LAZY_BACKENDS: dict[str, str] = {
+    "process": "repro.runtime.procomm",
+    "mpi": "repro.runtime.mpicomm",
+}
+
+#: Appended to the RuntimeError when a lazy backend fails to import.
+_BACKEND_HINTS: dict[str, str] = {
+    "process": "it needs the multiprocessing machinery (fork or spawn support)",
+    "mpi": "install the optional dependency mpi4py (pip install mpi4py) plus an "
+           "MPI runtime such as MPICH or Open MPI, and launch under mpiexec — "
+           "see `python -m repro.runtime.mpi_main --help`",
+}
 
 
 def register_backend(name: str, cls: type[Comm]) -> None:
-    """Register an execution backend under ``name`` (e.g. a future mpi4py one)."""
+    """Register an execution backend under ``name``.
+
+    Registering an already-taken name replaces the previous constructor
+    (last registration wins), which is how a lazily imported module
+    overrides its placeholder and how tests inject instrumented backends.
+    """
     BACKENDS[name] = cls
 
 
@@ -366,6 +413,45 @@ def available_backends() -> list[str]:
 def resolve_backend_name(backend: str | None = None) -> str:
     """Resolve a backend name: explicit argument > ``REPRO_BACKEND`` > virtual."""
     return backend or os.environ.get(BACKEND_ENV) or "virtual"
+
+
+def _backend_class(name: str) -> type[Comm]:
+    """Resolve ``name`` to a backend class, importing lazy backends on demand.
+
+    Unknown names raise :class:`ValueError` listing the choices; a known
+    lazy backend whose import fails (missing optional dependency such as
+    ``mpi4py``, or a platform without fork) raises :class:`RuntimeError`
+    naming the missing package instead of surfacing an import traceback.
+    """
+    if name not in BACKENDS and name in _LAZY_BACKENDS:
+        module = _LAZY_BACKENDS[name]
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            hint = _BACKEND_HINTS.get(name)
+            raise RuntimeError(
+                f"execution backend {name!r} is unavailable: importing {module!r} "
+                f"failed ({exc})" + (f"; {hint}" if hint else "")
+            ) from exc
+        if name not in BACKENDS:
+            raise RuntimeError(
+                f"execution backend {name!r} is unavailable: importing {module!r} "
+                f"did not register it"
+            )
+    if name not in BACKENDS:
+        raise ValueError(f"unknown execution backend {name!r}; choose from {available_backends()}")
+    return BACKENDS[name]
+
+
+def backend_max_ranks(backend: str | None = None) -> int | None:
+    """Largest ``nranks`` the resolved backend can execute (``None`` = unbounded).
+
+    Virtual and process backends simulate or fork any number of ranks; the
+    MPI backend is capped at the real communicator size fixed by ``mpiexec``.
+    Callers that sweep rank counts (e.g. the scaling experiments) clamp
+    their measured runs to this.
+    """
+    return _backend_class(resolve_backend_name(backend)).max_ranks()
 
 
 def make_comm(
@@ -381,11 +467,7 @@ def make_comm(
     build their own communicator do this automatically.
     """
     name = resolve_backend_name(backend)
-    if name not in BACKENDS and name in _LAZY_BACKENDS:
-        importlib.import_module(_LAZY_BACKENDS[name])
-    if name not in BACKENDS:
-        raise ValueError(f"unknown execution backend {name!r}; choose from {available_backends()}")
-    return BACKENDS[name](nranks, machine=machine, topology=topology)
+    return _backend_class(name)(nranks, machine=machine, topology=topology)
 
 
 register_backend("virtual", VirtualComm)

@@ -24,8 +24,11 @@ execution backend and each superstep ships only kilobytes of handles and
 centers.  On the default ``"virtual"`` backend ranks execute in-process and
 the ledger holds the machine-model wall-clock used by the scaling figures;
 on the ``"process"`` backend each rank is a real worker process mutating the
-shared segments and the ledger holds measured wall-clock per stage.  Results
-are bit-identical across backends (tested).
+shared segments, and on the ``"mpi"`` backend each rank is a real MPI
+process mutating its rank-resident copies (driver-side reads of mutated
+state go through :meth:`~repro.runtime.comm.Comm.collect`); measured
+backends hold measured wall-clock per stage.  Results are bit-identical
+across backends (tested).
 """
 
 from __future__ import annotations
@@ -146,9 +149,10 @@ def distributed_balanced_kmeans(
     staged per-level reductions (cores → nodes → islands) instead of one flat
     tree; ``topology.total`` must equal ``nranks``.
 
-    ``backend`` selects the execution backend (``"virtual"`` | ``"process"``;
-    default: the ``REPRO_BACKEND`` env var, then ``"virtual"``).  Pass an
-    existing communicator via ``comm`` instead to reuse its workers and read
+    ``backend`` selects the execution backend (``"virtual"`` | ``"process"``
+    | ``"mpi"``; default: the ``REPRO_BACKEND`` env var, then ``"virtual"``;
+    ``"mpi"`` requires an SPMD launch, see :mod:`repro.runtime.mpi_main`).
+    Pass an existing communicator via ``comm`` instead to reuse its workers and read
     its ledger afterwards; a comm this function creates is always closed
     before returning, even on error, and a reused comm gets every segment
     this run shared released and its stage label restored.
@@ -445,9 +449,11 @@ def _kmeans_loop(
         centers = new_centers
 
     # -- gather assignment back to original order -----------------------------
+    # collect() returns each rank's authoritative copy: the driver's own view
+    # on driver-visible backends, the rank-resident copy over the wire on MPI
     full_assignment = np.empty(n, dtype=np.int64)
-    for r in range(p):
-        full_assignment[local_ids[r]] = assignment[r]
+    for r, chunk in enumerate(comm.collect(assignment)):
+        full_assignment[local_ids[r]] = chunk
 
     return DistributedKMeansResult(
         assignment=full_assignment,

@@ -1,0 +1,205 @@
+"""SPMD entrypoint for the MPI execution backend.
+
+Every rank of an ``mpiexec`` launch runs this module; rank 0 becomes the
+driver and every other rank serves supersteps
+(:func:`repro.runtime.mpicomm.spmd_main`).  Two modes:
+
+- **CLI forwarding** — any ``repro`` command line runs on rank 0 with
+  ``"mpi"`` as the default execution backend::
+
+      mpiexec -n 4 python -m repro.runtime.mpi_main distributed rgg2d \\
+          --scale 0.05 -k 8 -p 4
+      mpiexec -n 4 python -m repro.runtime.mpi_main scaling weak \\
+          --backend mpi --ranks 32 128
+
+  (equivalently: ``mpiexec -n 4 repro mpi distributed ...``).
+
+- **``equivalence``** — the cross-backend bit-identity suite used by the
+  ``mpi-backend`` CI job and ``tests/test_backend_equivalence.py``: for
+  each requested rank count it runs balanced k-means (plain + weighted),
+  the distributed sort, and the distributed SpMV on both the ``mpi`` and
+  ``virtual`` backends and demands bit-identical assignments, centers,
+  imbalance, sorted orders, and SpMV outputs::
+
+      mpiexec -n 4 python -m repro.runtime.mpi_main equivalence \\
+          --ranks 1 2 4 --json results.json
+
+  ``--json`` dumps the MPI-side results so an outside process (pytest,
+  running without MPI) can independently compare them against its own
+  virtual-backend computation of the same cases.
+
+:func:`equivalence_cases` is importable without :mod:`mpi4py` — only
+:func:`main` touches the MPI machinery — so the test suite shares the
+exact case definitions instead of duplicating seeds and parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+__all__ = ["compare_cases", "equivalence_cases", "main"]
+
+#: (name, k) of the SpMV scenario; mesh size kept small so the suite stays
+#: fast under ``mpiexec`` on CI runners.
+_SPMV_N = 400
+_SPMV_K = 6
+_KMEANS_N = 600
+
+
+def equivalence_cases(nranks: int, backend: str | None = None) -> dict:
+    """Run the equivalence scenarios on ``backend`` and return named results.
+
+    Deterministic given ``nranks``; keys starting with ``"_"`` are metadata
+    (backend, measured flag) and excluded from bit-identity comparison.
+    """
+    from repro.mesh.rgg import rgg_mesh
+    from repro.runtime.comm import make_comm
+    from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
+    from repro.runtime.distsort import distributed_sort
+    from repro.spmv.distspmv import distributed_spmv
+
+    out: dict = {}
+    pts = np.random.default_rng(0).random((_KMEANS_N, 2))
+    res = distributed_balanced_kmeans(pts, k=5, nranks=nranks, rng=7, backend=backend)
+    out["kmeans_assignment"] = res.assignment
+    out["kmeans_centers"] = res.centers
+    out["kmeans_imbalance"] = res.imbalance
+    out["kmeans_iterations"] = res.iterations
+    out["_measured"] = res.measured
+    out["_supersteps"] = res.ledger.supersteps
+
+    weights = np.random.default_rng(1).uniform(1.0, 5.0, _KMEANS_N)
+    resw = distributed_balanced_kmeans(
+        pts, k=4, nranks=nranks, weights=weights, rng=3, backend=backend
+    )
+    out["weighted_assignment"] = resw.assignment
+    out["weighted_centers"] = resw.centers
+    out["weighted_imbalance"] = resw.imbalance
+
+    rng = np.random.default_rng(11)
+    sizes = rng.integers(5, 60, size=nranks)
+    keys = [rng.integers(0, 1 << 40, size=int(sz)) for sz in sizes]
+    payloads = [np.column_stack([kk.astype(np.float64), rng.random(kk.size)]) for kk in keys]
+    with make_comm(nranks, backend=backend) as comm:
+        sorted_keys, sorted_pay = distributed_sort(
+            comm, [kk.copy() for kk in keys], [pl.copy() for pl in payloads]
+        )
+    out["sort_counts"] = np.array([kk.size for kk in sorted_keys], dtype=np.int64)
+    out["sort_keys"] = np.concatenate(sorted_keys)
+    out["sort_payload"] = np.concatenate(sorted_pay)
+
+    mesh = rgg_mesh(_SPMV_N, dim=2, rng=0)
+    assignment = np.random.default_rng(1).integers(0, _SPMV_K, size=mesh.n)
+    assignment[:_SPMV_K] = np.arange(_SPMV_K)  # every block non-empty
+    x = np.random.default_rng(2).random(mesh.n)
+    y, comm_time = distributed_spmv(
+        mesh, assignment, _SPMV_K, x, nranks=nranks, backend=backend
+    )
+    out["spmv_y"] = y
+    out["spmv_comm_time"] = comm_time
+    out["_backend"] = res.backend
+    return out
+
+
+def compare_cases(got: dict, want: dict, label: str = "") -> list[str]:
+    """Bit-identity comparison of two :func:`equivalence_cases` results."""
+    failures = []
+    for key in sorted(set(want) | set(got)):
+        if key.startswith("_"):
+            continue
+        if key not in got or key not in want:
+            failures.append(f"{label}{key}: missing on one side")
+            continue
+        a, b = np.asarray(got[key]), np.asarray(want[key])
+        if a.shape != b.shape or not np.array_equal(a, b):
+            failures.append(f"{label}{key}: not bit-identical")
+    return failures
+
+
+def _jsonable(cases: dict) -> dict:
+    return {
+        key: value.tolist() if isinstance(value, np.ndarray) else value
+        for key, value in cases.items()
+    }
+
+
+def _run_equivalence(args) -> int:
+    from repro.runtime.mpicomm import world_size
+
+    ranks = args.ranks or [world_size()]
+    bad = [p for p in ranks if p > world_size()]
+    if bad:
+        print(
+            f"FAIL: rank counts {bad} exceed the MPI communicator size "
+            f"{world_size()}; relaunch with `mpiexec -n {max(ranks)}`"
+        )
+        return 2
+    failures: list[str] = []
+    dumped: dict[str, dict] = {}
+    for p in ranks:
+        mpi = equivalence_cases(p, backend="mpi")
+        virt = equivalence_cases(p, backend="virtual")
+        if mpi["_backend"] != "mpi" or not mpi["_measured"]:
+            failures.append(f"p={p}: run did not execute on the measured mpi backend")
+        if virt["_measured"]:
+            failures.append(f"p={p}: virtual reference unexpectedly measured")
+        failures.extend(compare_cases(mpi, virt, label=f"p={p}: "))
+        dumped[str(p)] = _jsonable(mpi)
+        status = "ok" if not any(f.startswith(f"p={p}") for f in failures) else "FAIL"
+        print(f"p={p} (world={world_size()}): kmeans/distsort/spmv vs virtual -> {status}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(dumped, fh)
+        print(f"wrote MPI-side results to {args.json}")
+    if failures:
+        print("FAIL: MPI and virtual backends disagree:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print(f"PASS: mpi backend bit-identical to virtual for p in {list(ranks)}")
+    return 0
+
+
+def _equivalence_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.mpi_main equivalence",
+        description="cross-backend bit-identity suite (mpi vs virtual)",
+    )
+    parser.add_argument(
+        "--ranks", type=int, nargs="+", default=None,
+        help="rank counts to verify (default: the MPI communicator size)",
+    )
+    parser.add_argument("--json", default=None, help="dump MPI-side results to this path")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        from repro.runtime.mpicomm import spmd_main
+    except ImportError as exc:  # surface the missing optional dependency clearly
+        raise SystemExit(
+            f"the MPI entrypoint requires mpi4py and an MPI runtime: {exc}"
+        ) from exc
+    if argv and argv[0] == "equivalence":
+        args = _equivalence_parser().parse_args(argv[1:])
+        code = spmd_main(lambda: _run_equivalence(args))
+    else:
+
+        def driver() -> int:
+            os.environ.setdefault("REPRO_BACKEND", "mpi")
+            from repro.cli import main as cli_main
+
+            return cli_main(argv)
+
+        code = spmd_main(driver)
+    return int(code or 0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

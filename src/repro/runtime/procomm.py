@@ -6,10 +6,12 @@ protocol with one long-lived worker *process* per rank:
 - :meth:`ProcessComm.run_local` ships the rank function to every worker
   over a pipe and executes all ranks concurrently.  Rank functions are
   driver-local closures, which standard pickle refuses to serialise, so
-  they are shipped *by value*: the code object via :mod:`marshal`, the
-  closure cells and defaults via pickle (recursively, so closures capturing
-  other local functions work), and globals resolved in the worker by
-  importing the defining module.  Workers are forked from the driver, so
+  they are shipped *by value* through the freezing machinery of
+  :mod:`repro.runtime._shipping` (shared with the MPI backend): the code
+  object via :mod:`marshal`, the closure cells and defaults via pickle
+  (recursively, so closures capturing other local functions work), and
+  globals resolved in the worker by importing the defining module.
+  Workers are forked from the driver, so
   every module the driver can see, they can see.  The message is pickled
   once per superstep (not once per worker), but a closure that captures a
   whole per-rank list ships that list to *every* worker — keep large
@@ -42,12 +44,9 @@ failures do not leak ``/dev/shm`` blocks or zombie processes.
 from __future__ import annotations
 
 import atexit
-import importlib
-import marshal
 import multiprocessing as mp
 import time
 import traceback
-import types
 import weakref
 from multiprocessing import shared_memory
 from multiprocessing.reduction import ForkingPickler
@@ -55,6 +54,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.runtime._shipping import freeze_function, thaw_function
 from repro.runtime.comm import (
     Comm,
     combine_allgather,
@@ -72,70 +72,6 @@ except ImportError:  # pragma: no cover - numpy < 2.0
     _byte_bounds = np.byte_bounds
 
 _JOIN_TIMEOUT = 5.0
-
-
-# -- closure shipping --------------------------------------------------------
-
-
-class _FrozenFunction:
-    """A driver-local function serialised by value (code + cells + defaults)."""
-
-    __slots__ = ("code", "module", "defaults", "kwdefaults", "cells")
-
-    def __init__(self, code: bytes, module: str, defaults: tuple, kwdefaults, cells: tuple):
-        self.code = code
-        self.module = module
-        self.defaults = defaults
-        self.kwdefaults = kwdefaults
-        self.cells = cells
-
-    def __getstate__(self):
-        return (self.code, self.module, self.defaults, self.kwdefaults, self.cells)
-
-    def __setstate__(self, state):
-        self.code, self.module, self.defaults, self.kwdefaults, self.cells = state
-
-
-def freeze_function(obj):
-    """Recursively convert function objects into picklable blobs.
-
-    Plain data passes through untouched (pickle handles it); function
-    objects — including lambdas and nested closures, which pickle rejects —
-    become :class:`_FrozenFunction`.  Cells and defaults are frozen
-    recursively so a closure may capture other local functions.
-    """
-    if isinstance(obj, types.FunctionType):
-        cells = tuple(freeze_function(c.cell_contents) for c in (obj.__closure__ or ()))
-        defaults = tuple(freeze_function(d) for d in (obj.__defaults__ or ()))
-        kwdefaults = (
-            {name: freeze_function(v) for name, v in obj.__kwdefaults__.items()}
-            if obj.__kwdefaults__ else None
-        )
-        return _FrozenFunction(marshal.dumps(obj.__code__), obj.__module__, defaults,
-                               kwdefaults, cells)
-    if isinstance(obj, Comm):
-        raise TypeError(
-            "rank functions must not capture the communicator (it owns processes "
-            "and pipes); capture comm.nranks or precomputed values instead"
-        )
-    return obj
-
-
-def thaw_function(obj):
-    """Inverse of :func:`freeze_function`; globals come from the defining module."""
-    if isinstance(obj, _FrozenFunction):
-        code = marshal.loads(obj.code)
-        try:
-            glb = importlib.import_module(obj.module).__dict__
-        except Exception:  # module not importable in the worker: builtins only
-            glb = {"__builtins__": __builtins__}
-        defaults = tuple(thaw_function(d) for d in obj.defaults) or None
-        cells = tuple(types.CellType(thaw_function(v)) for v in obj.cells)
-        fn = types.FunctionType(code, glb, code.co_name, defaults, cells)
-        if obj.kwdefaults:
-            fn.__kwdefaults__ = {name: thaw_function(v) for name, v in obj.kwdefaults.items()}
-        return fn
-    return obj
 
 
 # -- shared-memory arrays ----------------------------------------------------

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import BalancedKMeansConfig
+from repro.runtime.comm import backend_max_ranks
 from repro.runtime.costmodel import SUPERMUC_LIKE, MachineModel
 from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
 from repro.util.rng import ensure_rng
@@ -93,9 +94,13 @@ def calibrate(
 
     ``backend`` selects the execution backend of the run; iteration and
     reduction counts are bit-identical across backends, so the calibration
-    is too.
+    is too.  Backends with a bounded communicator (MPI: the real
+    ``mpiexec`` size) clamp the calibration rank count to what can execute.
     """
     gen = ensure_rng(rng)
+    cap = backend_max_ranks(backend)
+    if cap is not None:
+        nranks = min(nranks, cap)
     n = points_per_rank * nranks
     pts = gen.random((n, dim))
     cfg = BalancedKMeansConfig(use_sampling=False)
@@ -210,6 +215,18 @@ def _curve(
     return out
 
 
+def _clamp_measured_ranks(measured_max_ranks: int, backend: str | None) -> int:
+    """Measured points can only use ranks the backend can actually execute.
+
+    Unbounded backends (virtual, process) keep the requested cutoff; the MPI
+    backend caps it at the real communicator size fixed at ``mpiexec``
+    launch — larger curve points stay modeled, exactly like points beyond
+    the requested ``measured_max_ranks``.
+    """
+    cap = backend_max_ranks(backend)
+    return measured_max_ranks if cap is None else min(measured_max_ranks, cap)
+
+
 def weak_scaling(
     tools: tuple[str, ...] = _TOOLS,
     points_per_rank: int = 4000,
@@ -222,6 +239,7 @@ def weak_scaling(
 ) -> list[ScalingPoint]:
     """Figure 3a: p = k doubles, n/p fixed (paper: 250k/rank, 32..8192 ranks)."""
     gen = ensure_rng(rng)
+    measured_max_ranks = _clamp_measured_ranks(measured_max_ranks, backend)
     calib = calibrate(machine=machine, rng=gen, dim=dim, backend=backend)
     out: list[ScalingPoint] = []
     configs = [(p, p * points_per_rank, p) for p in rank_counts]
@@ -242,6 +260,7 @@ def strong_scaling(
 ) -> list[ScalingPoint]:
     """Figure 3b: fixed n (paper: Delaunay2B), p = k doubling to 16384."""
     gen = ensure_rng(rng)
+    measured_max_ranks = _clamp_measured_ranks(measured_max_ranks, backend)
     calib = calibrate(machine=machine, rng=gen, dim=dim, backend=backend)
     out: list[ScalingPoint] = []
     configs = [(p, n, p) for p in rank_counts]

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import colorsys
 
-import numpy as np
 
 __all__ = ["block_colors", "hex_color"]
 

@@ -1,13 +1,18 @@
-"""Cross-backend equivalence: virtual and process backends agree bit-for-bit.
+"""Cross-backend equivalence: all execution backends agree bit-for-bit.
 
 The virtual backend simulates ranks in the driver process; the process
 backend runs each rank as a real worker process with shared-memory point
-arrays and pickled collectives over pipes.  Because both backends execute
-the same rank kernels on the same data and combine collectives with the
-same code in the same rank order, every result — assignments, centers,
-imbalance, sorted orders, SpMV outputs — must be *bit-identical*, not just
-close.  These tests pin that contract for p in {1, 2, 4} and k in {3, 8}.
+arrays and pickled collectives over pipes; the MPI backend runs each rank
+as a real ``mpiexec``-launched process with rank-resident arrays.  Because
+every backend executes the same rank kernels on the same data and combines
+collectives with the same code in the same rank order, every result —
+assignments, centers, imbalance, sorted orders, SpMV outputs — must be
+*bit-identical*, not just close.  These tests pin that contract for
+p in {1, 2, 4} and k in {3, 8}; the MPI leg (``TestMPIEquivalence``) shells
+out to ``mpiexec -n 4`` and skips itself when MPI is unavailable.
 """
+
+import json
 
 import numpy as np
 import pytest
@@ -176,6 +181,42 @@ class TestSpmvEquivalence:
             assert comm.ledger.supersteps == 1
             assert comm.ledger.stages.get("spmv", 0.0) > 0
         np.testing.assert_allclose(y, mesh.to_scipy() @ x)
+
+
+class TestMPIEquivalence:
+    """MPI vs virtual bit-identity, through one real ``mpiexec -n 4`` launch.
+
+    The launch runs :mod:`repro.runtime.mpi_main`'s ``equivalence`` command
+    (which already self-checks in the driver) and dumps the MPI-side
+    results; this side *independently* recomputes the identical cases on
+    the virtual backend — same case definitions, imported from
+    ``mpi_main`` — and demands bit-identical assignments, centers,
+    imbalance, sorted orders, and SpMV outputs for every rank count.
+    """
+
+    pytestmark = pytest.mark.mpi_backend
+
+    @pytest.fixture(scope="class")
+    def mpi_results(self, mpiexec_run, tmp_path_factory):
+        out = tmp_path_factory.mktemp("mpi-equivalence") / "results.json"
+        res = mpiexec_run(
+            4,
+            ["-m", "repro.runtime.mpi_main", "equivalence",
+             "--ranks", "1", "2", "4", "--json", str(out)],
+        )
+        assert res.returncode == 0, f"mpiexec equivalence run failed:\n{res.stdout}\n{res.stderr}"
+        assert "PASS" in res.stdout
+        return json.loads(out.read_text())
+
+    @pytest.mark.parametrize("nranks", RANK_COUNTS)
+    def test_bit_identical_to_virtual(self, mpi_results, nranks):
+        from repro.runtime.mpi_main import compare_cases, equivalence_cases
+
+        got = mpi_results[str(nranks)]
+        assert got["_backend"] == "mpi" and got["_measured"] is True
+        assert got["_supersteps"] > 0
+        reference = equivalence_cases(nranks, backend="virtual")
+        assert compare_cases(got, reference, label=f"p={nranks}: ") == []
 
 
 class TestEnvSelection:

@@ -1,0 +1,151 @@
+"""Backend-registry coverage: lazy resolution, precedence, errors, overrides.
+
+Tier-1 by design: nothing here forks workers or needs ``mpi4py`` — the
+lazy-import machinery is exercised through a throwaway backend module
+written to ``tmp_path``, and the missing-optional-dependency path through
+registry entries pointing at modules that cannot import.  The real
+``process``/``mpi`` constructions are covered by their dedicated marker
+suites.
+"""
+
+import importlib.util
+import textwrap
+
+import pytest
+
+from repro.runtime import comm as comm_mod
+from repro.runtime.comm import (
+    BACKEND_ENV,
+    BACKENDS,
+    Comm,
+    VirtualComm,
+    available_backends,
+    backend_max_ranks,
+    make_comm,
+    resolve_backend_name,
+    register_backend,
+)
+
+
+class TestResolution:
+    def test_default_is_virtual(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend_name() == "virtual"
+        assert isinstance(make_comm(2), VirtualComm)
+
+    def test_env_var_beats_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "mpi")
+        assert resolve_backend_name() == "mpi"
+
+    def test_explicit_argument_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "mpi")
+        assert resolve_backend_name("virtual") == "virtual"
+        assert isinstance(make_comm(2, backend="virtual"), VirtualComm)
+
+    def test_empty_env_var_falls_back_to_virtual(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "")
+        assert resolve_backend_name() == "virtual"
+
+
+class TestLazyBackends:
+    def test_lazy_names_advertised_before_import(self):
+        # both lazy backends are choices even while their modules (and the
+        # optional mpi4py dependency) have never been imported
+        assert {"virtual", "process", "mpi"} <= set(available_backends())
+
+    def test_lazy_module_imported_and_registered_on_first_use(self, tmp_path, monkeypatch):
+        module_name = "repro_fake_backend_for_tests"
+        (tmp_path / f"{module_name}.py").write_text(
+            textwrap.dedent(
+                """
+                from repro.runtime.comm import VirtualComm, register_backend
+
+
+                class FakeComm(VirtualComm):
+                    kind = "fake"
+
+
+                register_backend("fake", FakeComm)
+                """
+            )
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        monkeypatch.setitem(comm_mod._LAZY_BACKENDS, "fake", module_name)
+        assert "fake" in available_backends()
+        assert "fake" not in BACKENDS  # not imported yet
+        try:
+            made = make_comm(3, backend="fake")
+            assert made.kind == "fake" and made.nranks == 3
+            assert "fake" in BACKENDS  # import happened exactly on first use
+        finally:
+            BACKENDS.pop("fake", None)
+
+    def test_missing_dependency_is_a_clear_runtime_error(self, monkeypatch):
+        monkeypatch.setitem(
+            comm_mod._LAZY_BACKENDS, "ghost", "repro_no_such_module_anywhere"
+        )
+        with pytest.raises(RuntimeError, match="repro_no_such_module_anywhere"):
+            make_comm(2, backend="ghost")
+
+    @pytest.mark.skipif(
+        importlib.util.find_spec("mpi4py") is not None,
+        reason="mpi4py installed: the import succeeds, covered by the mpi suite",
+    )
+    def test_mpi_without_mpi4py_names_the_package(self):
+        with pytest.raises(RuntimeError, match="mpi4py") as err:
+            make_comm(2, backend="mpi")
+        assert isinstance(err.value.__cause__, ImportError)  # not a bare traceback
+
+    def test_lazy_module_that_forgets_to_register(self, tmp_path, monkeypatch):
+        module_name = "repro_forgetful_backend_for_tests"
+        (tmp_path / f"{module_name}.py").write_text("value = 1\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        monkeypatch.setitem(comm_mod._LAZY_BACKENDS, "forgetful", module_name)
+        with pytest.raises(RuntimeError, match="did not register"):
+            make_comm(2, backend="forgetful")
+
+
+class TestUnknownBackend:
+    def test_value_error_lists_available_backends(self):
+        with pytest.raises(ValueError) as err:
+            make_comm(2, backend="quantum")
+        message = str(err.value)
+        assert "quantum" in message
+        for name in available_backends():
+            assert name in message
+
+
+class TestRegisterOverride:
+    def test_last_registration_wins_and_can_be_restored(self):
+        class InstrumentedComm(VirtualComm):
+            kind = "instrumented"
+
+        original = BACKENDS["virtual"]
+        register_backend("virtual", InstrumentedComm)
+        try:
+            assert isinstance(make_comm(2, backend="virtual"), InstrumentedComm)
+        finally:
+            register_backend("virtual", original)
+        assert type(make_comm(2, backend="virtual")) is VirtualComm
+
+    def test_new_name_appears_in_available_backends(self):
+        class SideComm(VirtualComm):
+            kind = "side"
+
+        register_backend("side", SideComm)
+        try:
+            assert "side" in available_backends()
+            assert make_comm(1, backend="side").kind == "side"
+        finally:
+            BACKENDS.pop("side", None)
+        assert "side" not in available_backends()
+
+
+class TestMaxRanks:
+    def test_unbounded_backends_report_none(self):
+        assert Comm.max_ranks() is None
+        assert backend_max_ranks("virtual") is None
+
+    def test_unknown_backend_still_raises(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            backend_max_ranks("quantum")

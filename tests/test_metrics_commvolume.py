@@ -1,7 +1,6 @@
 """Tests for communication-volume metrics against a brute-force reference."""
 
 import numpy as np
-import pytest
 
 from repro.mesh.delaunay import delaunay_mesh
 from repro.mesh.grid import grid_mesh

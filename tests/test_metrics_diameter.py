@@ -2,7 +2,6 @@
 
 import networkx as nx
 import numpy as np
-import pytest
 
 from repro.mesh.delaunay import delaunay_mesh
 from repro.mesh.graph import GeometricMesh

@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro.mesh.delaunay import delaunay_mesh
-from repro.mesh.graph import GeometricMesh
 from repro.mesh.grid import grid_mesh
 from repro.metrics.cut import edge_cut, external_edges
 from repro.metrics.imbalance import block_weights, imbalance, is_balanced, max_block_weight

@@ -1,7 +1,6 @@
 """Tests for block-shape metrics."""
 
 import numpy as np
-import pytest
 
 from repro.mesh.delaunay import delaunay_mesh
 from repro.mesh.grid import grid_mesh

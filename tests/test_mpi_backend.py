@@ -1,0 +1,182 @@
+"""MPI backend machinery under real ``mpiexec`` launches.
+
+Mirrors ``test_process_backend.py`` for the third execution backend: the
+SPMD driver/worker bridge, closure shipping over MPI broadcasts,
+rank-resident shared arrays + ``collect``, worker error propagation, the
+measured ledger, and the CLI entrypoints.  Every test shells out to
+``mpiexec`` (the backend is meaningless in-process) and skips when MPI or
+``mpi4py`` is unavailable; the cross-backend bit-identity contract lives
+in ``test_backend_equivalence.py``.
+"""
+
+import textwrap
+
+import pytest
+
+pytestmark = pytest.mark.mpi_backend
+
+MPI_MAIN = ["-m", "repro.runtime.mpi_main"]
+
+
+def _run_script(mpiexec_run, tmp_path, nranks, body):
+    """Run an SPMD driver script (workers served by spmd_main) under mpiexec."""
+    script = tmp_path / "spmd_script.py"
+    script.write_text(
+        textwrap.dedent(
+            """
+            import numpy as np
+
+            from repro.runtime.comm import make_comm
+            from repro.runtime.mpicomm import spmd_main
+
+
+            def driver():
+            %s
+                return 0
+
+
+            if __name__ == "__main__":
+                raise SystemExit(spmd_main(driver) or 0)
+            """
+        )
+        % textwrap.indent(textwrap.dedent(body), "    ")
+    )
+    return mpiexec_run(nranks, [str(script)])
+
+
+class TestEntrypoints:
+    def test_equivalence_suite_passes(self, mpiexec_run):
+        res = mpiexec_run(2, [*MPI_MAIN, "equivalence", "--ranks", "1", "2"])
+        assert res.returncode == 0, res.stdout + res.stderr
+        assert "PASS" in res.stdout
+
+    def test_cli_forwarding_defaults_to_mpi_backend(self, mpiexec_run):
+        res = mpiexec_run(
+            2, [*MPI_MAIN, "distributed", "rgg2d", "--scale", "0.05", "-k", "4", "-p", "2"]
+        )
+        assert res.returncode == 0, res.stdout + res.stderr
+        assert "backend=mpi" in res.stdout
+        assert "measured" in res.stdout  # the ledger table is MPI.Wtime, not modeled
+
+    def test_repro_mpi_subcommand_forwards(self, mpiexec_run):
+        res = mpiexec_run(
+            2,
+            ["-m", "repro", "mpi", "spmv", "rgg2d", "--scale", "0.05", "-k", "4",
+             "-p", "2", "--backend", "mpi"],
+        )
+        assert res.returncode == 0, res.stdout + res.stderr
+        assert "halo plan complete: True" in res.stdout
+        assert "backend=mpi" in res.stdout
+
+    def test_scaling_caps_measured_ranks_at_world_size(self, mpiexec_run):
+        # rank counts beyond mpiexec -n stay modeled instead of crashing
+        res = mpiexec_run(
+            2, [*MPI_MAIN, "scaling", "weak", "--ranks", "4", "8", "--backend", "mpi"]
+        )
+        assert res.returncode == 0, res.stdout + res.stderr
+        assert "Geographer" in res.stdout
+
+
+class TestRunLocal:
+    def test_worker_error_propagates_and_loop_survives(self, mpiexec_run, tmp_path):
+        res = _run_script(
+            mpiexec_run, tmp_path, 2,
+            """
+            def boom(r):
+                if r == 1:
+                    raise ValueError("kapow from rank 1")
+                return r
+
+            with make_comm(2, backend="mpi") as comm:
+                try:
+                    comm.run_local(boom)
+                except RuntimeError as exc:
+                    assert "kapow from rank 1" in str(exc)
+                else:
+                    raise AssertionError("expected RuntimeError")
+                # the failed superstep does not poison the communicator
+                assert comm.run_local(lambda r: r + 10) == [10, 11]
+            print("WORKER-ERROR-OK")
+            """,
+        )
+        assert res.returncode == 0, res.stdout + res.stderr
+        assert "WORKER-ERROR-OK" in res.stdout
+
+    def test_capturing_comm_is_rejected_before_the_collective(self, mpiexec_run, tmp_path):
+        res = _run_script(
+            mpiexec_run, tmp_path, 2,
+            """
+            with make_comm(2, backend="mpi") as comm:
+                captured = comm
+                try:
+                    comm.run_local(lambda r: captured.nranks)
+                except TypeError as exc:
+                    assert "must not capture the communicator" in str(exc)
+                else:
+                    raise AssertionError("expected TypeError")
+                assert comm.run_local(lambda r: r) == [0, 1]
+            print("CAPTURE-REJECTED-OK")
+            """,
+        )
+        assert res.returncode == 0, res.stdout + res.stderr
+        assert "CAPTURE-REJECTED-OK" in res.stdout
+
+
+class TestSharedAndLedger:
+    def test_share_mutate_collect_release_and_ledger(self, mpiexec_run, tmp_path):
+        res = _run_script(
+            mpiexec_run, tmp_path, 2,
+            """
+            with make_comm(2, backend="mpi") as comm:
+                comm.set_stage("phase")
+                arrs = [comm.share(np.zeros(3)) for _ in range(2)]
+                comm.run_local(lambda r: arrs[r].__setitem__(slice(None), r + 1.0))
+                got = comm.collect(arrs)
+                assert got[0].tolist() == [1.0] * 3   # rank 0 == driver copy
+                assert got[1].tolist() == [2.0] * 3   # fetched from rank 1
+                assert arrs[0].tolist() == [1.0] * 3  # driver is rank 0's worker
+                comm.release(*arrs)
+                out = comm.allreduce(comm.run_local(lambda r: np.array([float(r)])))
+                assert out.tolist() == [1.0]
+                assert comm.measured and not comm.persistent_state
+                assert comm.ledger.supersteps >= 2
+                assert comm.ledger.compute_seconds > 0
+                assert comm.ledger.stages["phase"] > 0
+                assert "dispatch" in comm.ledger.collective_counts
+                assert "collect" in comm.ledger.collective_counts
+            print("SHARE-COLLECT-OK")
+            """,
+        )
+        assert res.returncode == 0, res.stdout + res.stderr
+        assert "SHARE-COLLECT-OK" in res.stdout
+
+    def test_too_many_ranks_is_a_clear_error(self, mpiexec_run, tmp_path):
+        res = _run_script(
+            mpiexec_run, tmp_path, 2,
+            """
+            try:
+                make_comm(4, backend="mpi")
+            except RuntimeError as exc:
+                assert "mpiexec -n 4" in str(exc)
+            else:
+                raise AssertionError("expected RuntimeError")
+            print("RANK-CAP-OK")
+            """,
+        )
+        assert res.returncode == 0, res.stdout + res.stderr
+        assert "RANK-CAP-OK" in res.stdout
+
+    def test_sequential_comms_share_one_launch(self, mpiexec_run, tmp_path):
+        # the p in {1, 2} sweep of the equivalence suite: open/close several
+        # communicators against one mpiexec launch, surplus ranks idle
+        res = _run_script(
+            mpiexec_run, tmp_path, 2,
+            """
+            for p in (1, 2, 1, 2):
+                with make_comm(p, backend="mpi") as comm:
+                    assert comm.run_local(lambda r: r * r) == [r * r for r in range(p)]
+            print("SEQUENTIAL-OK")
+            """,
+        )
+        assert res.returncode == 0, res.stdout + res.stderr
+        assert "SEQUENTIAL-OK" in res.stdout

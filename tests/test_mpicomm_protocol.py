@@ -1,0 +1,401 @@
+"""MPI backend protocol logic, exercised in-process through a stub mpi4py.
+
+Real ``mpiexec`` launches are covered by ``test_mpi_backend.py`` (marker
+``mpi_backend``, CI-only where MPI is installed).  This tier-1 suite keeps
+the driver/worker bridge honest *without* MPI: a fake ``mpi4py`` module is
+injected into ``sys.modules`` whose ``COMM_WORLD`` runs worker ranks as
+threads and transports every ``bcast``/``gather`` payload through
+``pickle.dumps``/``loads`` over queues, while the rank store is swapped
+for a thread-local one — faithfully simulating separate address spaces:
+
+- shipped closures really round-trip through the freezing machinery and
+  handle-based :class:`~repro.runtime.mpicomm.MPIShared` pickling;
+- in-place mutations on "rank 1" are invisible to the driver until
+  :meth:`~repro.runtime.mpicomm.MPIComm.collect` fetches them;
+- the full distributed algorithms (k-means, sort, SpMV) run end-to-end on
+  the backend and must match the virtual backend bit for bit.
+"""
+
+import pickle
+import queue
+import sys
+import threading
+import time
+import types
+
+import numpy as np
+import pytest
+
+from repro.runtime.comm import BACKENDS, make_comm
+from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
+from repro.runtime.distsort import distributed_sort
+from repro.spmv.distspmv import distributed_spmv
+
+_TIMEOUT = 60.0
+
+
+class _FakeWorld:
+    def __init__(self, size: int):
+        self.size = size
+        self.inboxes = [queue.Queue() for _ in range(size)]
+        self.replies = [queue.Queue() for _ in range(size)]
+
+
+class _FakeComm:
+    """One rank's view of the world; payloads pickle across thread 'ranks'."""
+
+    def __init__(self, world: _FakeWorld, rank: int):
+        self._world = world
+        self._rank = rank
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._world.size
+
+    def bcast(self, obj, root=0):
+        assert root == 0
+        if self._rank == 0:
+            blob = pickle.dumps(obj)
+            for rank in range(1, self._world.size):
+                self._world.inboxes[rank].put(blob)
+            return obj
+        return pickle.loads(self._world.inboxes[self._rank].get(timeout=_TIMEOUT))
+
+    def gather(self, obj, root=0):
+        assert root == 0
+        if self._rank == 0:
+            out = [obj]
+            for rank in range(1, self._world.size):
+                out.append(pickle.loads(self._world.replies[rank].get(timeout=_TIMEOUT)))
+            return out
+        self._world.replies[self._rank].put(pickle.dumps(obj))
+        return None
+
+
+class _FakeMPI:
+    """Stands in for ``mpi4py.MPI``: thread-local COMM_WORLD + Wtime."""
+
+    def __init__(self):
+        self._tls = threading.local()
+
+    def _bind(self, comm: _FakeComm) -> None:
+        self._tls.comm = comm
+
+    @property
+    def COMM_WORLD(self) -> _FakeComm:
+        return self._tls.comm
+
+    @staticmethod
+    def Wtime() -> float:
+        return time.perf_counter()
+
+
+class _ThreadLocalStore:
+    """dict facade over per-thread dicts: each 'rank' gets its own store."""
+
+    def __init__(self):
+        self._tls = threading.local()
+
+    @property
+    def _data(self) -> dict:
+        if not hasattr(self._tls, "data"):
+            self._tls.data = {}
+        return self._tls.data
+
+    def get(self, key, default=None):
+        return self._data.get(key, default)
+
+    def __setitem__(self, key, value):
+        self._data[key] = value
+
+    def __contains__(self, key):
+        return key in self._data
+
+    def pop(self, key, default=None):
+        return self._data.pop(key, default)
+
+    def clear(self):
+        self._data.clear()
+
+
+@pytest.fixture
+def mpi_stub(monkeypatch):
+    """Import ``repro.runtime.mpicomm`` against the fake mpi4py.
+
+    Yields ``start(size)`` which spins up ``size - 1`` worker threads in
+    :func:`~repro.runtime.mpicomm.worker_loop` and returns the imported
+    module; teardown stops the workers and unregisters the stubbed module
+    so later tests (or a real MPI environment) see a clean slate.
+    """
+    if "repro.runtime.mpicomm" in sys.modules:
+        pytest.skip("mpicomm already imported against a real MPI in this process")
+    fake = _FakeMPI()
+    mpi4py_module = types.ModuleType("mpi4py")
+    mpi4py_module.MPI = fake
+    monkeypatch.setitem(sys.modules, "mpi4py", mpi4py_module)
+    fake._bind(_FakeComm(_FakeWorld(1), 0))  # import-time rank check
+    import importlib
+
+    mpicomm = importlib.import_module("repro.runtime.mpicomm")
+    monkeypatch.setattr(mpicomm, "_STORE", _ThreadLocalStore())
+    monkeypatch.setattr(mpicomm, "_STOPPED", False)
+    threads: list[threading.Thread] = []
+
+    def start(size: int):
+        world = _FakeWorld(size)
+        fake._bind(_FakeComm(world, 0))
+        for rank in range(1, size):
+
+            def serve(rank=rank):
+                fake._bind(_FakeComm(world, rank))
+                mpicomm.worker_loop()
+
+            thread = threading.Thread(target=serve, daemon=True, name=f"fake-rank-{rank}")
+            thread.start()
+            threads.append(thread)
+        return mpicomm
+
+    yield start
+    try:
+        mpicomm.stop_workers()
+    except Exception:
+        pass
+    for thread in threads:
+        thread.join(timeout=10)
+    assert not any(thread.is_alive() for thread in threads), "worker thread leaked"
+    sys.modules.pop("repro.runtime.mpicomm", None)
+    BACKENDS.pop("mpi", None)
+
+
+class TestProtocol:
+    def test_run_local_rank_order_and_ledger(self, mpi_stub):
+        mpi_stub(3)
+        comm = make_comm(3, backend="mpi")
+        comm.set_stage("phase")
+        assert comm.run_local(lambda r: r * r) == [0, 1, 4]
+        assert comm.measured and not comm.persistent_state and comm.kind == "mpi"
+        assert comm.ledger.supersteps == 1
+        assert comm.ledger.stages["phase"] > 0
+        assert "dispatch" in comm.ledger.collective_counts
+        comm.close()
+
+    def test_fewer_ranks_than_world_leaves_surplus_idle(self, mpi_stub):
+        mpi_stub(4)
+        for p in (1, 2, 4, 2):
+            comm = make_comm(p, backend="mpi")
+            assert comm.run_local(lambda r: r + 1) == list(range(1, p + 1))
+            comm.close()
+
+    def test_more_ranks_than_world_is_a_clear_error(self, mpi_stub):
+        mpi_stub(2)
+        with pytest.raises(RuntimeError, match="mpiexec -n 3"):
+            make_comm(3, backend="mpi")
+
+    def test_worker_error_propagates_and_loop_survives(self, mpi_stub):
+        mpi_stub(2)
+        comm = make_comm(2, backend="mpi")
+
+        def boom(r):
+            if r == 1:
+                raise ValueError("kapow from rank 1")
+            return r
+
+        with pytest.raises(RuntimeError, match="kapow from rank 1"):
+            comm.run_local(boom)
+        assert comm.run_local(lambda r: r + 10) == [10, 11]
+        comm.close()
+
+    def test_capturing_comm_rejected_before_the_collective(self, mpi_stub):
+        mpi_stub(2)
+        comm = make_comm(2, backend="mpi")
+        captured = comm
+        with pytest.raises(TypeError, match="must not capture the communicator"):
+            comm.run_local(lambda r: captured.nranks)
+        assert comm.run_local(lambda r: r) == [0, 1]
+        comm.close()
+
+    def test_closed_comm_rejects_supersteps(self, mpi_stub):
+        mpi_stub(2)
+        comm = make_comm(2, backend="mpi")
+        comm.close()
+        comm.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            comm.run_local(lambda r: r)
+
+
+class TestRankResidentArrays:
+    def test_share_is_rank_resident_and_collect_fetches(self, mpi_stub):
+        mpicomm = mpi_stub(2)
+        comm = make_comm(2, backend="mpi")
+        arrs = [comm.share(np.zeros(3)) for _ in range(2)]
+        assert all(isinstance(arr, mpicomm.MPIShared) for arr in arrs)
+        comm.run_local(lambda r: arrs[r].__setitem__(slice(None), r + 1.0))
+        # rank 0 == the driver, so its mutation is driver-visible; rank 1's
+        # landed on the rank-resident copy and the driver copy is stale
+        assert arrs[0].tolist() == [1.0, 1.0, 1.0]
+        assert arrs[1].tolist() == [0.0, 0.0, 0.0]
+        got = comm.collect(arrs)
+        assert got[0].tolist() == [1.0, 1.0, 1.0]
+        assert got[1].tolist() == [2.0, 2.0, 2.0]
+        assert "collect" in comm.ledger.collective_counts
+        comm.close()
+
+    def test_handle_pickling_only_for_canonical_driver_array(self, mpi_stub):
+        mpi_stub(2)
+        comm = make_comm(2, backend="mpi")
+        arr = comm.share(np.arange(6.0))
+        blob = pickle.dumps(arr)
+        assert len(blob) < 200  # a handle, not 48 bytes of data + ndarray overhead
+        assert pickle.loads(blob) is arr  # driver-side resolution
+        sliced = pickle.loads(pickle.dumps(arr[2:4]))  # slices go by value
+        arr[2] = -1.0
+        assert sliced.tolist() == [2.0, 3.0]
+        comm.close()
+
+    def test_release_drops_worker_copies(self, mpi_stub):
+        mpi_stub(2)
+        comm = make_comm(2, backend="mpi")
+        arr = comm.share(np.arange(4.0))
+        handle = arr._handle
+
+        def resident(r):  # modules don't pickle: resolve the store in-rank
+            import sys
+
+            return handle in sys.modules["repro.runtime.mpicomm"]._STORE
+
+        assert comm.run_local(resident) == [True, True]
+        comm.release(arr)
+        assert comm.run_local(resident) == [False, False]
+        comm.close()
+
+    def test_idle_ranks_keep_no_resident_copy(self, mpi_stub):
+        # a p=2 comm in a world of 4: ranks 2 and 3 consume the share
+        # broadcast but must not hold a copy they can never resolve
+        mpi_stub(4)
+        small = make_comm(2, backend="mpi")
+        arr = small.share(np.arange(4.0))
+        handle = arr._handle
+        probe = make_comm(4, backend="mpi")
+
+        def resident(r):
+            import sys
+
+            return handle in sys.modules["repro.runtime.mpicomm"]._STORE
+
+        assert probe.run_local(resident) == [True, True, False, False]
+        probe.close()
+        small.close()
+
+    def test_mutation_persists_across_supersteps(self, mpi_stub):
+        mpi_stub(2)
+        comm = make_comm(2, backend="mpi")
+        counters = [comm.share(np.zeros(1)) for _ in range(2)]
+        for _ in range(3):
+            comm.run_local(lambda r: counters[r].__iadd__(r + 1))
+        assert [c[0] for c in comm.collect(counters)] == [3.0, 6.0]
+        comm.close()
+
+
+class TestAlgorithmsBitIdentical:
+    def test_distributed_kmeans_matches_virtual(self, mpi_stub):
+        mpi_stub(2)
+        pts = np.random.default_rng(0).random((300, 2))
+        virt = distributed_balanced_kmeans(pts, k=4, nranks=2, rng=3, backend="virtual")
+        comm = make_comm(2, backend="mpi")
+        try:
+            mpi = distributed_balanced_kmeans(pts, k=4, nranks=2, rng=3, comm=comm)
+        finally:
+            comm.close()
+        np.testing.assert_array_equal(virt.assignment, mpi.assignment)
+        np.testing.assert_array_equal(virt.centers, mpi.centers)
+        assert virt.imbalance == mpi.imbalance
+        assert virt.iterations == mpi.iterations
+        assert mpi.backend == "mpi" and mpi.measured
+
+    def test_distsort_matches_virtual(self, mpi_stub):
+        mpi_stub(2)
+        rng = np.random.default_rng(11)
+        keys = [rng.integers(0, 1 << 40, size=30), rng.integers(0, 1 << 40, size=17)]
+        payloads = [np.column_stack([kk.astype(np.float64), rng.random(kk.size)]) for kk in keys]
+        with make_comm(2, backend="virtual") as vc:
+            vkeys, vpay = distributed_sort(vc, [k.copy() for k in keys],
+                                           [p.copy() for p in payloads])
+        comm = make_comm(2, backend="mpi")
+        try:
+            mkeys, mpay = distributed_sort(comm, [k.copy() for k in keys],
+                                           [p.copy() for p in payloads])
+        finally:
+            comm.close()
+        for r in range(2):
+            np.testing.assert_array_equal(vkeys[r], mkeys[r])
+            np.testing.assert_array_equal(vpay[r], mpay[r])
+
+    def test_distributed_spmv_matches_serial(self, mpi_stub):
+        from repro.mesh.rgg import rgg_mesh
+
+        mpi_stub(2)
+        mesh = rgg_mesh(200, dim=2, rng=0)
+        k = 4
+        assignment = np.random.default_rng(1).integers(0, k, size=mesh.n)
+        assignment[:k] = np.arange(k)
+        x = np.random.default_rng(2).random(mesh.n)
+        y_serial, t_serial = distributed_spmv(mesh, assignment, k, x)
+        comm = make_comm(2, backend="mpi")
+        try:
+            y_mpi, t_mpi = distributed_spmv(mesh, assignment, k, x, comm=comm)
+        finally:
+            comm.close()
+        np.testing.assert_array_equal(y_serial, y_mpi)
+        assert t_serial == t_mpi
+        np.testing.assert_allclose(y_mpi, mesh.to_scipy() @ x)
+
+    def test_equivalence_cases_run_on_stub(self, mpi_stub):
+        from repro.runtime.mpi_main import compare_cases, equivalence_cases
+
+        mpi_stub(2)
+        mpi = equivalence_cases(2, backend="mpi")
+        virt = equivalence_cases(2, backend="virtual")
+        assert compare_cases(mpi, virt, label="p=2: ") == []
+        assert mpi["_backend"] == "mpi" and mpi["_measured"] is True
+
+
+class TestMpiMainEntrypoint:
+    """The exact driver paths the mpi-backend CI job runs, on the stub."""
+
+    def test_equivalence_command(self, mpi_stub, tmp_path, capsys):
+        import json
+
+        from repro.runtime import mpi_main
+
+        mpi_stub(2)
+        out = tmp_path / "equiv.json"
+        code = mpi_main.main(["equivalence", "--ranks", "1", "2", "--json", str(out)])
+        captured = capsys.readouterr().out
+        assert code == 0, captured
+        assert "PASS" in captured
+        data = json.loads(out.read_text())
+        assert set(data) == {"1", "2"}
+        assert data["2"]["_backend"] == "mpi"
+
+    def test_equivalence_rejects_oversized_ranks(self, mpi_stub, capsys):
+        from repro.runtime import mpi_main
+
+        mpi_stub(2)
+        code = mpi_main.main(["equivalence", "--ranks", "4"])
+        assert code == 2
+        assert "exceed the MPI communicator size" in capsys.readouterr().out
+
+    def test_cli_forwarding_defaults_to_mpi(self, mpi_stub, capsys, monkeypatch):
+        from repro.runtime import mpi_main
+
+        mpi_stub(2)
+        monkeypatch.setenv("REPRO_BACKEND", "mpi")  # pin so main's setdefault is undone
+        code = mpi_main.main(
+            ["distributed", "rgg2d", "--scale", "0.03", "-k", "4", "-p", "2"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0, captured
+        assert "backend=mpi" in captured
+        assert "measured" in captured

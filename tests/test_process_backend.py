@@ -22,13 +22,8 @@ from repro.runtime.comm import (
     make_comm,
     resolve_backend_name,
 )
-from repro.runtime.procomm import (
-    ProcessComm,
-    SharedArray,
-    freeze_function,
-    shutdown_process_comms,
-    thaw_function,
-)
+from repro.runtime._shipping import freeze_function, thaw_function
+from repro.runtime.procomm import ProcessComm, SharedArray, shutdown_process_comms
 
 pytestmark = pytest.mark.process_backend
 

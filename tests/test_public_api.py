@@ -1,7 +1,6 @@
 """Public-API surface tests: everything docs/API.md promises must import and run."""
 
 import numpy as np
-import pytest
 
 
 class TestTopLevelImports:

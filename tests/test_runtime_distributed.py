@@ -1,7 +1,6 @@
 """Tests for the distributed (simulated SPMD) Geographer."""
 
 import numpy as np
-import pytest
 
 from repro.core.balanced_kmeans import balanced_kmeans
 from repro.core.config import BalancedKMeansConfig

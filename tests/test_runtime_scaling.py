@@ -1,11 +1,9 @@
 """Tests for the scaling drivers (Figure 3/4 machinery)."""
 
-import numpy as np
 import pytest
 
 from repro.runtime.costmodel import MachineModel
 from repro.runtime.scaling import (
-    CostCalibration,
     calibrate,
     modeled_time,
     strong_scaling,
