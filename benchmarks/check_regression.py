@@ -1,16 +1,26 @@
-"""Balance-benchmark regression check, shared by CI and local runs.
+"""Benchmark regression check, shared by CI and local runs.
 
-Compares a freshly measured ``BENCH_balance.json`` against a committed
-baseline and fails (exit 1) when the incremental-engine phase time
-regressed beyond a threshold::
+Compares a freshly measured benchmark JSON against a committed baseline and
+fails (exit 1) when a tracked time regressed beyond a threshold::
 
     python benchmarks/check_regression.py \\
         /tmp/BENCH_balance.committed.json BENCH_balance.json --threshold 1.2
 
+Two schemas are recognised by their keys:
+
+- ``BENCH_balance.json`` (``{"incremental": ...}``): the incremental-engine
+  phase time is compared directly.
+- ``BENCH_kernels.json`` (``{"entries": [...]}``): every sweep bench present
+  in *both* files (matched by name) is compared on ``seconds_min``; benches
+  missing on either side — e.g. numba/torch entries measured only where the
+  backend is installed — are skipped with a note, never treated as a
+  regression.
+
 CI calls this after the tier-1 suite re-measures the trajectory (the step
 stays non-blocking there: shared runners are too noisy to gate on); local
-runs can call it directly after ``pytest benchmarks/test_balance_bench.py``.
-Inside GitHub Actions the failure also emits a ``::warning::`` annotation.
+runs can call it directly after ``pytest benchmarks/test_balance_bench.py``
+or ``pytest benchmarks/test_kernels_bench.py``.  Inside GitHub Actions the
+failure also emits a ``::warning::`` annotation.
 """
 
 from __future__ import annotations
@@ -21,7 +31,7 @@ import os
 import sys
 
 
-def compare(committed: dict, fresh: dict, threshold: float) -> tuple[float, list[str]]:
+def compare_balance(committed: dict, fresh: dict) -> tuple[float, list[str]]:
     """Return ``(ratio, report lines)`` for fresh-vs-committed phase time."""
     old = committed["incremental"]["seconds"]
     new = fresh["incremental"]["seconds"]
@@ -33,10 +43,51 @@ def compare(committed: dict, fresh: dict, threshold: float) -> tuple[float, list
     return ratio, lines
 
 
+def compare_kernels(committed: dict, fresh: dict) -> tuple[float, list[str]]:
+    """Worst fresh/committed ratio over the sweep benches both files hold."""
+    old_entries = {e["bench"]: e for e in committed.get("entries", [])}
+    new_entries = {e["bench"]: e for e in fresh.get("entries", [])}
+    worst, lines = 0.0, []
+    for name in sorted(old_entries):
+        if name not in new_entries:
+            lines.append(f"{name}: not measured here (backend unavailable) — skipped")
+            continue
+        old = old_entries[name]["seconds_min"]
+        new = new_entries[name]["seconds_min"]
+        ratio = new / old
+        backend = new_entries[name].get("backend", "?")
+        if backend == "reference":
+            # the preserved pre-engine path: timed for the speedup ledger,
+            # not a product path — informational only
+            lines.append(
+                f"{name} [reference]: committed {old * 1e3:.1f}ms, "
+                f"fresh {new * 1e3:.1f}ms ({ratio:.2f}x, not guarded)"
+            )
+            continue
+        worst = max(worst, ratio)
+        lines.append(
+            f"{name} [{backend}]: committed {old * 1e3:.1f}ms, "
+            f"fresh {new * 1e3:.1f}ms ({ratio:.2f}x)"
+        )
+    for name in sorted(set(new_entries) - set(old_entries)):
+        lines.append(f"{name}: new bench (no committed baseline) — recorded only")
+    if worst == 0.0:
+        lines.append("no overlapping benches; nothing to compare")
+    return worst, lines
+
+
+def compare(committed: dict, fresh: dict, threshold: float) -> tuple[float, list[str]]:
+    """Schema-dispatching comparison (kept for callers of the old name)."""
+    if "entries" in committed or "entries" in fresh:
+        return compare_kernels(committed, fresh)
+    return compare_balance(committed, fresh)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("committed", help="baseline BENCH_balance.json (the committed trajectory)")
-    parser.add_argument("fresh", help="freshly measured BENCH_balance.json")
+    parser.add_argument("committed",
+                        help="baseline BENCH_balance.json / BENCH_kernels.json (committed trajectory)")
+    parser.add_argument("fresh", help="freshly measured benchmark JSON (same schema)")
     parser.add_argument(
         "--threshold", type=float, default=1.2,
         help="fail when fresh/committed phase time exceeds this ratio (default 1.2)",
@@ -50,7 +101,8 @@ def main(argv: list[str] | None = None) -> int:
     for line in lines:
         print(line)
     if ratio > args.threshold:
-        message = f"balance phase regressed {ratio:.2f}x vs committed trajectory"
+        what = "sweep kernels" if "entries" in fresh else "balance phase"
+        message = f"{what} regressed {ratio:.2f}x vs committed trajectory"
         if os.environ.get("GITHUB_ACTIONS"):
             print(f"::warning::{message}")
         else:

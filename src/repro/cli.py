@@ -95,12 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     backends = available_backends()
 
+    from repro.core.xp import kernel_backend_names
+
     d = sub.add_parser("distributed", help="distributed Geographer on an execution backend")
     d.add_argument("instance", help="registry instance name or .graph file path")
     d.add_argument("-k", type=int, default=16, help="number of blocks (default 16)")
     d.add_argument("-p", "--nranks", type=int, default=4, help="ranks (default 4)")
     d.add_argument("--backend", choices=backends, default=None,
                    help="execution backend (default: $REPRO_BACKEND, then virtual)")
+    d.add_argument("--kernel-backend", choices=kernel_backend_names(), default=None,
+                   help="sweep kernel engine per rank (default: $REPRO_KERNEL_BACKEND, "
+                        "then numpy; unavailable backends fall back with a warning)")
     d.add_argument("--epsilon", type=float, default=0.03)
     d.add_argument("--scale", type=float, default=1.0)
     d.add_argument("--seed", type=int, default=0)
@@ -266,6 +271,7 @@ def _cmd_distributed(args) -> None:
     row, result = run_distributed_on_mesh(
         mesh, args.k, args.nranks, backend=args.backend,
         epsilon=args.epsilon, seed=args.seed,
+        kernel_backend=args.kernel_backend,
     )
     print(format_rows([row]))
     state = "converged" if result.converged else "iteration cap"

@@ -53,7 +53,7 @@ import numpy as np
 from repro.core.bounds import relax_for_influence, relax_for_influence_exclusive
 from repro.core.config import BalancedKMeansConfig
 from repro.core.influence import adapt_influence
-from repro.core.kernels import SweepWorkspace
+from repro.core.kernels import SweepWorkspace, resolve_backend
 from repro.core.parallel import get_executor
 from repro.geometry.boxes import BoundingBox
 
@@ -237,8 +237,32 @@ def assign_points(
         raise ValueError(
             f"workspace was built for {workspace.points.shape} points, got {points.shape}"
         )
+    else:
+        configured = resolve_backend(getattr(config, "kernel_backend", "numpy"))
+        if workspace.backend != configured:
+            raise ValueError(
+                f"workspace was built for kernel backend {workspace.backend!r} but the "
+                f"config now resolves to {configured!r}; build a new SweepWorkspace to "
+                "switch backends"
+            )
     workspace.prepare(centers, influence)
     collect_delta = delta_out is not None and weights is not None
+
+    # -- device path: the whole sweep runs on the torch engine ----------------
+    if workspace.device_mode:
+        evaluated, center_evals, changed, delta = workspace.device_sweep(
+            assignment, ub, lb, config.use_bounds, weights if collect_delta else None
+        )
+        if collect_delta and delta is not None:
+            delta_out += delta
+        if stats is not None:
+            stats.sweeps += 1
+            stats.points_total += n
+            stats.points_skipped += n - evaluated
+            stats.center_evals += center_evals
+            stats.center_evals_possible += k * evaluated
+            stats.points_changed += changed
+        return evaluated
 
     # -- fused numba path: one kernel call replaces the chunk orchestration --
     if (
@@ -401,6 +425,11 @@ def assign_and_balance(
     ``initial_block_weights`` lets a caller skip even that first full
     reduction by passing the previous phase's block weights — valid only
     when ``assignment`` is untouched since they were computed.
+
+    On a device backend the whole loop runs inside one device session:
+    assignment/ub/lb upload once on entry and download once on exit, and
+    each balance iteration exchanges only k-sized vectors (block weights,
+    influence ratios) with the device.
     """
     k = centers.shape[0]
     dim = points.shape[1]
@@ -409,6 +438,7 @@ def assign_and_balance(
         workspace = SweepWorkspace(points, config, k)
     workspace.begin_phase(centers)
     incremental = workspace.incremental
+    device = workspace.device_mode
     stats = AssignStats()
     block_w: np.ndarray | None = None
     if incremental and initial_block_weights is not None:
@@ -416,36 +446,51 @@ def assign_and_balance(
     imbalance = np.inf
     balanced = False
     iterations = 0
-    for it in range(config.max_balance_iterations):
-        iterations = it + 1
-        if incremental and block_w is not None:
-            delta = np.zeros(k)
-            assign_points(points, centers, influence, assignment, ub, lb, config, stats,
-                          workspace, weights=weights, delta_out=delta)
-            block_w = block_w + delta
-        else:
-            assign_points(points, centers, influence, assignment, ub, lb, config, stats, workspace)
-            block_w = np.bincount(assignment, weights=weights, minlength=k)
-        imbalance = float((block_w / target_weights).max() - 1.0)
-        if imbalance <= config.epsilon:
-            balanced = True
-            break
-        if it == config.max_balance_iterations - 1:
-            break  # keep influence consistent with the final assignment
-        old_influence = influence
-        influence = adapt_influence(
-            influence,
-            block_w,
-            target_weights,
-            dim,
-            cap=config.influence_change_cap,
-            floor=config.influence_floor,
-            ceil=config.influence_ceil,
-        )
-        if config.use_bounds:
-            if not (incremental and workspace.queue_relax_influence(assignment, ub, lb, old_influence, influence)):
-                relax = relax_for_influence_exclusive if incremental else relax_for_influence
-                ratio_max, ratio_min = relax(ub, lb, assignment, old_influence, influence)
-                workspace.note_influence_relax(ratio_max, ratio_min)
+    if device:
+        # device-resident session: the per-point state uploads once here and
+        # downloads once in the finally below, so the balance iterations in
+        # between exchange only k-sized vectors with the device (the host
+        # assignment/ub/lb arrays are stale until the session ends)
+        workspace.begin_device_session(assignment, ub, lb, weights)
+    try:
+        for it in range(config.max_balance_iterations):
+            iterations = it + 1
+            if device:
+                assign_points(points, centers, influence, assignment, ub, lb, config, stats, workspace)
+                block_w = workspace.device_block_weights(assignment, weights)
+            elif incremental and block_w is not None:
+                delta = np.zeros(k)
+                assign_points(points, centers, influence, assignment, ub, lb, config, stats,
+                              workspace, weights=weights, delta_out=delta)
+                block_w = block_w + delta
+            else:
+                assign_points(points, centers, influence, assignment, ub, lb, config, stats, workspace)
+                block_w = np.bincount(assignment, weights=weights, minlength=k)
+            imbalance = float((block_w / target_weights).max() - 1.0)
+            if imbalance <= config.epsilon:
+                balanced = True
+                break
+            if it == config.max_balance_iterations - 1:
+                break  # keep influence consistent with the final assignment
+            old_influence = influence
+            influence = adapt_influence(
+                influence,
+                block_w,
+                target_weights,
+                dim,
+                cap=config.influence_change_cap,
+                floor=config.influence_floor,
+                ceil=config.influence_ceil,
+            )
+            if config.use_bounds:
+                if device:
+                    workspace.device_relax_influence(old_influence, influence)
+                elif not (incremental and workspace.queue_relax_influence(assignment, ub, lb, old_influence, influence)):
+                    relax = relax_for_influence_exclusive if incremental else relax_for_influence
+                    ratio_max, ratio_min = relax(ub, lb, assignment, old_influence, influence)
+                    workspace.note_influence_relax(ratio_max, ratio_min)
+    finally:
+        if device:
+            workspace.end_device_session()
     stats.balance_iterations = iterations
     return BalanceOutcome(influence, block_w, imbalance, iterations, balanced, stats)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.core.xp import kernel_backend_names
+
 __all__ = ["BalancedKMeansConfig"]
 
 
@@ -81,14 +83,20 @@ class BalancedKMeansConfig:
         decays with size — at the cost of a longer aggregate vector.
         Clipped to ``chunk_size`` (aggregates never span static blocks).
     kernel_backend:
-        Top-2 reduction backend for the assignment sweep: ``"numpy"``
-        (default, vectorised squared-space kernel) or ``"numba"`` (fused
-        JIT loop avoiding the dense ``chunk x k`` matrix).  ``"numba"``
-        silently falls back to ``"numpy"`` when numba is not installed, so
-        it is always safe to request.  The numba path's dot-product
-        accumulation order differs from the GEMM, so its bounds can differ
-        in the last ulp and an assignment can flip at an exact
-        floating-point near-tie; away from ties the partitions agree.
+        Kernel backend for the assignment sweep, validated against the
+        registry in :mod:`repro.core.xp`: ``"numpy"`` (default, vectorised
+        squared-space kernel), ``"numba"`` (fused JIT loop avoiding the
+        dense ``chunk x k`` matrix), ``"torch-cpu"`` or ``"torch-cuda"``
+        (device-resident torch engine; state crosses the host boundary once
+        per phase).  Unavailable backends degrade along their registered
+        fallback chain (``torch-cuda`` → ``torch-cpu`` → ``numpy``;
+        ``numba`` → ``numpy``) with a one-time warning naming the missing
+        dependency, so any registered name is safe to request; the
+        ``REPRO_KERNEL_BACKEND`` environment variable overrides this field.
+        The numba/torch paths' dot-product accumulation order differs from
+        the host GEMM, so their bounds can differ in the last ulp and an
+        assignment can flip at an exact floating-point near-tie; away from
+        ties the partitions agree.
     influence_floor / influence_ceil:
         Hard guards against degenerate influence values on pathological
         inputs.
@@ -136,8 +144,11 @@ class BalancedKMeansConfig:
             raise ValueError("incremental_block_size must be >= 1")
         if self.n_threads < 0:
             raise ValueError("n_threads must be >= 0 (0 = one per core)")
-        if self.kernel_backend not in ("numpy", "numba"):
-            raise ValueError(f"unknown kernel_backend {self.kernel_backend!r}")
+        if self.kernel_backend not in kernel_backend_names():
+            raise ValueError(
+                f"unknown kernel_backend {self.kernel_backend!r}; "
+                f"registered: {', '.join(kernel_backend_names())}"
+            )
         if not (0 < self.influence_floor < 1 < self.influence_ceil):
             raise ValueError("need influence_floor < 1 < influence_ceil")
 

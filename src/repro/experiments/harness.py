@@ -79,6 +79,7 @@ def run_distributed_on_mesh(
     epsilon: float = 0.03,
     seed: int = 0,
     with_spmv: bool = True,
+    kernel_backend: str | None = None,
 ):
     """Partition ``mesh`` through the distributed runtime on a chosen backend.
 
@@ -88,12 +89,18 @@ def run_distributed_on_mesh(
     carrying the per-stage ledger (modeled on the virtual backend, measured
     on the process and mpi backends; ``backend="mpi"`` requires an SPMD
     launch through :mod:`repro.runtime.mpi_main`).
+
+    ``kernel_backend`` selects the per-rank sweep kernel engine (any name
+    registered in :mod:`repro.core.xp`; default: the config default, still
+    overridable via ``REPRO_KERNEL_BACKEND``).
     """
     from repro.core.config import BalancedKMeansConfig
     from repro.runtime.comm import resolve_backend_name
     from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
 
     cfg = BalancedKMeansConfig(epsilon=epsilon)
+    if kernel_backend is not None:
+        cfg = cfg.with_(kernel_backend=kernel_backend)
     start = time.perf_counter()
     result = distributed_balanced_kmeans(
         mesh.coords, k, nranks, weights=mesh.node_weights, config=cfg,

@@ -293,9 +293,13 @@ def _kmeans_loop(
     # sweep/iteration (point norms + static block boxes are sweep-invariant).
     # Worker-process ranks rebuild an ephemeral workspace per sweep instead
     # (assign_points does this when given None) — bit-identical results, the
-    # caches are exact — so the unpicklable workspace never crosses a pipe.
+    # caches are exact — so the unpicklable workspace never crosses a pipe;
+    # their device affinity comes from the rank hint each worker sets at
+    # startup (repro.core.xp.set_rank_hint).  rank=r gives torch-cuda
+    # workspaces per-rank device affinity (cuda:(r % device_count)).
     keep_state = comm.persistent_state
-    workspaces = [SweepWorkspace(local_pts[r], cfg, k) if keep_state else None for r in range(p)]
+    workspaces = [SweepWorkspace(local_pts[r], cfg, k, rank=r) if keep_state else None
+                  for r in range(p)]
 
     # -- sampled initialisation rounds (per rank, §4.5) -----------------------
     # (skipped on warm starts: the previous centers are already near-optimal)
@@ -336,7 +340,8 @@ def _kmeans_loop(
             s_bounds = [tuple(comm.share(b) for b in init_bounds(len(subset[r]))) for r in range(p)]
             frac = sum(float(sw.sum()) for sw in s_w) / total_w
             s_targets = targets * frac
-            s_workspaces = [SweepWorkspace(s_pts[r], cfg, k) if keep_state else None for r in range(p)]
+            s_workspaces = [SweepWorkspace(s_pts[r], cfg, k, rank=r) if keep_state else None
+                            for r in range(p)]
         balanced = False
         block_w = np.array(block_w0, dtype=np.float64, copy=True) if (incremental and block_w0 is not None) else None
         for bit in range(cfg.max_balance_iterations):

@@ -13,6 +13,7 @@ out to ``mpiexec -n 4`` and skips itself when MPI is unavailable.
 """
 
 import json
+import warnings
 
 import numpy as np
 import pytest
@@ -217,6 +218,77 @@ class TestMPIEquivalence:
         assert got["_supersteps"] > 0
         reference = equivalence_cases(nranks, backend="virtual")
         assert compare_cases(got, reference, label=f"p={nranks}: ") == []
+
+
+class TestKernelBackendEquivalence:
+    """The kernel-backend equivalence gate (tentpole acceptance).
+
+    Every *available* kernel backend must reproduce the numpy partition
+    through the distributed runtime.  ``numpy`` and ``numba`` share the
+    numpy namespace and must be bit-identical; the torch backends share the
+    elementwise numerics but not the matmul accumulation order, so the gate
+    for them is: identical assignments, identical block weights, centers
+    within 1e-9.  Unavailable backends degrade to an available one (with a
+    warning) and are covered by construction.
+    """
+
+    KERNEL_BACKENDS = ("numpy", "numba", "torch-cpu", "torch-cuda")
+
+    @staticmethod
+    def _is_exact(kernel_backend):
+        from repro.core.xp import resolve_kernel_backend
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            return resolve_kernel_backend(kernel_backend) in ("numpy", "numba")
+
+    @pytest.mark.parametrize("nranks", (1, 4))
+    @pytest.mark.parametrize("kernel_backend", KERNEL_BACKENDS)
+    def test_matches_numpy_partition(self, nranks, kernel_backend):
+        rng = np.random.default_rng(17)
+        pts = rng.random((900, 2))
+        w = rng.integers(1, 5, 900).astype(np.float64)
+        k = 8
+        ref = distributed_balanced_kmeans(
+            pts, k=k, nranks=nranks, weights=w, rng=7,
+            config=BalancedKMeansConfig(kernel_backend="numpy"), backend="virtual")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)  # fallback notices
+            got = distributed_balanced_kmeans(
+                pts, k=k, nranks=nranks, weights=w, rng=7,
+                config=BalancedKMeansConfig(kernel_backend=kernel_backend),
+                backend="virtual")
+        np.testing.assert_array_equal(ref.assignment, got.assignment)
+        for b in range(k):  # integer weights: block weights exactly equal
+            assert w[ref.assignment == b].sum() == w[got.assignment == b].sum()
+        if self._is_exact(kernel_backend):
+            np.testing.assert_array_equal(ref.centers, got.centers)
+            assert ref.imbalance == got.imbalance
+        else:
+            np.testing.assert_allclose(ref.centers, got.centers, rtol=1e-9, atol=1e-12)
+            assert abs(ref.imbalance - got.imbalance) < 1e-9
+        assert ref.iterations == got.iterations
+
+    @pytest.mark.parametrize("kernel_backend", KERNEL_BACKENDS)
+    def test_process_backend_ranks_agree(self, kernel_backend):
+        """Kernel backends compose with the process execution backend: each
+        worker rank resolves the same engine and the combined result still
+        matches the numpy/virtual reference."""
+        pts = _pts(n=600, seed=23)
+        ref = distributed_balanced_kmeans(
+            pts, k=5, nranks=2, rng=9,
+            config=BalancedKMeansConfig(kernel_backend="numpy"), backend="virtual")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            got = distributed_balanced_kmeans(
+                pts, k=5, nranks=2, rng=9,
+                config=BalancedKMeansConfig(kernel_backend=kernel_backend),
+                backend="process")
+        np.testing.assert_array_equal(ref.assignment, got.assignment)
+        if self._is_exact(kernel_backend):
+            np.testing.assert_array_equal(ref.centers, got.centers)
+        else:
+            np.testing.assert_allclose(ref.centers, got.centers, rtol=1e-9, atol=1e-12)
 
 
 class TestEnvSelection:

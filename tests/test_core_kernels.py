@@ -108,10 +108,28 @@ class TestBackendResolution:
         with pytest.raises(ValueError):
             BalancedKMeansConfig(kernel_backend="cuda")
 
-    def test_numba_absent_falls_back_silently(self):
-        """Requesting numba must never fail — it degrades to numpy."""
-        resolved = resolve_backend("numba")
-        assert resolved == ("numba" if HAVE_NUMBA else "numpy")
+    def test_numba_absent_falls_back_with_one_warning(self):
+        """Requesting numba must never fail — it degrades to numpy.
+
+        Since the kernel-backend registry the degradation is no longer
+        silent: the first resolution warns once, naming the missing
+        dependency; subsequent resolutions stay quiet.
+        """
+        import warnings
+
+        from repro.core import xp
+
+        xp._reset_fallback_warnings()
+        if HAVE_NUMBA:
+            assert resolve_backend("numba") == "numba"
+            resolved = "numba"
+        else:
+            with pytest.warns(RuntimeWarning, match="numba"):
+                resolved = resolve_backend("numba")
+            assert resolved == "numpy"
+            with warnings.catch_warnings():  # one-time: later resolutions are silent
+                warnings.simplefilter("error")
+                assert resolve_backend("numba") == "numpy"
         cfg = BalancedKMeansConfig(kernel_backend="numba")
         ws = SweepWorkspace(np.random.default_rng(0).random((64, 2)), cfg, 4)
         assert ws.backend == resolved
