@@ -13,6 +13,9 @@ Markers (registered in pyproject.toml):
   MPI backend (:class:`repro.runtime.mpicomm.MPIComm`); they skip
   themselves when ``mpi4py``/``mpiexec`` are absent, and CI runs them as a
   dedicated job via ``pytest -m mpi_backend``.
+- ``chaos`` — fault-injection tests that kill real worker processes
+  mid-run (:mod:`repro.runtime.faults`); CI runs them as a dedicated job
+  via ``pytest -m chaos`` under ``pytest-timeout``.
 
 Golden fixtures: tests call ``golden("name", {...})`` to compare a dict of
 metrics against ``tests/golden/name.json``.  Run with ``--update-golden``
@@ -46,7 +49,8 @@ def pytest_addoption(parser):
 
 def pytest_collection_modifyitems(config, items):
     for item in items:
-        if not any(m.name in ("slow", "process_backend", "mpi_backend") for m in item.iter_markers()):
+        if not any(m.name in ("slow", "process_backend", "mpi_backend", "chaos")
+                   for m in item.iter_markers()):
             item.add_marker(pytest.mark.tier1)
 
 

@@ -9,6 +9,7 @@ Commands
 - ``compare``     — all tools on one instance, Table-1/2 style;
 - ``visualize``   — write the partition (2-D meshes) as SVG;
 - ``distributed`` — run the distributed Geographer on an execution backend;
+- ``resume``      — restart a checkpointed ``distributed``/``repartition`` run;
 - ``spmv``        — execute a distributed SpMV through the halo plan;
 - ``scaling``     — weak/strong scaling series (Figure 3);
 - ``mpi``         — SPMD bridge: forward a command line to
@@ -69,6 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--steps", type=int, default=4)
     rp.add_argument("--epsilon", type=float, default=0.03)
     rp.add_argument("--seed", type=int, default=0)
+    rp.add_argument("--checkpoint-dir", default=None,
+                    help="snapshot each completed step here; rerunning with the same "
+                         "parameters resumes after the last completed step")
 
     c = sub.add_parser("compare", help="run all tools on one instance")
     c.add_argument("instance")
@@ -109,6 +113,28 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--epsilon", type=float, default=0.03)
     d.add_argument("--scale", type=float, default=1.0)
     d.add_argument("--seed", type=int, default=0)
+    d.add_argument("--checkpoint-dir", default=None,
+                   help="write superstep checkpoints here (resume with `repro resume`)")
+    d.add_argument("--checkpoint-every", type=int, default=1,
+                   help="iterations between checkpoints (default 1)")
+
+    rs = sub.add_parser(
+        "resume",
+        help="resume a checkpointed run (distributed or repartition) from its snapshot",
+    )
+    rs.add_argument("checkpoint",
+                    help="checkpoint .npz file or the checkpoint directory "
+                         "(directory: newest valid snapshot wins)")
+    rs.add_argument("-p", "--nranks", type=int, default=None,
+                    help="ranks for the resumed run (default: the checkpoint's shard "
+                         "count; any value yields the same result)")
+    rs.add_argument("--backend", choices=backends, default=None,
+                    help="execution backend (default: $REPRO_BACKEND, then virtual)")
+    rs.add_argument("--checkpoint-dir", default=None,
+                    help="keep checkpointing into this directory (default: the source "
+                         "directory when resuming from one)")
+    rs.add_argument("--checkpoint-every", type=int, default=None,
+                    help="iterations between checkpoints (default: the checkpoint's own cadence)")
 
     sp = sub.add_parser("spmv", help="distributed SpMV through the halo plan")
     sp.add_argument("instance", help="registry instance name or .graph file path")
@@ -224,7 +250,8 @@ def _cmd_repartition(args) -> None:
     from repro.experiments import repartitioning
 
     rows = repartitioning.run(n=args.n, k=args.k, steps=args.steps,
-                              epsilon=args.epsilon, seed=args.seed)
+                              epsilon=args.epsilon, seed=args.seed,
+                              checkpoint_dir=args.checkpoint_dir)
     print(repartitioning.format_result(
         rows, title=f"adaptive repartitioning: n={args.n}, k={args.k}, {args.steps} steps"))
 
@@ -268,16 +295,91 @@ def _cmd_distributed(args) -> None:
 
     mesh = _load_mesh(args.instance, args.scale, args.seed)
     print(f"{mesh}")
+    provenance = None
+    if args.checkpoint_dir is not None:
+        # everything `repro resume` needs to rebuild this exact run from the
+        # checkpoint file alone
+        provenance = {
+            "instance": args.instance, "scale": args.scale, "seed": args.seed,
+            "epsilon": args.epsilon, "kernel_backend": args.kernel_backend,
+            "k": args.k, "nranks": args.nranks,
+        }
     row, result = run_distributed_on_mesh(
         mesh, args.k, args.nranks, backend=args.backend,
         epsilon=args.epsilon, seed=args.seed,
         kernel_backend=args.kernel_backend,
+        checkpoint=args.checkpoint_dir, checkpoint_every=args.checkpoint_every,
+        provenance=provenance,
     )
     print(format_rows([row]))
     state = "converged" if result.converged else "iteration cap"
     print(f"\nbackend={result.backend} p={result.nranks}: "
           f"{result.iterations} iterations ({state}), imbalance {result.imbalance:.3f}")
     print(format_ledger(result.ledger, measured=result.measured))
+
+
+def _cmd_resume(args) -> None:
+    import os
+
+    from repro.runtime.checkpoint import load_resume
+
+    _, meta = load_resume(args.checkpoint)
+    kind = meta.get("kind", "<missing>")
+    provenance = meta.get("provenance")
+    source_dir = args.checkpoint if os.path.isdir(args.checkpoint) else None
+
+    if kind == "distributed-kmeans":
+        if not provenance or "instance" not in provenance:
+            raise SystemExit(
+                "checkpoint carries no CLI provenance (the run was launched through "
+                "the API); resume it with distributed_balanced_kmeans(resume_from=...) "
+                "against the original points instead"
+            )
+        from repro.experiments.harness import format_ledger, format_rows, run_distributed_on_mesh
+
+        mesh = _load_mesh(provenance["instance"], float(provenance["scale"]),
+                          int(provenance["seed"]))
+        nranks = args.nranks if args.nranks is not None else int(meta["nshards"])
+        every = (args.checkpoint_every if args.checkpoint_every is not None
+                 else int(meta.get("checkpoint_every", 1)))
+        checkpoint_dir = args.checkpoint_dir if args.checkpoint_dir is not None else source_dir
+        print(f"{mesh}\nresuming distributed run at iteration {meta['iteration']} "
+              f"(shards={meta['nshards']}, ranks={nranks})")
+        row, result = run_distributed_on_mesh(
+            mesh, int(provenance["k"]), nranks, backend=args.backend,
+            epsilon=float(provenance["epsilon"]), seed=int(provenance["seed"]),
+            kernel_backend=provenance.get("kernel_backend"),
+            checkpoint=checkpoint_dir, checkpoint_every=every,
+            resume_from=args.checkpoint, provenance=provenance,
+        )
+        print(format_rows([row]))
+        state = "converged" if result.converged else "iteration cap"
+        print(f"\nbackend={result.backend} p={result.nranks}: "
+              f"{result.iterations} iterations ({state}), imbalance {result.imbalance:.3f}")
+        print(format_ledger(result.ledger, measured=result.measured))
+    elif kind == "repartition":
+        if not provenance:
+            raise SystemExit("repartition checkpoint carries no provenance; cannot resume")
+        if source_dir is None:
+            source_dir = os.path.dirname(os.path.abspath(args.checkpoint))
+        checkpoint_dir = args.checkpoint_dir if args.checkpoint_dir is not None else source_dir
+        from repro.experiments import repartitioning
+
+        print(f"resuming repartition experiment after step {meta['step']}")
+        rows = repartitioning.run(
+            n=int(provenance["n"]), k=int(provenance["k"]), steps=int(provenance["steps"]),
+            epsilon=float(provenance["epsilon"]), seed=int(provenance["seed"]),
+            tool=provenance["tool"], radii=tuple(provenance["radii"]),
+            checkpoint_dir=checkpoint_dir,
+        )
+        print(repartitioning.format_result(
+            rows, title=f"adaptive repartitioning: n={provenance['n']}, "
+                        f"k={provenance['k']}, {provenance['steps']} steps"))
+    else:
+        raise SystemExit(
+            f"don't know how to resume a {kind!r} checkpoint from the CLI "
+            "(serial-kmeans checkpoints resume through balanced_kmeans(resume_from=...))"
+        )
 
 
 def _cmd_spmv(args) -> None:
@@ -373,6 +475,7 @@ def main(argv: list[str] | None = None) -> int:
         "refine": lambda: _cmd_refine(args),
         "visualize": lambda: _cmd_visualize(args),
         "distributed": lambda: _cmd_distributed(args),
+        "resume": lambda: _cmd_resume(args),
         "spmv": lambda: _cmd_spmv(args),
         "mpi": lambda: _cmd_mpi(args),
         "scaling": lambda: _cmd_scaling(args),

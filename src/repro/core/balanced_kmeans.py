@@ -8,6 +8,8 @@ rank-local arrays.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 import numpy as np
 
 from repro.core.assign import assign_and_balance
@@ -25,12 +27,23 @@ from repro.core.result import IterationStats, KMeansResult
 from repro.core.sampling import sample_schedule
 from repro.core.seeding import seed_centers
 from repro.geometry.boxes import BoundingBox
+from repro.runtime.checkpoint import (
+    CheckpointStore,
+    data_digest,
+    load_resume,
+    restore_rng,
+    rng_state,
+    validate_meta,
+)
 from repro.sfc.curves import sfc_index
 from repro.util.rng import ensure_rng
 from repro.util.timers import StageTimer
 from repro.util.validation import check_k, check_points, check_weights, normalize_targets
 
 __all__ = ["balanced_kmeans", "weighted_center_update"]
+
+#: ``kind`` tag in checkpoint metadata (rejects resuming the wrong algorithm).
+CHECKPOINT_KIND = "serial-kmeans"
 
 
 def weighted_center_update(
@@ -111,6 +124,9 @@ def balanced_kmeans(
     rng: int | np.random.Generator | None = None,
     target_weights: np.ndarray | None = None,
     centers: np.ndarray | None = None,
+    checkpoint: CheckpointStore | str | None = None,
+    checkpoint_every: int = 1,
+    resume_from: CheckpointStore | str | None = None,
 ) -> KMeansResult:
     """Partition ``points`` into ``k`` balanced clusters (Algorithm 2).
 
@@ -127,6 +143,16 @@ def balanced_kmeans(
         architectures); defaults to ``total_weight / k`` each.
     centers:
         Optional warm-start centers overriding the configured seeding.
+    checkpoint / checkpoint_every / resume_from:
+        Snapshot the main-loop state every ``checkpoint_every`` iterations
+        into ``checkpoint`` (a :class:`~repro.runtime.checkpoint
+        .CheckpointStore` or directory path); ``resume_from`` restarts from
+        such a snapshot with the final assignment, centers, influence and
+        imbalance bit-identical to the uninterrupted run (per-iteration
+        skip/pruning statistics may differ — the fresh kernel workspace
+        rebuilds its pruning caches, which never changes results).  The
+        checkpoint is validated against the configuration and input data
+        with a loud mismatch error.
 
     Returns
     -------
@@ -142,6 +168,23 @@ def balanced_kmeans(
 
     total_w = w.sum()
     targets = normalize_targets(target_weights, k, total_w)
+
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    store = CheckpointStore.ensure(checkpoint)
+    input_digest = data_digest(pts, w, targets, extra=f"n={n},k={k}")
+    resume = None
+    if resume_from is not None:
+        r_arrays, r_meta = load_resume(resume_from)
+        validate_meta(
+            r_meta,
+            kind=CHECKPOINT_KIND,
+            config_digest=cfg.digest(),
+            input_digest=input_digest,
+            checks=[("n", n), ("k", k)],
+        )
+        gen = restore_rng(r_meta["rng_state"])
+        resume = (r_arrays, r_meta)
 
     if k == 1:
         return KMeansResult(
@@ -168,25 +211,29 @@ def balanced_kmeans(
         work_pts, work_w = pts, w
         seeding_order = order
 
-    with timers.stage("seeding"):
-        if centers is None:
+    if resume is not None:
+        # seeding and sampled init already happened in the first launch; the
+        # restored RNG state reflects every draw they consumed
+        centers = np.array(resume[0]["centers"], dtype=np.float64, copy=True)
+    elif centers is None:
+        with timers.stage("seeding"):
             centers = seed_centers(
                 work_pts, k, cfg.seeding, gen, curve=cfg.sfc_curve, bits=cfg.sfc_bits, order=seeding_order
             )
-        else:
-            centers = np.array(centers, dtype=np.float64, copy=True)
-            if centers.shape != (k, pts.shape[1]):
-                raise ValueError(f"warm-start centers must have shape ({k}, {pts.shape[1]})")
+    else:
+        centers = np.array(centers, dtype=np.float64, copy=True)
+        if centers.shape != (k, pts.shape[1]):
+            raise ValueError(f"warm-start centers must have shape ({k}, {pts.shape[1]})")
 
     influence = np.ones(k)
     delta_threshold = cfg.delta_threshold_rel * BoundingBox.from_points(work_pts).diagonal
     history: list[IterationStats] = []
 
-    # --- sampled initialisation rounds (§4.5) -----------------------------
+    # --- sampled initialisation rounds (§4.5; skipped entirely on resume) --
     with timers.stage("sampling"):
         sample_ws: SweepWorkspace | None = None
         prev_sample_idx: np.ndarray | None = None
-        for sample_idx in sample_schedule(n, cfg, gen):
+        for sample_idx in (sample_schedule(n, cfg, gen) if resume is None else ()):
             s_pts = work_pts[sample_idx]
             s_w = work_w[sample_idx]
             s_targets = targets * (s_w.sum() / total_w)
@@ -236,7 +283,31 @@ def balanced_kmeans(
     final_imbalance = np.inf
     iterations = 0
     prev_block_w: np.ndarray | None = None
-    for it in range(cfg.max_iterations):
+    start_it = 0
+    ckpt_meta = {
+        "kind": CHECKPOINT_KIND,
+        "config_digest": cfg.digest(),
+        "data_digest": input_digest,
+        "n": n,
+        "k": k,
+    }
+    if resume is not None:
+        # The checkpointed (ub, lb) are exactly the bounds an uninterrupted
+        # run carries into this iteration (relaxations apply eagerly); the
+        # fresh workspace lacks the old pruning aggregates, which only costs
+        # skipped-block certifications, never changes an assignment.
+        r_arrays, r_meta = resume
+        influence = np.array(r_arrays["influence"], dtype=np.float64, copy=True)
+        assignment[:] = r_arrays["assignment"]
+        ub[:] = r_arrays["ub"]
+        lb[:] = r_arrays["lb"]
+        if "block_w" in r_arrays:
+            prev_block_w = np.array(r_arrays["block_w"], dtype=np.float64, copy=True)
+        start_it = int(r_meta["iteration"])
+        iterations = start_it
+        final_imbalance = float(r_meta["imbalance"])
+        history = [IterationStats(**stats) for stats in r_meta["history"]]
+    for it in range(start_it, cfg.max_iterations):
         iterations = it + 1
         with timers.stage("assign"):
             outcome = assign_and_balance(
@@ -291,6 +362,23 @@ def balanced_kmeans(
                 relax_move = relax_for_movement_exclusive if incremental else relax_for_movement
                 growth, shrink = relax_move(ub, lb, assignment, deltas, influence)
                 workspace.note_movement_relax(growth, shrink)
+
+        if store is not None and (it + 1) % checkpoint_every == 0:
+            arrays = {
+                "centers": centers,
+                "influence": influence,
+                "assignment": assignment,
+                "ub": ub,
+                "lb": lb,
+            }
+            if prev_block_w is not None:
+                arrays["block_w"] = prev_block_w
+            meta = dict(ckpt_meta)
+            meta["iteration"] = it + 1
+            meta["imbalance"] = final_imbalance
+            meta["rng_state"] = rng_state(gen)
+            meta["history"] = [asdict(stats) for stats in history]
+            store.save(arrays, meta)
 
     if cfg.sfc_sort:
         final_assignment = np.empty(n, dtype=np.int64)

@@ -9,7 +9,8 @@ the ablation benchmarks can isolate its effect.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+from dataclasses import dataclass, fields, replace
 
 from repro.core.xp import kernel_backend_names
 
@@ -155,3 +156,14 @@ class BalancedKMeansConfig:
     def with_(self, **kwargs) -> "BalancedKMeansConfig":
         """Functional update (configs are frozen)."""
         return replace(self, **kwargs)
+
+    def digest(self) -> str:
+        """Short stable hash over every field value.
+
+        Stored in checkpoint metadata and re-validated on resume: two runs
+        with different configurations take different influence/assignment
+        trajectories, so resuming under the wrong configuration must fail
+        loudly instead of silently producing a hybrid result.
+        """
+        text = ",".join(f"{f.name}={getattr(self, f.name)!r}" for f in fields(self))
+        return hashlib.sha256(text.encode()).hexdigest()[:16]

@@ -80,6 +80,10 @@ def run_distributed_on_mesh(
     seed: int = 0,
     with_spmv: bool = True,
     kernel_backend: str | None = None,
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume_from=None,
+    provenance: dict | None = None,
 ):
     """Partition ``mesh`` through the distributed runtime on a chosen backend.
 
@@ -93,6 +97,13 @@ def run_distributed_on_mesh(
     ``kernel_backend`` selects the per-rank sweep kernel engine (any name
     registered in :mod:`repro.core.xp`; default: the config default, still
     overridable via ``REPRO_KERNEL_BACKEND``).
+
+    ``checkpoint``/``checkpoint_every``/``resume_from``/``provenance`` are
+    forwarded to
+    :func:`~repro.runtime.distributed_kmeans.distributed_balanced_kmeans`;
+    ``provenance`` should carry whatever is needed to rebuild the mesh and
+    configuration (the ``repro`` CLI stores instance/scale/seed/epsilon so
+    ``repro resume`` can relaunch from the checkpoint alone).
     """
     from repro.core.config import BalancedKMeansConfig
     from repro.runtime.comm import resolve_backend_name
@@ -105,6 +116,8 @@ def run_distributed_on_mesh(
     result = distributed_balanced_kmeans(
         mesh.coords, k, nranks, weights=mesh.node_weights, config=cfg,
         rng=seed, backend=backend,
+        checkpoint=checkpoint, checkpoint_every=checkpoint_every,
+        resume_from=resume_from, provenance=provenance,
     )
     elapsed = time.perf_counter() - start
     tool = f"Geographer[p={nranks},{resolve_backend_name(backend)}]"

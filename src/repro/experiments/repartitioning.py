@@ -20,13 +20,20 @@ should converge in fewer iterations *and* migrate less weight.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+
+import numpy as np
 
 from repro.mesh.adaptive import refinement_sequence
 from repro.metrics.migration import migration_fraction, migration_volume, relabel_for_stability
 from repro.partitioners.base import GeometricPartitioner, get_partitioner
+from repro.partitioners.result import PartitionResult
+from repro.runtime.checkpoint import CheckpointStore, validate_meta
 
 __all__ = ["RepartitionStep", "run", "format_result"]
+
+#: ``kind`` tag in checkpoint metadata (rejects resuming the wrong experiment).
+CHECKPOINT_KIND = "repartition"
 
 
 @dataclass(frozen=True)
@@ -52,8 +59,18 @@ def run(
     seed: int = 0,
     tool: str | GeometricPartitioner = "Geographer",
     radii: tuple[float, float] = (0.22, 0.28),
+    checkpoint_dir: str | None = None,
 ) -> list[RepartitionStep]:
-    """Partition every step of a refinement sequence cold and warm."""
+    """Partition every step of a refinement sequence cold and warm.
+
+    ``checkpoint_dir`` makes the experiment restartable: each completed step
+    is snapshotted (both strategies' partitions plus the accumulated rows),
+    and a later call with the same parameters and directory resumes after the
+    last completed step with bit-identical remaining steps — each step's
+    partitions depend only on its mesh, its seed, and the previous step's
+    results, all of which the checkpoint restores exactly.  A checkpoint
+    written under different parameters is rejected loudly.
+    """
     meshes = refinement_sequence(n, steps=steps, rng=seed, radii=radii)
     if isinstance(tool, GeometricPartitioner):
         partitioner = tool
@@ -68,10 +85,26 @@ def run(
     else:
         partitioner = get_partitioner(tool)
 
+    store = CheckpointStore.ensure(checkpoint_dir)
+    provenance = {
+        "n": n, "k": k, "steps": steps, "epsilon": epsilon, "seed": seed,
+        "radii": list(radii), "tool": getattr(partitioner, "name", str(tool)),
+    }
+
     rows: list[RepartitionStep] = []
     prev_cold = None
     prev_warm = None
+    start_step = 0
+    if store is not None and store.latest() is not None:
+        arrays, meta = store.load()
+        validate_meta(meta, kind=CHECKPOINT_KIND, checks=[("provenance", provenance)])
+        rows = [RepartitionStep(**row) for row in meta["rows"]]
+        start_step = int(meta["step"]) + 1
+        prev_cold = _restore_partition(arrays, meta, "cold")
+        prev_warm = _restore_partition(arrays, meta, "warm")
     for step, mesh in enumerate(meshes):
+        if step < start_step:
+            continue
         cold = partitioner.partition_mesh(mesh, k, epsilon=epsilon, rng=seed + step)
         if prev_warm is None:
             warm = cold
@@ -105,7 +138,63 @@ def run(
             )
         )
         prev_cold, prev_warm = cold, warm
+        if store is not None:
+            _save_step(store, step, rows, cold, warm, provenance)
     return rows
+
+
+def _save_step(
+    store: CheckpointStore,
+    step: int,
+    rows: list[RepartitionStep],
+    cold: PartitionResult,
+    warm: PartitionResult,
+    provenance: dict,
+) -> None:
+    """Snapshot one completed step: both partitions + the rows so far."""
+    arrays: dict = {}
+    info: dict = {}
+    for tag, res in (("cold", cold), ("warm", warm)):
+        arrays[f"{tag}_assignment"] = res.assignment
+        arrays[f"{tag}_block_weights"] = res.block_weights
+        arrays[f"{tag}_target_weights"] = res.target_weights
+        if res.centers is not None:
+            arrays[f"{tag}_centers"] = res.centers
+        info[tag] = {
+            "k": res.k, "imbalance": res.imbalance, "epsilon": res.epsilon,
+            "tool": res.tool, "iterations": res.iterations, "converged": res.converged,
+        }
+    meta = {
+        "kind": CHECKPOINT_KIND,
+        "provenance": provenance,
+        "step": step,
+        "rows": [asdict(row) for row in rows],
+        "results": info,
+    }
+    store.save(arrays, meta)
+
+
+def _restore_partition(arrays: dict, meta: dict, tag: str) -> PartitionResult:
+    """Rebuild a :class:`PartitionResult` good enough to warm-start from.
+
+    Carries everything the next step reads — assignment, centers (the warm
+    start), block/target weights and the scalar diagnostics; the stage
+    timers of the original run are not reconstructed.
+    """
+    info = meta["results"][tag]
+    centers = arrays.get(f"{tag}_centers")
+    return PartitionResult(
+        assignment=np.asarray(arrays[f"{tag}_assignment"], dtype=np.int64),
+        k=int(info["k"]),
+        block_weights=np.asarray(arrays[f"{tag}_block_weights"], dtype=np.float64),
+        target_weights=np.asarray(arrays[f"{tag}_target_weights"], dtype=np.float64),
+        imbalance=float(info["imbalance"]),
+        epsilon=float(info["epsilon"]),
+        tool=str(info["tool"]),
+        centers=None if centers is None else np.asarray(centers, dtype=np.float64),
+        iterations=int(info["iterations"]),
+        converged=bool(info["converged"]),
+    )
 
 
 def format_result(rows: list[RepartitionStep], title: str = "adaptive repartitioning") -> str:

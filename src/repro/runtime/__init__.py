@@ -25,10 +25,16 @@ environment variable.
 """
 
 from repro.runtime.costmodel import SUPERMUC_LIKE, SUPERMUC_TOPOLOGY, MachineModel, MachineTopology
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointStore,
+)
 from repro.runtime.comm import (
     BACKENDS,
     Comm,
     CostLedger,
+    ShardGrid,
     VirtualComm,
     available_backends,
     backend_max_ranks,
@@ -38,6 +44,7 @@ from repro.runtime.comm import (
 )
 from repro.runtime.distsort import distributed_sort
 from repro.runtime.distributed_kmeans import DistributedKMeansResult, distributed_balanced_kmeans
+from repro.runtime.faults import FaultPlan, FaultSpec, FaultyComm, InjectedFault
 from repro.runtime.scaling import ScalingPoint, strong_scaling, weak_scaling
 
 __all__ = [
@@ -46,7 +53,15 @@ __all__ = [
     "SUPERMUC_LIKE",
     "SUPERMUC_TOPOLOGY",
     "BACKENDS",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointStore",
     "Comm",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyComm",
+    "InjectedFault",
+    "ShardGrid",
     "VirtualComm",
     "ProcessComm",
     # MPIComm intentionally not in __all__: resolving it needs the optional

@@ -54,8 +54,10 @@ from repro.runtime.costmodel import SUPERMUC_LIKE, MachineModel, MachineTopology
 __all__ = [
     "BACKEND_ENV",
     "BACKENDS",
+    "FAULTS_ENV",
     "Comm",
     "CostLedger",
+    "ShardGrid",
     "VirtualComm",
     "available_backends",
     "backend_max_ranks",
@@ -80,6 +82,11 @@ class CostLedger:
     collectives: dict[str, float] = field(default_factory=dict)
     collective_counts: dict[str, int] = field(default_factory=dict)
     stages: dict[str, float] = field(default_factory=dict)
+    #: Discrete runtime events (worker respawns, injected faults, checkpoint
+    #: saves), each a dict with at least a ``"kind"`` key.  Orthogonal to the
+    #: time accounting: recovery actions are rare and their interesting
+    #: payload is *what happened where*, not a duration.
+    events: list[dict] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -97,14 +104,27 @@ class CostLedger:
         if stage:
             self.stages[stage] = self.stages.get(stage, 0.0) + seconds
 
+    def record_event(self, kind: str, **info) -> None:
+        """Append a discrete runtime event (JSON-serialisable values only)."""
+        event = {"kind": str(kind)}
+        event.update(info)
+        self.events.append(event)
+
+    def events_of(self, kind: str) -> list[dict]:
+        """Events of one kind, in recording order."""
+        return [e for e in self.events if e.get("kind") == kind]
+
     def merge(self, other: "CostLedger") -> None:
         self.compute_seconds += other.compute_seconds
         self.comm_seconds += other.comm_seconds
         self.supersteps += other.supersteps
         for key, val in other.collectives.items():
             self.collectives[key] = self.collectives.get(key, 0.0) + val
+        for key, val in other.collective_counts.items():
+            self.collective_counts[key] = self.collective_counts.get(key, 0) + val
         for key, val in other.stages.items():
             self.stages[key] = self.stages.get(key, 0.0) + val
+        self.events.extend(other.events)
 
 
 # -- shared collective combination kernels ----------------------------------
@@ -370,10 +390,144 @@ class VirtualComm(Comm):
         return arr
 
 
+class ShardGrid(Comm):
+    """Present ``nshards`` *logical* ranks over any physical communicator.
+
+    The elastic checkpoint/resume story (``runtime/checkpoint.py``) fixes the
+    algorithmic decomposition — the paper's ``p`` — at the *first* launch and
+    calls it the shard count ``S``.  A resumed run may execute on a different
+    physical rank count ``p'``: this adapter maps each physical rank to a
+    contiguous range of shards and presents ``nranks == S`` to the algorithm,
+    so rank functions, shared arrays and collectives are all indexed by shard
+    exactly as on the original launch.
+
+    Bit-identity across ``p'`` holds by construction: collectives on the
+    misaligned path feed the per-*shard* arrays to the very same ``combine_*``
+    kernels the backends use per rank, reducing strictly in shard order —
+    the same floating-point grouping as a run whose physical rank count
+    equals ``S``.  When ``nshards == inner.nranks`` (every fresh run) the
+    grid delegates every call verbatim, so behaviour, costs and ledger are
+    exactly those of the bare communicator.
+
+    The grid shares the inner communicator's ledger and never owns the inner
+    resources — closing the grid is a no-op; close the inner comm as usual.
+    """
+
+    def __init__(self, inner: Comm, nshards: int) -> None:
+        super().__init__(nshards)
+        self.inner = inner
+        self.kind = inner.kind
+        self.measured = inner.measured
+        self.persistent_state = inner.persistent_state
+        self.ledger = inner.ledger
+        self.machine = getattr(inner, "machine", None)
+        self._stage = inner._stage
+        p = inner.nranks
+        bounds = (np.arange(p + 1) * nshards) // p
+        #: shard range [lo, hi) executed by each physical rank (contiguous,
+        #: so within-rank concatenation order equals global shard order)
+        self.shard_ranges: list[tuple[int, int]] = [
+            (int(bounds[r]), int(bounds[r + 1])) for r in range(p)
+        ]
+        self.aligned = nshards == p
+
+    def set_stage(self, stage: str | None) -> None:
+        self._stage = stage
+        self.inner.set_stage(stage)
+
+    def run_local(self, fn: Callable[[int], object]) -> list:
+        """One physical superstep executing every shard (shard order per rank)."""
+        if self.aligned:
+            return self.inner.run_local(fn)
+        ranges = self.shard_ranges
+        per_rank = self.inner.run_local(lambda r: [fn(s) for s in range(ranges[r][0], ranges[r][1])])
+        return [value for chunk in per_rank for value in chunk]
+
+    def _charge_combined(self, op: str, nbytes: int, start: float) -> None:
+        # modeled backends charge the machine model at the *physical* rank
+        # count (that is what executes); measured backends charge wall-clock
+        if self.measured or self.machine is None:
+            self.ledger.charge_comm(time.perf_counter() - start, op, self._stage)
+            return
+        topology = getattr(self.inner, "topology", None)
+        if op == "allreduce" and topology is not None:
+            cost = self.machine.hierarchical_allreduce(nbytes, topology)
+        elif op in ("allreduce", "broadcast"):
+            cost = self.machine.allreduce(nbytes, self.inner.nranks)
+        elif op == "allgather":
+            cost = self.machine.allgather(nbytes, self.inner.nranks)
+        else:
+            cost = self.machine.alltoallv(nbytes, self.inner.nranks)
+        self.ledger.charge_comm(cost, op, self._stage)
+
+    def allreduce(self, per_rank: Sequence[np.ndarray]) -> np.ndarray:
+        if self.aligned:
+            return self.inner.allreduce(per_rank)
+        self._check_ranks(per_rank)
+        start = time.perf_counter()
+        out = combine_allreduce(per_rank)
+        self._charge_combined("allreduce", out.nbytes, start)
+        return out
+
+    def allgather(self, per_rank: Sequence[np.ndarray]) -> np.ndarray:
+        if self.aligned:
+            return self.inner.allgather(per_rank)
+        self._check_ranks(per_rank)
+        start = time.perf_counter()
+        out, per_rank_bytes = combine_allgather(per_rank)
+        self._charge_combined("allgather", per_rank_bytes, start)
+        return out
+
+    def alltoallv(self, send: Sequence[Sequence[np.ndarray]]) -> list[np.ndarray]:
+        if self.aligned:
+            return self.inner.alltoallv(send)
+        self._check_ranks(send)
+        start = time.perf_counter()
+        recv, max_bytes = combine_alltoallv(send, self.nranks)
+        self._charge_combined("alltoallv", max_bytes, start)
+        return recv
+
+    def broadcast(self, value: np.ndarray) -> np.ndarray:
+        return self.inner.broadcast(value)
+
+    def share(self, array: np.ndarray) -> np.ndarray:
+        return self.inner.share(array)
+
+    def release(self, *arrays: np.ndarray) -> None:
+        self.inner.release(*arrays)
+
+    def collect(self, per_rank: Sequence[np.ndarray]) -> list[np.ndarray]:
+        if self.aligned:
+            return self.inner.collect(per_rank)
+        self._check_ranks(per_rank)
+        # layered collects: round j fetches the j-th shard of every physical
+        # rank at once; ranks with fewer shards contribute an empty
+        # placeholder, which every backend's collect passes through untouched
+        width = max(hi - lo for lo, hi in self.shard_ranges)
+        placeholder = np.zeros(0)
+        out: list[np.ndarray | None] = [None] * self.nranks
+        for j in range(width):
+            layer = [per_rank[lo + j] if lo + j < hi else placeholder
+                     for lo, hi in self.shard_ranges]
+            got = self.inner.collect(layer)
+            for r, (lo, hi) in enumerate(self.shard_ranges):
+                if lo + j < hi:
+                    out[lo + j] = got[r]
+        return list(out)  # type: ignore[arg-type]
+
+    def close(self) -> None:
+        """No-op: the grid does not own the inner communicator's resources."""
+
+
 # -- backend registry --------------------------------------------------------
 
 #: Environment variable consulted when no backend is named explicitly.
 BACKEND_ENV = "REPRO_BACKEND"
+
+#: Environment variable holding a default fault-injection plan (see
+#: :mod:`repro.runtime.faults`); applied by :func:`make_comm` to every
+#: communicator it constructs, on any backend.
+FAULTS_ENV = "REPRO_FAULTS"
 
 #: Registered backend constructors, keyed by name.
 BACKENDS: dict[str, type[Comm]] = {}
@@ -459,15 +613,34 @@ def make_comm(
     backend: str | None = None,
     machine: MachineModel | None = None,
     topology: MachineTopology | None = None,
+    faults: "object | str | None" = None,
 ) -> Comm:
     """Construct a communicator for ``nranks`` ranks on the chosen backend.
 
     Process backends own real resources — close them (``with make_comm(...)
     as comm:`` or ``comm.close()``) when done; algorithm entry points that
     build their own communicator do this automatically.
+
+    ``faults`` wraps the communicator in a deterministic fault injector
+    (:class:`repro.runtime.faults.FaultyComm`): a
+    :class:`~repro.runtime.faults.FaultPlan` or a spec string such as
+    ``"kill:rank=1,step=5"``.  When omitted, the ``REPRO_FAULTS``
+    environment variable supplies a plan (empty/unset = no injection), so
+    recovery paths are exercisable on any backend without code changes.
     """
     name = resolve_backend_name(backend)
-    return _backend_class(name)(nranks, machine=machine, topology=topology)
+    comm: Comm = _backend_class(name)(nranks, machine=machine, topology=topology)
+    plan = faults if faults is not None else os.environ.get(FAULTS_ENV) or None
+    if plan is not None:
+        # imported lazily: faults.py imports this module
+        from repro.runtime.faults import FaultPlan, FaultyComm
+
+        if isinstance(plan, str):
+            plan = FaultPlan.parse(plan)
+        if not isinstance(plan, FaultPlan):
+            raise TypeError(f"faults must be a FaultPlan or spec string, got {type(plan).__name__}")
+        comm = FaultyComm(comm, plan)
+    return comm
 
 
 register_backend("virtual", VirtualComm)

@@ -48,7 +48,16 @@ from repro.core.bounds import (
 from repro.core.config import BalancedKMeansConfig
 from repro.core.influence import adapt_influence, erode_influence
 from repro.core.kernels import SweepWorkspace
-from repro.runtime.comm import Comm, CostLedger, make_comm
+from repro.runtime.checkpoint import (
+    CheckpointMismatchError,
+    CheckpointStore,
+    data_digest,
+    load_resume,
+    restore_rng,
+    rng_state,
+    validate_meta,
+)
+from repro.runtime.comm import Comm, CostLedger, ShardGrid, make_comm
 from repro.runtime.costmodel import MachineModel, MachineTopology
 from repro.runtime.distsort import distributed_sort
 from repro.sfc.curves import DEFAULT_BITS, sfc_index
@@ -56,6 +65,9 @@ from repro.util.rng import ensure_rng, spawn_rngs
 from repro.util.validation import check_k, check_points, check_weights
 
 __all__ = ["DistributedKMeansResult", "distributed_balanced_kmeans"]
+
+#: ``kind`` tag in checkpoint metadata (rejects resuming the wrong algorithm).
+CHECKPOINT_KIND = "distributed-kmeans"
 
 
 @dataclass
@@ -122,6 +134,47 @@ def _relax_movement_local(bounds, assignment, deltas, influence, workspace, cfg)
         workspace.note_movement_relax(growth, shrink)
 
 
+def _save_checkpoint(
+    comm: Comm,
+    store: CheckpointStore,
+    meta_base: dict,
+    iteration: int,
+    gen: np.random.Generator,
+    centers: np.ndarray,
+    influence: np.ndarray,
+    block_w: np.ndarray,
+    assignment: list[np.ndarray],
+    bound_pairs: list[tuple[np.ndarray, np.ndarray]],
+    fault_plan=None,
+) -> None:
+    """Snapshot the loop state at an iteration boundary (atomic npz).
+
+    Per-shard assignment and Hamerly bounds are read through
+    :meth:`~repro.runtime.comm.Comm.collect` (rank-authoritative, so this is
+    correct on MPI too).  Bounds relaxations are applied eagerly during the
+    sweeps, so the collected (ub, lb) are exactly the values an uninterrupted
+    run would carry into the next iteration — which is what makes resume
+    bit-identical.
+    """
+    comm.set_stage("checkpoint")
+    arrays = {
+        "centers": np.asarray(centers, dtype=np.float64),
+        "influence": np.asarray(influence, dtype=np.float64),
+        "block_w": np.asarray(block_w, dtype=np.float64),
+    }
+    assign_chunks = comm.collect(assignment)
+    ub_chunks = comm.collect([pair[0] for pair in bound_pairs])
+    lb_chunks = comm.collect([pair[1] for pair in bound_pairs])
+    for s in range(comm.nranks):
+        arrays[f"assign_{s:04d}"] = np.asarray(assign_chunks[s], dtype=np.int64)
+        arrays[f"ub_{s:04d}"] = np.asarray(ub_chunks[s], dtype=np.float64)
+        arrays[f"lb_{s:04d}"] = np.asarray(lb_chunks[s], dtype=np.float64)
+    meta = dict(meta_base)
+    meta["iteration"] = int(iteration)
+    meta["rng_state"] = rng_state(gen)
+    store.save(arrays, meta, faults=fault_plan)
+
+
 def distributed_balanced_kmeans(
     points: np.ndarray,
     k: int,
@@ -134,6 +187,10 @@ def distributed_balanced_kmeans(
     topology: MachineTopology | None = None,
     backend: str | None = None,
     comm: Comm | None = None,
+    checkpoint: CheckpointStore | str | None = None,
+    checkpoint_every: int = 1,
+    resume_from: CheckpointStore | str | None = None,
+    provenance: dict | None = None,
 ) -> DistributedKMeansResult:
     """Run Geographer on ``nranks`` SPMD processes (virtual or real).
 
@@ -156,6 +213,19 @@ def distributed_balanced_kmeans(
     its ledger afterwards; a comm this function creates is always closed
     before returning, even on error, and a reused comm gets every segment
     this run shared released and its stage label restored.
+
+    ``checkpoint`` (a :class:`~repro.runtime.checkpoint.CheckpointStore` or a
+    directory path) snapshots the full algorithm state every
+    ``checkpoint_every`` iterations; ``resume_from`` (a store, directory, or
+    checkpoint file) restarts from such a snapshot and is **bit-identical**
+    to the uninterrupted run — including on a different ``nranks``: the run's
+    original rank count becomes the fixed logical shard grid
+    (:class:`~repro.runtime.comm.ShardGrid`), so re-sharding never changes
+    any floating-point reduction order.  The checkpoint is validated against
+    the configuration and input data (loud
+    :class:`~repro.runtime.checkpoint.CheckpointMismatchError` on any
+    mismatch).  ``provenance`` is an optional JSON-serialisable dict stored
+    in checkpoint metadata so the CLI can rebuild the dataset on ``resume``.
     """
     cfg = config or BalancedKMeansConfig()
     pts = check_points(points)
@@ -163,6 +233,22 @@ def distributed_balanced_kmeans(
     k = check_k(k, n)
     w = check_weights(weights, n)
     gen = ensure_rng(rng)
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    store = CheckpointStore.ensure(checkpoint)
+    input_digest = data_digest(pts, w, extra=f"n={n},k={k}")
+    resume = None
+    if resume_from is not None:
+        arrays, meta = load_resume(resume_from)
+        validate_meta(
+            meta,
+            kind=CHECKPOINT_KIND,
+            config_digest=cfg.digest(),
+            input_digest=input_digest,
+            checks=[("n", n), ("k", k)],
+        )
+        gen = restore_rng(meta["rng_state"])
+        resume = (arrays, meta)
     if machine is None and topology is not None:
         machine = topology.machine_model()
     owns_comm = comm is None
@@ -172,7 +258,11 @@ def distributed_balanced_kmeans(
         raise ValueError(f"comm has {comm.nranks} ranks but nranks={nranks}")
     prev_stage = comm._stage
     try:
-        return _distributed_balanced_kmeans(comm, pts, k, w, cfg, gen, centers)
+        return _distributed_balanced_kmeans(
+            comm, pts, k, w, cfg, gen, centers,
+            store=store, checkpoint_every=checkpoint_every, resume=resume,
+            input_digest=input_digest, provenance=provenance,
+        )
     finally:
         if owns_comm:
             comm.close()
@@ -188,7 +278,33 @@ def _distributed_balanced_kmeans(
     cfg: BalancedKMeansConfig,
     gen: np.random.Generator,
     centers: np.ndarray | None,
+    store: CheckpointStore | None = None,
+    checkpoint_every: int = 1,
+    resume: tuple[dict, dict] | None = None,
+    input_digest: str | None = None,
+    provenance: dict | None = None,
 ) -> DistributedKMeansResult:
+    # The logical shard count is fixed at the run's first launch and recorded
+    # in every checkpoint: a resume on a different physical rank count keeps
+    # computing over the *same* S shards (ShardGrid maps them onto whatever
+    # workers exist), so block splits, the distributed sort, and every
+    # floating-point reduction order are preserved bit-for-bit.
+    nshards = int(resume[1]["nshards"]) if resume is not None else comm.nranks
+    grid = ShardGrid(comm, nshards)
+    fault_plan = getattr(comm, "fault_plan", None)
+    if provenance is None and resume is not None:
+        provenance = resume[1].get("provenance")
+    ckpt_meta = {
+        "kind": CHECKPOINT_KIND,
+        "config_digest": cfg.digest(),
+        "data_digest": input_digest,
+        "n": pts.shape[0],
+        "k": k,
+        "nshards": nshards,
+        "checkpoint_every": checkpoint_every,
+        "provenance": provenance,
+    }
+    comm = grid
     p = comm.nranks
     n = pts.shape[0]
     dim = pts.shape[1]
@@ -229,7 +345,9 @@ def _distributed_balanced_kmeans(
     bound_pairs: list[tuple[np.ndarray, np.ndarray]] = []
     try:
         return _kmeans_loop(comm, local_pts, local_w, local_ids, counts, offsets,
-                            assignment, bound_pairs, glo, ghi, n, k, dim, cfg, gen, centers)
+                            assignment, bound_pairs, glo, ghi, n, k, dim, cfg, gen, centers,
+                            store=store, checkpoint_every=checkpoint_every, resume=resume,
+                            ckpt_meta=ckpt_meta, fault_plan=fault_plan)
     finally:
         # a reused communicator gets this run's segments back immediately;
         # on an owned comm close() (in the caller) covers the error paths
@@ -254,8 +372,19 @@ def _kmeans_loop(
     cfg: BalancedKMeansConfig,
     gen: np.random.Generator,
     centers: np.ndarray | None,
+    store: CheckpointStore | None = None,
+    checkpoint_every: int = 1,
+    resume: tuple[dict, dict] | None = None,
+    ckpt_meta: dict | None = None,
+    fault_plan=None,
 ) -> DistributedKMeansResult:
     p = comm.nranks
+
+    # -- restore checkpointed state (skips seeding + sampled init) -----------
+    resuming = resume is not None
+    if resuming:
+        arrays, meta = resume
+        centers = np.array(arrays["centers"], dtype=np.float64, copy=True)
 
     # -- SFC seeding from the global sorted order (Algorithm 2, line 7) ------
     comm.set_stage("seeding")
@@ -285,9 +414,28 @@ def _kmeans_loop(
     delta_threshold = cfg.delta_threshold_rel * float(np.linalg.norm(extent))
 
     # -- per-rank mutable state: shared, mutated in place by rank functions --
-    assignment.extend(comm.share(np.zeros(c, dtype=np.int64)) for c in counts)
-    bound_pairs.extend(tuple(comm.share(b) for b in init_bounds(int(c))) for c in counts)
-    rank_rngs = spawn_rngs(gen, p)
+    if resuming:
+        influence = np.array(arrays["influence"], dtype=np.float64, copy=True)
+        for s in range(p):
+            chunk = arrays[f"assign_{s:04d}"]
+            if chunk.shape[0] != int(counts[s]):
+                raise CheckpointMismatchError(
+                    f"checkpoint shard {s} holds {chunk.shape[0]} points but the "
+                    f"redistribution produced {int(counts[s])} — the checkpoint does "
+                    "not belong to this dataset/configuration"
+                )
+            assignment.append(comm.share(np.ascontiguousarray(chunk, dtype=np.int64)))
+            bound_pairs.append((
+                comm.share(np.ascontiguousarray(arrays[f"ub_{s:04d}"], dtype=np.float64)),
+                comm.share(np.ascontiguousarray(arrays[f"lb_{s:04d}"], dtype=np.float64)),
+            ))
+    else:
+        assignment.extend(comm.share(np.zeros(c, dtype=np.int64)) for c in counts)
+        bound_pairs.extend(tuple(comm.share(b) for b in init_bounds(int(c))) for c in counts)
+    # On resume the restored RNG state already reflects the first launch's
+    # spawn/permutation draws, and the sampled init never re-runs — spawning
+    # again would only advance the generator past its checkpointed state.
+    rank_rngs = spawn_rngs(gen, p) if not resuming else None
     # rank-local kernel workspaces: when ranks run in the driver process
     # (persistent_state), one workspace per rank survives across every
     # sweep/iteration (point norms + static block boxes are sweep-invariant).
@@ -311,7 +459,8 @@ def _kmeans_loop(
             while size < smallest:
                 sample_sizes.append(size)
                 size *= 2
-    sample_perms = [rank_rngs[r].permutation(int(counts[r])) for r in range(p)]
+    sample_perms = ([rank_rngs[r].permutation(int(counts[r])) for r in range(p)]
+                    if not resuming else None)
 
     incremental = bool(cfg.use_incremental and cfg.use_bounds)
 
@@ -436,7 +585,18 @@ def _kmeans_loop(
     iterations = 0
     final_imbalance = np.inf
     prev_block_w: np.ndarray | None = None
-    for it in range(cfg.max_iterations):
+    start_it = 0
+    if resuming:
+        # Re-enter the loop exactly where the checkpoint was cut: iteration
+        # counting, convergence bookkeeping, and (in incremental mode) the
+        # carried block weights all continue as if never interrupted.
+        start_it = int(meta["iteration"])
+        iterations = start_it
+        block_w = np.array(arrays["block_w"], dtype=np.float64, copy=True)
+        final_imbalance = float((block_w / targets).max() - 1.0)
+        if incremental:
+            prev_block_w = block_w
+    for it in range(start_it, cfg.max_iterations):
         iterations = it + 1
         max_delta, new_centers, balanced, block_w = one_phase(None, prev_block_w)
         if incremental:
@@ -452,6 +612,9 @@ def _kmeans_loop(
             converged = True
             break
         centers = new_centers
+        if store is not None and (it + 1) % checkpoint_every == 0:
+            _save_checkpoint(comm, store, ckpt_meta, it + 1, gen, centers, influence,
+                             block_w, assignment, bound_pairs, fault_plan)
 
     # -- gather assignment back to original order -----------------------------
     # collect() returns each rank's authoritative copy: the driver's own view

@@ -1,0 +1,314 @@
+"""Deterministic fault injection for the elastic runtime.
+
+A :class:`FaultPlan` is a scripted set of failures — kill rank *r* at
+superstep *s*, crash the driver, delay or fail a collective, corrupt a
+checkpoint file — and :class:`FaultyComm` wraps any
+:class:`~repro.runtime.comm.Comm` to execute the plan at exactly the
+scheduled moment.  Because the plan is deterministic (no randomness, faults
+addressed by superstep/occurrence ordinals), recovery paths are testable and
+reproducible on every backend: the same plan against the same run always
+fails at the same instruction.
+
+Plans are wired in through :func:`~repro.runtime.comm.make_comm` — either
+the ``faults=`` argument or the ``REPRO_FAULTS`` environment variable, whose
+value uses the spec grammar of :meth:`FaultPlan.parse`::
+
+    kill:rank=1,step=5;delay:op=allreduce,index=2,seconds=0.01;corrupt:index=1
+
+Injection semantics per fault kind:
+
+``kill``
+    On the process backend, the worker for ``rank`` receives a real
+    ``SIGKILL`` immediately before superstep ``step`` is dispatched, which
+    exercises :class:`~repro.runtime.procomm.ProcessComm`'s genuine
+    detect/respawn/replay machinery.  On driver-resident backends
+    (``persistent_state=True``, e.g. virtual) the rank is tombstoned for
+    that superstep and its rank function replayed by the driver afterwards —
+    exact, because BSP rank functions are independent within a superstep.
+    Unsupported on MPI (no process manager to respawn under ``mpiexec``).
+``crash``
+    Raises :class:`InjectedFault` in the driver before dispatching superstep
+    ``step`` — models a killed driver; tests resume from the checkpoint.
+``delay``
+    Stalls the matching collective call: real ``time.sleep`` on measured
+    backends, extra modeled comm-seconds on the ledger otherwise.
+``fail``
+    The matching collective runs, its result is discarded as a transient
+    failure, and the call is retried (charging twice) — the retried result
+    is returned, so the final answer never changes.
+``corrupt``
+    Consulted by :meth:`~repro.runtime.checkpoint.CheckpointStore.save`
+    (which receives the plan via the comm's ``fault_plan`` attribute):
+    the save whose ordinal matches is byte-flipped on disk, exercising the
+    integrity digest and the newest-valid-fallback load path.
+
+Every injection and recovery is recorded as an event on the
+:class:`~repro.runtime.comm.CostLedger` (``injected_kill``,
+``rank_replayed``, ``injected_crash``, ``injected_delay``,
+``injected_collective_failure``, ``collective_retried``), so tests and CI
+artifacts can assert exactly what happened.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.runtime.comm import Comm
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultyComm",
+    "InjectedFault",
+]
+
+_KINDS = ("kill", "crash", "delay", "fail", "corrupt")
+_COLLECTIVE_OPS = ("allreduce", "allgather", "alltoallv", "broadcast")
+
+
+class InjectedFault(RuntimeError):
+    """Raised when a scripted ``crash`` fault fires."""
+
+
+@dataclass
+class FaultSpec:
+    """One scripted failure.  Field meaning depends on ``kind`` (see module docs)."""
+
+    kind: str
+    rank: int | None = None  # kill: which rank dies
+    step: int | None = None  # kill/crash: 0-based superstep ordinal
+    op: str | None = None  # delay/fail: which collective ("allreduce", ...)
+    index: int = 0  # delay/fail: Nth call of that op; corrupt: save ordinal
+    seconds: float = 0.0  # delay: stall duration
+    fired: bool = False  # one-shot bookkeeping
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {_KINDS}")
+        if self.kind == "kill" and (self.rank is None or self.step is None):
+            raise ValueError("kill fault needs rank= and step=")
+        if self.kind == "crash" and self.step is None:
+            raise ValueError("crash fault needs step=")
+        if self.kind in ("delay", "fail"):
+            if self.op not in _COLLECTIVE_OPS:
+                raise ValueError(
+                    f"{self.kind} fault needs op= one of {_COLLECTIVE_OPS}, got {self.op!r}"
+                )
+        if self.kind == "delay" and self.seconds < 0:
+            raise ValueError("delay fault needs seconds >= 0")
+
+
+class FaultPlan:
+    """An ordered set of one-shot :class:`FaultSpec`\\ s consumed as a run executes."""
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self.specs = list(specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.specs!r})"
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``kind:key=value,...;kind:...`` spec grammar (see module docs)."""
+        specs = []
+        for chunk in text.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            kind, _, rest = chunk.partition(":")
+            kwargs: dict = {}
+            for item in filter(None, (s.strip() for s in rest.split(","))):
+                key, sep, value = item.partition("=")
+                if not sep:
+                    raise ValueError(f"bad fault field {item!r} in {chunk!r} (expected key=value)")
+                key = key.strip()
+                value = value.strip()
+                if key in ("rank", "step", "index"):
+                    kwargs[key] = int(value)
+                elif key == "seconds":
+                    kwargs[key] = float(value)
+                elif key == "op":
+                    kwargs[key] = value
+                else:
+                    raise ValueError(f"unknown fault field {key!r} in {chunk!r}")
+            specs.append(FaultSpec(kind=kind.strip(), **kwargs))
+        return cls(specs)
+
+    # -- one-shot queries (each returns a spec at most once) ----------------
+
+    def _take(self, predicate: Callable[[FaultSpec], bool]) -> FaultSpec | None:
+        for spec in self.specs:
+            if not spec.fired and predicate(spec):
+                spec.fired = True
+                return spec
+        return None
+
+    def take_kill(self, step: int) -> FaultSpec | None:
+        return self._take(lambda s: s.kind == "kill" and s.step == step)
+
+    def take_crash(self, step: int) -> FaultSpec | None:
+        return self._take(lambda s: s.kind == "crash" and s.step == step)
+
+    def take_collective(self, kind: str, op: str, occurrence: int) -> FaultSpec | None:
+        return self._take(
+            lambda s: s.kind == kind and s.op == op and s.index == occurrence
+        )
+
+    def take_corrupt(self, ordinal: int) -> FaultSpec | None:
+        return self._take(lambda s: s.kind == "corrupt" and s.index == ordinal)
+
+    def unfired(self) -> list[FaultSpec]:
+        """Specs that never triggered — useful for asserting a plan was consumed."""
+        return [s for s in self.specs if not s.fired]
+
+
+class FaultyComm(Comm):
+    """Transparent :class:`Comm` wrapper that executes a :class:`FaultPlan`.
+
+    Counts supersteps (one per :meth:`run_local`) and per-op collective
+    occurrences, firing matching specs at the scheduled call.  With an empty
+    plan it is pure delegation and does not perturb results, costs, or rank
+    semantics on any backend.
+    """
+
+    def __init__(self, inner: Comm, plan: FaultPlan) -> None:
+        super().__init__(inner.nranks)
+        self.inner = inner
+        self.fault_plan = plan
+        self.kind = inner.kind
+        self.measured = inner.measured
+        self.persistent_state = inner.persistent_state
+        self.ledger = inner.ledger
+        self._stage = inner._stage
+        self.superstep = 0
+        self._op_counts: dict[str, int] = {}
+
+    def set_stage(self, stage: str | None) -> None:
+        self._stage = stage
+        self.inner.set_stage(stage)
+
+    # -- supersteps ----------------------------------------------------------
+
+    def run_local(self, fn: Callable[[int], object]) -> list:
+        step = self.superstep
+        self.superstep += 1
+        crash = self.fault_plan.take_crash(step)
+        if crash is not None:
+            self.ledger.record_event("injected_crash", superstep=step, stage=self._stage)
+            raise InjectedFault(f"injected driver crash at superstep {step}")
+        kill = self.fault_plan.take_kill(step)
+        if kill is None:
+            return self.inner.run_local(fn)
+        return self._run_with_kill(fn, int(kill.rank), step)
+
+    def _run_with_kill(self, fn: Callable[[int], object], rank: int, step: int) -> list:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"kill fault rank {rank} out of range for nranks={self.nranks}")
+        self.ledger.record_event(
+            "injected_kill", rank=rank, superstep=step, stage=self._stage, backend=self.kind
+        )
+        if self.persistent_state:
+            # Driver-resident ranks: simulate the death by skipping the rank
+            # during the superstep, then "respawn" and replay it afterwards.
+            # Exact because BSP rank functions are independent within a
+            # superstep (they communicate only through collectives).
+            results = self.inner.run_local(
+                lambda r: _TOMBSTONE if r == rank else fn(r)
+            )
+            results[rank] = fn(rank)
+            self.ledger.record_event(
+                "rank_replayed", rank=rank, superstep=step, stage=self._stage
+            )
+            return results
+        workers = getattr(self.inner, "_workers", None)
+        if workers is None:
+            raise RuntimeError(
+                f"kill fault is not supported on the {self.kind!r} backend "
+                "(no process manager available to respawn the rank)"
+            )
+        # Real kill: SIGKILL the worker before the superstep is dispatched, so
+        # the lost superstep is exactly replayable by ProcessComm's
+        # respawn-and-replay recovery (the worker never started executing it).
+        proc = workers[rank]
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join(5.0)
+        return self.inner.run_local(fn)
+
+    # -- collectives ---------------------------------------------------------
+
+    def _collective(self, op: str, call: Callable[[], object]):
+        occurrence = self._op_counts.get(op, 0)
+        self._op_counts[op] = occurrence + 1
+        delay = self.fault_plan.take_collective("delay", op, occurrence)
+        if delay is not None:
+            self.ledger.record_event(
+                "injected_delay", op=op, occurrence=occurrence,
+                seconds=delay.seconds, stage=self._stage,
+            )
+            if self.measured:
+                time.sleep(delay.seconds)
+            else:
+                self.ledger.charge_comm(delay.seconds, op, self._stage)
+        fail = self.fault_plan.take_collective("fail", op, occurrence)
+        if fail is None:
+            return call()
+        # Transient failure: the call's result is lost in flight and the
+        # collective is retried.  Both attempts are charged; the retried
+        # result is returned, so the computation itself is unaffected.
+        call()
+        self.ledger.record_event(
+            "injected_collective_failure", op=op, occurrence=occurrence, stage=self._stage
+        )
+        result = call()
+        self.ledger.record_event(
+            "collective_retried", op=op, occurrence=occurrence, stage=self._stage
+        )
+        return result
+
+    def allreduce(self, per_rank: Sequence[np.ndarray]) -> np.ndarray:
+        return self._collective("allreduce", lambda: self.inner.allreduce(per_rank))
+
+    def allgather(self, per_rank: Sequence[np.ndarray]) -> np.ndarray:
+        return self._collective("allgather", lambda: self.inner.allgather(per_rank))
+
+    def alltoallv(self, send: Sequence[Sequence[np.ndarray]]) -> list[np.ndarray]:
+        return self._collective("alltoallv", lambda: self.inner.alltoallv(send))
+
+    def broadcast(self, value: np.ndarray) -> np.ndarray:
+        return self._collective("broadcast", lambda: self.inner.broadcast(value))
+
+    # -- delegation ----------------------------------------------------------
+
+    def share(self, array: np.ndarray) -> np.ndarray:
+        return self.inner.share(array)
+
+    def release(self, *arrays: np.ndarray) -> None:
+        self.inner.release(*arrays)
+
+    def collect(self, per_rank: Sequence[np.ndarray]) -> list[np.ndarray]:
+        return self.inner.collect(per_rank)
+
+    def charge_modeled_compute(self, point_ops: float) -> None:
+        self.inner.charge_modeled_compute(point_ops)
+
+    @property
+    def topology(self):
+        return getattr(self.inner, "topology", None)
+
+    @property
+    def machine(self):
+        return getattr(self.inner, "machine", None)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+#: Placeholder a tombstoned (simulated-dead) rank leaves in the superstep
+#: results before the driver replays it.
+_TOMBSTONE = object()

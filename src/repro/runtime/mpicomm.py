@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import atexit
 import pickle
+import sys
 import traceback
 import weakref
 from typing import Callable, Sequence
@@ -158,44 +159,57 @@ def worker_loop() -> None:
     while True:
         msg = world.bcast(None, root=0)
         op = msg[0]
-        if op == "run":
-            _, nranks, blob = msg
-            reply = None
-            if rank < nranks:
-                try:
-                    # the closure arrives pre-pickled so idle ranks (which
-                    # hold no resident copies its handles resolve to) never
-                    # unpickle it
-                    fn = thaw_function(pickle.loads(blob))
-                    start = MPI.Wtime()
-                    value = fn(rank)
-                    reply = ("ok", value, MPI.Wtime() - start)
-                    pickle.dumps(reply)  # unpicklable result: report, don't die
-                except BaseException:
-                    reply = ("err", traceback.format_exc())
-            world.gather(reply, root=0)
-        elif op == "share":
-            _, nranks, handle, arr = msg
-            # handles only resolve inside "run"/"collect" messages gated on
-            # rank < nranks, so idle ranks consume the bcast but keep no copy
-            if rank < nranks:
-                _store_shared(handle, arr)
-        elif op == "release":
-            for handle in msg[1]:
-                _STORE.pop(handle, None)
-        elif op == "collect":
-            _, nranks, handles = msg
-            reply = None
-            if rank < nranks and handles[rank] is not None:
-                arr = _STORE.get(handles[rank])
-                if arr is None:
-                    reply = ("err", f"shared array {handles[rank]} not resident")
-                else:
-                    reply = ("ok", arr)
-            world.gather(reply, root=0)
-        else:  # "stop"
-            _STORE.clear()
-            return
+        # Any exception escaping an op handler here would silently end this
+        # rank's loop while the driver and the other ranks continue — the
+        # next collective would then deadlock forever.  "run"/"collect"
+        # already report errors through their reply gathers; for everything
+        # else the only safe exits are a served message or a loud abort of
+        # the whole communicator.
+        try:
+            if op == "run":
+                _, nranks, blob = msg
+                reply = None
+                if rank < nranks:
+                    try:
+                        # the closure arrives pre-pickled so idle ranks (which
+                        # hold no resident copies its handles resolve to) never
+                        # unpickle it
+                        fn = thaw_function(pickle.loads(blob))
+                        start = MPI.Wtime()
+                        value = fn(rank)
+                        reply = ("ok", value, MPI.Wtime() - start)
+                        pickle.dumps(reply)  # unpicklable result: report, don't die
+                    except BaseException:
+                        reply = ("err", traceback.format_exc())
+                world.gather(reply, root=0)
+            elif op == "share":
+                _, nranks, handle, arr = msg
+                # handles only resolve inside "run"/"collect" messages gated on
+                # rank < nranks, so idle ranks consume the bcast but keep no copy
+                if rank < nranks:
+                    _store_shared(handle, arr)
+            elif op == "release":
+                for handle in msg[1]:
+                    _STORE.pop(handle, None)
+            elif op == "collect":
+                _, nranks, handles = msg
+                reply = None
+                if rank < nranks and handles[rank] is not None:
+                    arr = _STORE.get(handles[rank])
+                    if arr is None:
+                        reply = ("err", f"shared array {handles[rank]} not resident")
+                    else:
+                        reply = ("ok", arr)
+                world.gather(reply, root=0)
+            else:  # "stop"
+                _STORE.clear()
+                return
+        except BaseException:  # pragma: no cover - exercised via stub MPI
+            print(f"[repro] rank {rank} worker loop failed on {op!r}:", file=sys.stderr)
+            traceback.print_exc()
+            sys.stderr.flush()
+            world.Abort(1)
+            raise  # only reached when Abort is mocked out
 
 
 def spmd_main(driver: Callable[[], object]):

@@ -45,11 +45,13 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing as mp
+import os
 import time
 import traceback
 import weakref
 from multiprocessing import shared_memory
 from multiprocessing.reduction import ForkingPickler
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -64,7 +66,15 @@ from repro.runtime.comm import (
 )
 from repro.runtime.costmodel import SUPERMUC_LIKE, MachineModel, MachineTopology
 
-__all__ = ["ProcessComm", "SharedArray", "shutdown_process_comms"]
+__all__ = [
+    "MAX_RESPAWNS_ENV",
+    "ProcessComm",
+    "SharedArray",
+    "SUPERSTEP_TIMEOUT_ENV",
+    "assert_no_leaks",
+    "leaked_resources",
+    "shutdown_process_comms",
+]
 
 try:  # numpy >= 2.0 moved byte_bounds out of the top-level namespace
     from numpy.lib.array_utils import byte_bounds as _byte_bounds
@@ -72,6 +82,16 @@ except ImportError:  # pragma: no cover - numpy < 2.0
     _byte_bounds = np.byte_bounds
 
 _JOIN_TIMEOUT = 5.0
+_POLL_INTERVAL = 0.05
+
+#: How many dead workers a communicator will re-fork before giving up.
+MAX_RESPAWNS_ENV = "REPRO_MAX_RESPAWNS"
+_DEFAULT_MAX_RESPAWNS = 2
+
+#: Optional wall-clock limit (seconds) a superstep may run on one worker
+#: before the worker is presumed hung, killed, and respawned.  Unset/0 means
+#: wait forever (the pre-PR-7 behavior).
+SUPERSTEP_TIMEOUT_ENV = "REPRO_SUPERSTEP_TIMEOUT"
 
 
 # -- shared-memory arrays ----------------------------------------------------
@@ -262,26 +282,34 @@ class ProcessComm(Comm):
         self.topology = topology
         if start_method is None:
             start_method = "fork" if "fork" in mp.get_all_start_methods() else None
-        ctx = mp.get_context(start_method)
+        self._ctx = mp.get_context(start_method)
         self._workers: list = []
         self._conns: list = []
         self._segments: list[shared_memory.SharedMemory] = []
         self._closed = False
+        self._respawns_left = int(os.environ.get(MAX_RESPAWNS_ENV, _DEFAULT_MAX_RESPAWNS))
+        timeout = float(os.environ.get(SUPERSTEP_TIMEOUT_ENV, 0) or 0)
+        self._superstep_timeout: float | None = timeout if timeout > 0 else None
         try:
             for rank in range(self.nranks):
-                parent, child = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main, args=(rank, child), daemon=True,
-                    name=f"repro-rank-{rank}",
-                )
-                proc.start()
-                child.close()
+                parent, proc = self._spawn(rank)
                 self._workers.append(proc)
                 self._conns.append(parent)
         except BaseException:
             self.close()
             raise
         _LIVE_COMMS.add(self)
+
+    def _spawn(self, rank: int):
+        """Fork one worker process; returns ``(driver_conn, process)``."""
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(rank, child), daemon=True,
+            name=f"repro-rank-{rank}",
+        )
+        proc.start()
+        child.close()
+        return parent, proc
 
     # -- local compute -----------------------------------------------------
 
@@ -292,6 +320,16 @@ class ProcessComm(Comm):
         dispatch/serialisation remainder as communication (op ``"dispatch"``).
         Exceptions raised by any rank re-raise in the driver with the
         worker's traceback; the workers survive and stay usable.
+
+        A worker that died (or, when ``REPRO_SUPERSTEP_TIMEOUT`` is set,
+        hangs) is detected here, re-forked, and the lost superstep is
+        re-dispatched to it — exactly replayable when the worker never
+        started the superstep (the injected-kill case) and best-effort for
+        a genuine mid-superstep death, where checkpoint/resume is the
+        backstop.  Each recovery consumes one unit of the respawn budget
+        (``REPRO_MAX_RESPAWNS``, default 2) and is recorded as a
+        ``worker_respawn`` ledger event; with the budget exhausted the
+        communicator closes and raises.
         """
         self._ensure_open()
         start = time.perf_counter()
@@ -300,17 +338,17 @@ class ProcessComm(Comm):
         # Connection.recv on the worker side is byte-compatible with
         # send_bytes(ForkingPickler.dumps(...)).
         blob = ForkingPickler.dumps(("run", freeze_function(fn)))
-        for conn in self._conns:
-            conn.send_bytes(blob)
+        for rank, conn in enumerate(self._conns):
+            try:
+                conn.send_bytes(blob)
+            except (OSError, ValueError):
+                # dead before dispatch; _recv_reply respawns and re-sends
+                pass
         results: list = []
         worst = 0.0
         failure: tuple[int, str] | None = None
-        for rank, conn in enumerate(self._conns):
-            try:
-                reply = conn.recv()
-            except (EOFError, OSError) as exc:
-                self.close()
-                raise RuntimeError(f"rank {rank} worker died during superstep") from exc
+        for rank in range(self.nranks):
+            reply = self._recv_reply(rank, blob)
             if reply[0] == "err":
                 failure = failure or (rank, reply[1])
             else:
@@ -323,6 +361,79 @@ class ProcessComm(Comm):
         self.ledger.charge_comm(max(0.0, wall - worst), "dispatch", self._stage)
         self.ledger.supersteps += 1
         return results
+
+    # -- failure detection + recovery ----------------------------------------
+
+    def _recv_reply(self, rank: int, blob: bytes):
+        """Await rank's superstep reply, recovering from death or hang."""
+        deadline = (
+            None if self._superstep_timeout is None
+            else time.perf_counter() + self._superstep_timeout
+        )
+        while True:
+            conn = self._conns[rank]
+            proc = self._workers[rank]
+            try:
+                if conn.poll(_POLL_INTERVAL):
+                    return conn.recv()
+            except (EOFError, OSError, ValueError):
+                self._recover(rank, blob, reason="worker pipe broke mid-superstep")
+                deadline = None  # replay gets a fresh (unlimited) window
+                continue
+            if not proc.is_alive():
+                self._recover(
+                    rank, blob, reason=f"worker exited with code {proc.exitcode}"
+                )
+                deadline = None
+                continue
+            if deadline is not None and time.perf_counter() > deadline:
+                proc.kill()
+                proc.join(_JOIN_TIMEOUT)
+                self._recover(
+                    rank, blob,
+                    reason=f"superstep exceeded {self._superstep_timeout:g}s timeout",
+                )
+                deadline = None
+
+    def _recover(self, rank: int, blob: bytes, reason: str) -> None:
+        """Re-fork a dead worker and re-dispatch the lost superstep to it."""
+        if self._respawns_left <= 0:
+            self.close()
+            raise RuntimeError(
+                f"rank {rank} died ({reason}) and the respawn budget is exhausted "
+                f"(raise {MAX_RESPAWNS_ENV} to allow more recoveries, or resume "
+                "from the latest checkpoint)"
+            )
+        self._respawns_left -= 1
+        self._respawn(rank)
+        self.ledger.record_event(
+            "worker_respawn",
+            rank=rank,
+            superstep=self.ledger.supersteps,
+            reason=reason,
+            respawns_left=self._respawns_left,
+        )
+        self._conns[rank].send_bytes(blob)
+
+    def _respawn(self, rank: int) -> None:
+        """Replace a dead worker with a fresh fork under the same rank.
+
+        The new worker re-attaches :class:`SharedArray` segments lazily: the
+        replayed superstep's closure carries segment *handles*, and
+        unpickling them in the fresh process maps the segments again — no
+        driver-side bookkeeping is needed.
+        """
+        old_proc = self._workers[rank]
+        if old_proc.is_alive():  # pragma: no cover - defensive
+            old_proc.kill()
+        old_proc.join(_JOIN_TIMEOUT)
+        try:
+            self._conns[rank].close()
+        except OSError:  # pragma: no cover - already broken
+            pass
+        parent, proc = self._spawn(rank)
+        self._workers[rank] = proc
+        self._conns[rank] = parent
 
     # -- collectives ---------------------------------------------------------
 
@@ -391,7 +502,13 @@ class ProcessComm(Comm):
             if seg is None or seg not in self._segments:
                 continue
             for conn in self._conns:
-                conn.send(("release", seg.name))
+                try:
+                    conn.send(("release", seg.name))
+                except (OSError, ValueError):
+                    # a dead worker cannot detach, but it cannot hold the
+                    # mapping either — the driver still owns the unlink, so
+                    # teardown stays graceful and leak-free
+                    pass
             self._segments.remove(seg)
             self._drop_segment(seg)
 
@@ -447,6 +564,53 @@ class ProcessComm(Comm):
     def _ensure_open(self) -> None:
         if self._closed:
             raise RuntimeError("ProcessComm is closed")
+
+
+# -- leak auditing -----------------------------------------------------------
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def leaked_resources() -> dict[str, list[str]]:
+    """Snapshot of process-backend resources currently live on this host.
+
+    Returns ``{"segments": [...], "workers": [...]}``: anonymous
+    shared-memory segments (``psm_*`` under ``/dev/shm``) and live
+    ``repro-rank-*`` worker processes of this driver.  Take a snapshot
+    before creating a communicator and diff after teardown with
+    :func:`assert_no_leaks` — graceful teardown (even with dead workers)
+    must leave both lists unchanged.
+    """
+    segments: list[str] = []
+    if _SHM_DIR.is_dir():  # pragma: no branch - always true on Linux
+        segments = sorted(p.name for p in _SHM_DIR.iterdir() if p.name.startswith("psm_"))
+    workers = sorted(
+        proc.name for proc in mp.active_children() if proc.name.startswith("repro-rank-")
+    )
+    return {"segments": segments, "workers": workers}
+
+
+def assert_no_leaks(before: dict[str, list[str]] | None = None) -> None:
+    """Raise ``AssertionError`` if segments/workers appeared since ``before``.
+
+    With ``before=None`` asserts that *nothing* repro-owned is live.  Worker
+    processes are given a short grace period to be reaped — ``close()`` has
+    joined them, but ``active_children`` only drops a child once waited on.
+    """
+    base = before or {"segments": [], "workers": []}
+    deadline = time.perf_counter() + _JOIN_TIMEOUT
+    while True:
+        now = leaked_resources()
+        new_segments = [s for s in now["segments"] if s not in base["segments"]]
+        new_workers = [w for w in now["workers"] if w not in base["workers"]]
+        if not new_segments and not new_workers:
+            return
+        if time.perf_counter() > deadline:
+            raise AssertionError(
+                f"process backend leaked resources: segments={new_segments}, "
+                f"workers={new_workers}"
+            )
+        time.sleep(_POLL_INTERVAL)
 
 
 register_backend("process", ProcessComm)

@@ -39,6 +39,7 @@ class _FakeWorld:
         self.size = size
         self.inboxes = [queue.Queue() for _ in range(size)]
         self.replies = [queue.Queue() for _ in range(size)]
+        self.aborted: list[int] = []
 
 
 class _FakeComm:
@@ -72,6 +73,13 @@ class _FakeComm:
             return out
         self._world.replies[self._rank].put(pickle.dumps(obj))
         return None
+
+    def Abort(self, errorcode=0):
+        # real MPI kills the whole job and never returns; the stub records
+        # the call and ends just the calling thread (threads swallow
+        # SystemExit), which is observable without nuking the test process
+        self._world.aborted.append(errorcode)
+        raise SystemExit(errorcode)
 
 
 class _FakeMPI:
@@ -215,6 +223,23 @@ class TestProtocol:
             comm.run_local(lambda r: captured.nranks)
         assert comm.run_local(lambda r: r) == [0, 1]
         comm.close()
+
+    # the stub's Abort ends the worker thread via SystemExit by design
+    @pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_protocol_failure_aborts_loudly_instead_of_deadlocking(self, mpi_stub, capsys):
+        mpicomm = mpi_stub(2)
+        world = mpicomm.MPI.COMM_WORLD._world
+        # a malformed protocol message: the worker's dispatch raises, which
+        # must print the traceback and abort the communicator — silently
+        # ending the loop would deadlock the driver's next collective
+        mpicomm.MPI.COMM_WORLD.bcast(("share", 2))
+        deadline = time.perf_counter() + 10.0
+        while not world.aborted and time.perf_counter() < deadline:
+            time.sleep(0.01)
+        assert world.aborted == [1]
+        err = capsys.readouterr().err
+        assert "worker loop failed on 'share'" in err
+        assert "Traceback" in err
 
     def test_closed_comm_rejects_supersteps(self, mpi_stub):
         mpi_stub(2)

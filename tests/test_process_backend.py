@@ -11,6 +11,7 @@ shared-memory segment.
 import multiprocessing as mp
 import os
 import pickle
+import signal
 
 import numpy as np
 import pytest
@@ -23,7 +24,13 @@ from repro.runtime.comm import (
     resolve_backend_name,
 )
 from repro.runtime._shipping import freeze_function, thaw_function
-from repro.runtime.procomm import ProcessComm, SharedArray, shutdown_process_comms
+from repro.runtime.procomm import (
+    ProcessComm,
+    SharedArray,
+    assert_no_leaks,
+    leaked_resources,
+    shutdown_process_comms,
+)
 
 pytestmark = pytest.mark.process_backend
 
@@ -284,6 +291,57 @@ class TestTeardown:
         pts = np.random.default_rng(1).random((500, 2))
         distributed_balanced_kmeans(pts, k=4, nranks=3, rng=1, backend="process")
         assert our_segments() <= before
+
+
+class TestDeadWorkerTeardown:
+    """Satellite of the fault-tolerance PR: a worker that already died must
+    never break teardown — release/close stay graceful and still unlink
+    every shared-memory segment (the driver owns the unlink)."""
+
+    @staticmethod
+    def _kill(comm, rank):
+        os.kill(comm._workers[rank].pid, signal.SIGKILL)
+        comm._workers[rank].join(5.0)
+
+    def test_close_with_dead_worker_still_unlinks(self):
+        before = leaked_resources()
+        comm = make_comm(2, backend="process")
+        comm.share(np.arange(32.0))
+        paths = _segment_paths(comm)
+        self._kill(comm, 1)
+        comm.close()  # must not raise EOFError/BrokenPipeError
+        assert all(not os.path.exists(p) for p in paths)
+        assert_no_leaks(before)
+
+    def test_release_with_dead_worker_still_unlinks(self):
+        before = leaked_resources()
+        with make_comm(2, backend="process") as comm:
+            arr = comm.share(np.arange(16.0))
+            path = "/dev/shm/" + arr._shm.name
+            comm.run_local(lambda r: float(arr.sum()))  # workers attach
+            self._kill(comm, 0)
+            comm.release(arr)  # dead pipe: must not raise
+            assert not os.path.exists(path)
+        assert_no_leaks(before)
+
+    def test_all_workers_dead_close_is_graceful(self):
+        before = leaked_resources()
+        comm = make_comm(3, backend="process")
+        comm.share(np.zeros(8))
+        for rank in range(3):
+            self._kill(comm, rank)
+        comm.close()
+        assert_no_leaks(before)
+
+    def test_leak_helpers_report_new_resources(self):
+        before = leaked_resources()
+        assert set(before) == {"segments", "workers"}
+        comm = make_comm(2, backend="process")
+        comm.share(np.arange(8.0))
+        with pytest.raises(AssertionError, match="leaked"):
+            assert_no_leaks(before)
+        comm.close()
+        assert_no_leaks(before)
 
 
 class TestTopologyParity:
