@@ -3,8 +3,12 @@
 Compares a freshly measured benchmark JSON against a committed baseline and
 fails (exit 1) when a tracked time regressed beyond a threshold::
 
-    python benchmarks/check_regression.py \\
-        /tmp/BENCH_balance.committed.json BENCH_balance.json --threshold 1.2
+    python benchmarks/check_regression.py BENCH_balance.json --threshold 1.2
+
+The benches never touch the committed baseline (that needs an explicit
+``REPRO_UPDATE_BENCH=1`` run); fresh measurements land in the git-ignored
+``benchmarks/results/fresh/`` sidecar, which is where the ``fresh``
+argument defaults to (``fresh/<basename of the committed file>``).
 
 Two schemas are recognised by their keys:
 
@@ -87,12 +91,20 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("committed",
                         help="baseline BENCH_balance.json / BENCH_kernels.json (committed trajectory)")
-    parser.add_argument("fresh", help="freshly measured benchmark JSON (same schema)")
+    parser.add_argument("fresh", nargs="?", default=None,
+                        help="freshly measured benchmark JSON (same schema; default: "
+                             "benchmarks/results/fresh/<basename of committed>)")
     parser.add_argument(
         "--threshold", type=float, default=1.2,
         help="fail when fresh/committed phase time exceeds this ratio (default 1.2)",
     )
     args = parser.parse_args(argv)
+    if args.fresh is None:
+        args.fresh = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                  "results", "fresh", os.path.basename(args.committed))
+    if not os.path.exists(args.fresh):
+        print(f"no fresh measurement at {args.fresh}; run the benches first")
+        return 0
     with open(args.committed) as fh:
         committed = json.load(fh)
     with open(args.fresh) as fh:

@@ -3,6 +3,14 @@
 Each benchmark regenerates one paper table/figure.  Reproduced rows/series
 are written to ``benchmarks/results/<name>.txt`` (and printed — visible with
 ``pytest -s``); pytest-benchmark reports the timings in its own table.
+
+The committed copies must be regeneration-stable: measured wall-clock
+fields (named via ``volatile_columns``/``volatile_patterns``) are scrubbed
+to a placeholder before writing, so rerunning the benches leaves an empty
+git diff unless a *deterministic* metric actually changed.  The full
+unscrubbed text goes to the git-ignored ``results/timings/`` sidecar, and
+fresh machine-readable measurements (``BENCH_*.json``) go to the
+git-ignored ``results/fresh/`` sidecar that ``check_regression.py`` reads.
 """
 
 from __future__ import annotations
@@ -11,7 +19,14 @@ import os
 
 import pytest
 
+from repro.util.benchout import scrub_volatile
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Fresh benchmark JSONs land here; the repo-root copies are the committed
+#: baselines, rewritten only on an intentional REPRO_UPDATE_BENCH=1 run.
+FRESH_DIR = os.path.join(RESULTS_DIR, "fresh")
+TIMINGS_DIR = os.path.join(RESULTS_DIR, "timings")
 
 
 @pytest.fixture(scope="session")
@@ -22,13 +37,60 @@ def results_dir() -> str:
 
 @pytest.fixture(scope="session")
 def emit(results_dir):
-    """Write a reproduced table to the results dir and echo it."""
+    """Write a reproduced table to the results dir and echo it.
 
-    def _emit(name: str, text: str) -> str:
+    With any of ``volatile_columns`` / ``row_filter`` / ``volatile_patterns``
+    the committed copy is scrubbed via
+    :func:`repro.util.benchout.scrub_volatile` and the raw text is kept in
+    ``results/timings/<name>.txt`` instead.
+    """
+
+    def _emit(name: str, text: str, volatile_columns=(), row_filter=None,
+              volatile_patterns=()) -> str:
         path = os.path.join(results_dir, f"{name}.txt")
+        committed = text
+        if volatile_columns or volatile_patterns:
+            committed = scrub_volatile(
+                text, columns=volatile_columns, row_filter=row_filter,
+                patterns=volatile_patterns,
+            )
+            os.makedirs(TIMINGS_DIR, exist_ok=True)
+            with open(os.path.join(TIMINGS_DIR, f"{name}.txt"), "w") as fh:
+                fh.write(text + "\n")
         with open(path, "w") as fh:
-            fh.write(text + "\n")
+            fh.write(committed + "\n")
         print(f"\n=== {name} ===\n{text}\n[written to {path}]")
         return path
 
     return _emit
+
+
+def fresh_json_path(committed_path: str) -> str:
+    """The git-ignored sidecar where a fresh copy of ``BENCH_*.json`` goes."""
+    os.makedirs(FRESH_DIR, exist_ok=True)
+    return os.path.join(FRESH_DIR, os.path.basename(committed_path))
+
+
+@pytest.fixture(scope="session")
+def bench_json_writer():
+    """Write a fresh benchmark JSON; touch the committed baseline only on demand.
+
+    Always writes to the ``results/fresh/`` sidecar (what CI's regression
+    check compares against the committed file).  The committed repo-root
+    baseline is rewritten only under ``REPRO_UPDATE_BENCH=1`` — an explicit
+    trajectory update, never a side effect of running the benches.
+    """
+    import json
+
+    def _write(committed_path: str, payload: dict) -> str:
+        fresh = fresh_json_path(committed_path)
+        targets = [fresh]
+        if os.environ.get("REPRO_UPDATE_BENCH"):
+            targets.append(committed_path)
+        for target in targets:
+            with open(target, "w") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+        return fresh
+
+    return _write

@@ -34,7 +34,7 @@ class TestBoundsAblation:
 
     def test_table_and_claims(self, benchmark, mesh, emit):
         rows = benchmark.pedantic(lambda: ablations.run_bounds(mesh, k=16, seed=0), rounds=1, iterations=1)
-        emit("ablation_bounds", ablations.format_rows(rows))
+        emit("ablation_bounds", ablations.format_rows(rows), volatile_columns=("seconds",))
         assert all(r.extra["agreement"] == 1.0 for r in rows)
         with_bounds = next(r for r in rows if r.variant == "bounds+pruning")
         assert with_bounds.skip_fraction > 0.6  # ~80% in the paper
@@ -43,7 +43,7 @@ class TestBoundsAblation:
 class TestSeedingAblation:
     def test_table(self, benchmark, mesh, emit):
         rows = benchmark.pedantic(lambda: ablations.run_seeding(mesh, k=16, seed=0), rounds=1, iterations=1)
-        emit("ablation_seeding", ablations.format_rows(rows))
+        emit("ablation_seeding", ablations.format_rows(rows), volatile_columns=("seconds",))
         by = {r.variant: r for r in rows}
         assert by["sfc"].iterations <= by["random"].iterations * 1.5
 
@@ -61,16 +61,16 @@ class TestSeedingAblation:
 class TestErosionSamplingCurve:
     def test_erosion_table(self, benchmark, mesh, emit):
         rows = benchmark.pedantic(lambda: ablations.run_erosion(mesh, k=16, seed=0), rounds=1, iterations=1)
-        emit("ablation_erosion", ablations.format_rows(rows))
+        emit("ablation_erosion", ablations.format_rows(rows), volatile_columns=("seconds",))
         assert all(r.imbalance <= 0.05 for r in rows)
 
     def test_sampling_table(self, benchmark, mesh, emit):
         rows = benchmark.pedantic(lambda: ablations.run_sampling(mesh, k=16, seed=0), rounds=1, iterations=1)
-        emit("ablation_sampling", ablations.format_rows(rows))
+        emit("ablation_sampling", ablations.format_rows(rows), volatile_columns=("seconds",))
 
     def test_curve_table(self, benchmark, mesh, emit):
         rows = benchmark.pedantic(lambda: ablations.run_curve(mesh, k=16, seed=0), rounds=1, iterations=1)
-        emit("ablation_curve", ablations.format_rows(rows))
+        emit("ablation_curve", ablations.format_rows(rows), volatile_columns=("seconds",))
         # Hilbert chunks beat Morton chunks on communication volume for HSFC
         hsfc = {r.variant: r.extra["totCommVol"] for r in rows if r.experiment == "curve/hsfc"}
         assert hsfc["hilbert"] <= hsfc["morton"] * 1.1

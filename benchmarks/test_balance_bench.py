@@ -19,12 +19,11 @@ delta-maintained block weights must be *bit-identical* to the full path's
 ``np.bincount`` — asserted here, along with bit-identical assignments,
 influence and imbalance for the whole trajectory.
 
-Results land in ``BENCH_balance.json`` at the repo root (machine-readable
+Results land in the ``results/fresh/BENCH_balance.json`` sidecar (machine-readable
 perf floor for future PRs); the ≥ 1.5x end-to-end phase speedup is enforced
 outside CI (shared runners are too noisy for wall-clock thresholds).
 """
 
-import json
 import os
 import time
 
@@ -154,7 +153,7 @@ def _run_trajectory(pts, base_w, centers0, use_incremental):
     }
 
 
-def test_balance_trajectory_speedup_and_identity(workload):
+def test_balance_trajectory_speedup_and_identity(workload, bench_json_writer):
     """Full vs incremental trajectory: bit-identical results, >= 1.5x phase time."""
     pts, weights, centers = workload
     # two repeats per mode, keep the faster (standard min-of-repeats timing;
@@ -209,15 +208,13 @@ def test_balance_trajectory_speedup_and_identity(workload):
         "evaluation_reduction": full["evaluated"] / max(inc["evaluated"], 1),
         "bit_identical": True,
     }
-    with open(BENCH_JSON, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    written = bench_json_writer(BENCH_JSON, payload)
     print(
         f"\n[BENCH] assign_and_balance phase: {speedup:.2f}x "
         f"({full['seconds']:.2f}s -> {inc['seconds']:.2f}s over "
         f"{full['iterations']} balance iterations; evaluations "
         f"{full['evaluated'] / 1e6:.1f}M -> {inc['evaluated'] / 1e6:.1f}M) "
-        f"[written to {BENCH_JSON}]"
+        f"[written to {written}]"
     )
     # shared CI runners are too noisy for wall-clock thresholds; there the
     # measurements are recorded (and uploaded as an artifact) but not enforced

@@ -26,7 +26,9 @@ def test_components_run(benchmark):
 
 def test_components_table(benchmark, rows, emit):
     text = benchmark.pedantic(lambda: components.format_result(rows), rounds=1, iterations=1)
-    emit("components_breakdown", text)
+    emit("components_breakdown", text,
+         volatile_columns=("sfc_index", "redistribute", "kmeans"),
+         row_filter=lambda line: "measured" in line)
 
 
 def test_components_redistribution_share_grows(benchmark, rows):

@@ -26,7 +26,8 @@ def test_figure4_run(benchmark):
 
 def test_figure4_table(benchmark, points, emit):
     text = benchmark.pedantic(lambda: figure4.format_result(points), rounds=1, iterations=1)
-    emit("figure4_running_times", text)
+    emit("figure4_running_times", text, volatile_columns=("seconds",),
+         volatile_patterns=(r"(?<==)[+-]?\d+\.\d+",))
 
 
 def test_figure4_tool_ordering(benchmark, points):

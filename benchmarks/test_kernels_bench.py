@@ -8,11 +8,11 @@ The assignment-sweep benches additionally seed the repo's perf trajectory:
 they time the pre-kernel-engine path (full-matrix sqrt + division, per-chunk
 norms and boxes — preserved as ``top2_effective_reference``) against the
 squared-space engine on the canonical ``n=200k, k=64, d=2`` workload and
-write the measurements to ``BENCH_kernels.json`` at the repo root, so future
-PRs are held to the recorded ns/point.
+write the measurements to the ``results/fresh/BENCH_kernels.json`` sidecar
+(compared against the committed repo-root baseline; ``REPRO_UPDATE_BENCH=1``
+rewrites the baseline too), so future PRs are held to the recorded ns/point.
 """
 
-import json
 import os
 
 import numpy as np
@@ -268,12 +268,14 @@ def test_bench_sweep_engine_full_torch_cuda(benchmark, sweep_workload):
     _torch_sweep_bench(benchmark, sweep_workload, "torch-cuda", "sweep_engine_full_torch_cuda")
 
 
-def test_sweep_equivalence_and_emit_json(sweep_workload):
+def test_sweep_equivalence_and_emit_json(sweep_workload, bench_json_writer):
     """Engine output is bit-identical to the old path; record the trajectory.
 
-    Runs last in this module: collects the timings recorded above into
-    ``BENCH_kernels.json`` at the repo root (machine-readable perf floor for
-    future PRs) and checks the measured kernel speedup.
+    Runs last in this module: collects the timings recorded above into the
+    ``results/fresh/BENCH_kernels.json`` sidecar (machine-readable perf
+    floor, compared against the committed repo-root baseline by
+    ``check_regression.py``; ``REPRO_UPDATE_BENCH=1`` also rewrites the
+    baseline) and checks the measured kernel speedup.
     """
     pts, centers, influence = sweep_workload
     for prune in (False, True):
@@ -310,13 +312,11 @@ def test_sweep_equivalence_and_emit_json(sweep_workload):
         ],
         "speedup_engine_vs_legacy": speedups,
     }
-    with open(BENCH_JSON, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    written = bench_json_writer(BENCH_JSON, payload)
     print(f"\n[BENCH] kernel speedup (full sweep): {speedup:.2f}x "
           f"({_SWEEP_TIMINGS['sweep_legacy_full'] / SWEEP_N * 1e9:.0f} -> "
           f"{_SWEEP_TIMINGS['sweep_engine_full'] / SWEEP_N * 1e9:.0f} ns/point) "
-          f"[written to {BENCH_JSON}]")
+          f"[written to {written}]")
     # regression guards with headroom below the controlled numbers (see the
     # committed BENCH_kernels.json: ~1.6x raw kernel, ~2.4x pruned sweep);
     # shared CI runners are too noisy for wall-clock thresholds, so there the

@@ -1,0 +1,56 @@
+"""Load-test benchmark for the partitioning service (``repro serve``).
+
+Launches a scratch unix-socket server, hammers it with concurrent client
+threads whose request seeds overlap (so the LRU cache, single-flight
+coalescing and per-dataset batching all engage), and reports p50/p99
+latency plus throughput.  The numbers land in the git-ignored
+``results/fresh/service_latency.json`` sidecar, which the CI ``service``
+job uploads as an artifact — every number here is wall-clock, so nothing
+is committed.
+
+Bit-identity is asserted *in-bench*: the harness compares each distinct
+seed's served response against a direct ``GeographerPartitioner`` run, so
+a batching/caching bug that changed results would fail the benchmark, not
+just skew its timings.  Carries the ``service`` marker (real sockets +
+threads — not tier 1).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.service.loadtest import format_report, run_load_test
+
+FRESH_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results", "fresh")
+REPORT_JSON = "service_latency.json"
+
+
+@pytest.mark.service
+def test_bench_service_load():
+    report = run_load_test(
+        n_points=2000, k=8, epsilon=0.03,
+        clients=16, requests_per_client=4, distinct_seeds=4,
+        cache_capacity=128, compute_threads=1, seed=0,
+        verify_identity=True,
+    )
+    # the in-bench identity gate: batched/coalesced/cached responses must be
+    # bit-identical to the direct, unbatched partitioner calls
+    assert report["errors"] == []
+    assert report["identity_ok"] is True
+    assert report["requests_total"] == 16 * 4
+
+    counters = report["server"]["counters"]
+    assert counters["cache_hit"] >= 1, "request mix never hit the LRU cache"
+    assert counters["requests_served"] == 4  # one real computation per seed
+
+    lat = report["latency_ms"]
+    assert 0 < lat["p50"] <= lat["p99"]
+    assert report["throughput_rps"] > 0
+
+    os.makedirs(FRESH_DIR, exist_ok=True)
+    path = os.path.join(FRESH_DIR, REPORT_JSON)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\n=== service load test ===\n{format_report(report)}\n[written to {path}]")

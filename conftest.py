@@ -16,6 +16,10 @@ Markers (registered in pyproject.toml):
 - ``chaos`` — fault-injection tests that kill real worker processes
   mid-run (:mod:`repro.runtime.faults`); CI runs them as a dedicated job
   via ``pytest -m chaos`` under ``pytest-timeout``.
+- ``service`` — partitioning-service tests that run real unix-socket
+  servers, some as ``repro serve`` subprocesses (:mod:`repro.service`);
+  CI runs them as a dedicated job via ``pytest -m service`` under
+  ``pytest-timeout``.
 
 Golden fixtures: tests call ``golden("name", {...})`` to compare a dict of
 metrics against ``tests/golden/name.json``.  Run with ``--update-golden``
@@ -49,7 +53,7 @@ def pytest_addoption(parser):
 
 def pytest_collection_modifyitems(config, items):
     for item in items:
-        if not any(m.name in ("slow", "process_backend", "mpi_backend", "chaos")
+        if not any(m.name in ("slow", "process_backend", "mpi_backend", "chaos", "service")
                    for m in item.iter_markers()):
             item.add_marker(pytest.mark.tier1)
 

@@ -15,7 +15,13 @@ Commands
 - ``mpi``         — SPMD bridge: forward a command line to
   :mod:`repro.runtime.mpi_main` (``mpiexec -n 4 repro mpi distributed ...``);
 - ``experiments`` — regenerate a named paper artifact (figure1..figure4,
-  table1, table2, components, repartition).
+  table1, table2, components, repartition);
+- ``serve``       — long-lived partitioning server on a unix socket
+  (warm workspaces, request batching, LRU result cache, session
+  checkpoints);
+- ``bench-service``— load-test a partitioning server and report p50/p99
+  latency and throughput (launches a scratch server unless --socket is
+  given).
 
 Commands that exercise the SPMD runtime (``distributed``, ``spmv``,
 ``scaling``) accept ``--backend virtual|process|mpi``: virtual simulates
@@ -173,6 +179,37 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--out", default="results", help="output directory for figure1 SVGs")
     e.add_argument("--scale", type=float, default=0.25)
     e.add_argument("--seed", type=int, default=0)
+
+    sv = sub.add_parser("serve", help="long-lived partitioning server on a unix socket")
+    sv.add_argument("socket", help="unix socket path to listen on")
+    sv.add_argument("--checkpoint-dir", default=None,
+                    help="per-session checkpoints go here; restarting the server "
+                         "on the same directory resumes every open session")
+    sv.add_argument("--cache-capacity", type=int, default=128,
+                    help="LRU result-cache entries (default 128; 0 disables)")
+    sv.add_argument("--compute-threads", type=int, default=1,
+                    help="partitioning executor threads (default 1)")
+
+    bs = sub.add_parser("bench-service",
+                        help="load-test a partitioning server: p50/p99 latency + throughput")
+    bs.add_argument("--socket", default=None,
+                    help="hammer an already-running server (default: launch a "
+                         "scratch in-process server and shut it down after)")
+    bs.add_argument("-n", "--n-points", type=int, default=2000)
+    bs.add_argument("-k", type=int, default=8)
+    bs.add_argument("--epsilon", type=float, default=0.03)
+    bs.add_argument("--clients", type=int, default=32)
+    bs.add_argument("--requests", type=int, default=4,
+                    help="requests per client (default 4)")
+    bs.add_argument("--seeds", type=int, default=4,
+                    help="distinct request seeds cycled across clients (default 4)")
+    bs.add_argument("--cache-capacity", type=int, default=128)
+    bs.add_argument("--compute-threads", type=int, default=1)
+    bs.add_argument("--seed", type=int, default=0, help="dataset generation seed")
+    bs.add_argument("--no-verify", action="store_true",
+                    help="skip the bit-identity check against direct partition()")
+    bs.add_argument("--out-json", default=None,
+                    help="also write the full report as JSON here")
     return parser
 
 
@@ -463,6 +500,49 @@ def _cmd_experiments(args) -> None:
         print(repartitioning.format_result(repartitioning.run(n=n, seed=args.seed)))
 
 
+def _cmd_serve(args) -> None:
+    import asyncio
+
+    from repro.service.server import serve
+
+    def announce() -> None:
+        print(f"partitioning server listening on {args.socket}", flush=True)
+        if args.checkpoint_dir:
+            print(f"session checkpoints under {args.checkpoint_dir}", flush=True)
+
+    asyncio.run(serve(
+        args.socket,
+        checkpoint_dir=args.checkpoint_dir,
+        cache_capacity=args.cache_capacity,
+        compute_threads=args.compute_threads,
+        ready_callback=announce,
+    ))
+
+
+def _cmd_bench_service(args) -> None:
+    from repro.service.loadtest import format_report, run_load_test
+
+    report = run_load_test(
+        socket_path=args.socket,
+        n_points=args.n_points,
+        k=args.k,
+        epsilon=args.epsilon,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        distinct_seeds=args.seeds,
+        cache_capacity=args.cache_capacity,
+        compute_threads=args.compute_threads,
+        seed=args.seed,
+        verify_identity=not args.no_verify,
+        out_json=args.out_json,
+    )
+    print(format_report(report))
+    if args.out_json:
+        print(f"wrote {args.out_json}")
+    if report["errors"] or not report["identity_ok"]:
+        raise SystemExit(1)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=4, suppress=True)
@@ -480,6 +560,8 @@ def main(argv: list[str] | None = None) -> int:
         "mpi": lambda: _cmd_mpi(args),
         "scaling": lambda: _cmd_scaling(args),
         "experiments": lambda: _cmd_experiments(args),
+        "serve": lambda: _cmd_serve(args),
+        "bench-service": lambda: _cmd_bench_service(args),
     }
     code = dispatch[args.command]()
     return int(code or 0)

@@ -40,7 +40,7 @@ from repro.util.rng import ensure_rng
 from repro.util.timers import StageTimer
 from repro.util.validation import check_k, check_points, check_weights, normalize_targets
 
-__all__ = ["balanced_kmeans", "weighted_center_update"]
+__all__ = ["balanced_kmeans", "compute_sfc_order", "weighted_center_update"]
 
 #: ``kind`` tag in checkpoint metadata (rejects resuming the wrong algorithm).
 CHECKPOINT_KIND = "serial-kmeans"
@@ -116,6 +116,18 @@ def _reseed_empty(
     return True
 
 
+def compute_sfc_order(points: np.ndarray, config: BalancedKMeansConfig | None = None) -> np.ndarray:
+    """The stable SFC sort order :func:`balanced_kmeans` derives from ``points``.
+
+    Long-lived callers (the partitioning service) compute this once per
+    dataset and pass it back via ``sfc_order=`` so repeated runs over fixed
+    geometry skip the per-call Hilbert/Morton index + argsort.
+    """
+    cfg = config or BalancedKMeansConfig()
+    pts = check_points(points)
+    return np.argsort(sfc_index(pts, curve=cfg.sfc_curve, bits=cfg.sfc_bits), kind="stable")
+
+
 def balanced_kmeans(
     points: np.ndarray,
     k: int,
@@ -127,6 +139,8 @@ def balanced_kmeans(
     checkpoint: CheckpointStore | str | None = None,
     checkpoint_every: int = 1,
     resume_from: CheckpointStore | str | None = None,
+    workspace: SweepWorkspace | None = None,
+    sfc_order: np.ndarray | None = None,
 ) -> KMeansResult:
     """Partition ``points`` into ``k`` balanced clusters (Algorithm 2).
 
@@ -153,6 +167,19 @@ def balanced_kmeans(
         rebuilds its pruning caches, which never changes results).  The
         checkpoint is validated against the configuration and input data
         with a loud mismatch error.
+    workspace:
+        Optional warm :class:`~repro.core.kernels.SweepWorkspace` from a
+        previous run over the *identical* (SFC-sorted points, config, k)
+        triple — validated via :meth:`~repro.core.kernels.SweepWorkspace
+        .matches`, with a loud error on mismatch.  Reuse skips rebuilding
+        point norms and static block boxes; results are bit-identical
+        either way (workspace state only affects skip statistics).
+    sfc_order:
+        Optional precomputed :func:`compute_sfc_order` result for
+        ``points``; skips the per-call SFC index + argsort.  The caller
+        asserts it equals what this call would compute — a wrong order
+        changes seeding and block locality (not correctness of balance,
+        but results would differ from a cold call).
 
     Returns
     -------
@@ -200,8 +227,13 @@ def balanced_kmeans(
     # --- SFC sort for chunk locality + seeding (Algorithm 2, lines 4-7) ---
     order = None
     if cfg.sfc_sort or cfg.seeding == "sfc":
-        with timers.stage("sfc_index"):
-            order = np.argsort(sfc_index(pts, curve=cfg.sfc_curve, bits=cfg.sfc_bits), kind="stable")
+        if sfc_order is not None:
+            order = np.asarray(sfc_order, dtype=np.int64)
+            if order.shape != (n,):
+                raise ValueError(f"sfc_order must have shape ({n},), got {order.shape}")
+        else:
+            with timers.stage("sfc_index"):
+                order = np.argsort(sfc_index(pts, curve=cfg.sfc_curve, bits=cfg.sfc_bits), kind="stable")
     if cfg.sfc_sort:
         with timers.stage("redistribute"):
             work_pts = pts[order]
@@ -275,8 +307,19 @@ def balanced_kmeans(
 
     # --- main loop (Algorithm 2, lines 10-19) ------------------------------
     # One workspace for the whole run: per-point squared norms and the static
-    # SFC block boxes are computed once here, then reused by every sweep.
-    workspace = SweepWorkspace(work_pts, cfg, k)
+    # SFC block boxes are computed once here, then reused by every sweep.  A
+    # warm workspace from a previous run over the same problem is accepted
+    # after validation; its leftover aggregates are dropped.
+    if workspace is not None:
+        if not workspace.matches(work_pts, cfg, k):
+            raise ValueError(
+                "warm workspace does not match this run: it was built for a "
+                "different (points, config, k) triple — build a fresh "
+                "SweepWorkspace (or let balanced_kmeans build one) instead"
+            )
+        workspace.invalidate_block_bounds()
+    else:
+        workspace = SweepWorkspace(work_pts, cfg, k)
     assignment = np.zeros(n, dtype=np.int64)
     ub, lb = init_bounds(n)
     converged = False

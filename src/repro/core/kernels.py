@@ -416,6 +416,45 @@ class SweepWorkspace:
                 self.block_lo, self.block_hi, point_block, self.k, rank=rank,
             )
 
+    # -- warm reuse ---------------------------------------------------------
+
+    #: Config fields the workspace's cached state actually depends on.  Two
+    #: configs that agree here produce byte-identical workspaces; fields like
+    #: epsilon/use_sampling/seeding live outside the workspace entirely, so a
+    #: warm workspace may serve e.g. a partition *and* the sampling-free
+    #: repartition variant of the same session.
+    _CONFIG_FIELDS = (
+        "kernel_backend", "chunk_size", "sfc_sort", "use_box_pruning",
+        "incremental_block_size", "use_incremental", "use_bounds",
+    )
+
+    def _config_signature(self, config) -> tuple:
+        return tuple(getattr(config, f, None) for f in self._CONFIG_FIELDS)
+
+    def matches(self, points: np.ndarray, config, k: int) -> bool:
+        """True when this workspace was built for exactly this sweep problem.
+
+        A workspace may be kept warm across whole runs (the service layer
+        keeps one per session) **only** for identical points, identical
+        ``k``, and a config agreeing on every workspace-relevant field
+        (:attr:`_CONFIG_FIELDS`) — the cached ``points_sq`` and static
+        block boxes belong to those points, and the backend/chunking come
+        from that config.  The value comparison makes a reused workspace
+        safe even when the caller re-derives the sorted point array each
+        call.  Callers must still :meth:`invalidate_block_bounds` before
+        reuse so stale incremental aggregates from the previous run are
+        dropped (they only affect skip statistics, never results, but
+        start each run clean).
+        """
+        if self.k != int(k):
+            return False
+        if self._config_signature(self.config) != self._config_signature(config):
+            return False
+        pts = np.ascontiguousarray(points, dtype=np.float64)
+        if self.points.shape != pts.shape:
+            return False
+        return self.points is pts or bool(np.array_equal(self.points, pts))
+
     # -- phase / sweep setup ------------------------------------------------
 
     def begin_phase(self, centers: np.ndarray) -> None:

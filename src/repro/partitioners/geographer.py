@@ -32,9 +32,20 @@ class GeographerPartitioner(GeometricPartitioner):
     name = "Geographer"
     supports_warm_start = True
 
-    def __init__(self, config: BalancedKMeansConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: BalancedKMeansConfig | None = None,
+        workspace=None,
+        sfc_order=None,
+    ) -> None:
         self.config = config or BalancedKMeansConfig()
         self.last_result: KMeansResult | None = None
+        # warm-run state for long-lived callers (the service layer): a
+        # SweepWorkspace + precomputed SFC order are forwarded to every
+        # balanced_kmeans call.  Results are bit-identical with or without
+        # them; the workspace is validated against each call's problem.
+        self.workspace = workspace
+        self.sfc_order = sfc_order
 
     def _config_for(self, epsilon: float) -> BalancedKMeansConfig:
         return self.config if self.config.epsilon == epsilon else self.config.with_(epsilon=epsilon)
@@ -51,7 +62,8 @@ class GeographerPartitioner(GeometricPartitioner):
 
     def _partition(self, points, k, weights, epsilon, rng, targets):
         result = balanced_kmeans(points, k, weights=weights, config=self._config_for(epsilon),
-                                 rng=rng, target_weights=targets)
+                                 rng=rng, target_weights=targets,
+                                 workspace=self.workspace, sfc_order=self.sfc_order)
         return self._wrap(result)
 
     def _repartition(self, points, k, weights, epsilon, rng, targets, centers):
@@ -61,5 +73,6 @@ class GeographerPartitioner(GeometricPartitioner):
         if cfg.use_sampling:
             cfg = cfg.with_(use_sampling=False)
         result = balanced_kmeans(points, k, weights=weights, config=cfg, rng=rng,
-                                 target_weights=targets, centers=centers)
+                                 target_weights=targets, centers=centers,
+                                 workspace=self.workspace, sfc_order=self.sfc_order)
         return self._wrap(result)

@@ -42,12 +42,14 @@ import numpy as np
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "CheckpointConcurrencyError",
     "CheckpointError",
     "CheckpointMismatchError",
     "CheckpointStore",
     "data_digest",
     "rng_state",
     "restore_rng",
+    "sanitize_run_id",
 ]
 
 #: Bumped when the on-disk layout changes incompatibly.
@@ -63,6 +65,15 @@ class CheckpointError(RuntimeError):
 
 class CheckpointMismatchError(CheckpointError):
     """A checkpoint is valid but belongs to a different run configuration."""
+
+
+class CheckpointConcurrencyError(CheckpointError):
+    """Another writer saved into this store's namespace since it was opened.
+
+    Two live stores sharing one (directory, prefix) interleave rotation and
+    ordinal continuation and can clobber each other's "latest"; the fix is a
+    per-run namespace (``CheckpointStore(..., run_id=...)``), not retrying.
+    """
 
 
 def data_digest(*arrays: np.ndarray, extra: str = "") -> str:
@@ -106,6 +117,14 @@ def _payload_digest(arrays: Mapping[str, np.ndarray], meta_json: str) -> str:
     return h.hexdigest()
 
 
+def sanitize_run_id(run_id: str) -> str:
+    """Collapse a run id to a safe single path component (no separators)."""
+    cleaned = re.sub(r"[^A-Za-z0-9._-]+", "_", str(run_id)).strip("._")
+    if not cleaned:
+        raise ValueError(f"run_id {run_id!r} has no usable filename characters")
+    return cleaned
+
+
 def _encode_str(text: str) -> np.ndarray:
     return np.frombuffer(text.encode("utf-8"), dtype=np.uint8).copy()
 
@@ -129,12 +148,30 @@ class CheckpointStore:
         Newest checkpoints retained after each save (older ones unlinked).
         At least 2 is recommended so a checkpoint corrupted on disk still
         leaves a valid predecessor to fall back to.
+    run_id:
+        Optional per-run namespace: checkpoints land in
+        ``directory/run_id/`` so many concurrent runs (e.g. service
+        sessions) can share one root directory without interleaving
+        rotation or ordinal continuation.  Sanitised to a safe filename.
+        Concurrent writers *within* one namespace are still an error —
+        :meth:`save` detects a foreign file at or past its own ordinal and
+        raises :class:`CheckpointConcurrencyError` instead of clobbering.
     """
 
-    def __init__(self, directory: str | os.PathLike, prefix: str = "ckpt", keep: int = 3) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        prefix: str = "ckpt",
+        keep: int = 3,
+        run_id: str | None = None,
+    ) -> None:
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
         self.directory = Path(directory)
+        self.run_id = None
+        if run_id is not None:
+            self.run_id = sanitize_run_id(run_id)
+            self.directory = self.directory / self.run_id
         self.prefix = str(prefix)
         self.keep = int(keep)
         self._pattern = re.compile(re.escape(self.prefix) + r"-(\d{6,})\.npz$")
@@ -190,6 +227,7 @@ class CheckpointStore:
             if key.startswith("__"):
                 raise ValueError(f"array name {key!r} is reserved")
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._check_sole_writer()
         ordinal = self._ordinal
         self._ordinal += 1
         full_meta = dict(meta)
@@ -216,6 +254,26 @@ class CheckpointStore:
                 tmp.unlink()
         self._rotate()
         return final
+
+    def _check_sole_writer(self) -> None:
+        """Raise loudly when another store wrote into this namespace.
+
+        Every ordinal this store will write is strictly greater than any
+        ordinal that existed when it was opened, so a file on disk at or
+        past ``self._ordinal`` can only come from a concurrent writer.
+        """
+        paths = self.candidates()
+        if not paths:
+            return
+        newest = int(self._pattern.match(paths[-1].name).group(1))
+        if newest >= self._ordinal:
+            raise CheckpointConcurrencyError(
+                f"concurrent checkpoint writer detected under {self.directory}: "
+                f"found on-disk ordinal {newest} but this store would write "
+                f"{self._ordinal}.  Two live CheckpointStores are sharing one "
+                "namespace; give each run its own run_id "
+                "(CheckpointStore(dir, run_id=...)) or directory."
+            )
 
     def _rotate(self) -> None:
         paths = self.candidates()

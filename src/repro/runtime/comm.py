@@ -87,6 +87,10 @@ class CostLedger:
     #: time accounting: recovery actions are rare and their interesting
     #: payload is *what happened where*, not a duration.
     events: list[dict] = field(default_factory=list)
+    #: Named monotone counters (service cache hits/misses/evictions, batched
+    #: requests, ...) — cheap enough to bump on every request, unlike
+    #: :attr:`events` which records one dict per occurrence.
+    counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -103,6 +107,12 @@ class CostLedger:
         self.collective_counts[op] = self.collective_counts.get(op, 0) + 1
         if stage:
             self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    def count(self, name: str, delta: int = 1) -> int:
+        """Bump counter ``name`` by ``delta``; returns the new value."""
+        value = self.counters.get(name, 0) + int(delta)
+        self.counters[name] = value
+        return value
 
     def record_event(self, kind: str, **info) -> None:
         """Append a discrete runtime event (JSON-serialisable values only)."""
@@ -125,6 +135,8 @@ class CostLedger:
         for key, val in other.stages.items():
             self.stages[key] = self.stages.get(key, 0.0) + val
         self.events.extend(other.events)
+        for key, val in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + val
 
 
 # -- shared collective combination kernels ----------------------------------

@@ -73,7 +73,9 @@ __all__ = [
     "SUPERSTEP_TIMEOUT_ENV",
     "assert_no_leaks",
     "leaked_resources",
+    "share_array",
     "shutdown_process_comms",
+    "unlink_array",
 ]
 
 try:  # numpy >= 2.0 moved byte_bounds out of the top-level namespace
@@ -155,6 +157,55 @@ def _attach_view(name: str, offset: int, shape: tuple, strides: tuple, dtype: st
     return view
 
 
+def share_array(array: np.ndarray) -> "SharedArray | np.ndarray":
+    """Copy ``array`` into a fresh shared-memory segment owned by the caller.
+
+    The standalone counterpart of :meth:`ProcessComm.share` for code that
+    owns segments without a communicator (e.g. the partitioning service,
+    which keeps one segment per registered dataset for the server's whole
+    lifetime).  The caller must eventually pass the returned view to
+    :func:`unlink_array`; zero-byte arrays are returned as-is (nothing to
+    share, nothing to unlink).
+    """
+    arr = np.ascontiguousarray(array)
+    if arr.nbytes == 0:
+        return arr
+    seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+    view[...] = arr
+    shared = view.view(SharedArray)
+    shared._shm = seg
+    return shared
+
+
+def unlink_array(array: np.ndarray) -> None:
+    """Close and unlink the segment backing a :func:`share_array` view.
+
+    Safe to call on plain ndarrays (no-op) and idempotent per segment; the
+    view must not be used afterwards.
+    """
+    seg = getattr(array, "_shm", None)
+    if seg is not None:
+        _unlink_segment(seg)
+
+
+def _unlink_segment(seg: shared_memory.SharedMemory) -> None:
+    # the owning process may also hold an attachment under this name (it
+    # unpickles worker-returned handles through _attach_segment)
+    attached = _ATTACHED.pop(seg.name, None)
+    for handle in (attached, seg):
+        if handle is None:
+            continue
+        try:
+            handle.close()
+        except BufferError:  # a view is still alive; unmapped at gc/exit
+            pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        pass
+
+
 class SharedArray(np.ndarray):
     """ndarray view over a ``multiprocessing.shared_memory`` segment.
 
@@ -234,10 +285,20 @@ def _worker_main(rank: int, conn) -> None:
 _LIVE_COMMS: "weakref.WeakSet[ProcessComm]" = weakref.WeakSet()
 
 
-def shutdown_process_comms() -> None:
-    """Close every live :class:`ProcessComm` (tests and the ``atexit`` hook)."""
+#: Per-escalation-step join budget on the atexit path.  Interpreter exit must
+#: never block on a wedged worker longer than ~3x this (join, terminate, kill).
+_ATEXIT_JOIN_TIMEOUT = 1.0
+
+
+def shutdown_process_comms(join_timeout: float = _ATEXIT_JOIN_TIMEOUT) -> None:
+    """Close every live :class:`ProcessComm` (tests and the ``atexit`` hook).
+
+    Bounded: each close escalates join → terminate → kill with
+    ``join_timeout`` per step, so a SIGSTOPped or wedged worker cannot hang
+    interpreter shutdown.
+    """
     for comm in list(_LIVE_COMMS):
-        comm.close()
+        comm.close(join_timeout=join_timeout)
 
 
 class ProcessComm(Comm):
@@ -514,23 +575,18 @@ class ProcessComm(Comm):
 
     @staticmethod
     def _drop_segment(seg: shared_memory.SharedMemory) -> None:
-        # the driver may also hold an attachment under this name (it
-        # unpickles worker-returned handles through _attach_segment)
-        attached = _ATTACHED.pop(seg.name, None)
-        for handle in (attached, seg):
-            if handle is None:
-                continue
-            try:
-                handle.close()
-            except BufferError:  # a view is still alive; unmapped at gc/exit
-                pass
-        try:
-            seg.unlink()
-        except FileNotFoundError:
-            pass
+        _unlink_segment(seg)
 
-    def close(self) -> None:
-        """Join/terminate workers and unlink shared memory.  Idempotent."""
+    def close(self, join_timeout: float = _JOIN_TIMEOUT) -> None:
+        """Join workers (escalating to terminate, then kill) and unlink memory.
+
+        Idempotent and *bounded*: a worker that ignores the exit message is
+        sent SIGTERM after ``join_timeout`` seconds and SIGKILL after
+        another ``join_timeout`` — SIGKILL also reaps workers that are
+        stopped (SIGSTOP) or wedged in uninterruptible state, where SIGTERM
+        merely stays pending.  This keeps the ``atexit`` path from hanging
+        interpreter shutdown on a wedged worker.
+        """
         if self._closed:
             return
         self._closed = True
@@ -539,12 +595,16 @@ class ProcessComm(Comm):
                 conn.send(("exit",))
             except (OSError, ValueError, BrokenPipeError):
                 pass
-        for proc in self._workers:
-            proc.join(timeout=_JOIN_TIMEOUT)
-        for proc in self._workers:
-            if proc.is_alive():  # pragma: no cover - stuck worker safety net
-                proc.terminate()
-                proc.join(timeout=_JOIN_TIMEOUT)
+        for escalate in (None, "terminate", "kill"):
+            deadline = time.perf_counter() + join_timeout
+            alive = False
+            for proc in self._workers:
+                if escalate is not None and proc.is_alive():
+                    getattr(proc, escalate)()
+                proc.join(timeout=max(0.0, deadline - time.perf_counter()))
+                alive = alive or proc.is_alive()
+            if not alive:
+                break
         for conn in self._conns:
             try:
                 conn.close()

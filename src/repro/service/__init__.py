@@ -1,0 +1,39 @@
+"""Partitioning as a service: a long-lived server over the warm-start stack.
+
+The paper's headline use case is *repartitioning* — a simulation whose load
+shifts every few timesteps and re-balances warm-started from the previous
+partition.  This package composes the ingredients PRs 1-7 built (warm-start
+``repartition()``, shared-memory ``SharedArray``, the kernel-backend
+registry, checkpoint/resume) into a serving layer:
+
+- :class:`~repro.service.server.PartitionService` — the in-process core:
+  datasets registered once into server-owned shared-memory segments,
+  sessions whose ``repartition`` calls warm-start from the previous centers
+  on one warm :class:`~repro.core.kernels.SweepWorkspace`, single-flight
+  request coalescing + per-dataset batching, an LRU result cache, and
+  per-session :class:`~repro.runtime.checkpoint.CheckpointStore` snapshots
+  a restarted server resumes bit-identically from.
+- :class:`~repro.service.server.PartitionServer` — the asyncio socket
+  front-end (length-prefixed pickles over a unix socket).
+- :class:`~repro.service.client.ServiceClient` — the thin blocking client.
+- :func:`~repro.service.loadtest.run_load_test` — the p50/p99/throughput
+  harness behind ``repro bench-service``.
+
+Every result the service returns is bit-identical to a direct
+``partitioner.partition()`` / ``repartition()`` call — caching, batching and
+warm workspaces only change *when* work happens, never what it computes.
+"""
+
+from repro.service.cache import LRUResultCache
+from repro.service.client import ServiceClient
+from repro.service.loadtest import run_load_test
+from repro.service.server import PartitionServer, PartitionService, ServiceError
+
+__all__ = [
+    "LRUResultCache",
+    "PartitionServer",
+    "PartitionService",
+    "ServiceClient",
+    "ServiceError",
+    "run_load_test",
+]

@@ -1,0 +1,89 @@
+"""LRU cache for partition results, with hit/miss counters in a cost ledger.
+
+Keys are the full determinism tuple of a request —
+``(data_digest, k, epsilon, weights_hash, seed)`` — so a hit is guaranteed
+bit-identical to recomputing: every input that can influence the result is
+part of the key (the data digest covers points, the weights hash covers the
+effective per-point loads, and the seed pins the stochastic parts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.runtime.comm import CostLedger
+
+__all__ = ["LRUResultCache", "weights_hash"]
+
+
+def weights_hash(weights: np.ndarray | None) -> str:
+    """Stable digest of an optional per-point weight array (``"-"`` for None)."""
+    if weights is None:
+        return "-"
+    arr = np.ascontiguousarray(np.asarray(weights))
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()[:32]
+
+
+class LRUResultCache:
+    """Bounded mapping from request keys to partition results.
+
+    ``get``/``put`` bump the ``cache_hit`` / ``cache_miss`` /
+    ``cache_eviction`` counters on the supplied
+    :class:`~repro.runtime.comm.CostLedger` (the service's ledger), so cache
+    effectiveness shows up next to the timing breakdown.  Not thread-safe on
+    its own; the service serialises access through its event loop.
+    """
+
+    def __init__(self, capacity: int = 128, ledger: CostLedger | None = None) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple):
+        """The cached result for ``key`` (freshened to most-recent), or None."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.ledger.count("cache_hit")
+            return self._entries[key]
+        self.ledger.count("cache_miss")
+        return None
+
+    def put(self, key: tuple, value) -> None:
+        """Insert ``value``, evicting the least-recently-used past capacity."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.ledger.count("cache_eviction")
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus the current size."""
+        c = self.ledger.counters
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": c.get("cache_hit", 0),
+            "misses": c.get("cache_miss", 0),
+            "evictions": c.get("cache_eviction", 0),
+        }

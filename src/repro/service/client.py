@@ -1,0 +1,126 @@
+"""Thin blocking client for the partitioning service.
+
+One :class:`ServiceClient` wraps one unix-socket connection; it is safe to
+use from one thread at a time (the load-test harness gives each simulated
+client its own instance).  Every method mirrors a server op and returns the
+already-unpickled value; server-side errors re-raise here as
+:class:`ServiceClientError` carrying the server's message.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+
+import numpy as np
+
+from repro.service.protocol import recv_frame, send_frame
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(RuntimeError):
+    """The server answered a request with an error status."""
+
+
+class ServiceClient:
+    """Blocking client; connects lazily, usable as a context manager."""
+
+    def __init__(self, socket_path: str | os.PathLike, connect_timeout: float = 10.0) -> None:
+        self.socket_path = os.fspath(socket_path)
+        self.connect_timeout = float(connect_timeout)
+        self._sock: socket.socket | None = None
+
+    # -- connection management ----------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        """Connect, waiting up to ``connect_timeout`` for the socket to appear.
+
+        The wait covers the standard launch race: a client started together
+        with ``repro serve`` must not fail before the server binds.
+        """
+        if self._sock is not None:
+            return self
+        deadline = time.perf_counter() + self.connect_timeout
+        while True:
+            try:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.connect(self.socket_path)
+                self._sock = sock
+                return self
+            except (FileNotFoundError, ConnectionRefusedError):
+                sock.close()
+                if time.perf_counter() > deadline:
+                    raise
+                time.sleep(0.05)
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _call(self, op: str, **fields):
+        self.connect()
+        send_frame(self._sock, {"op": op, **fields})
+        response = recv_frame(self._sock)
+        if response.get("status") != "ok":
+            raise ServiceClientError(response.get("error", "unknown server error"))
+        return response.get("value")
+
+    # -- ops -----------------------------------------------------------------
+
+    def ping(self) -> str:
+        return self._call("ping")
+
+    def register_dataset(
+        self,
+        points: np.ndarray,
+        weights: np.ndarray | None = None,
+        dataset_id: str | None = None,
+    ) -> dict:
+        return self._call("register_dataset", points=np.asarray(points),
+                          weights=None if weights is None else np.asarray(weights),
+                          dataset_id=dataset_id)
+
+    def partition(self, dataset_id: str, k: int, epsilon: float = 0.03, seed: int = 0,
+                  weights: np.ndarray | None = None):
+        return self._call("partition", dataset_id=dataset_id, k=int(k),
+                          epsilon=float(epsilon), seed=int(seed),
+                          weights=None if weights is None else np.asarray(weights))
+
+    def open_session(self, dataset_id: str, k: int, epsilon: float = 0.03,
+                     seed: int = 0) -> dict:
+        return self._call("open_session", dataset_id=dataset_id, k=int(k),
+                          epsilon=float(epsilon), seed=int(seed))
+
+    def repartition(self, session_id: str, weights: np.ndarray | None = None,
+                    weight_delta: np.ndarray | None = None,
+                    points: np.ndarray | None = None):
+        return self._call(
+            "repartition", session_id=session_id,
+            weights=None if weights is None else np.asarray(weights),
+            weight_delta=None if weight_delta is None else np.asarray(weight_delta),
+            points=None if points is None else np.asarray(points),
+        )
+
+    def close_session(self, session_id: str, drop_checkpoints: bool = False) -> dict:
+        return self._call("close_session", session_id=session_id,
+                          drop_checkpoints=bool(drop_checkpoints))
+
+    def stats(self) -> dict:
+        return self._call("stats")
+
+    def shutdown(self) -> str:
+        """Ask the server to drain and exit; closes this connection too."""
+        value = self._call("shutdown")
+        self.close()
+        return value

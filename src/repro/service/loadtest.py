@@ -1,0 +1,250 @@
+"""Load-test harness: p50/p99 latency + throughput under concurrent clients.
+
+Drives a :class:`~repro.service.server.PartitionServer` (an in-process one
+launched on a background event-loop thread, or any already-running socket)
+with many concurrent blocking clients, each on its own thread and
+connection — the same shape as real simulation ranks hammering one shared
+partitioning server.  The request mix cycles a small set of seeds, so the
+run exercises all three fast paths at once: LRU cache hits, single-flight
+coalescing of identical in-flight requests, and per-dataset batching of
+distinct ones.
+
+Besides timing, the harness *asserts bit-identity*: every response must
+equal the direct ``GeographerPartitioner().partition(...)`` result for its
+seed, so batching/caching can never be bought with changed output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.core.config import BalancedKMeansConfig
+from repro.partitioners.geographer import GeographerPartitioner
+from repro.service.client import ServiceClient
+
+__all__ = ["run_load_test", "start_background_server", "format_report"]
+
+
+def start_background_server(
+    socket_path: str | os.PathLike,
+    config: BalancedKMeansConfig | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
+    cache_capacity: int = 128,
+    compute_threads: int = 1,
+) -> threading.Thread:
+    """Launch :func:`repro.service.server.serve` on a daemon thread.
+
+    Returns once the socket is listening; shut the server down with
+    ``ServiceClient(socket_path).shutdown()`` and join the thread.
+    """
+    import asyncio
+
+    from repro.service.server import serve
+
+    ready = threading.Event()
+    failure: list[BaseException] = []
+
+    def runner():
+        try:
+            asyncio.run(serve(
+                socket_path, config=config, checkpoint_dir=checkpoint_dir,
+                cache_capacity=cache_capacity, compute_threads=compute_threads,
+                ready_callback=ready.set,
+            ))
+        except BaseException as exc:  # pragma: no cover - startup failures
+            failure.append(exc)
+            ready.set()
+
+    thread = threading.Thread(target=runner, name="repro-service-server", daemon=True)
+    thread.start()
+    if not ready.wait(timeout=30.0):
+        raise RuntimeError("partitioning server did not come up within 30s")
+    if failure:
+        raise failure[0]
+    return thread
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    idx = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def run_load_test(
+    socket_path: str | os.PathLike | None = None,
+    n_points: int = 2000,
+    k: int = 8,
+    epsilon: float = 0.03,
+    clients: int = 32,
+    requests_per_client: int = 4,
+    distinct_seeds: int = 4,
+    cache_capacity: int = 128,
+    compute_threads: int = 1,
+    seed: int = 0,
+    verify_identity: bool = True,
+    out_json: str | os.PathLike | None = None,
+) -> dict:
+    """Hammer a partitioning server and report latency/throughput.
+
+    With ``socket_path=None`` an in-process server is launched on a scratch
+    socket and shut down afterwards (segments released, leak-free);
+    otherwise the given server is used and left running.  Every client
+    issues ``requests_per_client`` ``partition`` requests whose seeds cycle
+    through ``range(distinct_seeds)``.  With ``verify_identity`` each
+    distinct seed's response is compared bit-for-bit against a direct
+    in-process ``GeographerPartitioner`` run on the same inputs.
+
+    Returns a JSON-serialisable report (also written to ``out_json`` when
+    given): client/request counts, wall seconds, ``throughput_rps``,
+    ``latency_ms`` percentiles, the server's counter/cache stats, and
+    ``identity_ok``.
+    """
+    rng = np.random.default_rng(seed)
+    points = rng.random((int(n_points), 2))
+
+    own_server = socket_path is None
+    thread = None
+    tmpdir = None
+    if own_server:
+        import tempfile
+
+        tmpdir = tempfile.mkdtemp(prefix="repro-service-")
+        socket_path = os.path.join(tmpdir, "service.sock")
+        thread = start_background_server(
+            socket_path, cache_capacity=cache_capacity, compute_threads=compute_threads,
+        )
+
+    try:
+        with ServiceClient(socket_path) as setup:
+            dataset_id = setup.register_dataset(points)["dataset_id"]
+
+        latencies: list[float] = []
+        results: dict[int, object] = {}
+        errors: list[str] = []
+        lock = threading.Lock()
+        start_barrier = threading.Barrier(int(clients) + 1)
+
+        def client_main(idx: int) -> None:
+            try:
+                with ServiceClient(socket_path) as client:
+                    start_barrier.wait()
+                    for r in range(int(requests_per_client)):
+                        req_seed = (idx + r) % max(1, int(distinct_seeds))
+                        t0 = time.perf_counter()
+                        result = client.partition(dataset_id, k, epsilon=epsilon, seed=req_seed)
+                        dt = time.perf_counter() - t0
+                        with lock:
+                            latencies.append(dt)
+                            first = results.setdefault(req_seed, result)
+                            if not np.array_equal(
+                                np.asarray(first.assignment), np.asarray(result.assignment)
+                            ):
+                                errors.append(f"seed {req_seed}: divergent responses")
+            except Exception as exc:
+                with lock:
+                    errors.append(f"client {idx}: {type(exc).__name__}: {exc}")
+                try:
+                    start_barrier.abort()
+                except Exception:
+                    pass
+
+        workers = [
+            threading.Thread(target=client_main, args=(i,), daemon=True)
+            for i in range(int(clients))
+        ]
+        for w in workers:
+            w.start()
+        try:
+            start_barrier.wait()
+        except threading.BrokenBarrierError:  # a client failed during connect
+            pass
+        wall_start = time.perf_counter()
+        for w in workers:
+            w.join()
+        wall = time.perf_counter() - wall_start
+
+        identity_ok = True
+        if verify_identity and not errors:
+            # unbatched/uncached reference: a fresh partitioner per seed, the
+            # exact call a client would have made without the service
+            for req_seed, served in sorted(results.items()):
+                direct = GeographerPartitioner().partition(
+                    points, int(k), epsilon=float(epsilon), rng=int(req_seed)
+                )
+                if not (
+                    np.array_equal(np.asarray(direct.assignment), np.asarray(served.assignment))
+                    and np.array_equal(np.asarray(direct.centers), np.asarray(served.centers))
+                    and direct.imbalance == served.imbalance
+                ):
+                    identity_ok = False
+                    errors.append(f"seed {req_seed}: served result != direct partition()")
+
+        with ServiceClient(socket_path) as probe:
+            stats = probe.stats()
+
+        lat_sorted = sorted(latencies)
+        report = {
+            "n_points": int(n_points),
+            "k": int(k),
+            "epsilon": float(epsilon),
+            "clients": int(clients),
+            "requests_per_client": int(requests_per_client),
+            "distinct_seeds": int(distinct_seeds),
+            "requests_total": len(latencies),
+            "wall_seconds": wall,
+            "throughput_rps": (len(latencies) / wall) if wall > 0 else float("nan"),
+            "latency_ms": {
+                "p50": _percentile(lat_sorted, 0.50) * 1e3,
+                "p90": _percentile(lat_sorted, 0.90) * 1e3,
+                "p99": _percentile(lat_sorted, 0.99) * 1e3,
+                "mean": (sum(lat_sorted) / len(lat_sorted) * 1e3) if lat_sorted else float("nan"),
+                "max": (lat_sorted[-1] * 1e3) if lat_sorted else float("nan"),
+            },
+            "server": stats,
+            "identity_ok": identity_ok,
+            "errors": errors,
+        }
+    finally:
+        if own_server:
+            try:
+                with ServiceClient(socket_path) as closer:
+                    closer.shutdown()
+            except Exception:
+                pass
+            if thread is not None:
+                thread.join(timeout=30.0)
+            if tmpdir is not None:
+                import shutil
+
+                shutil.rmtree(tmpdir, ignore_errors=True)
+
+    if out_json is not None:
+        with open(out_json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    return report
+
+
+def format_report(report: dict) -> str:
+    """One human-readable block for the CLI / bench output."""
+    lat = report["latency_ms"]
+    lines = [
+        f"service load test: {report['clients']} clients x "
+        f"{report['requests_per_client']} requests "
+        f"(n={report['n_points']}, k={report['k']}, {report['distinct_seeds']} seeds)",
+        f"  requests    {report['requests_total']}  in  {report['wall_seconds']:.3f} s"
+        f"  ->  {report['throughput_rps']:.1f} req/s",
+        f"  latency ms  p50={lat['p50']:.2f}  p90={lat['p90']:.2f}  "
+        f"p99={lat['p99']:.2f}  mean={lat['mean']:.2f}  max={lat['max']:.2f}",
+        f"  cache       {report['server']['cache']}",
+        f"  counters    {report['server']['counters']}",
+        f"  identity    {'bit-identical to direct partition()' if report['identity_ok'] else 'MISMATCH'}",
+    ]
+    if report["errors"]:
+        lines.append(f"  errors      {report['errors']}")
+    return "\n".join(lines)

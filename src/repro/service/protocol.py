@@ -1,0 +1,89 @@
+"""Wire protocol: length-prefixed pickle frames over a local socket.
+
+One frame = a 4-byte big-endian payload length followed by a pickle of one
+Python object.  Requests are dicts with an ``"op"`` key; responses are dicts
+with ``"status"`` (``"ok"`` or ``"error"``).  Pickle is appropriate here
+because the server listens on a **unix domain socket** owned by the user who
+launched it — clients are trusted local processes, exactly like the
+pickle-over-pipe transport of the process backend
+(:mod:`repro.runtime.procomm`).  Do not expose the socket to untrusted
+peers.
+
+Both asyncio (server-side) and blocking (client-side) helpers live here so
+the framing cannot drift between the two.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import socket
+import struct
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "read_frame",
+    "write_frame",
+    "recv_frame",
+    "send_frame",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame (1 GiB) — catches corrupt headers before a
+#: nonsense length turns into an absurd allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ProtocolError(RuntimeError):
+    """A malformed or oversized frame (or a closed peer mid-frame)."""
+
+
+def _check_length(length: int) -> int:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} limit")
+    return length
+
+
+# -- asyncio (server) ---------------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader):
+    """Read one frame; raises ``asyncio.IncompleteReadError`` on EOF."""
+    header = await reader.readexactly(_HEADER.size)
+    length = _check_length(_HEADER.unpack(header)[0])
+    payload = await reader.readexactly(length)
+    return pickle.loads(payload)
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj) -> None:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    writer.write(_HEADER.pack(len(payload)) + payload)
+    await writer.drain()
+
+
+# -- blocking (client) --------------------------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket):
+    header = _recv_exactly(sock, _HEADER.size)
+    length = _check_length(_HEADER.unpack(header)[0])
+    return pickle.loads(_recv_exactly(sock, length))
+
+
+def send_frame(sock: socket.socket, obj) -> None:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)

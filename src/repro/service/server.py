@@ -1,0 +1,655 @@
+"""The partitioning service core and its asyncio socket front-end.
+
+:class:`PartitionService` is the in-process heart — an asyncio object whose
+coroutines implement the whole feature set (datasets in shared memory, warm
+sessions, coalescing/batching, the LRU cache, per-session checkpoints,
+graceful drain).  :class:`PartitionServer` is a thin transport: it exposes
+those coroutines over length-prefixed pickle frames on a unix socket
+(:mod:`repro.service.protocol`) so many client processes can share one warm
+server.  Keeping the core transport-free makes every behaviour testable
+without sockets.
+
+Determinism contract: every result is **bit-identical** to calling
+``GeographerPartitioner().partition(...)`` / ``.repartition(...)`` directly
+with the same inputs.  Warm workspaces only skip redundant cache builds
+(never change sweep results — the PR-2/4 property), the result cache keys on
+every determinism-relevant input, coalescing shares one computation between
+identical requests, and session step ``i`` always runs with
+``rng = seed + i`` so a resumed server replays the exact rng sequence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.balanced_kmeans import compute_sfc_order
+from repro.core.config import BalancedKMeansConfig
+from repro.core.kernels import SweepWorkspace
+from repro.partitioners.geographer import GeographerPartitioner
+from repro.partitioners.result import PartitionResult
+from repro.runtime.checkpoint import CheckpointStore, data_digest, sanitize_run_id, validate_meta
+from repro.runtime.comm import CostLedger
+from repro.runtime.procomm import share_array, unlink_array
+from repro.service.cache import LRUResultCache, weights_hash
+from repro.service.protocol import read_frame, write_frame
+
+__all__ = ["PartitionServer", "PartitionService", "ServiceError", "SESSION_CHECKPOINT_KIND"]
+
+#: ``kind`` tag of per-session checkpoints (rejects resuming foreign files).
+SESSION_CHECKPOINT_KIND = "service-session"
+
+
+class ServiceError(RuntimeError):
+    """A request the service cannot honour (unknown ids, bad shapes, closed)."""
+
+
+@dataclass
+class _Dataset:
+    dataset_id: str
+    points: np.ndarray  # SharedArray view over a server-owned segment
+    weights: np.ndarray | None  # ditto, or None for unit weights
+    digest: str
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    sfc_order: np.ndarray | None = None
+    workspaces: dict[int, SweepWorkspace] = field(default_factory=dict)
+
+
+@dataclass
+class _Session:
+    session_id: str
+    dataset_id: str
+    k: int
+    epsilon: float
+    seed: int
+    step: int = 0
+    previous: PartitionResult | None = None
+    # session-private geometry (None -> the dataset's shared points) and the
+    # session's current weights (None -> the dataset's registered weights)
+    points: np.ndarray | None = None
+    weights: np.ndarray | None = None
+    sfc_order: np.ndarray | None = None
+    workspace: SweepWorkspace | None = None
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    store: CheckpointStore | None = None
+
+
+class PartitionService:
+    """Long-lived partitioning core: warm state + caching over Geographer.
+
+    Parameters
+    ----------
+    config:
+        The :class:`BalancedKMeansConfig` every request runs under (the
+        per-request ``epsilon`` overrides the config's, exactly like
+        :class:`GeographerPartitioner`); also selects the kernel backend
+        the warm workspaces are built for.
+    checkpoint_dir:
+        Root directory for per-session checkpoints — each session writes
+        into its own ``run_id`` namespace (the concurrency-safe layout of
+        :class:`CheckpointStore`).  On construction, existing session
+        checkpoints under this root are loaded and their sessions (and
+        backing datasets) rebuilt, which is how a SIGKILLed server resumes.
+        ``None`` disables checkpointing.
+    cache_capacity:
+        LRU result-cache entries (0 disables caching).
+    compute_threads:
+        Executor threads for the numeric work.  The default 1 serialises
+        all sweeps (per-dataset locks already serialise same-dataset work);
+        raise it to overlap distinct datasets.
+    """
+
+    def __init__(
+        self,
+        config: BalancedKMeansConfig | None = None,
+        checkpoint_dir: str | os.PathLike | None = None,
+        cache_capacity: int = 128,
+        compute_threads: int = 1,
+    ) -> None:
+        self.config = config or BalancedKMeansConfig()
+        self.checkpoint_dir = os.fspath(checkpoint_dir) if checkpoint_dir is not None else None
+        self.ledger = CostLedger()
+        self.cache = LRUResultCache(cache_capacity, ledger=self.ledger)
+        self._datasets: dict[str, _Dataset] = {}
+        self._sessions: dict[str, _Session] = {}
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, int(compute_threads)), thread_name_prefix="repro-service"
+        )
+        self._closed = False
+        if self.checkpoint_dir is not None:
+            self._resume_sessions()
+
+    # -- datasets ------------------------------------------------------------
+
+    async def register_dataset(
+        self,
+        points: np.ndarray,
+        weights: np.ndarray | None = None,
+        dataset_id: str | None = None,
+    ) -> dict:
+        """Copy ``points``/``weights`` into server-owned shared segments.
+
+        Idempotent: re-registering identical data under the same id (or the
+        digest-derived default id) returns the existing registration, so
+        clients may blindly register on connect.  Returns
+        ``{"dataset_id", "digest", "n", "dim"}``.
+        """
+        self._ensure_open()
+        return self._register_dataset_sync(points, weights, dataset_id)
+
+    def _register_dataset_sync(self, points, weights, dataset_id=None) -> dict:
+        pts = np.ascontiguousarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] not in (2, 3):
+            raise ServiceError(f"points must be (n, 2|3), got shape {pts.shape}")
+        w = None
+        if weights is not None:
+            w = np.ascontiguousarray(weights, dtype=np.float64)
+            if w.shape != (pts.shape[0],):
+                raise ServiceError(f"weights shape {w.shape} does not match {pts.shape[0]} points")
+        digest = data_digest(pts, *( [w] if w is not None else [] ))
+        if dataset_id is None:
+            dataset_id = f"ds-{digest[:12]}"
+        existing = self._datasets.get(dataset_id)
+        if existing is not None:
+            if existing.digest != digest:
+                raise ServiceError(
+                    f"dataset id {dataset_id!r} is already registered with different data"
+                )
+            self.ledger.count("dataset_rehits")
+            return self._dataset_info(existing)
+        ds = _Dataset(
+            dataset_id=dataset_id,
+            points=share_array(pts),
+            weights=share_array(w) if w is not None else None,
+            digest=digest,
+        )
+        self._datasets[dataset_id] = ds
+        self.ledger.count("datasets_registered")
+        return self._dataset_info(ds)
+
+    @staticmethod
+    def _dataset_info(ds: _Dataset) -> dict:
+        return {
+            "dataset_id": ds.dataset_id,
+            "digest": ds.digest,
+            "n": int(ds.points.shape[0]),
+            "dim": int(ds.points.shape[1]),
+        }
+
+    def _dataset(self, dataset_id: str) -> _Dataset:
+        ds = self._datasets.get(dataset_id)
+        if ds is None:
+            raise ServiceError(f"unknown dataset {dataset_id!r}; register it first")
+        return ds
+
+    def _warm_state(
+        self, points: np.ndarray, k: int, sfc_order: np.ndarray | None,
+        workspace: SweepWorkspace | None,
+    ) -> tuple[np.ndarray | None, SweepWorkspace | None]:
+        """(Re)build the (sfc_order, workspace) pair for one point set + k."""
+        cfg = self.config
+        order = sfc_order
+        if order is None and (cfg.sfc_sort or cfg.seeding == "sfc"):
+            order = compute_sfc_order(points, cfg)
+        if int(k) == 1:
+            return order, None  # k == 1 short-circuits before any sweep
+        work = points[order] if (cfg.sfc_sort and order is not None) else points
+        if workspace is None or not workspace.matches(work, cfg, k):
+            workspace = SweepWorkspace(np.ascontiguousarray(work), cfg, int(k))
+            self.ledger.count("workspaces_built")
+        return order, workspace
+
+    # -- one-shot partitioning (coalesced + batched + cached) ----------------
+
+    async def partition(
+        self,
+        dataset_id: str,
+        k: int,
+        epsilon: float = 0.03,
+        seed: int = 0,
+        weights: np.ndarray | None = None,
+    ) -> PartitionResult:
+        """One-shot ``Geographer.partition`` over a registered dataset.
+
+        ``weights`` overrides the dataset's registered weights for this
+        request only.  Concurrent identical requests coalesce onto a single
+        computation (single-flight); concurrent distinct requests against
+        one dataset queue on the dataset lock and run back-to-back on its
+        warm workspace (one fused pass per queue drain, counted under
+        ``batched_requests``).  Results are cached in the LRU keyed on
+        ``(data_digest, k, epsilon, weights_hash, seed)``.
+        """
+        self._ensure_open()
+        ds = self._dataset(dataset_id)
+        eff_w = ds.weights if weights is None else np.ascontiguousarray(weights, dtype=np.float64)
+        key = (ds.digest, int(k), float(epsilon), weights_hash(eff_w), int(seed))
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        pending = self._inflight.get(key)
+        if pending is not None:
+            self.ledger.count("coalesced_requests")
+            return await asyncio.shield(pending)
+        future = asyncio.get_running_loop().create_future()
+        # a lone failed request must not warn about an unretrieved exception
+        future.add_done_callback(lambda f: f.cancelled() or f.exception())
+        self._inflight[key] = future
+        try:
+            if ds.lock.locked():
+                self.ledger.count("batched_requests")
+            async with ds.lock:
+                order, ws = self._warm_state(ds.points, k, ds.sfc_order, ds.workspaces.get(int(k)))
+                ds.sfc_order = order
+                if ws is not None:
+                    ds.workspaces[int(k)] = ws
+                result = await self._run(
+                    lambda: GeographerPartitioner(
+                        config=self.config, workspace=ws, sfc_order=order
+                    ).partition(ds.points, int(k), eff_w, epsilon, rng=int(seed))
+                )
+            self.cache.put(key, result)
+            self.ledger.count("requests_served")
+            future.set_result(result)
+            return result
+        except BaseException as exc:
+            future.set_exception(exc)
+            raise
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _run(self, fn):
+        return await asyncio.get_running_loop().run_in_executor(self._pool, fn)
+
+    # -- sessions ------------------------------------------------------------
+
+    async def open_session(
+        self, dataset_id: str, k: int, epsilon: float = 0.03, seed: int = 0
+    ) -> dict:
+        """Open a repartitioning session over a registered dataset.
+
+        The first :meth:`repartition` call runs cold; each later call
+        warm-starts from the session's previous centers.  Step ``i`` runs
+        with ``rng = seed + i``.  Returns ``{"session_id", ...}``.
+        """
+        self._ensure_open()
+        ds = self._dataset(dataset_id)
+        session_id = f"sess-{uuid.uuid4().hex[:12]}"
+        sess = _Session(
+            session_id=session_id,
+            dataset_id=ds.dataset_id,
+            k=int(k),
+            epsilon=float(epsilon),
+            seed=int(seed),
+            store=self._session_store(session_id),
+        )
+        self._sessions[session_id] = sess
+        self.ledger.count("sessions_opened")
+        return {"session_id": session_id, "dataset_id": ds.dataset_id, "k": sess.k,
+                "epsilon": sess.epsilon, "seed": sess.seed, "step": sess.step}
+
+    def _session_store(self, session_id: str) -> CheckpointStore | None:
+        if self.checkpoint_dir is None:
+            return None
+        return CheckpointStore(self.checkpoint_dir, run_id=session_id, keep=2)
+
+    def _session(self, session_id: str) -> _Session:
+        sess = self._sessions.get(session_id)
+        if sess is None:
+            raise ServiceError(f"unknown session {session_id!r}")
+        return sess
+
+    async def repartition(
+        self,
+        session_id: str,
+        weights: np.ndarray | None = None,
+        weight_delta: np.ndarray | None = None,
+        points: np.ndarray | None = None,
+    ) -> PartitionResult:
+        """Advance a session one step, warm-started from its previous centers.
+
+        Deltas stream in three forms: ``weights`` replaces the session's
+        per-point loads wholesale, ``weight_delta`` adds to the current
+        effective loads, and ``points`` replaces the geometry (the adaptive
+        refinement case — the session's warm workspace is rebuilt, centers
+        still carry over).  With no arguments the step re-runs on unchanged
+        inputs.  Step ``i`` uses ``rng = seed + i``; results are
+        bit-identical to direct ``GeographerPartitioner`` calls with the
+        same inputs, and each step is checkpointed so a restarted server
+        continues the sequence bit-identically.
+        """
+        self._ensure_open()
+        sess = self._session(session_id)
+        async with sess.lock:
+            ds = self._dataset(sess.dataset_id)
+            if points is not None:
+                pts = np.ascontiguousarray(points, dtype=np.float64)
+                if pts.ndim != 2 or pts.shape[1] not in (2, 3):
+                    raise ServiceError(f"points must be (n, 2|3), got shape {pts.shape}")
+                if sess.points is not None:
+                    unlink_array(sess.points)
+                sess.points = share_array(pts)
+                sess.sfc_order = None
+                sess.workspace = None
+            eff_pts = sess.points if sess.points is not None else ds.points
+            n = eff_pts.shape[0]
+            if weights is not None:
+                w = np.ascontiguousarray(weights, dtype=np.float64)
+                if w.shape != (n,):
+                    raise ServiceError(f"weights shape {w.shape} does not match {n} points")
+                sess.weights = w
+            elif weight_delta is not None:
+                delta = np.ascontiguousarray(weight_delta, dtype=np.float64)
+                if delta.shape != (n,):
+                    raise ServiceError(f"weight_delta shape {delta.shape} does not match {n} points")
+                base = sess.weights
+                if base is None:
+                    base = ds.weights if (ds.weights is not None and ds.weights.shape == (n,)) \
+                        else np.ones(n)
+                sess.weights = base + delta
+            eff_w = sess.weights
+            if eff_w is None and ds.weights is not None and ds.weights.shape == (n,):
+                eff_w = ds.weights
+
+            sess.sfc_order, sess.workspace = self._warm_state(
+                eff_pts, sess.k, sess.sfc_order, sess.workspace
+            )
+            rng = sess.seed + sess.step
+            previous = sess.previous
+            order, ws = sess.sfc_order, sess.workspace
+
+            def compute():
+                partitioner = GeographerPartitioner(
+                    config=self.config, workspace=ws, sfc_order=order
+                )
+                if previous is not None:
+                    return partitioner.repartition(
+                        previous, eff_pts, sess.k, eff_w, sess.epsilon, rng=rng
+                    )
+                return partitioner.partition(eff_pts, sess.k, eff_w, sess.epsilon, rng=rng)
+
+            result = await self._run(compute)
+            sess.previous = result
+            sess.step += 1
+            self.ledger.count("repartitions_served")
+            if sess.store is not None:
+                await self._run(lambda: self._checkpoint_session(sess, eff_pts, eff_w))
+            return result
+
+    def _checkpoint_session(self, sess: _Session, eff_pts, eff_w) -> None:
+        """Snapshot everything a restarted server needs to continue the session."""
+        result = sess.previous
+        arrays = {
+            "points": np.asarray(eff_pts),
+            "assignment": np.asarray(result.assignment),
+            "centers": np.asarray(result.centers),
+            "block_weights": np.asarray(result.block_weights),
+            "target_weights": np.asarray(result.target_weights),
+        }
+        if eff_w is not None:
+            arrays["weights"] = np.asarray(eff_w)
+        meta = {
+            "kind": SESSION_CHECKPOINT_KIND,
+            "session_id": sess.session_id,
+            "dataset_id": sess.dataset_id,
+            "config_digest": self.config.digest(),
+            "k": sess.k,
+            "epsilon": sess.epsilon,
+            "seed": sess.seed,
+            "step": sess.step,
+            "imbalance": float(result.imbalance),
+            "private_points": sess.points is not None,
+        }
+        sess.store.save(arrays, meta)
+        self.ledger.count("checkpoints_saved")
+
+    def _resume_sessions(self) -> None:
+        """Rebuild sessions (and their backing datasets) from checkpoints.
+
+        Called at construction when a checkpoint root is configured.  Each
+        ``run_id`` subdirectory holding a valid ``service-session``
+        checkpoint becomes a live session whose next step runs with the
+        exact inputs, centers and rng the killed server would have used —
+        so the continued sequence is bit-identical.
+        """
+        root = self.checkpoint_dir
+        if not os.path.isdir(root):
+            return
+        for name in sorted(os.listdir(root)):
+            sub = os.path.join(root, name)
+            if not os.path.isdir(sub):
+                continue
+            store = CheckpointStore(root, run_id=name, keep=2)
+            try:
+                arrays, meta = store.load()
+                validate_meta(meta, kind=SESSION_CHECKPOINT_KIND,
+                              config_digest=self.config.digest())
+            except Exception:
+                continue  # not a session of this service/config; leave it alone
+            session_id = meta["session_id"]
+            pts = np.ascontiguousarray(arrays["points"], dtype=np.float64)
+            w = None
+            if "weights" in arrays:
+                w = np.ascontiguousarray(arrays["weights"], dtype=np.float64)
+            private = bool(meta.get("private_points"))
+            dataset_id = meta["dataset_id"]
+            if dataset_id not in self._datasets and not private:
+                self._register_dataset_sync(pts, w, dataset_id=dataset_id)
+            sess = _Session(
+                session_id=session_id,
+                dataset_id=dataset_id,
+                k=int(meta["k"]),
+                epsilon=float(meta["epsilon"]),
+                seed=int(meta["seed"]),
+                step=int(meta["step"]),
+                store=store,
+            )
+            if private:
+                sess.points = share_array(pts)
+                if dataset_id not in self._datasets:
+                    # the dataset itself was not checkpointed; register the
+                    # session's geometry so dataset lookups keep working
+                    self._register_dataset_sync(pts, w, dataset_id=dataset_id)
+            if w is not None:
+                sess.weights = w
+            sess.previous = PartitionResult(
+                assignment=np.ascontiguousarray(arrays["assignment"], dtype=np.int64),
+                k=sess.k,
+                block_weights=np.asarray(arrays["block_weights"], dtype=np.float64),
+                target_weights=np.asarray(arrays["target_weights"], dtype=np.float64),
+                imbalance=float(meta["imbalance"]),
+                epsilon=sess.epsilon,
+                tool="Geographer",
+                centers=np.asarray(arrays["centers"], dtype=np.float64),
+            )
+            self._sessions[session_id] = sess
+            self.ledger.count("sessions_resumed")
+
+    async def close_session(self, session_id: str, drop_checkpoints: bool = False) -> dict:
+        """End a session, releasing its private segment (checkpoints kept)."""
+        sess = self._session(session_id)
+        async with sess.lock:
+            del self._sessions[session_id]
+            if sess.points is not None:
+                unlink_array(sess.points)
+                sess.points = None
+            if drop_checkpoints and sess.store is not None:
+                for path in sess.store.candidates():
+                    path.unlink(missing_ok=True)
+                try:
+                    sess.store.directory.rmdir()
+                except OSError:
+                    pass
+        self.ledger.count("sessions_closed")
+        return {"session_id": session_id, "steps": sess.step}
+
+    # -- introspection + lifecycle -------------------------------------------
+
+    async def stats(self) -> dict:
+        """Counters, cache stats and live object counts (JSON-serialisable)."""
+        return {
+            "datasets": len(self._datasets),
+            "sessions": len(self._sessions),
+            "inflight": len(self._inflight),
+            "cache": self.cache.stats,
+            "counters": dict(self.ledger.counters),
+            "config_digest": self.config.digest(),
+        }
+
+    async def drain(self) -> None:
+        """Finish in-flight work, then release every shared segment.
+
+        After drain the service rejects new requests; ``assert_no_leaks``
+        passes because every ``share_array`` segment is unlinked here.
+        """
+        self._closed = True
+        pending = [f for f in self._inflight.values() if not f.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        for sess in self._sessions.values():
+            if sess.points is not None:
+                unlink_array(sess.points)
+                sess.points = None
+        self._sessions.clear()
+        for ds in self._datasets.values():
+            unlink_array(ds.points)
+            if ds.weights is not None:
+                unlink_array(ds.weights)
+            ds.workspaces.clear()
+        self._datasets.clear()
+        self.cache.clear()
+        self._pool.shutdown(wait=True)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is draining/closed")
+
+
+# -- the socket front-end -----------------------------------------------------
+
+
+class PartitionServer:
+    """Asyncio unix-socket transport around one :class:`PartitionService`.
+
+    One frame in, one frame out per request; concurrent requests multiplex
+    through the event loop (which is what makes coalescing and batching
+    observable across client processes).  ``shutdown`` drains the service —
+    every shared segment is released before the loop exits.
+    """
+
+    #: op name -> service coroutine attribute
+    OPS = (
+        "register_dataset",
+        "partition",
+        "open_session",
+        "repartition",
+        "close_session",
+        "stats",
+    )
+
+    def __init__(self, service: PartitionService, socket_path: str | os.PathLike) -> None:
+        self.service = service
+        self.socket_path = os.fspath(socket_path)
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> None:
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        self._server = await asyncio.start_unix_server(self._handle, path=self.socket_path)
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve requests until a ``shutdown`` op (or :meth:`request_shutdown`)."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.close()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def close(self) -> None:
+        """Stop accepting, drain the service, release all shared segments."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.drain()
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                response = await self._dispatch(request)
+                await write_frame(writer, response)
+                if request.get("op") == "shutdown":
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, request) -> dict:
+        if not isinstance(request, dict) or "op" not in request:
+            return {"status": "error", "error": "request must be a dict with an 'op' key"}
+        op = request["op"]
+        if op == "ping":
+            return {"status": "ok", "value": "pong"}
+        if op == "shutdown":
+            self.request_shutdown()
+            return {"status": "ok", "value": "draining"}
+        if op not in self.OPS:
+            return {"status": "error", "error": f"unknown op {op!r}"}
+        kwargs = {key: val for key, val in request.items() if key != "op"}
+        try:
+            value = await getattr(self.service, op)(**kwargs)
+            return {"status": "ok", "value": value}
+        except Exception as exc:
+            return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
+
+
+async def serve(
+    socket_path: str | os.PathLike,
+    config: BalancedKMeansConfig | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
+    cache_capacity: int = 128,
+    compute_threads: int = 1,
+    ready_callback=None,
+) -> None:
+    """Run a :class:`PartitionServer` until it is asked to shut down.
+
+    The entry point behind ``repro serve``; installs SIGTERM/SIGINT handlers
+    so an external kill still drains gracefully (checkpoints make even
+    SIGKILL recoverable).  ``ready_callback`` fires once the socket listens.
+    """
+    import signal
+
+    service = PartitionService(
+        config=config,
+        checkpoint_dir=checkpoint_dir,
+        cache_capacity=cache_capacity,
+        compute_threads=compute_threads,
+    )
+    server = PartitionServer(service, socket_path)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, server.request_shutdown)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-unix
+            pass
+    if ready_callback is not None:
+        ready_callback()
+    await server.serve_until_shutdown()

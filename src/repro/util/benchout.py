@@ -1,0 +1,88 @@
+"""Scrubbing volatile measurements out of committed benchmark tables.
+
+The benchmark suite writes its reproduced paper tables to
+``benchmarks/results/*.txt``, which are committed so the repo's current
+numbers are reviewable.  Deterministic columns (cuts, volumes, modeled
+times, imbalances) are identical on every run, but wall-clock columns churn
+on every regeneration and used to dirty the working tree each time the
+benches ran.
+
+:func:`scrub_volatile` blanks exactly those measured fields — named columns
+of a fixed-width table (and/or free-form regex matches) become a
+right-aligned placeholder, preserving the layout — so the committed file
+only changes when a *deterministic* metric changes and bench regeneration
+is diff-clean.  The full, unscrubbed text still goes to the git-ignored
+``benchmarks/results/timings/`` sidecar for local inspection.
+
+Column detection leans on the tables all being fixed-width with one header
+line naming every column: a data-row token belongs to a volatile column
+when its span overlaps the header name's span (both are right-aligned by
+the shared format strings, so spans line up).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable, Iterable
+
+__all__ = ["scrub_volatile"]
+
+_TOKEN = re.compile(r"\S+")
+
+
+def _header_spans(lines: list[str], columns: Iterable[str]) -> dict[str, tuple[int, int]]:
+    """Locate the first line naming every requested column; map name -> span."""
+    wanted = list(columns)
+    for line in lines:
+        tokens = {m.group(0): m.span() for m in _TOKEN.finditer(line)}
+        if all(name in tokens for name in wanted):
+            return {name: tokens[name] for name in wanted}
+    raise ValueError(f"no header line names all of {wanted!r}")
+
+
+def _overlaps(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def scrub_volatile(
+    text: str,
+    columns: Iterable[str] = (),
+    row_filter: Callable[[str], bool] | None = None,
+    patterns: Iterable[str] = (),
+    placeholder: str = "-",
+) -> str:
+    """Blank measured values in a fixed-width benchmark table.
+
+    ``columns`` names header columns whose per-row values are replaced by
+    ``placeholder`` (right-aligned in the value's span, so the table shape
+    survives).  ``row_filter`` restricts the column scrub to matching rows —
+    e.g. only the ``measured`` rows of a table mixing measured and modeled
+    lines.  ``patterns`` are regexes whose every match is replaced wholesale
+    (for volatile values outside any table, like fitted coefficients).
+    """
+    lines = text.split("\n")
+    spans = _header_spans(lines, columns) if columns else {}
+    compiled = [re.compile(p) for p in patterns]
+    if spans:
+        header_idx = next(
+            i for i, line in enumerate(lines)
+            if all(line[s:e] == name for name, (s, e) in spans.items())
+        )
+        for i in range(header_idx + 1, len(lines)):
+            line = lines[i]
+            if row_filter is not None and not row_filter(line):
+                continue
+            if set(line.strip()) <= {"-"}:
+                continue  # the header's ---- separator row
+            out = line
+            for _, span in spans.items():
+                for m in _TOKEN.finditer(line):
+                    if _overlaps(m.span(), span):
+                        s, e = m.span()
+                        out = out[:s] + placeholder.rjust(e - s) + out[e:]
+                        break
+            lines[i] = out
+    scrubbed = "\n".join(lines)
+    for rx in compiled:
+        scrubbed = rx.sub(placeholder, scrubbed)
+    return scrubbed

@@ -20,6 +20,7 @@ import pytest
 from repro.core.balanced_kmeans import balanced_kmeans
 from repro.core.config import BalancedKMeansConfig
 from repro.runtime.checkpoint import (
+    CheckpointConcurrencyError,
     CheckpointError,
     CheckpointMismatchError,
     CheckpointStore,
@@ -28,6 +29,7 @@ from repro.runtime.checkpoint import (
     load_resume,
     restore_rng,
     rng_state,
+    sanitize_run_id,
     validate_meta,
 )
 from repro.runtime.distributed_kmeans import distributed_balanced_kmeans
@@ -77,6 +79,49 @@ class TestStore:
         CheckpointStore(tmp_path).save({"x": np.zeros(1)}, {"kind": "unit"})
         path = CheckpointStore(tmp_path).save({"x": np.ones(1)}, {"kind": "unit"})
         assert path.name == "ckpt-000001.npz"
+
+    def test_interleaved_stores_raise_loudly(self, tmp_path):
+        """Two live stores on one namespace are detected, never clobbered."""
+        a = CheckpointStore(tmp_path)
+        b = CheckpointStore(tmp_path)  # opened before a writes: same ordinals
+        a.save({"x": np.zeros(1)}, {"kind": "unit"})
+        with pytest.raises(CheckpointConcurrencyError, match="concurrent checkpoint writer"):
+            b.save({"x": np.ones(1)}, {"kind": "unit"})
+        # the reverse interleaving is caught too: b opened after a's first
+        # save continues past it, so a's *next* save sees a foreign ordinal
+        c = CheckpointStore(tmp_path)
+        c.save({"x": np.ones(1)}, {"kind": "unit"})
+        with pytest.raises(CheckpointConcurrencyError):
+            a.save({"x": np.full(1, 2.0)}, {"kind": "unit"})
+        # a's first file survived both attempted clobbers
+        arrays, meta = CheckpointStore(tmp_path).load(tmp_path / "ckpt-000000.npz")
+        np.testing.assert_array_equal(arrays["x"], np.zeros(1))
+
+    def test_run_id_namespaces_coexist(self, tmp_path):
+        """Distinct run_ids share one root directory without interference."""
+        a = CheckpointStore(tmp_path, run_id="sess-a")
+        b = CheckpointStore(tmp_path, run_id="sess-b")
+        for i in range(3):
+            a.save({"x": np.full(1, float(i))}, {"kind": "unit", "i": i})
+            b.save({"x": np.full(1, float(10 + i))}, {"kind": "unit", "i": 10 + i})
+        assert a.directory == tmp_path / "sess-a"
+        assert b.directory == tmp_path / "sess-b"
+        _, meta_a = a.load()
+        _, meta_b = b.load()
+        assert meta_a["i"] == 2 and meta_b["i"] == 12
+        # a fresh store on the same run_id resumes that namespace only
+        resumed = CheckpointStore(tmp_path, run_id="sess-a")
+        _, meta = resumed.load()
+        assert meta["i"] == 2
+
+    def test_run_id_is_sanitized(self, tmp_path):
+        store = CheckpointStore(tmp_path, run_id="sess/../../evil id")
+        assert store.directory.parent == tmp_path  # never escapes the root
+        assert "/" not in store.directory.name
+        assert store.directory.name not in (".", "..")
+        assert sanitize_run_id("a b/c") == "a_b_c"
+        with pytest.raises(ValueError, match="run_id"):
+            sanitize_run_id("///")
 
     def test_corrupt_file_rejected_explicitly(self, tmp_path):
         store = CheckpointStore(tmp_path)

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.balanced_kmeans import balanced_kmeans, weighted_center_update
+from repro.core.balanced_kmeans import balanced_kmeans, compute_sfc_order, weighted_center_update
 from repro.core.config import BalancedKMeansConfig
 from repro.metrics.imbalance import imbalance
 
@@ -325,6 +325,67 @@ class TestOptimisationEquivalence:
         assert res.imbalance <= 0.031
         sampled_rounds = [h for h in res.history if h.sample_size < 4000]
         assert len(sampled_rounds) >= 3  # log2(4000/100) ~ 5 rounds
+
+
+class TestWarmWorkspace:
+    """Warm SweepWorkspace / precomputed SFC-order reuse (the service path):
+    bit-identical to cold runs, with loud rejection of mismatched reuse."""
+
+    def test_reused_workspace_and_order_are_bit_identical(self):
+        from repro.core.kernels import SweepWorkspace
+
+        pts = _uniform(1500, seed=31)
+        cfg = BalancedKMeansConfig(use_sampling=False)
+        cold = balanced_kmeans(pts, 8, config=cfg, rng=5)
+        order = compute_sfc_order(pts, cfg)
+        ws = SweepWorkspace(np.ascontiguousarray(pts[order]), cfg, 8)
+        warm1 = balanced_kmeans(pts, 8, config=cfg, rng=5, workspace=ws, sfc_order=order)
+        # second reuse of the *same* workspace (now carrying aggregates)
+        warm2 = balanced_kmeans(pts, 8, config=cfg, rng=5, workspace=ws, sfc_order=order)
+        for warm in (warm1, warm2):
+            assert np.array_equal(cold.assignment, warm.assignment)
+            assert np.array_equal(cold.centers, warm.centers)
+            assert cold.imbalance == warm.imbalance
+            assert cold.iterations == warm.iterations
+
+    def test_warm_repartition_matches_cold_repartition(self):
+        from repro.core.kernels import SweepWorkspace
+
+        pts = _uniform(1200, seed=33)
+        cfg = BalancedKMeansConfig(use_sampling=False)
+        first = balanced_kmeans(pts, 6, config=cfg, rng=7)
+        cold = balanced_kmeans(pts, 6, config=cfg, rng=8, centers=first.centers)
+        order = compute_sfc_order(pts, cfg)
+        ws = SweepWorkspace(np.ascontiguousarray(pts[order]), cfg, 6)
+        warm = balanced_kmeans(pts, 6, config=cfg, rng=8, centers=first.centers,
+                               workspace=ws, sfc_order=order)
+        assert np.array_equal(cold.assignment, warm.assignment)
+        assert np.array_equal(cold.centers, warm.centers)
+
+    def test_mismatched_workspace_rejected(self):
+        from repro.core.kernels import SweepWorkspace
+
+        pts = _uniform(800, seed=35)
+        cfg = BalancedKMeansConfig(use_sampling=False)
+        ws = SweepWorkspace(pts, cfg, 4)  # unsorted points / wrong k below
+        with pytest.raises(ValueError, match="warm workspace"):
+            balanced_kmeans(pts, 5, config=cfg, rng=0, workspace=ws)
+
+    def test_bad_sfc_order_shape_rejected(self):
+        pts = _uniform(500, seed=36)
+        with pytest.raises(ValueError, match="sfc_order"):
+            balanced_kmeans(pts, 4, rng=0, sfc_order=np.arange(7))
+
+    def test_workspace_matches_ignores_non_workspace_fields(self):
+        from repro.core.kernels import SweepWorkspace
+
+        pts = _uniform(400, seed=37)
+        cfg = BalancedKMeansConfig(use_sampling=True)
+        ws = SweepWorkspace(pts, cfg, 4)
+        assert ws.matches(pts, cfg.with_(use_sampling=False, epsilon=0.05), 4)
+        assert not ws.matches(pts, cfg.with_(chunk_size=cfg.chunk_size * 2), 4)
+        assert not ws.matches(pts, cfg, 5)
+        assert not ws.matches(pts[:-1], cfg, 4)
 
 
 @settings(max_examples=10, deadline=None)

@@ -32,6 +32,21 @@ class TestHarness:
         row = run_tool_on_mesh(small_mesh, "HSFC", 4, repeats=2)
         assert row.time > 0
 
+    def test_metrics_invariant_to_repeats(self, small_mesh):
+        """Reported metrics come from the rng=seed run regardless of repeats.
+
+        Geographer is seed-sensitive, so a metrics-from-last-run bug (the
+        last repeat runs with rng=seed+repeats-1) shows up immediately.
+        """
+        one = run_tool_on_mesh(small_mesh, "Geographer", 4, seed=3, repeats=1)
+        three = run_tool_on_mesh(small_mesh, "Geographer", 4, seed=3, repeats=3)
+        assert one.cut == three.cut
+        assert one.imbalance == three.imbalance
+        assert one.harm_diameter == three.harm_diameter
+        assert one.max_comm_vol == three.max_comm_vol
+        assert one.total_comm_vol == three.total_comm_vol
+        assert one.time_spmv_comm == three.time_spmv_comm
+
 
 class TestFigure1:
     def test_writes_all_panels(self, tmp_path):

@@ -29,7 +29,9 @@ from repro.runtime.procomm import (
     SharedArray,
     assert_no_leaks,
     leaked_resources,
+    share_array,
     shutdown_process_comms,
+    unlink_array,
 )
 
 pytestmark = pytest.mark.process_backend
@@ -342,6 +344,65 @@ class TestDeadWorkerTeardown:
             assert_no_leaks(before)
         comm.close()
         assert_no_leaks(before)
+
+
+class TestWedgedWorkerTeardown:
+    """The atexit-hang bugfix: close() must be *bounded* even when a worker
+    cannot respond — a SIGSTOPped process ignores the exit message and
+    leaves SIGTERM pending forever, so close escalates to SIGKILL."""
+
+    def test_close_kills_sigstopped_worker_within_bound(self):
+        import time as _time
+
+        before = leaked_resources()
+        comm = make_comm(2, backend="process")
+        comm.share(np.arange(16.0))
+        stopped = comm._workers[1]
+        os.kill(stopped.pid, signal.SIGSTOP)
+        start = _time.perf_counter()
+        comm.close(join_timeout=0.5)
+        elapsed = _time.perf_counter() - start
+        assert elapsed < 10.0, f"close() took {elapsed:.1f}s on a wedged worker"
+        stopped.join(5.0)
+        assert not stopped.is_alive()
+        assert_no_leaks(before)
+
+    def test_shutdown_process_comms_is_bounded_with_wedged_worker(self):
+        before = leaked_resources()
+        comm = make_comm(2, backend="process")
+        os.kill(comm._workers[0].pid, signal.SIGSTOP)
+        import time as _time
+
+        start = _time.perf_counter()
+        shutdown_process_comms(join_timeout=0.5)  # the atexit entry point
+        assert _time.perf_counter() - start < 10.0
+        assert comm._closed
+        assert_no_leaks(before)
+
+
+class TestStandaloneSharedArrays:
+    """share_array/unlink_array: service-owned segments outside any comm."""
+
+    def test_share_unlink_roundtrip(self):
+        before = leaked_resources()
+        arr = share_array(np.arange(24.0).reshape(4, 6))
+        assert isinstance(arr, SharedArray)
+        path = "/dev/shm/" + arr._shm.name
+        assert os.path.exists(path)
+        np.testing.assert_array_equal(np.asarray(arr), np.arange(24.0).reshape(4, 6))
+        # pickles by handle, like comm-owned segments
+        handle = pickle.dumps(arr)
+        assert len(handle) < 512
+        unlink_array(arr)
+        assert not os.path.exists(path)
+        unlink_array(arr)  # idempotent
+        unlink_array(np.zeros(3))  # plain ndarray: no-op
+        assert_no_leaks(before)
+
+    def test_zero_size_is_plain(self):
+        arr = share_array(np.empty(0))
+        assert not isinstance(arr, SharedArray)
+        unlink_array(arr)
 
 
 class TestTopologyParity:

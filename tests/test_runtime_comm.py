@@ -29,6 +29,16 @@ class TestLedger:
         assert a.compute_seconds == 3.0
         assert a.stages["x"] == 3.0
 
+    def test_counters(self):
+        led = CostLedger()
+        assert led.count("cache_hit") == 1
+        assert led.count("cache_hit") == 2
+        assert led.count("cache_miss", 3) == 3
+        other = CostLedger()
+        other.count("cache_hit", 5)
+        led.merge(other)
+        assert led.counters == {"cache_hit": 7, "cache_miss": 3}
+
 
 class TestRunLocal:
     def test_results_per_rank(self):

@@ -1,0 +1,467 @@
+"""Tests for the partitioning service (:mod:`repro.service`).
+
+The in-process :class:`PartitionService` tests are tier-1 (no sockets, no
+subprocesses — every behaviour of the core is reachable through plain
+coroutines).  Tests that run real unix-socket servers — including the
+``repro serve`` subprocess that gets SIGKILLed and resumed — carry the
+``service`` marker and run as their own CI job.
+
+The determinism contract under test everywhere: whatever the service adds
+(warm workspaces, batching, coalescing, caching, checkpoint/resume), every
+result stays **bit-identical** to calling ``GeographerPartitioner`` directly
+with the same inputs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.config import BalancedKMeansConfig
+from repro.partitioners.geographer import GeographerPartitioner
+from repro.runtime.comm import CostLedger
+from repro.runtime.procomm import assert_no_leaks, leaked_resources
+from repro.service import LRUResultCache, PartitionService, ServiceError
+from repro.service.cache import weights_hash
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def pts():
+    return np.random.default_rng(0).random((400, 2))
+
+
+def same_result(a, b) -> bool:
+    return (
+        np.array_equal(np.asarray(a.assignment), np.asarray(b.assignment))
+        and np.array_equal(np.asarray(a.centers), np.asarray(b.centers))
+        and a.imbalance == b.imbalance
+    )
+
+
+# ---------------------------------------------------------------------------
+# LRU cache
+# ---------------------------------------------------------------------------
+
+
+class TestCache:
+    def test_hit_miss_eviction_counters(self):
+        ledger = CostLedger()
+        cache = LRUResultCache(capacity=2, ledger=ledger)
+        assert cache.get(("a",)) is None
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1  # freshens "a"
+        cache.put(("c",), 3)  # evicts "b", the LRU entry
+        assert ("b",) not in cache
+        assert cache.get(("a",)) == 1 and cache.get(("c",)) == 3
+        assert cache.get(("b",)) is None
+        assert ledger.counters["cache_hit"] == 3
+        assert ledger.counters["cache_miss"] == 2
+        assert ledger.counters["cache_eviction"] == 1
+        assert cache.stats["size"] == 2
+
+    def test_zero_capacity_disables(self):
+        cache = LRUResultCache(capacity=0)
+        cache.put(("a",), 1)
+        assert len(cache) == 0 and cache.get(("a",)) is None
+
+    def test_weights_hash_distinguishes(self):
+        w = np.ones(10)
+        assert weights_hash(None) == "-"
+        assert weights_hash(w) == weights_hash(w.copy())
+        assert weights_hash(w) != weights_hash(w * 2)
+        assert weights_hash(w) != weights_hash(w.astype(np.float32))
+        assert weights_hash(w) != weights_hash(w.reshape(2, 5))
+
+
+# ---------------------------------------------------------------------------
+# In-process service core (tier 1)
+# ---------------------------------------------------------------------------
+
+
+class TestServiceCore:
+    def test_partition_bit_identical_to_direct(self, pts):
+        async def scenario():
+            svc = PartitionService()
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            served = await svc.partition(ds, 6, epsilon=0.03, seed=3)
+            await svc.drain()
+            return served
+
+        served = run(scenario())
+        direct = GeographerPartitioner().partition(pts, 6, epsilon=0.03, rng=3)
+        assert same_result(served, direct)
+
+    def test_register_is_idempotent_and_guards_conflicts(self, pts):
+        async def scenario():
+            svc = PartitionService()
+            a = await svc.register_dataset(pts)
+            b = await svc.register_dataset(pts)  # same digest-derived id
+            assert a == b
+            assert svc.ledger.counters["datasets_registered"] == 1
+            assert svc.ledger.counters["dataset_rehits"] == 1
+            with pytest.raises(ServiceError, match="different data"):
+                await svc.register_dataset(pts * 2, dataset_id=a["dataset_id"])
+            with pytest.raises(ServiceError, match="unknown dataset"):
+                await svc.partition("nope", 4)
+            with pytest.raises(ServiceError, match="points must be"):
+                await svc.register_dataset(np.ones((4, 5)))
+            with pytest.raises(ServiceError, match="weights shape"):
+                await svc.register_dataset(pts, weights=np.ones(3))
+            await svc.drain()
+
+        run(scenario())
+
+    def test_cache_hit_returns_cached_result(self, pts):
+        async def scenario():
+            svc = PartitionService()
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            r1 = await svc.partition(ds, 4, seed=0)
+            r2 = await svc.partition(ds, 4, seed=0)
+            assert r2 is r1  # served straight from the LRU
+            stats = await svc.stats()
+            assert stats["cache"]["hits"] == 1
+            # a different weights array is a different key — no false hits
+            r3 = await svc.partition(ds, 4, seed=0, weights=np.ones(pts.shape[0]) * 2)
+            assert r3 is not r1
+            await svc.drain()
+
+        run(scenario())
+
+    def test_cache_eviction_under_capacity(self, pts):
+        async def scenario():
+            svc = PartitionService(cache_capacity=2)
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            for seed in (0, 1, 2):  # 3 distinct keys through a 2-entry cache
+                await svc.partition(ds, 4, seed=seed)
+            stats = await svc.stats()
+            assert stats["cache"]["evictions"] == 1
+            assert stats["cache"]["size"] == 2
+            # seed 0 was evicted: re-requesting recomputes (miss), seed 2 hits
+            await svc.partition(ds, 4, seed=2)
+            await svc.partition(ds, 4, seed=0)
+            stats = await svc.stats()
+            assert stats["cache"]["hits"] == 1
+            assert stats["counters"]["requests_served"] == 4
+            await svc.drain()
+
+        run(scenario())
+
+    def test_batched_and_coalesced_requests_bit_identical(self, pts):
+        """Concurrent mixed requests: every response equals the direct call."""
+
+        seeds = [0, 1, 2, 0, 1, 2, 0, 0]
+
+        async def scenario():
+            svc = PartitionService()
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            results = await asyncio.gather(
+                *(svc.partition(ds, 5, seed=s) for s in seeds)
+            )
+            stats = await svc.stats()
+            await svc.drain()
+            return results, stats
+
+        results, stats = run(scenario())
+        # unbatched reference: one fresh partitioner per distinct seed
+        direct = {s: GeographerPartitioner().partition(pts, 5, epsilon=0.03, rng=s)
+                  for s in set(seeds)}
+        for s, served in zip(seeds, results):
+            assert same_result(served, direct[s]), f"seed {s} diverged under batching"
+        # the burst hit the fast paths: identical requests coalesced onto one
+        # computation, distinct ones queued (batched) on the dataset lock
+        assert stats["counters"]["coalesced_requests"] >= 1
+        assert stats["counters"]["batched_requests"] >= 1
+        assert stats["counters"]["requests_served"] == len(set(seeds))
+        assert stats["counters"]["workspaces_built"] == 1  # one warm workspace, reused
+
+    def test_session_lifecycle_and_delta_streaming(self, pts):
+        """open -> repartition steps with weight deltas -> close, bit-identical."""
+        n = pts.shape[0]
+        delta1 = np.linspace(0.0, 1.0, n)
+        delta2 = np.linspace(1.0, 0.0, n)
+
+        async def scenario():
+            svc = PartitionService()
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            info = await svc.open_session(ds, 6, epsilon=0.03, seed=5)
+            sid = info["session_id"]
+            r0 = await svc.repartition(sid)  # cold step, rng = 5
+            r1 = await svc.repartition(sid, weight_delta=delta1)  # rng = 6
+            r2 = await svc.repartition(sid, weight_delta=delta2)  # rng = 7
+            closed = await svc.close_session(sid)
+            assert closed["steps"] == 3
+            with pytest.raises(ServiceError, match="unknown session"):
+                await svc.repartition(sid)
+            await svc.drain()
+            return r0, r1, r2
+
+        r0, r1, r2 = run(scenario())
+        # the exact sequence a client would have run directly, one step at a time
+        p = GeographerPartitioner()
+        d0 = p.partition(pts, 6, epsilon=0.03, rng=5)
+        d1 = p.repartition(d0, pts, 6, np.ones(n) + delta1, 0.03, rng=6)
+        d2 = p.repartition(d1, pts, 6, np.ones(n) + delta1 + delta2, 0.03, rng=7)
+        assert same_result(r0, d0)
+        assert same_result(r1, d1)
+        assert same_result(r2, d2)
+
+    def test_session_geometry_replacement(self, pts):
+        """Streaming new points rebuilds warm state but keeps centers carrying over."""
+        moved = pts + 0.01 * np.sin(np.arange(pts.size).reshape(pts.shape))
+
+        async def scenario():
+            svc = PartitionService()
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            sid = (await svc.open_session(ds, 4, seed=1))["session_id"]
+            r0 = await svc.repartition(sid)
+            r1 = await svc.repartition(sid, points=moved)
+            with pytest.raises(ServiceError, match="points must be"):
+                await svc.repartition(sid, points=np.ones((4, 7)))
+            with pytest.raises(ServiceError, match="weight_delta shape"):
+                await svc.repartition(sid, weight_delta=np.ones(3))
+            await svc.drain()
+            return r0, r1
+
+        r0, r1 = run(scenario())
+        p = GeographerPartitioner()
+        d0 = p.partition(pts, 4, epsilon=0.03, rng=1)
+        d1 = p.repartition(d0, moved, 4, None, 0.03, rng=2)
+        assert same_result(r0, d0)
+        assert same_result(r1, d1)
+
+    def test_drain_releases_all_segments_and_closes(self, pts):
+        before = leaked_resources()
+
+        async def scenario():
+            svc = PartitionService()
+            ds = (await svc.register_dataset(pts, weights=np.ones(pts.shape[0])))["dataset_id"]
+            sid = (await svc.open_session(ds, 4))["session_id"]
+            await svc.repartition(sid, points=pts * 0.5)  # session-private segment
+            await svc.partition(ds, 4)
+            await svc.drain()
+            with pytest.raises(ServiceError, match="draining"):
+                await svc.partition(ds, 4)
+            with pytest.raises(ServiceError, match="draining"):
+                await svc.register_dataset(pts)
+
+        run(scenario())
+        assert_no_leaks(before)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / restart (in-process, tier 1)
+# ---------------------------------------------------------------------------
+
+
+class TestServiceResume:
+    def test_restarted_service_continues_sessions_bit_identically(self, pts, tmp_path):
+        """Kill-and-restart (simulated in-process) replays the exact sequence."""
+        n = pts.shape[0]
+        ckpt = tmp_path / "svc-ckpt"
+        deltas = [np.linspace(0, 1, n), np.linspace(1, 0, n), np.full(n, 0.25)]
+
+        async def first_life():
+            svc = PartitionService(checkpoint_dir=ckpt)
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            sid = (await svc.open_session(ds, 6, seed=9))["session_id"]
+            await svc.repartition(sid)
+            await svc.repartition(sid, weight_delta=deltas[0])
+            # no drain: the "server" dies here, segments reclaimed by GC —
+            # the checkpoints on disk are all that survives
+            return ds, sid
+
+        async def second_life(sid):
+            svc = PartitionService(checkpoint_dir=ckpt)
+            stats = await svc.stats()
+            assert stats["counters"]["sessions_resumed"] == 1
+            r2 = await svc.repartition(sid, weight_delta=deltas[1])
+            r3 = await svc.repartition(sid, weight_delta=deltas[2])
+            await svc.drain()
+            return r2, r3
+
+        async def uninterrupted():
+            svc = PartitionService()
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            sid = (await svc.open_session(ds, 6, seed=9))["session_id"]
+            await svc.repartition(sid)
+            for d in deltas[:1]:
+                await svc.repartition(sid, weight_delta=d)
+            r2 = await svc.repartition(sid, weight_delta=deltas[1])
+            r3 = await svc.repartition(sid, weight_delta=deltas[2])
+            await svc.drain()
+            return r2, r3
+
+        _, sid = run(first_life())
+        r2, r3 = run(second_life(sid))
+        u2, u3 = run(uninterrupted())
+        assert same_result(r2, u2)
+        assert same_result(r3, u3)
+
+    def test_resume_ignores_foreign_checkpoints(self, pts, tmp_path):
+        from repro.runtime.checkpoint import CheckpointStore
+
+        ckpt = tmp_path / "svc-ckpt"
+        # a checkpoint of some other kind in the same root must not be adopted
+        CheckpointStore(ckpt, run_id="other-run").save(
+            {"x": np.ones(3)}, {"kind": "distributed-kmeans"}
+        )
+
+        async def scenario():
+            svc = PartitionService(checkpoint_dir=ckpt)
+            stats = await svc.stats()
+            assert stats["sessions"] == 0
+            await svc.drain()
+
+        run(scenario())
+
+    def test_session_private_geometry_survives_restart(self, pts, tmp_path):
+        ckpt = tmp_path / "svc-ckpt"
+        moved = pts * 0.5 + 0.25
+
+        async def first_life():
+            svc = PartitionService(checkpoint_dir=ckpt)
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            sid = (await svc.open_session(ds, 4, seed=2))["session_id"]
+            await svc.repartition(sid, points=moved)
+            return sid
+
+        async def second_life(sid):
+            svc = PartitionService(checkpoint_dir=ckpt)
+            r1 = await svc.repartition(sid)
+            await svc.drain()
+            return r1
+
+        sid = run(first_life())
+        r1 = run(second_life(sid))
+        p = GeographerPartitioner()
+        d0 = p.partition(moved, 4, epsilon=0.03, rng=2)
+        d1 = p.repartition(d0, moved, 4, None, 0.03, rng=3)
+        assert same_result(r1, d1)
+
+
+# ---------------------------------------------------------------------------
+# Socket servers (dedicated `service` CI job)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.service
+class TestSocketServer:
+    def test_roundtrip_over_unix_socket(self, pts, tmp_path):
+        from repro.service.client import ServiceClient, ServiceClientError
+        from repro.service.loadtest import start_background_server
+
+        before = leaked_resources()
+        sock = tmp_path / "svc.sock"
+        thread = start_background_server(sock)
+        try:
+            with ServiceClient(sock) as client:
+                assert client.ping() == "pong"
+                ds = client.register_dataset(pts)["dataset_id"]
+                served = client.partition(ds, 5, seed=4)
+                direct = GeographerPartitioner().partition(pts, 5, epsilon=0.03, rng=4)
+                assert same_result(served, direct)
+                sid = client.open_session(ds, 5, seed=4)["session_id"]
+                r0 = client.repartition(sid)
+                assert same_result(r0, direct)  # step 0 == one-shot with rng=seed
+                with pytest.raises(ServiceClientError, match="unknown dataset"):
+                    client.partition("nope", 4)
+                stats = client.stats()
+                assert stats["datasets"] == 1 and stats["sessions"] == 1
+                assert client.shutdown() == "draining"
+        finally:
+            thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert not os.path.exists(sock)
+        assert_no_leaks(before)
+
+    def test_load_test_harness_reports_and_verifies(self, tmp_path):
+        from repro.service.loadtest import format_report, run_load_test
+
+        before = leaked_resources()
+        out = tmp_path / "report.json"
+        report = run_load_test(
+            n_points=500, k=4, clients=6, requests_per_client=3,
+            distinct_seeds=3, out_json=out,
+        )
+        assert report["errors"] == []
+        assert report["identity_ok"] is True
+        assert report["requests_total"] == 18
+        lat = report["latency_ms"]
+        assert 0 < lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"]
+        assert report["throughput_rps"] > 0
+        assert report["server"]["counters"]["cache_hit"] >= 1
+        assert out.exists()
+        assert "bit-identical" in format_report(report)
+        assert_no_leaks(before)
+
+
+@pytest.mark.service
+class TestServerKillResume:
+    def _spawn(self, sock, ckpt):
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = SRC_DIR + (os.pathsep + existing if existing else "")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", os.fspath(sock),
+             "--checkpoint-dir", os.fspath(ckpt)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+
+    def test_sigkilled_server_resumes_bit_identically(self, pts, tmp_path):
+        """SIGKILL a real `repro serve` mid-session; the restarted server
+        continues the session exactly where the dead one left off."""
+        from repro.service.client import ServiceClient
+
+        n = pts.shape[0]
+        deltas = [np.linspace(0, 1, n), np.linspace(1, 0, n)]
+        sock = tmp_path / "svc.sock"
+        ckpt = tmp_path / "ckpt"
+
+        proc = self._spawn(sock, ckpt)
+        try:
+            with ServiceClient(sock, connect_timeout=30.0) as client:
+                ds = client.register_dataset(pts)["dataset_id"]
+                sid = client.open_session(ds, 6, seed=3)["session_id"]
+                client.repartition(sid)
+                client.repartition(sid, weight_delta=deltas[0])
+            proc.send_signal(signal.SIGKILL)  # no drain, no goodbye
+            proc.wait(timeout=30.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30.0)
+
+        # the dead server leaves a stale socket file behind; the new server
+        # unlinks and rebinds it on start
+        proc2 = self._spawn(sock, ckpt)
+        try:
+            with ServiceClient(sock, connect_timeout=30.0) as client:
+                stats = client.stats()
+                assert stats["counters"]["sessions_resumed"] == 1
+                resumed = client.repartition(sid, weight_delta=deltas[1])
+                client.shutdown()
+            proc2.wait(timeout=30.0)
+        finally:
+            if proc2.poll() is None:
+                proc2.kill()
+                proc2.wait(timeout=30.0)
+
+        # uninterrupted reference for step 3: the same delta stream, no kill
+        p = GeographerPartitioner()
+        d0 = p.partition(pts, 6, epsilon=0.03, rng=3)
+        d1 = p.repartition(d0, pts, 6, np.ones(n) + deltas[0], 0.03, rng=4)
+        d2 = p.repartition(d1, pts, 6, np.ones(n) + deltas[0] + deltas[1], 0.03, rng=5)
+        assert same_result(resumed, d2)
