@@ -53,7 +53,8 @@ def pytest_addoption(parser):
 
 def pytest_collection_modifyitems(config, items):
     for item in items:
-        if not any(m.name in ("slow", "process_backend", "mpi_backend", "chaos", "service")
+        if not any(m.name in ("slow", "process_backend", "mpi_backend", "chaos", "service",
+                              "chaos_service")
                    for m in item.iter_markers()):
             item.add_marker(pytest.mark.tier1)
 

@@ -189,6 +189,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="LRU result-cache entries (default 128; 0 disables)")
     sv.add_argument("--compute-threads", type=int, default=1,
                     help="partitioning executor threads (default 1)")
+    sv.add_argument("--max-inflight", type=int, default=None,
+                    help="admission control: max concurrent compute requests "
+                         "(default unlimited)")
+    sv.add_argument("--max-queue", type=int, default=256,
+                    help="admission control: max requests queued behind the "
+                         "in-flight limit before shedding with 'overloaded' "
+                         "(default 256)")
+    sv.add_argument("--compute-timeout", type=float, default=None,
+                    help="supervisor hang limit per compute in seconds "
+                         "(default: $REPRO_SERVICE_COMPUTE_TIMEOUT, else off)")
+    sv.add_argument("--breaker-threshold", type=int, default=3,
+                    help="consecutive compute failures that open a dataset's "
+                         "circuit breaker (default 3)")
+    sv.add_argument("--breaker-reset", type=float, default=5.0,
+                    help="seconds before an open breaker half-opens (default 5)")
+    sv.add_argument("--drain-grace", type=float, default=10.0,
+                    help="hard deadline in seconds for in-flight requests "
+                         "during SIGTERM/shutdown drain (default 10)")
 
     bs = sub.add_parser("bench-service",
                         help="load-test a partitioning server: p50/p99 latency + throughput")
@@ -210,6 +228,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip the bit-identity check against direct partition()")
     bs.add_argument("--out-json", default=None,
                     help="also write the full report as JSON here")
+    bs.add_argument("--retries", type=int, default=None,
+                    help="max attempts per request incl. the first "
+                         "(default: the client's standard retry policy, 4)")
+    bs.add_argument("--deadline-ms", type=float, default=None,
+                    help="attach a per-request deadline_ms to every request")
+    bs.add_argument("--request-timeout", type=float, default=300.0,
+                    help="client reply timeout in seconds (default 300)")
+    bs.add_argument("--max-inflight", type=int, default=None,
+                    help="scratch server only: admission-control in-flight cap")
+    bs.add_argument("--max-queue", type=int, default=256,
+                    help="scratch server only: admission-control queue bound "
+                         "(default 256)")
     return parser
 
 
@@ -515,6 +545,12 @@ def _cmd_serve(args) -> None:
         checkpoint_dir=args.checkpoint_dir,
         cache_capacity=args.cache_capacity,
         compute_threads=args.compute_threads,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        compute_timeout=args.compute_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        drain_grace=args.drain_grace,
         ready_callback=announce,
     ))
 
@@ -535,11 +571,16 @@ def _cmd_bench_service(args) -> None:
         seed=args.seed,
         verify_identity=not args.no_verify,
         out_json=args.out_json,
+        retries=args.retries,
+        deadline_ms=args.deadline_ms,
+        request_timeout=args.request_timeout,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
     )
     print(format_report(report))
     if args.out_json:
         print(f"wrote {args.out_json}")
-    if report["errors"] or not report["identity_ok"]:
+    if report["errors"] or not report["identity_ok"] or report["unjoined_workers"]:
         raise SystemExit(1)
 
 

@@ -31,11 +31,16 @@ Injection semantics per fault kind:
     ``step`` — models a killed driver; tests resume from the checkpoint.
 ``delay``
     Stalls the matching collective call: real ``time.sleep`` on measured
-    backends, extra modeled comm-seconds on the ledger otherwise.
+    backends, extra modeled comm-seconds on the ledger otherwise.  With
+    ``op=compute`` the spec targets the partitioning service's supervised
+    compute instead (:class:`repro.service.resilience.ComputeSupervisor`),
+    stalling the matching request inside its executor thread.
 ``fail``
     The matching collective runs, its result is discarded as a transient
     failure, and the call is retried (charging twice) — the retried result
-    is returned, so the final answer never changes.
+    is returned, so the final answer never changes.  With ``op=compute`` the
+    service's compute does its work and then dies (a mid-request kill); the
+    *client's* retry, not the comm layer, restores progress there.
 ``corrupt``
     Consulted by :meth:`~repro.runtime.checkpoint.CheckpointStore.save`
     (which receives the plan via the comm's ``fault_plan`` attribute):
@@ -70,6 +75,12 @@ __all__ = [
 
 _KINDS = ("kill", "crash", "delay", "fail", "corrupt")
 _COLLECTIVE_OPS = ("allreduce", "allgather", "alltoallv", "broadcast")
+#: ``delay``/``fail`` targets: the comm collectives, plus ``"compute"`` — the
+#: partitioning service's supervised compute calls
+#: (:class:`repro.service.resilience.ComputeSupervisor`), where ``index``
+#: addresses the 0-based ordinal of supervised requests instead of a
+#: per-collective occurrence.
+_FAULT_OPS = _COLLECTIVE_OPS + ("compute",)
 
 
 class InjectedFault(RuntimeError):
@@ -96,9 +107,9 @@ class FaultSpec:
         if self.kind == "crash" and self.step is None:
             raise ValueError("crash fault needs step=")
         if self.kind in ("delay", "fail"):
-            if self.op not in _COLLECTIVE_OPS:
+            if self.op not in _FAULT_OPS:
                 raise ValueError(
-                    f"{self.kind} fault needs op= one of {_COLLECTIVE_OPS}, got {self.op!r}"
+                    f"{self.kind} fault needs op= one of {_FAULT_OPS}, got {self.op!r}"
                 )
         if self.kind == "delay" and self.seconds < 0:
             raise ValueError("delay fault needs seconds >= 0")

@@ -1,10 +1,29 @@
-"""Thin blocking client for the partitioning service.
+"""Blocking client for the partitioning service, with retries and deadlines.
 
 One :class:`ServiceClient` wraps one unix-socket connection; it is safe to
 use from one thread at a time (the load-test harness gives each simulated
 client its own instance).  Every method mirrors a server op and returns the
 already-unpickled value; server-side errors re-raise here as
-:class:`ServiceClientError` carrying the server's message.
+:class:`ServiceClientError` carrying the server's structured error fields
+(``code``, ``retryable``, ``retry_after_ms``).
+
+Resilience contract:
+
+* **No hangs.**  Every reply wait is bounded by ``request_timeout`` (and by
+  the request's ``deadline_ms`` plus slack when one is set); a stalled or
+  truncated reply raises a clean :class:`ServiceClientError` instead of
+  blocking the thread forever.
+* **Safe retries only.**  The :class:`~repro.service.resilience.RetryPolicy`
+  retries idempotent ops on retryable codes (``overloaded``,
+  ``breaker_open``, compute crashes, ``shutting_down``) and on transport
+  failures (pseudo-code ``"connection"``: reset, EOF, reply timeout, server
+  restart).  Retries are bit-identical, never recomputed-divergent: one-shot
+  results come from the server's digest-keyed cache, and each
+  :meth:`repartition` call carries a ``request_id`` the server uses to
+  replay an already-committed step instead of re-applying its delta.
+* **Automatic reconnect.**  A transport failure closes the socket; the next
+  attempt re-runs :meth:`connect`, whose wait loop spans a server restart
+  (the unix socket disappears, then reappears).
 """
 
 from __future__ import annotations
@@ -12,24 +31,60 @@ from __future__ import annotations
 import os
 import socket
 import time
+import uuid
 
 import numpy as np
 
-from repro.service.protocol import recv_frame, send_frame
+from repro.service.protocol import ProtocolError, recv_frame, send_frame
+from repro.service.resilience import RetryPolicy
 
 __all__ = ["ServiceClient", "ServiceClientError"]
 
 
 class ServiceClientError(RuntimeError):
-    """The server answered a request with an error status."""
+    """A failed request, carrying the server's structured error fields.
+
+    ``code`` is the server's error code — or the client-side pseudo-code
+    ``"connection"`` for transport failures (reset, EOF mid-frame, reply
+    timeout, unreachable socket).  ``retryable`` is the server's verdict on
+    whether a retry can succeed; ``retry_after_ms`` is its backoff hint.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "internal",
+        retryable: bool = False,
+        retry_after_ms: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retryable = retryable
+        self.retry_after_ms = retry_after_ms
 
 
 class ServiceClient:
-    """Blocking client; connects lazily, usable as a context manager."""
+    """Blocking client; connects lazily, usable as a context manager.
 
-    def __init__(self, socket_path: str | os.PathLike, connect_timeout: float = 10.0) -> None:
+    ``request_timeout`` bounds every reply wait (``None`` restores the old
+    block-forever behaviour; don't).  ``retry`` is the
+    :class:`RetryPolicy` for idempotent ops — pass
+    ``RetryPolicy(max_attempts=1)`` to disable retries.  ``retries_total``
+    counts retries performed over the client's lifetime.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | os.PathLike,
+        connect_timeout: float = 10.0,
+        request_timeout: float | None = 300.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.socket_path = os.fspath(socket_path)
         self.connect_timeout = float(connect_timeout)
+        self.request_timeout = None if request_timeout is None else float(request_timeout)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.retries_total = 0
         self._sock: socket.socket | None = None
 
     # -- connection management ----------------------------------------------
@@ -37,8 +92,9 @@ class ServiceClient:
     def connect(self) -> "ServiceClient":
         """Connect, waiting up to ``connect_timeout`` for the socket to appear.
 
-        The wait covers the standard launch race: a client started together
-        with ``repro serve`` must not fail before the server binds.
+        The wait covers the standard launch race (a client started together
+        with ``repro serve``) *and* a server restart — the stale socket path
+        vanishes, then the new server binds it.
         """
         if self._sock is not None:
             return self
@@ -68,13 +124,74 @@ class ServiceClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def _call(self, op: str, **fields):
-        self.connect()
-        send_frame(self._sock, {"op": op, **fields})
-        response = recv_frame(self._sock)
+    # -- request machinery ----------------------------------------------------
+
+    def _reply_timeout(self, deadline_ms: float | None) -> float | None:
+        """Reply wait bound: the request timeout, tightened by the deadline.
+
+        A request with a deadline cannot usefully out-wait it — the server
+        answers ``deadline_exceeded`` at the deadline, so the reply is due
+        within ``deadline_ms`` plus transport slack.
+        """
+        timeout = self.request_timeout
+        if deadline_ms is not None:
+            budget = float(deadline_ms) / 1000.0 + 5.0
+            timeout = budget if timeout is None else min(timeout, budget)
+        return timeout
+
+    def _roundtrip(self, payload: dict, deadline_ms: float | None):
+        try:
+            self.connect()
+            send_frame(self._sock, payload)
+            response = recv_frame(self._sock, timeout=self._reply_timeout(deadline_ms))
+        except (ProtocolError, OSError) as exc:
+            # The connection can no longer be trusted (a stale reply may
+            # still arrive); drop it so the next attempt reconnects.
+            self.close()
+            raise ServiceClientError(
+                f"{type(exc).__name__}: {exc}", code="connection", retryable=True
+            ) from exc
+        if not isinstance(response, dict):
+            self.close()
+            raise ServiceClientError(
+                f"malformed response frame: {type(response).__name__}",
+                code="connection", retryable=True,
+            )
         if response.get("status") != "ok":
-            raise ServiceClientError(response.get("error", "unknown server error"))
+            raise ServiceClientError(
+                response.get("error", "unknown server error"),
+                code=response.get("code", "internal"),
+                retryable=bool(response.get("retryable", False)),
+                retry_after_ms=response.get("retry_after_ms"),
+            )
         return response.get("value")
+
+    def _call(self, op: str, idempotent: bool = True,
+              deadline_ms: float | None = None, **fields):
+        """One op with the retry loop around it.
+
+        Only idempotent ops retry (every op except ``close_session`` and
+        ``shutdown`` — those could observe their own first attempt's effect
+        and fail spuriously).  The backoff sleep honours the larger of the
+        policy's delay and the server's ``retry_after_ms`` hint.
+        """
+        payload = {"op": op, **fields}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        delays = self.retry.delays() if idempotent else iter(())
+        while True:
+            try:
+                return self._roundtrip(payload, deadline_ms)
+            except ServiceClientError as exc:
+                if not (exc.retryable and self.retry.retries(exc.code)):
+                    raise
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                if exc.retry_after_ms:
+                    delay = max(delay, exc.retry_after_ms / 1000.0)
+                self.retries_total += 1
+                time.sleep(delay)
 
     # -- ops -----------------------------------------------------------------
 
@@ -92,8 +209,10 @@ class ServiceClient:
                           dataset_id=dataset_id)
 
     def partition(self, dataset_id: str, k: int, epsilon: float = 0.03, seed: int = 0,
-                  weights: np.ndarray | None = None):
-        return self._call("partition", dataset_id=dataset_id, k=int(k),
+                  weights: np.ndarray | None = None,
+                  deadline_ms: float | None = None):
+        return self._call("partition", deadline_ms=deadline_ms,
+                          dataset_id=dataset_id, k=int(k),
                           epsilon=float(epsilon), seed=int(seed),
                           weights=None if weights is None else np.asarray(weights))
 
@@ -104,23 +223,32 @@ class ServiceClient:
 
     def repartition(self, session_id: str, weights: np.ndarray | None = None,
                     weight_delta: np.ndarray | None = None,
-                    points: np.ndarray | None = None):
+                    points: np.ndarray | None = None,
+                    deadline_ms: float | None = None):
+        # one request_id spans all retries of this call: if the first attempt
+        # committed but its reply was lost, the retry replays the committed
+        # result instead of double-applying the delta
         return self._call(
-            "repartition", session_id=session_id,
+            "repartition", deadline_ms=deadline_ms, session_id=session_id,
+            request_id=uuid.uuid4().hex,
             weights=None if weights is None else np.asarray(weights),
             weight_delta=None if weight_delta is None else np.asarray(weight_delta),
             points=None if points is None else np.asarray(points),
         )
 
     def close_session(self, session_id: str, drop_checkpoints: bool = False) -> dict:
-        return self._call("close_session", session_id=session_id,
+        return self._call("close_session", idempotent=False, session_id=session_id,
                           drop_checkpoints=bool(drop_checkpoints))
 
     def stats(self) -> dict:
         return self._call("stats")
 
+    def health(self) -> dict:
+        """The server's readiness snapshot (queue depth, breakers, respawns)."""
+        return self._call("health")
+
     def shutdown(self) -> str:
         """Ask the server to drain and exit; closes this connection too."""
-        value = self._call("shutdown")
+        value = self._call("shutdown", idempotent=False)
         self.close()
         return value

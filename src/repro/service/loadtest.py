@@ -11,7 +11,13 @@ distinct ones.
 
 Besides timing, the harness *asserts bit-identity*: every response must
 equal the direct ``GeographerPartitioner().partition(...)`` result for its
-seed, so batching/caching can never be bought with changed output.
+seed, so batching/caching can never be bought with changed output.  It is
+also the chaos gate's measuring stick: under a ``REPRO_FAULTS`` plan or a
+server kill, every request must either complete bit-identical or fail with
+a structured retryable error — per-request failures are recorded (not
+silently dropped), worker threads that fail to join within
+``join_timeout`` are surfaced as ``unjoined_workers``, and both make the
+harness report a failure instead of underreporting load.
 """
 
 from __future__ import annotations
@@ -25,7 +31,8 @@ import numpy as np
 
 from repro.core.config import BalancedKMeansConfig
 from repro.partitioners.geographer import GeographerPartitioner
-from repro.service.client import ServiceClient
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.resilience import RetryPolicy
 
 __all__ = ["run_load_test", "start_background_server", "format_report"]
 
@@ -36,6 +43,10 @@ def start_background_server(
     checkpoint_dir: str | os.PathLike | None = None,
     cache_capacity: int = 128,
     compute_threads: int = 1,
+    max_inflight: int | None = None,
+    max_queue: int | None = 256,
+    compute_timeout: float | None = None,
+    drain_grace: float | None = 10.0,
 ) -> threading.Thread:
     """Launch :func:`repro.service.server.serve` on a daemon thread.
 
@@ -54,6 +65,8 @@ def start_background_server(
             asyncio.run(serve(
                 socket_path, config=config, checkpoint_dir=checkpoint_dir,
                 cache_capacity=cache_capacity, compute_threads=compute_threads,
+                max_inflight=max_inflight, max_queue=max_queue,
+                compute_timeout=compute_timeout, drain_grace=drain_grace,
                 ready_callback=ready.set,
             ))
         except BaseException as exc:  # pragma: no cover - startup failures
@@ -89,6 +102,12 @@ def run_load_test(
     seed: int = 0,
     verify_identity: bool = True,
     out_json: str | os.PathLike | None = None,
+    retries: int | None = None,
+    deadline_ms: float | None = None,
+    request_timeout: float | None = 300.0,
+    max_inflight: int | None = None,
+    max_queue: int | None = 256,
+    join_timeout: float = 120.0,
 ) -> dict:
     """Hammer a partitioning server and report latency/throughput.
 
@@ -98,12 +117,23 @@ def run_load_test(
     issues ``requests_per_client`` ``partition`` requests whose seeds cycle
     through ``range(distinct_seeds)``.  With ``verify_identity`` each
     distinct seed's response is compared bit-for-bit against a direct
-    in-process ``GeographerPartitioner`` run on the same inputs.
+    in-process ``GeographerPartitioner`` run on the same inputs —
+    whatever completed is verified even when other requests failed.
+
+    ``retries`` caps each client's attempts per request (``None`` = the
+    default :class:`RetryPolicy`); ``deadline_ms`` attaches a per-request
+    deadline; ``max_inflight``/``max_queue`` configure the in-process
+    server's admission control.  A request that exhausts its retries is
+    recorded in ``errors`` (with its structured code) and counted in
+    ``requests_failed`` — the other requests keep running.  Worker threads
+    still alive after ``join_timeout`` are listed in ``unjoined_workers``;
+    callers must treat a non-empty list as a failed run (the CLI exits
+    nonzero), never as lighter load.
 
     Returns a JSON-serialisable report (also written to ``out_json`` when
     given): client/request counts, wall seconds, ``throughput_rps``,
-    ``latency_ms`` percentiles, the server's counter/cache stats, and
-    ``identity_ok``.
+    ``latency_ms`` percentiles, the server's counter/cache stats plus a
+    ``health`` snapshot, retry/failure counts, and ``identity_ok``.
     """
     rng = np.random.default_rng(seed)
     points = rng.random((int(n_points), 2))
@@ -118,26 +148,49 @@ def run_load_test(
         socket_path = os.path.join(tmpdir, "service.sock")
         thread = start_background_server(
             socket_path, cache_capacity=cache_capacity, compute_threads=compute_threads,
+            max_inflight=max_inflight, max_queue=max_queue,
+        )
+
+    retry_policy = None if retries is None else RetryPolicy(max_attempts=max(1, int(retries)))
+
+    def make_client() -> ServiceClient:
+        return ServiceClient(
+            socket_path, request_timeout=request_timeout,
+            retry=retry_policy if retry_policy is not None else RetryPolicy(),
         )
 
     try:
-        with ServiceClient(socket_path) as setup:
+        with make_client() as setup:
             dataset_id = setup.register_dataset(points)["dataset_id"]
 
         latencies: list[float] = []
         results: dict[int, object] = {}
         errors: list[str] = []
+        counts = {"failed": 0, "retries": 0}
         lock = threading.Lock()
         start_barrier = threading.Barrier(int(clients) + 1)
 
         def client_main(idx: int) -> None:
             try:
-                with ServiceClient(socket_path) as client:
+                with make_client() as client:
                     start_barrier.wait()
                     for r in range(int(requests_per_client)):
                         req_seed = (idx + r) % max(1, int(distinct_seeds))
                         t0 = time.perf_counter()
-                        result = client.partition(dataset_id, k, epsilon=epsilon, seed=req_seed)
+                        try:
+                            result = client.partition(
+                                dataset_id, k, epsilon=epsilon, seed=req_seed,
+                                deadline_ms=deadline_ms,
+                            )
+                        except ServiceClientError as exc:
+                            # retries exhausted: count it, keep hammering
+                            with lock:
+                                counts["failed"] += 1
+                                errors.append(
+                                    f"client {idx} seed {req_seed}: "
+                                    f"[{exc.code}] {exc}"
+                                )
+                            continue
                         dt = time.perf_counter() - t0
                         with lock:
                             latencies.append(dt)
@@ -146,6 +199,8 @@ def run_load_test(
                                 np.asarray(first.assignment), np.asarray(result.assignment)
                             ):
                                 errors.append(f"seed {req_seed}: divergent responses")
+                    with lock:
+                        counts["retries"] += client.retries_total
             except Exception as exc:
                 with lock:
                     errors.append(f"client {idx}: {type(exc).__name__}: {exc}")
@@ -165,12 +220,21 @@ def run_load_test(
         except threading.BrokenBarrierError:  # a client failed during connect
             pass
         wall_start = time.perf_counter()
-        for w in workers:
-            w.join()
+        join_deadline = wall_start + float(join_timeout)
+        unjoined: list[int] = []
+        for i, w in enumerate(workers):
+            w.join(timeout=max(0.0, join_deadline - time.perf_counter()))
+            if w.is_alive():
+                unjoined.append(i)
         wall = time.perf_counter() - wall_start
+        if unjoined:
+            errors.append(
+                f"{len(unjoined)} worker thread(s) failed to join within "
+                f"{join_timeout:g}s: {unjoined} — results underreport the load"
+            )
 
         identity_ok = True
-        if verify_identity and not errors:
+        if verify_identity:
             # unbatched/uncached reference: a fresh partitioner per seed, the
             # exact call a client would have made without the service
             for req_seed, served in sorted(results.items()):
@@ -185,8 +249,13 @@ def run_load_test(
                     identity_ok = False
                     errors.append(f"seed {req_seed}: served result != direct partition()")
 
-        with ServiceClient(socket_path) as probe:
-            stats = probe.stats()
+        stats = health = None
+        try:
+            with make_client() as probe:
+                stats = probe.stats()
+                health = probe.health()
+        except Exception as exc:  # the server may be gone in kill scenarios
+            errors.append(f"stats probe: {type(exc).__name__}: {exc}")
 
         lat_sorted = sorted(latencies)
         report = {
@@ -196,7 +265,11 @@ def run_load_test(
             "clients": int(clients),
             "requests_per_client": int(requests_per_client),
             "distinct_seeds": int(distinct_seeds),
+            "deadline_ms": deadline_ms,
             "requests_total": len(latencies),
+            "requests_failed": counts["failed"],
+            "retries_total": counts["retries"],
+            "unjoined_workers": unjoined,
             "wall_seconds": wall,
             "throughput_rps": (len(latencies) / wall) if wall > 0 else float("nan"),
             "latency_ms": {
@@ -207,13 +280,14 @@ def run_load_test(
                 "max": (lat_sorted[-1] * 1e3) if lat_sorted else float("nan"),
             },
             "server": stats,
+            "health": health,
             "identity_ok": identity_ok,
             "errors": errors,
         }
     finally:
         if own_server:
             try:
-                with ServiceClient(socket_path) as closer:
+                with make_client() as closer:
                     closer.shutdown()
             except Exception:
                 pass
@@ -241,10 +315,23 @@ def format_report(report: dict) -> str:
         f"  ->  {report['throughput_rps']:.1f} req/s",
         f"  latency ms  p50={lat['p50']:.2f}  p90={lat['p90']:.2f}  "
         f"p99={lat['p99']:.2f}  mean={lat['mean']:.2f}  max={lat['max']:.2f}",
-        f"  cache       {report['server']['cache']}",
-        f"  counters    {report['server']['counters']}",
-        f"  identity    {'bit-identical to direct partition()' if report['identity_ok'] else 'MISMATCH'}",
+        f"  resilience  failed={report['requests_failed']}  "
+        f"retries={report['retries_total']}  "
+        f"unjoined={len(report['unjoined_workers'])}",
     ]
+    if report.get("server"):
+        lines.append(f"  cache       {report['server']['cache']}")
+        lines.append(f"  counters    {report['server']['counters']}")
+    if report.get("health"):
+        h = report["health"]
+        lines.append(
+            f"  health      queue={h['queue_depth']}  inflight={h['inflight']}  "
+            f"shed={h['requests_shed']}  respawns={h['compute_respawns']}"
+        )
+    lines.append(
+        f"  identity    "
+        f"{'bit-identical to direct partition()' if report['identity_ok'] else 'MISMATCH'}"
+    )
     if report["errors"]:
         lines.append(f"  errors      {report['errors']}")
     return "\n".join(lines)

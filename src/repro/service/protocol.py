@@ -1,16 +1,24 @@
 """Wire protocol: length-prefixed pickle frames over a local socket.
 
 One frame = a 4-byte big-endian payload length followed by a pickle of one
-Python object.  Requests are dicts with an ``"op"`` key; responses are dicts
-with ``"status"`` (``"ok"`` or ``"error"``).  Pickle is appropriate here
-because the server listens on a **unix domain socket** owned by the user who
-launched it — clients are trusted local processes, exactly like the
-pickle-over-pipe transport of the process backend
-(:mod:`repro.runtime.procomm`).  Do not expose the socket to untrusted
-peers.
+Python object.  Requests are dicts with an ``"op"`` key (plus an optional
+``"deadline_ms"`` request budget); responses are dicts with ``"status"``
+(``"ok"`` or ``"error"``).  Error responses are structured: they carry
+``"code"`` (one of the :mod:`repro.service.resilience` error codes),
+``"retryable"`` and ``"retry_after_ms"`` alongside the human-readable
+``"error"`` message, so clients can implement retry policies without string
+matching.  Pickle is appropriate here because the server listens on a
+**unix domain socket** owned by the user who launched it — clients are
+trusted local processes, exactly like the pickle-over-pipe transport of the
+process backend (:mod:`repro.runtime.procomm`).  Do not expose the socket
+to untrusted peers.
 
 Both asyncio (server-side) and blocking (client-side) helpers live here so
-the framing cannot drift between the two.
+the framing cannot drift between the two.  Every malformed input — an
+oversized or truncated frame, undecodable payload bytes, a peer that stalls
+mid-frame past the caller's timeout — surfaces as :class:`ProtocolError`
+(or the :class:`ProtocolTimeout` subclass), never as a hang or a raw
+pickle/struct exception.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import struct
 __all__ = [
     "MAX_FRAME_BYTES",
     "ProtocolError",
+    "ProtocolTimeout",
     "read_frame",
     "write_frame",
     "recv_frame",
@@ -37,13 +46,37 @@ MAX_FRAME_BYTES = 1 << 30
 
 
 class ProtocolError(RuntimeError):
-    """A malformed or oversized frame (or a closed peer mid-frame)."""
+    """A malformed or oversized frame (or a closed peer mid-frame).
+
+    Carries the structured-error fields so the server can answer a broken
+    frame with a typed ``bad_frame`` payload before disconnecting.
+    """
+
+    code = "bad_frame"
+    retryable = False
+    retry_after_ms: int | None = None
+
+
+class ProtocolTimeout(ProtocolError):
+    """The peer stalled past the caller's timeout mid-frame or mid-reply.
+
+    After a timeout the connection's framing can no longer be trusted (the
+    stale reply may still arrive later), so callers must close and reconnect
+    rather than reuse the socket.
+    """
 
 
 def _check_length(length: int) -> int:
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} limit")
     return length
+
+
+def _loads(payload: bytes):
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # garbage bytes behind a plausible header
+        raise ProtocolError(f"undecodable frame payload: {type(exc).__name__}: {exc}") from exc
 
 
 # -- asyncio (server) ---------------------------------------------------------
@@ -54,7 +87,7 @@ async def read_frame(reader: asyncio.StreamReader):
     header = await reader.readexactly(_HEADER.size)
     length = _check_length(_HEADER.unpack(header)[0])
     payload = await reader.readexactly(length)
-    return pickle.loads(payload)
+    return _loads(payload)
 
 
 async def write_frame(writer: asyncio.StreamWriter, obj) -> None:
@@ -70,7 +103,13 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
     chunks = []
     remaining = n
     while remaining > 0:
-        chunk = sock.recv(remaining)
+        try:
+            chunk = sock.recv(remaining)
+        except TimeoutError as exc:
+            raise ProtocolTimeout(
+                f"peer stalled: no bytes for {sock.gettimeout():g}s with "
+                f"{remaining} of {n} still expected"
+            ) from exc
         if not chunk:
             raise ProtocolError("connection closed mid-frame")
         chunks.append(chunk)
@@ -78,10 +117,19 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket):
+def recv_frame(sock: socket.socket, timeout: float | None = None):
+    """Receive one frame, waiting at most ``timeout`` seconds for *each* read.
+
+    ``timeout=None`` keeps the socket's current timeout (possibly blocking
+    forever).  A stall raises :class:`ProtocolTimeout`; a peer that closes
+    mid-frame raises :class:`ProtocolError` — reads can never hang a client
+    thread when a timeout is set.
+    """
+    if timeout is not None:
+        sock.settimeout(timeout)
     header = _recv_exactly(sock, _HEADER.size)
     length = _check_length(_HEADER.unpack(header)[0])
-    return pickle.loads(_recv_exactly(sock, length))
+    return _loads(_recv_exactly(sock, length))
 
 
 def send_frame(sock: socket.socket, obj) -> None:

@@ -9,6 +9,22 @@ those coroutines over length-prefixed pickle frames on a unix socket
 server.  Keeping the core transport-free makes every behaviour testable
 without sockets.
 
+Request lifecycle (the SLO-aware path added by the resilience layer,
+:mod:`repro.service.resilience`)::
+
+    deadline_ms -> admission control -> circuit breaker -> supervised compute
+        -> commit (atomic) -> checkpoint -> reply
+
+Requests carrying ``deadline_ms`` are cancelled at the deadline; state only
+commits *after* a compute succeeds, so a deadline-cancelled or crashed
+request leaves sessions exactly at their checkpointed step and a retry is
+bit-identical.  Admission sheds over-limit requests immediately with a
+structured ``overloaded`` error; per-dataset breakers fail fast after
+consecutive compute failures; the :class:`ComputeSupervisor` detects hung
+compute, abandons it, and replaces the executor (a *respawn*), with an
+optional :class:`~repro.runtime.faults.FaultPlan` deterministically killing
+or stalling scheduled requests for chaos tests.
+
 Determinism contract: every result is **bit-identical** to calling
 ``GeographerPartitioner().partition(...)`` / ``.repartition(...)`` directly
 with the same inputs.  Warm workspaces only skip redundant cache builds
@@ -16,14 +32,16 @@ with the same inputs.  Warm workspaces only skip redundant cache builds
 every determinism-relevant input, coalescing shares one computation between
 identical requests, and session step ``i`` always runs with
 ``rng = seed + i`` so a resumed server replays the exact rng sequence.
+Retried requests are idempotent: one-shot results come from the digest LRU,
+and session steps replay by ``request_id`` instead of recomputing.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import os
 import uuid
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,20 +51,29 @@ from repro.core.config import BalancedKMeansConfig
 from repro.core.kernels import SweepWorkspace
 from repro.partitioners.geographer import GeographerPartitioner
 from repro.partitioners.result import PartitionResult
-from repro.runtime.checkpoint import CheckpointStore, data_digest, sanitize_run_id, validate_meta
+from repro.runtime.checkpoint import CheckpointStore, data_digest, validate_meta
 from repro.runtime.comm import CostLedger
+from repro.runtime.faults import FaultPlan
 from repro.runtime.procomm import share_array, unlink_array
 from repro.service.cache import LRUResultCache, weights_hash
-from repro.service.protocol import read_frame, write_frame
+from repro.service.protocol import ProtocolError, read_frame, write_frame
+from repro.service.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    ComputeFailed,
+    ComputeSupervisor,
+    ComputeTimeout,
+    DeadlineExceeded,
+    ServiceError,
+    ShuttingDown,
+    error_payload,
+    service_compute_timeout,
+)
 
 __all__ = ["PartitionServer", "PartitionService", "ServiceError", "SESSION_CHECKPOINT_KIND"]
 
 #: ``kind`` tag of per-session checkpoints (rejects resuming foreign files).
 SESSION_CHECKPOINT_KIND = "service-session"
-
-
-class ServiceError(RuntimeError):
-    """A request the service cannot honour (unknown ids, bad shapes, closed)."""
 
 
 @dataclass
@@ -77,6 +104,9 @@ class _Session:
     workspace: SweepWorkspace | None = None
     lock: asyncio.Lock = field(default_factory=asyncio.Lock)
     store: CheckpointStore | None = None
+    # idempotency: the last committed (request_id, result) pair, so a client
+    # retry of an already-applied step replays instead of recomputing
+    last_request: tuple[str, PartitionResult] | None = None
 
 
 class PartitionService:
@@ -102,6 +132,21 @@ class PartitionService:
         Executor threads for the numeric work.  The default 1 serialises
         all sweeps (per-dataset locks already serialise same-dataset work);
         raise it to overlap distinct datasets.
+    max_inflight / max_queue:
+        Admission-control bounds: at most ``max_inflight`` compute requests
+        run concurrently and at most ``max_queue`` wait behind them; the
+        rest are shed immediately with ``overloaded`` + ``retry_after_ms``.
+        ``None`` disables the respective bound.
+    compute_timeout:
+        Supervisor hang limit (seconds) per compute; default comes from
+        ``REPRO_SERVICE_COMPUTE_TIMEOUT`` (unset = no watchdog).
+    breaker_threshold / breaker_reset:
+        Per-dataset circuit breaker: open after ``breaker_threshold``
+        consecutive compute failures, half-open probe after
+        ``breaker_reset`` seconds.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan` executed against
+        the compute path (and checkpoint saves) for chaos testing.
     """
 
     def __init__(
@@ -110,20 +155,52 @@ class PartitionService:
         checkpoint_dir: str | os.PathLike | None = None,
         cache_capacity: int = 128,
         compute_threads: int = 1,
+        max_inflight: int | None = None,
+        max_queue: int | None = 256,
+        compute_timeout: float | None = None,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 5.0,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.config = config or BalancedKMeansConfig()
         self.checkpoint_dir = os.fspath(checkpoint_dir) if checkpoint_dir is not None else None
         self.ledger = CostLedger()
         self.cache = LRUResultCache(cache_capacity, ledger=self.ledger)
+        self.faults = faults
         self._datasets: dict[str, _Dataset] = {}
         self._sessions: dict[str, _Session] = {}
         self._inflight: dict[tuple, asyncio.Future] = {}
-        self._pool = ThreadPoolExecutor(
-            max_workers=max(1, int(compute_threads)), thread_name_prefix="repro-service"
+        self._supervisor = ComputeSupervisor(
+            threads=compute_threads,
+            timeout=compute_timeout if compute_timeout is not None
+            else service_compute_timeout(),
+            faults=faults,
+            ledger=self.ledger,
         )
+        self._admission = AdmissionController(
+            max_inflight=max_inflight,
+            max_queue=max_queue,
+            ledger=self.ledger,
+            retry_hint=self._supervisor.retry_after_ms,
+        )
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_reset = float(breaker_reset)
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._closed = False
         if self.checkpoint_dir is not None:
             self._resume_sessions()
+
+    def _breaker(self, dataset_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(dataset_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                dataset_id,
+                threshold=self._breaker_threshold,
+                reset_seconds=self._breaker_reset,
+                ledger=self.ledger,
+            )
+            self._breakers[dataset_id] = breaker
+        return breaker
 
     # -- datasets ------------------------------------------------------------
 
@@ -224,6 +301,10 @@ class PartitionService:
         warm workspace (one fused pass per queue drain, counted under
         ``batched_requests``).  Results are cached in the LRU keyed on
         ``(data_digest, k, epsilon, weights_hash, seed)``.
+
+        Cache hits and coalesced joins bypass admission control (they cost
+        no compute); everything else takes a compute slot, passes the
+        dataset's circuit breaker, and runs supervised.
         """
         self._ensure_open()
         ds = self._dataset(dataset_id)
@@ -236,23 +317,40 @@ class PartitionService:
         if pending is not None:
             self.ledger.count("coalesced_requests")
             return await asyncio.shield(pending)
+        breaker = self._breaker(ds.dataset_id)
+        breaker.allow()
         future = asyncio.get_running_loop().create_future()
         # a lone failed request must not warn about an unretrieved exception
         future.add_done_callback(lambda f: f.cancelled() or f.exception())
         self._inflight[key] = future
         try:
-            if ds.lock.locked():
-                self.ledger.count("batched_requests")
-            async with ds.lock:
-                order, ws = self._warm_state(ds.points, k, ds.sfc_order, ds.workspaces.get(int(k)))
-                ds.sfc_order = order
-                if ws is not None:
-                    ds.workspaces[int(k)] = ws
-                result = await self._run(
-                    lambda: GeographerPartitioner(
-                        config=self.config, workspace=ws, sfc_order=order
-                    ).partition(ds.points, int(k), eff_w, epsilon, rng=int(seed))
-                )
+            async with self._admission.slot():
+                if ds.lock.locked():
+                    self.ledger.count("batched_requests")
+                async with ds.lock:
+                    order, ws = self._warm_state(
+                        ds.points, k, ds.sfc_order, ds.workspaces.get(int(k))
+                    )
+                    ds.sfc_order = order
+                    if ws is not None:
+                        ds.workspaces[int(k)] = ws
+                    try:
+                        result = await self._supervisor.run(
+                            lambda: GeographerPartitioner(
+                                config=self.config, workspace=ws, sfc_order=order
+                            ).partition(ds.points, int(k), eff_w, epsilon, rng=int(seed)),
+                            label=f"partition:{ds.dataset_id}",
+                        )
+                    except (ComputeFailed, ComputeTimeout):
+                        # the abandoned/crashed compute may have left the warm
+                        # workspace mid-mutation; rebuild it next request
+                        ds.workspaces.pop(int(k), None)
+                        breaker.record_failure()
+                        raise
+                    except asyncio.CancelledError:
+                        ds.workspaces.pop(int(k), None)
+                        raise
+            breaker.record_success()
             self.cache.put(key, result)
             self.ledger.count("requests_served")
             future.set_result(result)
@@ -262,9 +360,6 @@ class PartitionService:
             raise
         finally:
             self._inflight.pop(key, None)
-
-    async def _run(self, fn):
-        return await asyncio.get_running_loop().run_in_executor(self._pool, fn)
 
     # -- sessions ------------------------------------------------------------
 
@@ -310,6 +405,7 @@ class PartitionService:
         weights: np.ndarray | None = None,
         weight_delta: np.ndarray | None = None,
         points: np.ndarray | None = None,
+        request_id: str | None = None,
     ) -> PartitionResult:
         """Advance a session one step, warm-started from its previous centers.
 
@@ -322,64 +418,129 @@ class PartitionService:
         bit-identical to direct ``GeographerPartitioner`` calls with the
         same inputs, and each step is checkpointed so a restarted server
         continues the sequence bit-identically.
+
+        Nothing commits until the supervised compute succeeds — a crashed,
+        hung or deadline-cancelled step leaves the session untouched, so a
+        retry recomputes the *same* step bit-identically.  ``request_id``
+        makes retries idempotent even across the commit boundary: if the
+        session's last committed step carries the same id, the stored
+        result replays instead of recomputing (so a retry after a lost
+        reply never double-applies a delta).
         """
         self._ensure_open()
         sess = self._session(session_id)
-        async with sess.lock:
-            ds = self._dataset(sess.dataset_id)
-            if points is not None:
-                pts = np.ascontiguousarray(points, dtype=np.float64)
-                if pts.ndim != 2 or pts.shape[1] not in (2, 3):
-                    raise ServiceError(f"points must be (n, 2|3), got shape {pts.shape}")
-                if sess.points is not None:
-                    unlink_array(sess.points)
-                sess.points = share_array(pts)
-                sess.sfc_order = None
-                sess.workspace = None
-            eff_pts = sess.points if sess.points is not None else ds.points
-            n = eff_pts.shape[0]
-            if weights is not None:
-                w = np.ascontiguousarray(weights, dtype=np.float64)
-                if w.shape != (n,):
-                    raise ServiceError(f"weights shape {w.shape} does not match {n} points")
-                sess.weights = w
-            elif weight_delta is not None:
-                delta = np.ascontiguousarray(weight_delta, dtype=np.float64)
-                if delta.shape != (n,):
-                    raise ServiceError(f"weight_delta shape {delta.shape} does not match {n} points")
-                base = sess.weights
-                if base is None:
-                    base = ds.weights if (ds.weights is not None and ds.weights.shape == (n,)) \
-                        else np.ones(n)
-                sess.weights = base + delta
-            eff_w = sess.weights
-            if eff_w is None and ds.weights is not None and ds.weights.shape == (n,):
-                eff_w = ds.weights
-
-            sess.sfc_order, sess.workspace = self._warm_state(
-                eff_pts, sess.k, sess.sfc_order, sess.workspace
-            )
-            rng = sess.seed + sess.step
-            previous = sess.previous
-            order, ws = sess.sfc_order, sess.workspace
-
-            def compute():
-                partitioner = GeographerPartitioner(
-                    config=self.config, workspace=ws, sfc_order=order
-                )
-                if previous is not None:
-                    return partitioner.repartition(
-                        previous, eff_pts, sess.k, eff_w, sess.epsilon, rng=rng
+        if (
+            request_id is not None
+            and sess.last_request is not None
+            and sess.last_request[0] == request_id
+        ):
+            self.ledger.count("idempotent_replays")
+            return sess.last_request[1]
+        breaker = self._breaker(sess.dataset_id)
+        breaker.allow()
+        async with self._admission.slot():
+            async with sess.lock:
+                # the original attempt may have committed while this retry
+                # queued on the session lock
+                if (
+                    request_id is not None
+                    and sess.last_request is not None
+                    and sess.last_request[0] == request_id
+                ):
+                    self.ledger.count("idempotent_replays")
+                    return sess.last_request[1]
+                ds = self._dataset(sess.dataset_id)
+                # stage every input mutation; commit only after compute succeeds
+                staged_points = None
+                if points is not None:
+                    pts = np.ascontiguousarray(points, dtype=np.float64)
+                    if pts.ndim != 2 or pts.shape[1] not in (2, 3):
+                        raise ServiceError(f"points must be (n, 2|3), got shape {pts.shape}")
+                    staged_points = share_array(pts)
+                try:
+                    eff_pts = staged_points if staged_points is not None else (
+                        sess.points if sess.points is not None else ds.points
                     )
-                return partitioner.partition(eff_pts, sess.k, eff_w, sess.epsilon, rng=rng)
+                    n = eff_pts.shape[0]
+                    staged_weights = sess.weights
+                    weights_changed = False
+                    if weights is not None:
+                        w = np.ascontiguousarray(weights, dtype=np.float64)
+                        if w.shape != (n,):
+                            raise ServiceError(
+                                f"weights shape {w.shape} does not match {n} points"
+                            )
+                        staged_weights, weights_changed = w, True
+                    elif weight_delta is not None:
+                        delta = np.ascontiguousarray(weight_delta, dtype=np.float64)
+                        if delta.shape != (n,):
+                            raise ServiceError(
+                                f"weight_delta shape {delta.shape} does not match {n} points"
+                            )
+                        base = sess.weights
+                        if base is None:
+                            base = ds.weights if (
+                                ds.weights is not None and ds.weights.shape == (n,)
+                            ) else np.ones(n)
+                        staged_weights, weights_changed = base + delta, True
+                    eff_w = staged_weights
+                    if eff_w is None and ds.weights is not None and ds.weights.shape == (n,):
+                        eff_w = ds.weights
 
-            result = await self._run(compute)
-            sess.previous = result
-            sess.step += 1
-            self.ledger.count("repartitions_served")
-            if sess.store is not None:
-                await self._run(lambda: self._checkpoint_session(sess, eff_pts, eff_w))
-            return result
+                    if staged_points is not None:
+                        order, ws = self._warm_state(eff_pts, sess.k, None, None)
+                    else:
+                        order, ws = self._warm_state(
+                            eff_pts, sess.k, sess.sfc_order, sess.workspace
+                        )
+                    rng = sess.seed + sess.step
+                    previous = sess.previous
+
+                    def compute():
+                        partitioner = GeographerPartitioner(
+                            config=self.config, workspace=ws, sfc_order=order
+                        )
+                        if previous is not None:
+                            return partitioner.repartition(
+                                previous, eff_pts, sess.k, eff_w, sess.epsilon, rng=rng
+                            )
+                        return partitioner.partition(eff_pts, sess.k, eff_w, sess.epsilon, rng=rng)
+
+                    try:
+                        result = await self._supervisor.run(
+                            compute, label=f"repartition:{sess.session_id}"
+                        )
+                    except (ComputeFailed, ComputeTimeout):
+                        breaker.record_failure()
+                        self._restore_session(sess)
+                        raise
+                    except asyncio.CancelledError:
+                        # the orphaned thread may still be sweeping on the
+                        # session workspace; drop it so the retry rebuilds
+                        sess.workspace = None
+                        raise
+                except BaseException:
+                    if staged_points is not None:
+                        unlink_array(staged_points)
+                    raise
+
+                # -- commit (no awaits: atomic wrt cancellation) -------------
+                if staged_points is not None:
+                    if sess.points is not None:
+                        unlink_array(sess.points)
+                    sess.points = staged_points
+                if weights_changed:
+                    sess.weights = staged_weights
+                sess.sfc_order, sess.workspace = order, ws
+                breaker.record_success()
+                sess.previous = result
+                sess.step += 1
+                if request_id is not None:
+                    sess.last_request = (request_id, result)
+                self.ledger.count("repartitions_served")
+                if sess.store is not None:
+                    self._checkpoint_session(sess, eff_pts, eff_w)
+                return result
 
     def _checkpoint_session(self, sess: _Session, eff_pts, eff_w) -> None:
         """Snapshot everything a restarted server needs to continue the session."""
@@ -405,8 +566,54 @@ class PartitionService:
             "imbalance": float(result.imbalance),
             "private_points": sess.points is not None,
         }
-        sess.store.save(arrays, meta)
+        sess.store.save(arrays, meta, faults=self.faults)
         self.ledger.count("checkpoints_saved")
+
+    def _result_from_snapshot(self, arrays: dict, meta: dict) -> PartitionResult:
+        return PartitionResult(
+            assignment=np.ascontiguousarray(arrays["assignment"], dtype=np.int64),
+            k=int(meta["k"]),
+            block_weights=np.asarray(arrays["block_weights"], dtype=np.float64),
+            target_weights=np.asarray(arrays["target_weights"], dtype=np.float64),
+            imbalance=float(meta["imbalance"]),
+            epsilon=float(meta["epsilon"]),
+            tool="Geographer",
+            centers=np.asarray(arrays["centers"], dtype=np.float64),
+        )
+
+    def _restore_session(self, sess: _Session) -> None:
+        """Re-anchor a session on its ``run_id`` checkpoint after a compute failure.
+
+        The warm workspace is dropped unconditionally (the dead compute may
+        have left it mid-mutation).  In-memory step state only mutates on
+        commit, so normally it already matches the newest checkpoint — but
+        if they diverge (e.g. the failure interrupted a checkpoint save),
+        the checkpoint wins: previous result, weights and step are reloaded
+        so the continued sequence stays bit-identical to an uninterrupted
+        run.
+        """
+        sess.workspace = None
+        sess.sfc_order = None
+        if sess.store is None:
+            return
+        try:
+            arrays, meta = sess.store.load()
+            validate_meta(meta, kind=SESSION_CHECKPOINT_KIND,
+                          config_digest=self.config.digest())
+        except Exception:
+            return  # no (valid) checkpoint yet — in-memory state is authoritative
+        if meta.get("session_id") != sess.session_id:
+            return
+        if int(meta["step"]) != sess.step:
+            sess.step = int(meta["step"])
+            sess.previous = self._result_from_snapshot(arrays, meta)
+            if "weights" in arrays:
+                sess.weights = np.ascontiguousarray(arrays["weights"], dtype=np.float64)
+            sess.last_request = None
+        self.ledger.count("sessions_restored")
+        self.ledger.record_event(
+            "session_restored", session_id=sess.session_id, step=sess.step
+        )
 
     def _resume_sessions(self) -> None:
         """Rebuild sessions (and their backing datasets) from checkpoints.
@@ -457,16 +664,7 @@ class PartitionService:
                     self._register_dataset_sync(pts, w, dataset_id=dataset_id)
             if w is not None:
                 sess.weights = w
-            sess.previous = PartitionResult(
-                assignment=np.ascontiguousarray(arrays["assignment"], dtype=np.int64),
-                k=sess.k,
-                block_weights=np.asarray(arrays["block_weights"], dtype=np.float64),
-                target_weights=np.asarray(arrays["target_weights"], dtype=np.float64),
-                imbalance=float(meta["imbalance"]),
-                epsilon=sess.epsilon,
-                tool="Geographer",
-                centers=np.asarray(arrays["centers"], dtype=np.float64),
-            )
+            sess.previous = self._result_from_snapshot(arrays, meta)
             self._sessions[session_id] = sess
             self.ledger.count("sessions_resumed")
 
@@ -501,16 +699,77 @@ class PartitionService:
             "config_digest": self.config.digest(),
         }
 
-    async def drain(self) -> None:
+    async def health(self) -> dict:
+        """Readiness snapshot: load, breaker states, recovery counts.
+
+        Cheap by construction (no locks, no compute) so monitors can poll it
+        while the service is saturated.
+        """
+        c = self.ledger.counters
+        return {
+            "status": "draining" if self._closed else "ok",
+            "queue_depth": self._admission.queued,
+            "inflight": self._admission.inflight,
+            "max_inflight": self._admission.max_inflight,
+            "max_queue": self._admission.max_queue,
+            "requests_shed": c.get("requests_shed", 0),
+            "breakers": {name: br.describe() for name, br in self._breakers.items()},
+            "compute_respawns": self._supervisor.respawns,
+            "sessions_restored": c.get("sessions_restored", 0),
+            "compute_timeout": self._supervisor.timeout,
+            "avg_compute_ms": (
+                None if self._supervisor.avg_compute_s is None
+                else self._supervisor.avg_compute_s * 1e3
+            ),
+            "datasets": len(self._datasets),
+            "sessions": len(self._sessions),
+        }
+
+    async def drain(self, grace: float | None = None) -> None:
         """Finish in-flight work, then release every shared segment.
 
-        After drain the service rejects new requests; ``assert_no_leaks``
-        passes because every ``share_array`` segment is unlinked here.
+        ``grace`` bounds the wait: queued (not yet admitted) requests fail
+        immediately with ``shutting_down``; admitted requests get up to
+        ``grace`` seconds to finish (their sessions are checkpoint-consistent
+        either way — commits are atomic); whatever still runs afterwards is
+        abandoned.  ``None`` waits indefinitely.  After drain the service
+        rejects new requests; ``assert_no_leaks`` passes because every
+        ``share_array`` segment is unlinked here.
         """
         self._closed = True
+        self._admission.shed_waiters(ShuttingDown("service is draining/closed"))
+        loop = asyncio.get_running_loop()
+        deadline = None if grace is None else loop.time() + float(grace)
+        while self._admission.inflight > 0:
+            if deadline is not None and loop.time() >= deadline:
+                break
+            await asyncio.sleep(0.02)
         pending = [f for f in self._inflight.values() if not f.done()]
         if pending:
-            await asyncio.gather(*pending, return_exceptions=True)
+            waiter = asyncio.gather(*pending, return_exceptions=True)
+            if deadline is None:
+                await waiter
+            else:
+                try:
+                    await asyncio.wait_for(waiter, max(0.01, deadline - loop.time()))
+                except asyncio.TimeoutError:
+                    pass
+        drained_clean = self._admission.inflight == 0
+        # abandoned (deadline/timeout) computes may still be sweeping over the
+        # shared segments below; unmapping under them would segfault the
+        # server.  Wait them out; if one outlives the grace, leak its
+        # segments instead (the resource tracker reclaims them at exit).
+        quiesce_grace = None if deadline is None else max(0.0, deadline - loop.time())
+        quiesced = await loop.run_in_executor(
+            None, self._supervisor.quiesce, quiesce_grace
+        )
+        if not quiesced:
+            self.ledger.record_event("drain_leaked_segments", reason="wedged compute")
+            self._sessions.clear()
+            self._datasets.clear()
+            self.cache.clear()
+            self._supervisor.shutdown(wait=False)
+            return
         for sess in self._sessions.values():
             if sess.points is not None:
                 unlink_array(sess.points)
@@ -523,11 +782,12 @@ class PartitionService:
             ds.workspaces.clear()
         self._datasets.clear()
         self.cache.clear()
-        self._pool.shutdown(wait=True)
+        # a wedged compute past the hard deadline must not block shutdown
+        self._supervisor.shutdown(wait=drained_clean)
 
     def _ensure_open(self) -> None:
         if self._closed:
-            raise ServiceError("service is draining/closed")
+            raise ShuttingDown("service is draining/closed")
 
 
 # -- the socket front-end -----------------------------------------------------
@@ -538,8 +798,12 @@ class PartitionServer:
 
     One frame in, one frame out per request; concurrent requests multiplex
     through the event loop (which is what makes coalescing and batching
-    observable across client processes).  ``shutdown`` drains the service —
-    every shared segment is released before the loop exits.
+    observable across client processes).  Requests may carry ``deadline_ms``
+    — the dispatch is cancelled at the deadline and answered with a
+    structured ``deadline_exceeded`` error (service state is cancellation-
+    safe: nothing commits on a cancelled request).  ``shutdown`` drains the
+    service under ``drain_grace`` — every shared segment is released before
+    the loop exits.
     """
 
     #: op name -> service coroutine attribute
@@ -550,11 +814,18 @@ class PartitionServer:
         "repartition",
         "close_session",
         "stats",
+        "health",
     )
 
-    def __init__(self, service: PartitionService, socket_path: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        service: PartitionService,
+        socket_path: str | os.PathLike,
+        drain_grace: float | None = None,
+    ) -> None:
         self.service = service
         self.socket_path = os.fspath(socket_path)
+        self.drain_grace = drain_grace
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
 
@@ -579,7 +850,7 @@ class PartitionServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.service.drain()
+        await self.service.drain(self.drain_grace)
         if os.path.exists(self.socket_path):
             os.unlink(self.socket_path)
 
@@ -589,10 +860,16 @@ class PartitionServer:
                 try:
                     request = await read_frame(reader)
                 except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break  # clean disconnect (EOF / truncated frame)
+                except ProtocolError as exc:
+                    # oversized header or garbage payload: the stream cannot
+                    # be re-synchronised — answer structurally, then drop it
+                    with contextlib.suppress(Exception):
+                        await write_frame(writer, error_payload(exc))
                     break
                 response = await self._dispatch(request)
                 await write_frame(writer, response)
-                if request.get("op") == "shutdown":
+                if isinstance(request, dict) and request.get("op") == "shutdown":
                     break
         finally:
             writer.close()
@@ -603,7 +880,7 @@ class PartitionServer:
 
     async def _dispatch(self, request) -> dict:
         if not isinstance(request, dict) or "op" not in request:
-            return {"status": "error", "error": "request must be a dict with an 'op' key"}
+            return error_payload(ServiceError("request must be a dict with an 'op' key"))
         op = request["op"]
         if op == "ping":
             return {"status": "ok", "value": "pong"}
@@ -611,13 +888,25 @@ class PartitionServer:
             self.request_shutdown()
             return {"status": "ok", "value": "draining"}
         if op not in self.OPS:
-            return {"status": "error", "error": f"unknown op {op!r}"}
-        kwargs = {key: val for key, val in request.items() if key != "op"}
+            return error_payload(ServiceError(f"unknown op {op!r}"))
+        deadline_ms = request.get("deadline_ms")
+        kwargs = {key: val for key, val in request.items()
+                  if key not in ("op", "deadline_ms")}
         try:
-            value = await getattr(self.service, op)(**kwargs)
+            coro = getattr(self.service, op)(**kwargs)
+            if deadline_ms is not None:
+                value = await asyncio.wait_for(
+                    coro, max(0.001, float(deadline_ms) / 1000.0)
+                )
+            else:
+                value = await coro
             return {"status": "ok", "value": value}
+        except asyncio.TimeoutError:
+            return error_payload(DeadlineExceeded(
+                f"request exceeded its {deadline_ms} ms deadline"
+            ))
         except Exception as exc:
-            return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
+            return error_payload(exc)
 
 
 async def serve(
@@ -626,23 +915,44 @@ async def serve(
     checkpoint_dir: str | os.PathLike | None = None,
     cache_capacity: int = 128,
     compute_threads: int = 1,
+    max_inflight: int | None = None,
+    max_queue: int | None = 256,
+    compute_timeout: float | None = None,
+    breaker_threshold: int = 3,
+    breaker_reset: float = 5.0,
+    drain_grace: float | None = 10.0,
     ready_callback=None,
 ) -> None:
     """Run a :class:`PartitionServer` until it is asked to shut down.
 
     The entry point behind ``repro serve``; installs SIGTERM/SIGINT handlers
-    so an external kill still drains gracefully (checkpoints make even
-    SIGKILL recoverable).  ``ready_callback`` fires once the socket listens.
+    so an external kill still drains gracefully — in-flight requests get up
+    to ``drain_grace`` seconds to finish or checkpoint while new requests
+    are rejected with ``shutting_down`` (checkpoints make even SIGKILL
+    recoverable).  A :class:`~repro.runtime.faults.FaultPlan` from the
+    ``REPRO_FAULTS`` environment variable is executed against the compute
+    path (chaos testing against a live server).  ``ready_callback`` fires
+    once the socket listens.
     """
     import signal
 
+    faults = None
+    spec = os.environ.get("REPRO_FAULTS")
+    if spec:
+        faults = FaultPlan.parse(spec)
     service = PartitionService(
         config=config,
         checkpoint_dir=checkpoint_dir,
         cache_capacity=cache_capacity,
         compute_threads=compute_threads,
+        max_inflight=max_inflight,
+        max_queue=max_queue,
+        compute_timeout=compute_timeout,
+        breaker_threshold=breaker_threshold,
+        breaker_reset=breaker_reset,
+        faults=faults,
     )
-    server = PartitionServer(service, socket_path)
+    server = PartitionServer(service, socket_path, drain_grace=drain_grace)
     await server.start()
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGTERM, signal.SIGINT):

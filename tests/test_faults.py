@@ -104,6 +104,20 @@ class TestFaultPlanParse:
         assert plan.take_collective("fail", "allreduce", 1) is None
         assert plan.take_collective("delay", "allreduce", 1) is not None
 
+    def test_compute_op_targets_service_requests(self):
+        """``op=compute`` addresses the service's supervised compute path."""
+        plan = FaultPlan.parse(
+            "delay:op=compute,index=1,seconds=0.2;fail:op=compute,index=3"
+        )
+        delay, fail = plan.specs
+        assert (delay.op, delay.index, delay.seconds) == ("compute", 1, 0.2)
+        assert (fail.op, fail.index) == ("compute", 3)
+        assert plan.take_collective("delay", "compute", 0) is None
+        assert plan.take_collective("delay", "compute", 1) is not None
+        assert plan.take_collective("fail", "compute", 3) is not None
+        with pytest.raises(ValueError, match="needs op="):
+            FaultPlan.parse("delay:op=computing,seconds=1")
+
 
 class TestMakeCommWiring:
     def test_faults_argument_wraps(self):

@@ -1,0 +1,965 @@
+"""Tests for the service resilience layer (:mod:`repro.service.resilience`).
+
+Three tiers, mirroring ``test_service.py``:
+
+- tier-1 (no marker): the in-process primitives — admission control,
+  circuit breaker, compute supervisor, retry policy, deadline dispatch,
+  idempotent session replay, and protocol-framing edge cases driven
+  through in-memory streams/socketpairs.
+- ``service``: real unix-socket servers exercising malformed frames,
+  pipelined requests and client reply timeouts.
+- ``chaos_service``: chaos against live servers — fault plans killing
+  compute mid-request, a SIGKILLed-and-restarted server under concurrent
+  load, and bounded overload — asserting the chaos gate: every request
+  either completes bit-identical to a direct ``GeographerPartitioner``
+  call or fails with a structured retryable error, retrying clients
+  converge, nothing hangs, nothing leaks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.partitioners.geographer import GeographerPartitioner
+from repro.runtime.comm import CostLedger
+from repro.runtime.faults import FaultPlan
+from repro.runtime.procomm import assert_no_leaks, leaked_resources
+from repro.service import PartitionService
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    ProtocolTimeout,
+    read_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.service.resilience import (
+    AdmissionController,
+    BreakerOpen,
+    CircuitBreaker,
+    ComputeFailed,
+    ComputeSupervisor,
+    ComputeTimeout,
+    RetryPolicy,
+    ServiceError,
+    ServiceOverloaded,
+    ShuttingDown,
+    error_payload,
+)
+from repro.service.server import PartitionServer
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+_HEADER = struct.Struct(">I")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def pts():
+    return np.random.default_rng(0).random((400, 2))
+
+
+def same_result(a, b) -> bool:
+    return (
+        np.array_equal(np.asarray(a.assignment), np.asarray(b.assignment))
+        and np.array_equal(np.asarray(a.centers), np.asarray(b.centers))
+        and a.imbalance == b.imbalance
+    )
+
+
+# ---------------------------------------------------------------------------
+# Structured errors + retry policy (tier 1)
+# ---------------------------------------------------------------------------
+
+
+class TestErrorsAndRetryPolicy:
+    def test_error_payload_fields(self):
+        shed = ServiceOverloaded("full", retry_after_ms=40)
+        payload = error_payload(shed)
+        assert payload["status"] == "error"
+        assert payload["code"] == "overloaded"
+        assert payload["retryable"] is True
+        assert payload["retry_after_ms"] == 40
+        assert payload["error"].startswith("ServiceOverloaded: full")
+        bad = error_payload(ServiceError("nope"))
+        assert (bad["code"], bad["retryable"]) == ("bad_request", False)
+        plain = error_payload(TypeError("boom"))
+        assert (plain["code"], plain["retryable"]) == ("internal", False)
+
+    def test_retryability_contract(self):
+        policy = RetryPolicy()
+        for code in ("overloaded", "breaker_open", "compute_failed",
+                     "compute_timeout", "shutting_down", "connection"):
+            assert policy.retries(code)
+        for code in ("bad_request", "deadline_exceeded", "internal", "bad_frame"):
+            assert not policy.retries(code)
+
+    def test_backoff_is_seeded_bounded_and_monotone_in_base(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, max_delay=0.5,
+                             multiplier=2.0, jitter=0.5, seed=7)
+        delays = list(policy.delays())
+        assert delays == list(RetryPolicy(max_attempts=5, base_delay=0.1, max_delay=0.5,
+                                          multiplier=2.0, jitter=0.5, seed=7).delays())
+        assert len(delays) == 4
+        base = 0.1
+        for d in delays:
+            assert base <= d <= base * 1.5 + 1e-12
+            base = min(0.5, base * 2.0)
+        assert list(RetryPolicy(max_attempts=1).delays()) == []
+
+
+# ---------------------------------------------------------------------------
+# Admission control (tier 1)
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionController:
+    def test_sheds_immediately_beyond_both_bounds(self):
+        async def scenario():
+            ledger = CostLedger()
+            adm = AdmissionController(max_inflight=1, max_queue=1, ledger=ledger,
+                                      retry_hint=lambda depth: 30 * (depth + 1))
+            release = asyncio.Event()
+
+            async def hold():
+                async with adm.slot():
+                    await release.wait()
+
+            holder = asyncio.create_task(hold())
+            await asyncio.sleep(0.01)
+            assert adm.inflight == 1
+
+            async def queued():
+                async with adm.slot():
+                    pass
+
+            waiter = asyncio.create_task(queued())
+            await asyncio.sleep(0.01)
+            assert adm.queued == 1
+            with pytest.raises(ServiceOverloaded) as info:
+                await adm._acquire()  # inflight full, queue full -> shed now
+            assert info.value.retry_after_ms == 60  # hint saw queue depth 1
+            assert ledger.counters["requests_shed"] == 1
+            release.set()
+            await holder
+            await waiter  # FIFO waiter got the slot once the holder left
+            assert adm.inflight == 0 and adm.queued == 0
+
+        run(scenario())
+
+    def test_cancelled_waiter_returns_granted_slot(self):
+        async def scenario():
+            adm = AdmissionController(max_inflight=1, max_queue=4)
+            release = asyncio.Event()
+
+            async def hold():
+                async with adm.slot():
+                    await release.wait()
+
+            holder = asyncio.create_task(hold())
+            await asyncio.sleep(0.01)
+
+            async def queued():
+                async with adm.slot():
+                    pass  # pragma: no cover - cancelled before running
+
+            waiter = asyncio.create_task(queued())
+            await asyncio.sleep(0.01)
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            release.set()
+            await holder
+            # the cancelled waiter must not strand the slot
+            async with adm.slot():
+                assert adm.inflight == 1
+            assert adm.inflight == 0
+
+        run(scenario())
+
+    def test_shed_waiters_fails_all_queued(self):
+        async def scenario():
+            adm = AdmissionController(max_inflight=1, max_queue=8)
+            release = asyncio.Event()
+
+            async def hold():
+                async with adm.slot():
+                    await release.wait()
+
+            holder = asyncio.create_task(hold())
+            await asyncio.sleep(0.01)
+            waiters = [asyncio.create_task(adm._acquire()) for _ in range(3)]
+            await asyncio.sleep(0.01)
+            adm.shed_waiters(ShuttingDown("bye"))
+            results = await asyncio.gather(*waiters, return_exceptions=True)
+            assert all(isinstance(r, ShuttingDown) for r in results)
+            release.set()
+            await holder
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker (tier 1)
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_full_transition_cycle_with_ledger_events(self):
+        now = [0.0]
+        ledger = CostLedger()
+        br = CircuitBreaker("ds", threshold=2, reset_seconds=5.0, ledger=ledger,
+                            clock=lambda: now[0])
+        br.allow()
+        br.record_failure()
+        br.allow()  # one failure: still closed
+        br.record_failure()  # second consecutive: open
+        assert br.state == "open"
+        with pytest.raises(BreakerOpen) as info:
+            br.allow()
+        assert info.value.retry_after_ms == 5000
+        now[0] = 5.1  # reset window elapsed: half-open probe allowed
+        br.allow()
+        assert br.state == "half_open"
+        br.record_failure()  # probe failed: straight back to open
+        assert br.state == "open"
+        now[0] = 11.0
+        br.allow()
+        br.record_success()  # probe succeeded: closed, counter reset
+        assert br.state == "closed" and br.failures == 0
+        names = [e["kind"] for e in ledger.events]
+        assert names == ["breaker_opened", "breaker_half_open", "breaker_opened",
+                         "breaker_half_open", "breaker_closed"]
+        assert br.describe()["opened_count"] == 2
+
+    def test_success_resets_consecutive_count(self):
+        br = CircuitBreaker("ds", threshold=3)
+        br.record_failure()
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        br.record_failure()
+        assert br.state == "closed"  # never 3 *consecutive* failures
+
+
+# ---------------------------------------------------------------------------
+# Compute supervisor (tier 1)
+# ---------------------------------------------------------------------------
+
+
+class TestComputeSupervisor:
+    def test_runs_and_observes(self):
+        async def scenario():
+            sup = ComputeSupervisor()
+            out = await sup.run(lambda: 41 + 1)
+            assert out == 42
+            assert sup.avg_compute_s is not None
+            assert sup.respawns == 0
+            sup.shutdown()
+
+        run(scenario())
+
+    def test_hung_compute_is_abandoned_and_pool_respawned(self):
+        async def scenario():
+            ledger = CostLedger()
+            sup = ComputeSupervisor(timeout=0.05, ledger=ledger)
+            t0 = time.perf_counter()
+            with pytest.raises(ComputeTimeout, match="abandoned"):
+                await sup.run(lambda: time.sleep(2.0), label="wedged")
+            assert time.perf_counter() - t0 < 1.0  # did not wait out the sleep
+            assert sup.respawns == 1
+            assert ledger.counters["compute_respawns"] == 1
+            # the pool respawn is recorded first (inside the abandonment),
+            # then the timeout itself
+            assert [e["kind"] for e in ledger.events] == [
+                "compute_respawn", "compute_timeout"
+            ]
+            # the replacement pool serves the next request immediately
+            assert await sup.run(lambda: "ok") == "ok"
+            sup.shutdown(wait=False)
+
+        run(scenario())
+
+    def test_fault_plan_crash_delay_and_fail(self):
+        async def scenario():
+            ledger = CostLedger()
+            plan = FaultPlan.parse(
+                "crash:step=0;delay:op=compute,index=1,seconds=0.05;fail:op=compute,index=2"
+            )
+            sup = ComputeSupervisor(faults=plan, ledger=ledger)
+            with pytest.raises(ComputeFailed, match="injected compute crash"):
+                await sup.run(lambda: 1)  # request #0 dies before any work
+            t0 = time.perf_counter()
+            assert await sup.run(lambda: 2) == 2  # request #1 runs, delayed
+            assert time.perf_counter() - t0 >= 0.05
+            ran = []
+            with pytest.raises(ComputeFailed, match="after the work"):
+                await sup.run(lambda: ran.append(True))  # request #2 works, then dies
+            assert ran == [True]  # the mid-request-kill shape: work done, result lost
+            assert await sup.run(lambda: 3) == 3  # one-shot faults: request #3 clean
+            events = [e["kind"] for e in ledger.events]
+            assert events == ["injected_compute_crash", "injected_compute_delay",
+                              "injected_compute_failure"]
+            sup.shutdown()
+
+        run(scenario())
+
+    def test_compute_exception_maps_to_compute_failed(self):
+        async def scenario():
+            sup = ComputeSupervisor()
+
+            def boom():
+                raise ValueError("numerical nonsense")
+
+            with pytest.raises(ComputeFailed, match="ValueError: numerical nonsense"):
+                await sup.run(boom)
+            sup.shutdown()
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Service integration: overload, breaker, deadline, idempotency (tier 1)
+# ---------------------------------------------------------------------------
+
+
+class TestServiceResilience:
+    def test_overload_sheds_immediately_and_health_reports(self, pts):
+        """max_inflight=1 + a slow compute: the flood is shed, not queued."""
+
+        async def scenario():
+            svc = PartitionService(
+                max_inflight=1, max_queue=0,
+                faults=FaultPlan.parse("delay:op=compute,index=0,seconds=0.4"),
+            )
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            slow = asyncio.create_task(svc.partition(ds, 4, seed=0))
+            await asyncio.sleep(0.1)  # the delayed compute now holds the slot
+            health = await svc.health()
+            assert health["status"] == "ok"
+            assert health["inflight"] == 1 and health["max_inflight"] == 1
+            shed_hints = []
+            for seed in (1, 2, 3):
+                with pytest.raises(ServiceOverloaded) as info:
+                    await svc.partition(ds, 4, seed=seed)
+                shed_hints.append(info.value.retry_after_ms)
+            assert all(isinstance(h, int) and h >= 1 for h in shed_hints)
+            result = await slow  # the admitted request still completes
+            health = await svc.health()
+            assert health["requests_shed"] == 3
+            assert health["inflight"] == 0 and health["queue_depth"] == 0
+            # shed requests retried later succeed and stay bit-identical
+            retried = await svc.partition(ds, 4, seed=1)
+            await svc.drain()
+            return result, retried
+
+        result, retried = run(scenario())
+        assert same_result(result, GeographerPartitioner().partition(
+            pts, 4, epsilon=0.03, rng=0))
+        assert same_result(retried, GeographerPartitioner().partition(
+            pts, 4, epsilon=0.03, rng=1))
+
+    def test_breaker_opens_after_consecutive_failures_then_recovers(self, pts):
+        async def scenario():
+            svc = PartitionService(
+                breaker_threshold=2, breaker_reset=0.1,
+                faults=FaultPlan.parse("fail:op=compute,index=0;fail:op=compute,index=1"),
+            )
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            for seed in (0, 1):
+                with pytest.raises(ComputeFailed):
+                    await svc.partition(ds, 4, seed=seed)
+            with pytest.raises(BreakerOpen, match="is open after 2 consecutive"):
+                await svc.partition(ds, 4, seed=2)
+            health = await svc.health()
+            assert health["breakers"][ds]["state"] == "open"
+            await asyncio.sleep(0.15)  # reset window: half-open probe allowed
+            probe = await svc.partition(ds, 4, seed=2)
+            health = await svc.health()
+            assert health["breakers"][ds]["state"] == "closed"
+            assert len(svc.ledger.events_of("breaker_opened")) == 1
+            # the failed requests, retried after recovery, are bit-identical
+            r0 = await svc.partition(ds, 4, seed=0)
+            await svc.drain()
+            return probe, r0
+
+        probe, r0 = run(scenario())
+        assert same_result(probe, GeographerPartitioner().partition(
+            pts, 4, epsilon=0.03, rng=2))
+        assert same_result(r0, GeographerPartitioner().partition(
+            pts, 4, epsilon=0.03, rng=0))
+
+    def test_deadline_cancels_request_but_not_state(self, pts):
+        """A deadline_ms expiry answers deadline_exceeded; the retry without a
+        deadline is bit-identical (nothing committed on the cancelled try)."""
+
+        async def scenario():
+            svc = PartitionService(
+                faults=FaultPlan.parse("delay:op=compute,index=0,seconds=0.5"),
+            )
+            server = PartitionServer(svc, "/nonexistent.sock")
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            resp = await server._dispatch(
+                {"op": "partition", "dataset_id": ds, "k": 4, "seed": 0,
+                 "deadline_ms": 50}
+            )
+            assert resp["status"] == "error"
+            assert resp["code"] == "deadline_exceeded"
+            assert resp["retryable"] is False
+            assert "50" in resp["error"]
+            # the abandoned compute wedged the 1-thread pool; it was respawned
+            assert svc._supervisor.respawns == 1
+            resp2 = await server._dispatch(
+                {"op": "partition", "dataset_id": ds, "k": 4, "seed": 0}
+            )
+            assert resp2["status"] == "ok"
+            await svc.drain()
+            return resp2["value"]
+
+        served = run(scenario())
+        assert same_result(served, GeographerPartitioner().partition(
+            pts, 4, epsilon=0.03, rng=0))
+
+    def test_deadline_cancelled_session_step_retries_bit_identically(self, pts):
+        n = pts.shape[0]
+        delta = np.linspace(0, 1, n)
+
+        async def scenario():
+            svc = PartitionService(
+                faults=FaultPlan.parse("delay:op=compute,index=1,seconds=0.5"),
+            )
+            server = PartitionServer(svc, "/nonexistent.sock")
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            sid = (await svc.open_session(ds, 6, seed=9))["session_id"]
+            await svc.repartition(sid)  # step 0, compute #0
+            resp = await server._dispatch(
+                {"op": "repartition", "session_id": sid, "weight_delta": delta,
+                 "request_id": "step1-try1", "deadline_ms": 50}
+            )
+            assert resp["code"] == "deadline_exceeded"
+            # retry of the same logical step: same rng, same inputs
+            r1 = await svc.repartition(sid, weight_delta=delta, request_id="step1-try2")
+            await svc.drain()
+            return r1
+
+        r1 = run(scenario())
+        p = GeographerPartitioner()
+        d0 = p.partition(pts, 6, epsilon=0.03, rng=9)
+        d1 = p.repartition(d0, pts, 6, np.ones(n) + delta, 0.03, rng=10)
+        assert same_result(r1, d1)
+
+    def test_repartition_request_id_replays_committed_step(self, pts):
+        n = pts.shape[0]
+        delta = np.linspace(0, 1, n)
+
+        async def scenario():
+            svc = PartitionService()
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            sid = (await svc.open_session(ds, 4, seed=1))["session_id"]
+            r1 = await svc.repartition(sid, weight_delta=delta, request_id="abc")
+            # a retry of the same request (lost reply) must not re-apply delta
+            r2 = await svc.repartition(sid, weight_delta=delta, request_id="abc")
+            assert r2 is r1
+            stats = await svc.stats()
+            assert stats["counters"]["idempotent_replays"] == 1
+            assert stats["counters"]["repartitions_served"] == 1
+            closed = await svc.close_session(sid)
+            assert closed["steps"] == 1  # committed exactly once
+            await svc.drain()
+            return r1
+
+        r1 = run(scenario())
+        d = GeographerPartitioner().partition(pts, 4, np.ones(n) + delta,
+                                              epsilon=0.03, rng=1)
+        assert same_result(r1, d)
+
+    def test_failed_session_step_commits_nothing(self, pts):
+        """A mid-request compute kill leaves the session at its old step; the
+        retry recomputes the same step bit-identically (the chaos-gate core)."""
+        n = pts.shape[0]
+        delta = np.linspace(0, 1, n)
+
+        async def scenario():
+            svc = PartitionService(
+                faults=FaultPlan.parse("fail:op=compute,index=1"),
+            )
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            sid = (await svc.open_session(ds, 6, seed=4))["session_id"]
+            await svc.repartition(sid)  # step 0, compute #0
+            with pytest.raises(ComputeFailed, match="after the work"):
+                await svc.repartition(sid, weight_delta=delta)  # compute #1 dies
+            retry = await svc.repartition(sid, weight_delta=delta)
+            closed = await svc.close_session(sid)
+            assert closed["steps"] == 2
+            await svc.drain()
+            return retry
+
+        retry = run(scenario())
+        p = GeographerPartitioner()
+        d0 = p.partition(pts, 6, epsilon=0.03, rng=4)
+        d1 = p.repartition(d0, pts, 6, np.ones(n) + delta, 0.03, rng=5)
+        assert same_result(retry, d1)
+
+    def test_drain_sheds_queue_and_rejects_with_shutting_down(self, pts):
+        async def scenario():
+            svc = PartitionService()
+            ds = (await svc.register_dataset(pts))["dataset_id"]
+            await svc.partition(ds, 4)
+            await svc.drain(grace=5.0)
+            with pytest.raises(ShuttingDown, match="draining"):
+                await svc.partition(ds, 4)
+            health = await svc.health()
+            assert health["status"] == "draining"
+            payload = error_payload(ShuttingDown("service is draining/closed"))
+            assert payload["code"] == "shutting_down" and payload["retryable"]
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Protocol framing edge cases (tier 1: in-memory streams + socketpairs)
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolFraming:
+    def test_roundtrip_with_numpy_payload(self):
+        a, b = socket.socketpair()
+        try:
+            payload = {"op": "x", "arr": np.arange(6).reshape(2, 3)}
+            send_frame(a, payload)
+            got = recv_frame(b, timeout=5.0)
+            assert np.array_equal(got["arr"], payload["arr"])
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_frame_rejected_before_allocation(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(_HEADER.pack(MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                recv_frame(b, timeout=5.0)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_frame_is_clean_error(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(_HEADER.pack(100) + b"only a few bytes")
+            a.close()
+            with pytest.raises(ProtocolError, match="closed mid-frame"):
+                recv_frame(b, timeout=5.0)
+        finally:
+            b.close()
+
+    def test_garbage_payload_is_clean_error(self):
+        a, b = socket.socketpair()
+        try:
+            junk = b"\x00\xff\x13garbage"
+            a.sendall(_HEADER.pack(len(junk)) + junk)
+            with pytest.raises(ProtocolError, match="undecodable frame payload"):
+                recv_frame(b, timeout=5.0)
+        finally:
+            a.close()
+            b.close()
+
+    def test_stalled_peer_times_out_instead_of_hanging(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(_HEADER.pack(64) + b"partial")  # then silence
+            t0 = time.perf_counter()
+            with pytest.raises(ProtocolTimeout, match="peer stalled"):
+                recv_frame(b, timeout=0.1)
+            assert time.perf_counter() - t0 < 5.0
+        finally:
+            a.close()
+            b.close()
+
+    def test_async_reader_rejects_garbage_and_oversize(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            junk = b"\x93NUMPY-not-pickle"
+            reader.feed_data(_HEADER.pack(len(junk)) + junk)
+            reader.feed_eof()
+            with pytest.raises(ProtocolError, match="undecodable"):
+                await read_frame(reader)
+            reader2 = asyncio.StreamReader()
+            reader2.feed_data(_HEADER.pack(MAX_FRAME_BYTES + 7))
+            reader2.feed_eof()
+            with pytest.raises(ProtocolError, match="exceeds"):
+                await read_frame(reader2)
+
+        run(scenario())
+
+    def test_protocol_error_is_structured(self):
+        payload = error_payload(ProtocolError("undecodable frame payload: ..."))
+        assert payload["code"] == "bad_frame"
+        assert payload["retryable"] is False
+
+
+# ---------------------------------------------------------------------------
+# Live-socket edge cases (dedicated `service` CI job)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.service
+class TestSocketEdgeCases:
+    def test_malformed_frames_get_structured_reply_then_disconnect(self, tmp_path):
+        from repro.service.loadtest import start_background_server
+
+        sock_path = tmp_path / "svc.sock"
+        thread = start_background_server(sock_path)
+        try:
+            for bad in (
+                _HEADER.pack(5) + b"xxxxx",  # garbage payload
+                _HEADER.pack(MAX_FRAME_BYTES + 1),  # oversized header
+            ):
+                raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                raw.connect(os.fspath(sock_path))
+                raw.sendall(bad)
+                reply = recv_frame(raw, timeout=10.0)
+                assert reply["status"] == "error"
+                assert reply["code"] == "bad_frame"
+                assert reply["retryable"] is False
+                assert raw.recv(1) == b""  # server closed the broken stream
+                raw.close()
+            # the server survived both broken connections
+            from repro.service.client import ServiceClient
+
+            with ServiceClient(sock_path) as client:
+                assert client.ping() == "pong"
+                client.shutdown()
+        finally:
+            thread.join(timeout=30.0)
+        assert not thread.is_alive()
+
+    def test_mid_frame_disconnect_leaves_server_healthy(self, tmp_path):
+        from repro.service.client import ServiceClient
+        from repro.service.loadtest import start_background_server
+
+        sock_path = tmp_path / "svc.sock"
+        thread = start_background_server(sock_path)
+        try:
+            raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            raw.connect(os.fspath(sock_path))
+            raw.sendall(_HEADER.pack(1000) + b"half a frame")
+            raw.close()  # truncated: EOF mid-frame
+            with ServiceClient(sock_path) as client:
+                assert client.ping() == "pong"
+                client.shutdown()
+        finally:
+            thread.join(timeout=30.0)
+
+    def test_pipelined_requests_on_one_connection(self, pts, tmp_path):
+        """Many requests written before any reply is read: every reply arrives
+        in order, none hang, and results stay bit-identical."""
+        from repro.service.client import ServiceClient
+        from repro.service.loadtest import start_background_server
+
+        sock_path = tmp_path / "svc.sock"
+        thread = start_background_server(sock_path)
+        try:
+            with ServiceClient(sock_path) as setup:
+                ds = setup.register_dataset(pts)["dataset_id"]
+            raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            raw.connect(os.fspath(sock_path))
+            seeds = [0, 1, 0, 2]
+            for seed in seeds:
+                send_frame(raw, {"op": "partition", "dataset_id": ds, "k": 4,
+                                 "seed": seed})
+            replies = [recv_frame(raw, timeout=60.0) for _ in seeds]
+            raw.close()
+            for seed, reply in zip(seeds, replies):
+                assert reply["status"] == "ok"
+                direct = GeographerPartitioner().partition(pts, 4, epsilon=0.03,
+                                                           rng=seed)
+                assert same_result(reply["value"], direct)
+            with ServiceClient(sock_path) as client:
+                client.shutdown()
+        finally:
+            thread.join(timeout=30.0)
+
+    def test_client_times_out_cleanly_on_unresponsive_server(self, tmp_path):
+        """Satellite: a server that accepts but never replies must not hang the
+        client thread — the read honours the timeout and raises cleanly."""
+        from repro.service.client import ServiceClient, ServiceClientError
+
+        sock_path = tmp_path / "dead.sock"
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(os.fspath(sock_path))
+        listener.listen(1)
+        accepted = []
+
+        def acceptor():
+            conn, _ = listener.accept()
+            accepted.append(conn)  # hold it open, never reply
+
+        t = threading.Thread(target=acceptor, daemon=True)
+        t.start()
+        client = ServiceClient(sock_path, request_timeout=0.2,
+                               retry=RetryPolicy(max_attempts=1))
+        t0 = time.perf_counter()
+        with pytest.raises(ServiceClientError) as info:
+            client.ping()
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 5.0  # did not block forever
+        assert info.value.code == "connection"
+        assert info.value.retryable is True
+        assert client._sock is None  # the dead connection was dropped
+        client.close()
+        for conn in accepted:
+            conn.close()
+        listener.close()
+
+
+# ---------------------------------------------------------------------------
+# Chaos against live servers (dedicated `chaos_service` CI job)
+# ---------------------------------------------------------------------------
+
+
+def _spawn_server(sock, ckpt=None, extra_env=None, *extra_args):
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = SRC_DIR + (os.pathsep + existing if existing else "")
+    if extra_env:
+        env.update(extra_env)
+    argv = [sys.executable, "-m", "repro", "serve", os.fspath(sock)]
+    if ckpt is not None:
+        argv += ["--checkpoint-dir", os.fspath(ckpt)]
+    argv += list(extra_args)
+    return subprocess.Popen(argv, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+
+
+@pytest.mark.chaos_service
+class TestChaosService:
+    def test_compute_killed_mid_request_retrying_client_bit_identical(
+        self, pts, tmp_path, monkeypatch
+    ):
+        """A fault plan kills the live server's compute mid-request (work done,
+        result discarded) and delays another; the retrying client still gets
+        results bit-identical to direct calls, with zero leaked segments."""
+        from repro.service.client import ServiceClient
+        from repro.service.loadtest import start_background_server
+
+        before = leaked_resources()
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            "fail:op=compute,index=0;delay:op=compute,index=2,seconds=0.2",
+        )
+        sock_path = tmp_path / "svc.sock"
+        thread = start_background_server(sock_path)
+        try:
+            with ServiceClient(sock_path, request_timeout=60.0,
+                               retry=RetryPolicy(max_attempts=4, seed=0)) as client:
+                ds = client.register_dataset(pts)["dataset_id"]
+                r0 = client.partition(ds, 5, seed=0)  # compute #0 dies -> retried
+                assert client.retries_total >= 1
+                r1 = client.partition(ds, 5, seed=1)  # compute #2 is delayed
+                health = client.health()
+                assert health["status"] == "ok"
+                client.shutdown()
+        finally:
+            thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        for seed, served in ((0, r0), (1, r1)):
+            direct = GeographerPartitioner().partition(pts, 5, epsilon=0.03, rng=seed)
+            assert same_result(served, direct), f"seed {seed} diverged under chaos"
+        assert_no_leaks(before)
+
+    def test_session_steps_survive_compute_kills_under_fault_plan(
+        self, pts, tmp_path, monkeypatch
+    ):
+        """Session repartitions with deltas, with compute kills sprinkled in:
+        the request_id replay + commit-after-compute machinery keeps the whole
+        delta sequence bit-identical to an uninterrupted direct run."""
+        from repro.service.client import ServiceClient
+        from repro.service.loadtest import start_background_server
+
+        n = pts.shape[0]
+        deltas = [np.linspace(0, 1, n), np.linspace(1, 0, n)]
+        before = leaked_resources()
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "fail:op=compute,index=1;fail:op=compute,index=3"
+        )
+        sock_path = tmp_path / "svc.sock"
+        thread = start_background_server(sock_path, checkpoint_dir=tmp_path / "ckpt")
+        try:
+            with ServiceClient(sock_path, request_timeout=60.0,
+                               retry=RetryPolicy(max_attempts=4, seed=1)) as client:
+                ds = client.register_dataset(pts)["dataset_id"]
+                sid = client.open_session(ds, 6, seed=7)["session_id"]
+                r0 = client.repartition(sid)  # compute #0 ok, #1 dies on retryable ops
+                r1 = client.repartition(sid, weight_delta=deltas[0])
+                r2 = client.repartition(sid, weight_delta=deltas[1])
+                assert client.retries_total >= 2  # both kills were retried through
+                client.shutdown()
+        finally:
+            thread.join(timeout=30.0)
+        p = GeographerPartitioner()
+        d0 = p.partition(pts, 6, epsilon=0.03, rng=7)
+        d1 = p.repartition(d0, pts, 6, np.ones(n) + deltas[0], 0.03, rng=8)
+        d2 = p.repartition(d1, pts, 6, np.ones(n) + deltas[0] + deltas[1], 0.03, rng=9)
+        assert same_result(r0, d0)
+        assert same_result(r1, d1)
+        assert same_result(r2, d2)
+        assert_no_leaks(before)
+
+    def test_sigkilled_server_under_load_converges_bit_identically(self, pts, tmp_path):
+        """SIGKILL the server while concurrent clients hammer it, restart it on
+        the same socket: every client converges (reconnect + re-register +
+        retry), all results bit-identical, no hangs, no leaked segments."""
+        from repro.service.client import ServiceClient, ServiceClientError
+
+        before = leaked_resources()
+        sock_path = tmp_path / "svc.sock"
+        ckpt = tmp_path / "ckpt"
+        proc = _spawn_server(sock_path, ckpt)
+        procs = [proc]
+        n_clients, per_client, n_seeds = 6, 3, 3
+        results: dict[int, object] = {}
+        errors: list[str] = []
+        lock = threading.Lock()
+        dataset_box: dict[str, str] = {}
+
+        def register(client):
+            return client.register_dataset(pts, dataset_id="ds-chaos")["dataset_id"]
+
+        def worker(idx):
+            try:
+                client = ServiceClient(
+                    sock_path, connect_timeout=60.0, request_timeout=60.0,
+                    retry=RetryPolicy(max_attempts=8, base_delay=0.05, seed=idx),
+                )
+                for r in range(per_client):
+                    req_seed = (idx + r) % n_seeds
+                    for _ in range(10):
+                        try:
+                            served = client.partition(dataset_box["id"], 5,
+                                                      seed=req_seed)
+                            break
+                        except ServiceClientError as exc:
+                            # the restarted server has an empty registry:
+                            # re-register (idempotent) and go again
+                            if exc.code == "bad_request" and "unknown dataset" in str(exc):
+                                register(client)
+                                continue
+                            raise
+                    else:
+                        raise RuntimeError(f"seed {req_seed} never converged")
+                    with lock:
+                        first = results.setdefault(req_seed, served)
+                        if not same_result(first, served):
+                            errors.append(f"seed {req_seed}: divergent responses")
+                client.close()
+            except Exception as exc:
+                with lock:
+                    errors.append(f"client {idx}: {type(exc).__name__}: {exc}")
+
+        try:
+            with ServiceClient(sock_path, connect_timeout=60.0) as setup:
+                dataset_box["id"] = register(setup)
+            workers = [threading.Thread(target=worker, args=(i,), daemon=True)
+                       for i in range(n_clients)]
+            for w in workers:
+                w.start()
+            time.sleep(0.25)  # let load build, then pull the rug
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30.0)
+            proc2 = _spawn_server(sock_path, ckpt)
+            procs.append(proc2)
+            deadline = time.monotonic() + 120.0
+            for w in workers:
+                w.join(timeout=max(0.0, deadline - time.monotonic()))
+            hung = [i for i, w in enumerate(workers) if w.is_alive()]
+            assert not hung, f"worker threads hung: {hung}"
+            assert errors == []
+            with ServiceClient(sock_path, connect_timeout=60.0) as closer:
+                closer.shutdown()
+            proc2.wait(timeout=30.0)
+        finally:
+            for p in procs:
+                if p.poll() is None:
+                    p.kill()
+                    p.wait(timeout=30.0)
+        for req_seed, served in sorted(results.items()):
+            direct = GeographerPartitioner().partition(pts, 5, epsilon=0.03,
+                                                       rng=req_seed)
+            assert same_result(served, direct), f"seed {req_seed} diverged across kill"
+        assert_no_leaks(before)
+
+    def test_overload_flood_is_bounded_and_health_stays_responsive(
+        self, pts, tmp_path, monkeypatch
+    ):
+        """max-inflight=1 + slow computes + a flood: excess requests shed
+        immediately with overloaded/retry_after_ms, health answers throughout,
+        and retrying clients all converge bit-identically."""
+        from repro.service.client import ServiceClient, ServiceClientError
+        from repro.service.loadtest import start_background_server
+
+        before = leaked_resources()
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            ";".join(f"delay:op=compute,index={i},seconds=0.4" for i in range(2)),
+        )
+        sock_path = tmp_path / "svc.sock"
+        thread = start_background_server(sock_path, max_inflight=1, max_queue=0)
+        try:
+            with ServiceClient(sock_path, request_timeout=60.0) as setup:
+                ds = setup.register_dataset(pts)["dataset_id"]
+
+            slow_done = threading.Event()
+
+            def slow_request():
+                with ServiceClient(sock_path, request_timeout=60.0) as c:
+                    c.partition(ds, 4, seed=0)
+                slow_done.set()
+
+            t = threading.Thread(target=slow_request, daemon=True)
+            t.start()
+            with ServiceClient(sock_path, request_timeout=60.0) as probe:
+                for _ in range(100):  # wait until the slow compute holds the slot
+                    if probe.health()["inflight"] >= 1:
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("slow request never became in-flight")
+                # no-retry client: the shed must be immediate and structured
+                noretry = ServiceClient(sock_path, request_timeout=60.0,
+                                        retry=RetryPolicy(max_attempts=1))
+                t0 = time.perf_counter()
+                with pytest.raises(ServiceClientError) as info:
+                    noretry.partition(ds, 4, seed=1)
+                assert time.perf_counter() - t0 < 0.35  # shed, not queued behind 0.4s
+                assert info.value.code == "overloaded"
+                assert isinstance(info.value.retry_after_ms, int)
+                noretry.close()
+                health = probe.health()  # health answers during saturation
+                assert health["max_inflight"] == 1
+                assert health["requests_shed"] >= 1
+            # a retrying client converges once the flood passes
+            with ServiceClient(sock_path, request_timeout=60.0,
+                               retry=RetryPolicy(max_attempts=8, seed=3)) as client:
+                served = client.partition(ds, 4, seed=1)
+                client.shutdown()
+            assert slow_done.wait(timeout=30.0)
+            t.join(timeout=30.0)
+        finally:
+            thread.join(timeout=30.0)
+        direct = GeographerPartitioner().partition(pts, 4, epsilon=0.03, rng=1)
+        assert same_result(served, direct)
+        assert_no_leaks(before)
