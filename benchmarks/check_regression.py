@@ -19,6 +19,9 @@ Two schemas are recognised by their keys:
   missing on either side — e.g. numba/torch entries measured only where the
   backend is installed — are skipped with a note, never treated as a
   regression.
+- ``BENCH_ondisk.json`` (``{"streaming": ...}``): the out-of-core runner's
+  wall-clock is compared directly; the streaming-vs-in-memory overhead
+  factor is reported alongside.
 
 CI calls this after the tier-1 suite re-measures the trajectory (the step
 stays non-blocking there: shared runners are too noisy to gate on); local
@@ -80,10 +83,25 @@ def compare_kernels(committed: dict, fresh: dict) -> tuple[float, list[str]]:
     return worst, lines
 
 
+def compare_ondisk(committed: dict, fresh: dict) -> tuple[float, list[str]]:
+    """Streaming seconds ratio for BENCH_ondisk.json (``{"streaming": ...}``)."""
+    old = committed["streaming"]["seconds"]
+    new = fresh["streaming"]["seconds"]
+    ratio = new / old
+    lines = [
+        f"streaming partition: committed {old:.2f}s, fresh {new:.2f}s ({ratio:.2f}x)",
+        f"fresh overhead vs in-memory: {fresh['streaming_overhead']:.2f}x "
+        f"(committed {committed['streaming_overhead']:.2f}x)",
+    ]
+    return ratio, lines
+
+
 def compare(committed: dict, fresh: dict, threshold: float) -> tuple[float, list[str]]:
     """Schema-dispatching comparison (kept for callers of the old name)."""
     if "entries" in committed or "entries" in fresh:
         return compare_kernels(committed, fresh)
+    if "streaming" in committed or "streaming" in fresh:
+        return compare_ondisk(committed, fresh)
     return compare_balance(committed, fresh)
 
 
@@ -113,7 +131,12 @@ def main(argv: list[str] | None = None) -> int:
     for line in lines:
         print(line)
     if ratio > args.threshold:
-        what = "sweep kernels" if "entries" in fresh else "balance phase"
+        if "entries" in fresh:
+            what = "sweep kernels"
+        elif "streaming" in fresh:
+            what = "streaming partition"
+        else:
+            what = "balance phase"
         message = f"{what} regressed {ratio:.2f}x vs committed trajectory"
         if os.environ.get("GITHUB_ACTIONS"):
             print(f"::warning::{message}")

@@ -3,6 +3,8 @@
 Commands
 --------
 - ``list``        — registry instances and available partitioners;
+- ``convert``     — build a sharded on-disk dataset from an instance or file
+  (consumed by ``distributed --ondisk``);
 - ``partition``   — partition an instance (or METIS file) and print metrics;
 - ``hierarchical``— topology-aware multi-level partition (k = k1xk2x...);
 - ``repartition`` — adaptive warm-vs-cold repartitioning with migration volume;
@@ -50,6 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list instances and partitioners")
+
+    cv = sub.add_parser("convert", help="build a sharded on-disk dataset (see `distributed --ondisk`)")
+    cv.add_argument("source", help="registry instance name, METIS .graph file, or coordinate "
+                                   "text file (one point per line)")
+    cv.add_argument("output", help="dataset directory to create")
+    cv.add_argument("--shard-rows", type=int, default=None,
+                    help="rows per shard file (default 262144)")
+    cv.add_argument("--scale", type=float, default=1.0, help="registry instances only")
+    cv.add_argument("--seed", type=int, default=0, help="registry instances only")
 
     p = sub.add_parser("partition", help="partition one instance and print metrics")
     p.add_argument("instance", help="registry instance name or .graph file path")
@@ -123,6 +134,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write superstep checkpoints here (resume with `repro resume`)")
     d.add_argument("--checkpoint-every", type=int, default=1,
                    help="iterations between checkpoints (default 1)")
+    d.add_argument("--ondisk", action="store_true",
+                   help="treat INSTANCE as a sharded dataset directory (see `repro convert`) "
+                        "and run the out-of-core runner: peak memory O(n/ranks)")
+    d.add_argument("--spill-dir", default=None,
+                   help="ondisk only: directory for per-rank spill files "
+                        "(default: a fresh temporary directory)")
+    d.add_argument("--shuffle-out", default=None,
+                   help="ondisk only: also shuffle payloads to block owners, writing "
+                        "per-rank files + global remap table to this directory")
 
     rs = sub.add_parser(
         "resume",
@@ -266,6 +286,35 @@ def _cmd_list() -> None:
         print(f"{spec.name:<16}{spec.instance_class:<12}{spec.default_n:>10}  {spec.paper_name} {paper_n}")
 
 
+def _cmd_convert(args) -> None:
+    from repro.io.sharded import DEFAULT_SHARD_ROWS, ShardedDatasetWriter, write_sharded
+    from repro.mesh.io import coords_meta, iter_coords, iter_metis_weights
+    from repro.mesh.registry import REGISTRY
+
+    shard_rows = args.shard_rows or DEFAULT_SHARD_ROWS
+    if args.source in REGISTRY:
+        mesh = REGISTRY[args.source].make(scale=args.scale, seed=args.seed)
+        ds = write_sharded(args.output, mesh.coords, weights=mesh.node_weights,
+                           shard_rows=shard_rows)
+    elif args.source.endswith(".graph"):
+        import os
+
+        base, _ = os.path.splitext(args.source)
+        xyz = base + ".xyz"
+        if not os.path.exists(xyz):
+            raise SystemExit(f"coordinate sidecar {xyz} not found")
+        _, dim = coords_meta(xyz)
+        writer = ShardedDatasetWriter(args.output, dim=dim, shard_rows=shard_rows,
+                                      with_weights=True)
+        for pts, w in zip(iter_coords(xyz), iter_metis_weights(args.source)):
+            writer.append(pts, weights=w)
+        ds = writer.finalize()
+    else:
+        ds = write_sharded(args.output, iter_coords(args.source), shard_rows=shard_rows)
+    print(f"wrote {ds.directory}: n={ds.n} dim={ds.dim} shards={ds.nshards} "
+          f"({ds.nbytes / 1e6:.1f} MB)\nmanifest digest {ds.digest}")
+
+
 def _cmd_partition(args) -> None:
     from repro.experiments.harness import format_rows, run_tool_on_mesh
     from repro.metrics.shape import shape_report
@@ -358,6 +407,8 @@ def _cmd_visualize(args) -> None:
 
 
 def _cmd_distributed(args) -> None:
+    if args.ondisk:
+        return _cmd_distributed_ondisk(args)
     from repro.experiments.harness import format_ledger, format_rows, run_distributed_on_mesh
 
     mesh = _load_mesh(args.instance, args.scale, args.seed)
@@ -383,6 +434,42 @@ def _cmd_distributed(args) -> None:
     print(f"\nbackend={result.backend} p={result.nranks}: "
           f"{result.iterations} iterations ({state}), imbalance {result.imbalance:.3f}")
     print(format_ledger(result.ledger, measured=result.measured))
+
+
+def _cmd_distributed_ondisk(args) -> None:
+    from repro.core.config import BalancedKMeansConfig
+    from repro.experiments.harness import format_ledger
+    from repro.io.sharded import ShardedDataset
+    from repro.runtime.ondisk import ondisk_distributed_kmeans
+
+    dataset = ShardedDataset(args.instance)
+    print(f"sharded dataset {args.instance}: n={dataset.n} dim={dataset.dim} "
+          f"shards={dataset.nshards}")
+    cfg = BalancedKMeansConfig(epsilon=args.epsilon)
+    provenance = None
+    if args.checkpoint_dir is not None:
+        provenance = {
+            "manifest": args.instance, "epsilon": args.epsilon, "seed": args.seed,
+            "k": args.k, "nranks": args.nranks,
+        }
+    result = ondisk_distributed_kmeans(
+        dataset, args.k, args.nranks, config=cfg, rng=args.seed,
+        backend=args.backend, spill_dir=args.spill_dir,
+        checkpoint=args.checkpoint_dir, checkpoint_every=args.checkpoint_every,
+        provenance=provenance,
+    )
+    state = "converged" if result.converged else "iteration cap"
+    print(f"backend={result.backend} p={result.nranks}: "
+          f"{result.iterations} iterations ({state}), imbalance {result.imbalance:.3f}")
+    print(f"assignment (original order): {result.assignment_handle.path}")
+    print(format_ledger(result.ledger, measured=result.measured))
+    if args.shuffle_out is not None:
+        from repro.runtime.shuffle import shuffle_to_disk, verify_shuffle
+
+        output = shuffle_to_disk(result, args.shuffle_out, backend=args.backend)
+        report = verify_shuffle(output)
+        print(f"\nshuffled to {args.shuffle_out}: counts={report['counts']} "
+              f"(conservation verified)")
 
 
 def _cmd_resume(args) -> None:
@@ -423,6 +510,35 @@ def _cmd_resume(args) -> None:
         state = "converged" if result.converged else "iteration cap"
         print(f"\nbackend={result.backend} p={result.nranks}: "
               f"{result.iterations} iterations ({state}), imbalance {result.imbalance:.3f}")
+        print(format_ledger(result.ledger, measured=result.measured))
+    elif kind == "distributed-kmeans-ondisk":
+        if not provenance or "manifest" not in provenance:
+            raise SystemExit(
+                "checkpoint carries no CLI provenance (the run was launched through "
+                "the API); resume it with ondisk_distributed_kmeans(resume_from=...) "
+                "against the original dataset instead"
+            )
+        from repro.core.config import BalancedKMeansConfig
+        from repro.experiments.harness import format_ledger
+        from repro.runtime.ondisk import ondisk_distributed_kmeans
+
+        nranks = args.nranks if args.nranks is not None else int(meta["nshards"])
+        every = (args.checkpoint_every if args.checkpoint_every is not None
+                 else int(meta.get("checkpoint_every", 1)))
+        checkpoint_dir = args.checkpoint_dir if args.checkpoint_dir is not None else source_dir
+        print(f"resuming out-of-core run at iteration {meta['iteration']} "
+              f"(shards={meta['nshards']}, ranks={nranks})")
+        result = ondisk_distributed_kmeans(
+            provenance["manifest"], int(provenance["k"]), nranks,
+            config=BalancedKMeansConfig(epsilon=float(provenance["epsilon"])),
+            backend=args.backend,
+            checkpoint=checkpoint_dir, checkpoint_every=every,
+            resume_from=args.checkpoint, provenance=provenance,
+        )
+        state = "converged" if result.converged else "iteration cap"
+        print(f"backend={result.backend} p={result.nranks}: "
+              f"{result.iterations} iterations ({state}), imbalance {result.imbalance:.3f}")
+        print(f"assignment (original order): {result.assignment_handle.path}")
         print(format_ledger(result.ledger, measured=result.measured))
     elif kind == "repartition":
         if not provenance:
@@ -589,6 +705,7 @@ def main(argv: list[str] | None = None) -> int:
     np.set_printoptions(precision=4, suppress=True)
     dispatch = {
         "list": lambda: _cmd_list(),
+        "convert": lambda: _cmd_convert(args),
         "partition": lambda: _cmd_partition(args),
         "hierarchical": lambda: _cmd_hierarchical(args),
         "repartition": lambda: _cmd_repartition(args),

@@ -57,7 +57,50 @@ from repro.core.kernels import SweepWorkspace, resolve_backend
 from repro.core.parallel import get_executor
 from repro.geometry.boxes import BoundingBox
 
-__all__ = ["AssignStats", "assign_points", "assign_and_balance"]
+__all__ = [
+    "AssignStats",
+    "assign_points",
+    "assign_and_balance",
+    "center_partial_sums",
+    "diameter_partial_sums",
+]
+
+
+def center_partial_sums(
+    points: np.ndarray, weights: np.ndarray, assignment: np.ndarray, k: int
+) -> np.ndarray:
+    """Rank-local ``k x (d+1)`` weighted coordinate sums + weight column.
+
+    The per-rank summand of the center-update allreduce (Algorithm 2, line
+    13).  Shared by the in-memory and out-of-core distributed runners —
+    both feed the same per-rank arrays through the same bincounts, which is
+    what keeps their center trajectories bit-identical.  Accepts memory
+    maps: only reads.
+    """
+    dim = points.shape[1]
+    sums = np.empty((k, dim + 1))
+    for dd in range(dim):
+        sums[:, dd] = np.bincount(assignment, weights=weights * points[:, dd], minlength=k)
+    sums[:, dim] = np.bincount(assignment, weights=weights, minlength=k)
+    return sums
+
+
+def diameter_partial_sums(
+    points: np.ndarray, weights: np.ndarray, assignment: np.ndarray, centers: np.ndarray
+) -> np.ndarray:
+    """Rank-local ``2k`` vector of weighted squared radii and weights.
+
+    Summand of the erosion ``beta(C)`` allreduce (average cluster diameter
+    as 2x the rms radius).  Shared across the distributed runners like
+    :func:`center_partial_sums`.
+    """
+    k = centers.shape[0]
+    diff = points - centers[assignment]
+    sq = np.einsum("ij,ij->i", diff, diff)
+    return np.concatenate([
+        np.bincount(assignment, weights=sq * weights, minlength=k),
+        np.bincount(assignment, weights=weights, minlength=k),
+    ])
 
 
 @dataclass

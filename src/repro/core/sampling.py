@@ -14,7 +14,27 @@ import numpy as np
 from repro.core.config import BalancedKMeansConfig
 from repro.util.rng import ensure_rng
 
-__all__ = ["sample_schedule"]
+__all__ = ["doubling_sizes", "sample_schedule"]
+
+
+def doubling_sizes(n: int, config: BalancedKMeansConfig) -> list[int]:
+    """Sample sizes of the doubling rounds for a point set of ``n`` points.
+
+    Empty when sampling is disabled or ``n`` is already small (<= 2x the
+    initial sample size).  Shared by the serial schedule below and the
+    distributed/out-of-core runners (which apply it to the smallest rank's
+    count) so every path runs the same rounds.
+    """
+    if not config.use_sampling:
+        return []
+    size = config.initial_sample_size
+    if n <= 2 * size:
+        return []
+    sizes: list[int] = []
+    while size < n:
+        sizes.append(size)
+        size *= 2
+    return sizes
 
 
 def sample_schedule(
@@ -27,15 +47,9 @@ def sample_schedule(
     Returns an empty list when sampling is disabled or the point set is
     already small (<= 2x the initial sample size, where sampling cannot help).
     """
-    if not config.use_sampling:
-        return []
-    size = config.initial_sample_size
-    if n <= 2 * size:
+    sizes = doubling_sizes(n, config)
+    if not sizes:
         return []
     gen = ensure_rng(rng)
     perm = gen.permutation(n)
-    rounds: list[np.ndarray] = []
-    while size < n:
-        rounds.append(perm[:size])
-        size *= 2
-    return rounds
+    return [perm[:size] for size in sizes]

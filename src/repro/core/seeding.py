@@ -17,7 +17,19 @@ from repro.sfc.curves import sfc_index
 from repro.util.rng import ensure_rng
 from repro.util.validation import check_k, check_points
 
-__all__ = ["sfc_seeding", "random_seeding", "kmeanspp_seeding", "seed_centers"]
+__all__ = ["seed_positions", "sfc_seeding", "random_seeding", "kmeanspp_seeding", "seed_centers"]
+
+
+def seed_positions(n: int, k: int) -> np.ndarray:
+    """Global sorted-order positions of the ``k`` SFC seeds.
+
+    Center ``i`` sits at ``i*n/k + n/(2k)`` (clipped to the last point) —
+    the middle of the ``i``-th of ``k`` equal curve segments.  Shared by the
+    serial, distributed, and out-of-core paths so they pick bit-identical
+    seeds from the same sorted order.
+    """
+    positions = (np.arange(k, dtype=np.int64) * n) // k + n // (2 * k)
+    return np.minimum(positions, n - 1)
 
 
 def sfc_seeding(
@@ -40,9 +52,7 @@ def sfc_seeding(
     k = check_k(k, n)
     if order is None:
         order = np.argsort(sfc_index(pts, curve=curve, bits=bits), kind="stable")
-    positions = (np.arange(k, dtype=np.int64) * n) // k + n // (2 * k)
-    positions = np.minimum(positions, n - 1)
-    return pts[order[positions]].copy()
+    return pts[order[seed_positions(n, k)]].copy()
 
 
 def random_seeding(

@@ -1,0 +1,11 @@
+"""Out-of-core dataset I/O: sharded on-disk format + per-rank spill files."""
+
+from repro.io.sharded import (
+    DEFAULT_SHARD_ROWS,
+    ShardDigestError,
+    ShardedDataset,
+    ShardedDatasetWriter,
+    ShardInfo,
+    write_sharded,
+)
+from repro.io.spill import SpillHandle, SpillStore

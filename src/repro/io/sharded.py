@@ -1,0 +1,530 @@
+"""Chunked on-disk dataset format: ``.npy`` shards plus a JSON manifest.
+
+A sharded dataset is a directory of plain ``.npy`` files — one points file
+(and optionally one weights and one ids file) per fixed-size row chunk —
+described by a ``manifest.json``:
+
+.. code-block:: text
+
+    dataset/
+      manifest.json
+      shard-000000.points.npy     (shard_rows, dim) float64
+      shard-000000.weights.npy    (shard_rows,)     float64   [optional]
+      shard-000000.ids.npy        (shard_rows,)     int64     [optional]
+      shard-000001.points.npy
+      ...
+
+The manifest records the global row count, dimensionality, dtypes, the
+per-shard row counts/offsets, a per-shard bounding box, and a SHA-256
+digest per shard file; a manifest-level digest over all of that identifies
+the dataset as a whole (it is what checkpoints store as ``data_digest``).
+
+Design points:
+
+- **Plain ``.npy`` shards** — every file opens with ``np.load(...,
+  mmap_mode="r")``, so readers stream shard-at-a-time and never hold more
+  than one shard's rows; no custom container, no extra dependency.
+- **Exact bounding boxes** — elementwise min/max over any partition of the
+  rows combine to exactly the global extremes, so the box assembled from
+  per-shard boxes is bit-identical to the one an in-memory pass computes.
+- **Crash-safe builds** — shards are written first, then a
+  ``manifest.partial.json`` sidecar is atomically replaced after *each*
+  completed shard; :meth:`ShardedDatasetWriter.resume` re-verifies the
+  recorded shards and continues from the next row.  ``manifest.json``
+  itself appears atomically at :meth:`~ShardedDatasetWriter.finalize`.
+- **Tamper evidence** — :meth:`ShardedDataset.verify` recomputes every
+  shard digest (streaming, block-wise) and raises :class:`ShardDigestError`
+  on any mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_SHARD_ROWS",
+    "MANIFEST_NAME",
+    "PARTIAL_MANIFEST_NAME",
+    "ShardDigestError",
+    "ShardInfo",
+    "ShardedDataset",
+    "ShardedDatasetWriter",
+    "write_sharded",
+]
+
+FORMAT_NAME = "repro-sharded"
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+PARTIAL_MANIFEST_NAME = "manifest.partial.json"
+DEFAULT_SHARD_ROWS = 262_144
+_DIGEST_BLOCK = 1 << 20  # 1 MiB read blocks for streaming digests
+
+
+class ShardDigestError(RuntimeError):
+    """A shard file's bytes do not match the digest the manifest records."""
+
+
+def _file_digest(path: Path) -> str:
+    """SHA-256 over a file's raw bytes, read in bounded blocks."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(_DIGEST_BLOCK)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
+@dataclass
+class ShardInfo:
+    """One shard's manifest entry."""
+
+    name: str
+    rows: int
+    row_offset: int
+    lo: list[float]
+    hi: list[float]
+    digests: dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "rows": self.rows,
+            "row_offset": self.row_offset,
+            "bbox": {"lo": self.lo, "hi": self.hi},
+            "digests": dict(self.digests),
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "ShardInfo":
+        return cls(
+            name=str(obj["name"]),
+            rows=int(obj["rows"]),
+            row_offset=int(obj["row_offset"]),
+            lo=[float(x) for x in obj["bbox"]["lo"]],
+            hi=[float(x) for x in obj["bbox"]["hi"]],
+            digests={str(k): str(v) for k, v in obj["digests"].items()},
+        )
+
+
+def _manifest_digest(body: dict) -> str:
+    """Digest over the identifying manifest fields (canonical JSON)."""
+    core = {
+        "format": body["format"],
+        "version": body["version"],
+        "n": body["n"],
+        "dim": body["dim"],
+        "dtype": body["dtype"],
+        "has_weights": body["has_weights"],
+        "has_ids": body["has_ids"],
+        "shards": body["shards"],
+    }
+    blob = json.dumps(core, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _atomic_write_json(path: Path, body: dict) -> None:
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    with open(tmp, "w") as fh:
+        json.dump(body, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class ShardedDatasetWriter:
+    """Incremental builder: feed row chunks of any size, get fixed shards.
+
+    ``append`` buffers rows and flushes a shard every ``shard_rows`` rows;
+    ``finalize`` flushes the remainder and atomically writes
+    ``manifest.json``.  After every completed shard the partial manifest on
+    disk is replaced, so an interrupted build is resumable via
+    :meth:`resume` without rewriting finished shards.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        dim: int,
+        shard_rows: int = DEFAULT_SHARD_ROWS,
+        with_weights: bool = False,
+        with_ids: bool = False,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if shard_rows < 1:
+            raise ValueError(f"shard_rows must be >= 1, got {shard_rows}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if (self.directory / MANIFEST_NAME).exists():
+            raise FileExistsError(
+                f"{self.directory} already holds a finalized sharded dataset"
+            )
+        self.dim = int(dim)
+        self.shard_rows = int(shard_rows)
+        self.with_weights = bool(with_weights)
+        self.with_ids = bool(with_ids)
+        self.shards: list[ShardInfo] = []
+        self._rows_written = 0
+        self._buf_pts: list[np.ndarray] = []
+        self._buf_w: list[np.ndarray] = []
+        self._buf_ids: list[np.ndarray] = []
+        self._buffered = 0
+        self._finalized = False
+
+    # -- resume --------------------------------------------------------------
+
+    @classmethod
+    def resume(cls, directory: str | os.PathLike) -> "ShardedDatasetWriter":
+        """Reopen a partially written dataset and continue after its last shard.
+
+        Every shard the partial manifest records is digest-verified before
+        the writer accepts it (a torn shard file from the crash would
+        otherwise survive into the final manifest).
+        """
+        directory = Path(directory)
+        partial = directory / PARTIAL_MANIFEST_NAME
+        if not partial.exists():
+            raise FileNotFoundError(f"no {PARTIAL_MANIFEST_NAME} under {directory}")
+        with open(partial) as fh:
+            body = json.load(fh)
+        if body.get("format") != FORMAT_NAME or body.get("version") != FORMAT_VERSION:
+            raise ValueError(f"{partial} is not a {FORMAT_NAME} v{FORMAT_VERSION} build")
+        writer = cls(
+            directory,
+            dim=int(body["dim"]),
+            shard_rows=int(body["shard_rows"]),
+            with_weights=bool(body["has_weights"]),
+            with_ids=bool(body["has_ids"]),
+        )
+        for entry in body["shards"]:
+            info = ShardInfo.from_json(entry)
+            for kind, digest in info.digests.items():
+                path = directory / f"{info.name}.{kind}.npy"
+                if not path.exists():
+                    raise ShardDigestError(f"recorded shard file {path} is missing")
+                if _file_digest(path) != digest:
+                    raise ShardDigestError(
+                        f"shard file {path} does not match the partial manifest digest"
+                    )
+            writer.shards.append(info)
+            writer._rows_written = info.row_offset + info.rows
+        return writer
+
+    # -- building ------------------------------------------------------------
+
+    def append(
+        self,
+        points: np.ndarray,
+        weights: np.ndarray | None = None,
+        ids: np.ndarray | None = None,
+    ) -> None:
+        if self._finalized:
+            raise RuntimeError("writer is finalized")
+        pts = np.ascontiguousarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != self.dim:
+            raise ValueError(f"expected (rows, {self.dim}) points, got {pts.shape}")
+        rows = pts.shape[0]
+        if self.with_weights:
+            if weights is None:
+                raise ValueError("writer was opened with_weights=True; pass weights")
+            w = np.ascontiguousarray(weights, dtype=np.float64)
+            if w.shape != (rows,):
+                raise ValueError(f"weights shape {w.shape} != ({rows},)")
+            self._buf_w.append(w)
+        elif weights is not None:
+            raise ValueError("writer was opened with_weights=False")
+        if self.with_ids:
+            if ids is None:
+                raise ValueError("writer was opened with_ids=True; pass ids")
+            i = np.ascontiguousarray(ids, dtype=np.int64)
+            if i.shape != (rows,):
+                raise ValueError(f"ids shape {i.shape} != ({rows},)")
+            self._buf_ids.append(i)
+        elif ids is not None:
+            raise ValueError("writer was opened with_ids=False")
+        self._buf_pts.append(pts)
+        self._buffered += rows
+        while self._buffered >= self.shard_rows:
+            self._flush_shard(self.shard_rows)
+
+    def _take(self, bufs: list[np.ndarray], rows: int) -> np.ndarray:
+        taken: list[np.ndarray] = []
+        need = rows
+        while need > 0:
+            head = bufs[0]
+            if head.shape[0] <= need:
+                taken.append(head)
+                need -= head.shape[0]
+                bufs.pop(0)
+            else:
+                taken.append(head[:need])
+                bufs[0] = head[need:]
+                need = 0
+        return taken[0] if len(taken) == 1 else np.concatenate(taken)
+
+    def _flush_shard(self, rows: int) -> None:
+        name = f"shard-{len(self.shards):06d}"
+        pts = np.ascontiguousarray(self._take(self._buf_pts, rows))
+        parts: dict[str, np.ndarray] = {"points": pts}
+        if self.with_weights:
+            parts["weights"] = np.ascontiguousarray(self._take(self._buf_w, rows))
+        if self.with_ids:
+            parts["ids"] = np.ascontiguousarray(self._take(self._buf_ids, rows))
+        digests: dict[str, str] = {}
+        for kind, arr in parts.items():
+            path = self.directory / f"{name}.{kind}.npy"
+            with open(path, "wb") as fh:
+                np.save(fh, arr)
+                fh.flush()
+                os.fsync(fh.fileno())
+            digests[kind] = _file_digest(path)
+        info = ShardInfo(
+            name=name,
+            rows=rows,
+            row_offset=self._rows_written,
+            lo=[float(x) for x in pts.min(axis=0)],
+            hi=[float(x) for x in pts.max(axis=0)],
+            digests=digests,
+        )
+        self.shards.append(info)
+        self._rows_written += rows
+        self._buffered -= rows
+        _atomic_write_json(self.directory / PARTIAL_MANIFEST_NAME, self._body())
+
+    def _body(self) -> dict:
+        body = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "n": self._rows_written,
+            "dim": self.dim,
+            "dtype": "float64",
+            "weight_dtype": "float64" if self.with_weights else None,
+            "id_dtype": "int64" if self.with_ids else None,
+            "has_weights": self.with_weights,
+            "has_ids": self.with_ids,
+            "shard_rows": self.shard_rows,
+            "shards": [s.to_json() for s in self.shards],
+        }
+        if self.shards:
+            lo = np.array([s.lo for s in self.shards]).min(axis=0)
+            hi = np.array([s.hi for s in self.shards]).max(axis=0)
+            body["bounding_box"] = {"lo": [float(x) for x in lo], "hi": [float(x) for x in hi]}
+        else:
+            body["bounding_box"] = None
+        return body
+
+    def finalize(self) -> "ShardedDataset":
+        if self._finalized:
+            raise RuntimeError("writer is already finalized")
+        if self._buffered > 0:
+            self._flush_shard(self._buffered)
+        if self._rows_written == 0:
+            raise ValueError("cannot finalize an empty dataset")
+        body = self._body()
+        body["digest"] = _manifest_digest(body)
+        _atomic_write_json(self.directory / MANIFEST_NAME, body)
+        partial = self.directory / PARTIAL_MANIFEST_NAME
+        if partial.exists():
+            partial.unlink()
+        self._finalized = True
+        return ShardedDataset(self.directory)
+
+
+def write_sharded(
+    directory: str | os.PathLike,
+    points: np.ndarray | Iterable[np.ndarray],
+    weights: np.ndarray | None = None,
+    ids: np.ndarray | None = None,
+    shard_rows: int = DEFAULT_SHARD_ROWS,
+) -> "ShardedDataset":
+    """Build a sharded dataset in one call from arrays (or an iterable of chunks).
+
+    When ``points`` is an iterable of chunks, ``weights``/``ids`` must be
+    ``None`` (stream them through a :class:`ShardedDatasetWriter` instead).
+    """
+    if isinstance(points, np.ndarray):
+        pts = np.ascontiguousarray(points, dtype=np.float64)
+        writer = ShardedDatasetWriter(
+            directory,
+            dim=pts.shape[1],
+            shard_rows=shard_rows,
+            with_weights=weights is not None,
+            with_ids=ids is not None,
+        )
+        writer.append(pts, weights=weights, ids=ids)
+        return writer.finalize()
+    if weights is not None or ids is not None:
+        raise ValueError("chunked points require streaming weights/ids via ShardedDatasetWriter")
+    writer = None
+    for chunk in points:
+        chunk = np.ascontiguousarray(chunk, dtype=np.float64)
+        if writer is None:
+            writer = ShardedDatasetWriter(directory, dim=chunk.shape[1], shard_rows=shard_rows)
+        writer.append(chunk)
+    if writer is None:
+        raise ValueError("cannot build a dataset from zero chunks")
+    return writer.finalize()
+
+
+class ShardedDataset:
+    """Reader over a finalized sharded dataset directory.
+
+    Never holds more than one shard's rows: per-shard accessors return
+    read-only memory maps and :meth:`iter_tiles` walks them in order.
+    Instances pickle as their directory path (workers reopen the manifest),
+    so rank closures that capture a dataset ship cheaply to worker
+    processes.
+    """
+
+    def __init__(self, directory: str | os.PathLike, verify: bool = False) -> None:
+        self.directory = Path(directory)
+        manifest = self.directory / MANIFEST_NAME
+        if manifest.is_file():
+            pass
+        elif self.directory.is_file() and self.directory.name.endswith(".json"):
+            manifest = self.directory
+            self.directory = manifest.parent
+        else:
+            hint = ""
+            if (self.directory / PARTIAL_MANIFEST_NAME).exists():
+                hint = (
+                    f" (found {PARTIAL_MANIFEST_NAME}: the build was interrupted — "
+                    "resume it with ShardedDatasetWriter.resume)"
+                )
+            raise FileNotFoundError(f"no {MANIFEST_NAME} under {self.directory}{hint}")
+        with open(manifest) as fh:
+            body = json.load(fh)
+        if body.get("format") != FORMAT_NAME:
+            raise ValueError(f"{manifest} is not a {FORMAT_NAME} manifest")
+        if body.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{manifest} has format version {body.get('version')!r}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        if _manifest_digest(body) != body.get("digest"):
+            raise ShardDigestError(f"{manifest} fails its manifest digest")
+        self.n = int(body["n"])
+        self.dim = int(body["dim"])
+        self.shard_rows = int(body["shard_rows"])
+        self.has_weights = bool(body["has_weights"])
+        self.has_ids = bool(body["has_ids"])
+        self.digest = str(body["digest"])
+        self.shards = [ShardInfo.from_json(s) for s in body["shards"]]
+        box = body["bounding_box"]
+        self._lo = np.array(box["lo"], dtype=np.float64)
+        self._hi = np.array(box["hi"], dtype=np.float64)
+        if verify:
+            self.verify()
+
+    def __reduce__(self):
+        return (ShardedDataset, (str(self.directory),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedDataset({str(self.directory)!r}, n={self.n}, dim={self.dim}, "
+            f"shards={len(self.shards)})"
+        )
+
+    @property
+    def nshards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def nbytes(self) -> int:
+        """Total size of the shard files on disk."""
+        total = 0
+        for info in self.shards:
+            for kind in info.digests:
+                total += (self.directory / f"{info.name}.{kind}.npy").stat().st_size
+        return total
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """Exact global (lo, hi); equals the in-memory elementwise min/max."""
+        return self._lo.copy(), self._hi.copy()
+
+    # -- shard access --------------------------------------------------------
+
+    def _shard_path(self, i: int, kind: str) -> Path:
+        return self.directory / f"{self.shards[i].name}.{kind}.npy"
+
+    def open_points(self, i: int) -> np.ndarray:
+        return np.load(self._shard_path(i, "points"), mmap_mode="r")
+
+    def open_weights(self, i: int) -> np.ndarray | None:
+        if not self.has_weights:
+            return None
+        return np.load(self._shard_path(i, "weights"), mmap_mode="r")
+
+    def open_ids(self, i: int) -> np.ndarray | None:
+        if not self.has_ids:
+            return None
+        return np.load(self._shard_path(i, "ids"), mmap_mode="r")
+
+    def iter_tiles(
+        self, max_rows: int | None = None
+    ) -> Iterator[tuple[int, np.ndarray, np.ndarray | None, np.ndarray | None]]:
+        """Yield ``(row_offset, points, weights, ids)`` tiles in global order.
+
+        Tiles are views into per-shard memory maps (at most ``max_rows``
+        rows each, default one whole shard), so peak memory is one tile.
+        """
+        for i, info in enumerate(self.shards):
+            pts = self.open_points(i)
+            w = self.open_weights(i)
+            ids = self.open_ids(i)
+            step = info.rows if max_rows is None else max(1, int(max_rows))
+            for lo in range(0, info.rows, step):
+                hi = min(info.rows, lo + step)
+                yield (
+                    info.row_offset + lo,
+                    pts[lo:hi],
+                    None if w is None else w[lo:hi],
+                    None if ids is None else ids[lo:hi],
+                )
+
+    def read_rows(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+        """Materialize global rows ``[lo, hi)`` (may span shards)."""
+        if not 0 <= lo <= hi <= self.n:
+            raise IndexError(f"row range [{lo}, {hi}) out of [0, {self.n})")
+        pts = np.empty((hi - lo, self.dim), dtype=np.float64)
+        w = np.empty(hi - lo, dtype=np.float64) if self.has_weights else None
+        ids = np.empty(hi - lo, dtype=np.int64) if self.has_ids else None
+        for i, info in enumerate(self.shards):
+            s_lo, s_hi = info.row_offset, info.row_offset + info.rows
+            if s_hi <= lo or s_lo >= hi:
+                continue
+            a, b = max(lo, s_lo), min(hi, s_hi)
+            out = slice(a - lo, b - lo)
+            src = slice(a - s_lo, b - s_lo)
+            pts[out] = self.open_points(i)[src]
+            if w is not None:
+                w[out] = self.open_weights(i)[src]
+            if ids is not None:
+                ids[out] = self.open_ids(i)[src]
+        return pts, w, ids
+
+    def load(self) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+        """Materialize the whole dataset (small datasets / tests only)."""
+        return self.read_rows(0, self.n)
+
+    # -- integrity -----------------------------------------------------------
+
+    def verify(self) -> None:
+        """Re-digest every shard file; raise :class:`ShardDigestError` on mismatch."""
+        for info in self.shards:
+            for kind, digest in info.digests.items():
+                path = self.directory / f"{info.name}.{kind}.npy"
+                if not path.exists():
+                    raise ShardDigestError(f"shard file {path} is missing")
+                if _file_digest(path) != digest:
+                    raise ShardDigestError(f"shard file {path} fails its digest")

@@ -9,12 +9,22 @@ the original tools' inputs.
 from __future__ import annotations
 
 import os
+from typing import Iterator
 
 import numpy as np
 
 from repro.mesh.graph import GeometricMesh
 
-__all__ = ["write_metis", "read_metis", "write_coords", "read_coords"]
+__all__ = [
+    "write_metis",
+    "read_metis",
+    "read_metis_header",
+    "iter_metis_weights",
+    "write_coords",
+    "read_coords",
+    "coords_meta",
+    "iter_coords",
+]
 
 
 def write_metis(mesh: GeometricMesh, path: str, with_weights: bool | None = None) -> None:
@@ -77,6 +87,59 @@ def read_metis(path: str, coords: np.ndarray | None = None, name: str = "") -> G
     return mesh
 
 
+def read_metis_header(path: str) -> tuple[int, int, str]:
+    """``(n, m, fmt)`` from a METIS file's header line, without parsing the body.
+
+    The eager :func:`read_metis` builds the whole edge list in memory; the
+    out-of-core manifest builder only needs the counts and the weight flag,
+    so this stops at the first non-comment line.
+    """
+    with open(path) as fh:
+        for line in fh:
+            row = line.split("%", 1)[0].strip()
+            if not row:
+                continue
+            header = row.split()
+            n, m = int(header[0]), int(header[1])
+            fmt = (header[2] if len(header) > 2 else "000").zfill(3)
+            return n, m, fmt
+    raise ValueError(f"{path}: no header line found")
+
+
+def iter_metis_weights(path: str, chunk_rows: int = 65_536) -> Iterator[np.ndarray]:
+    """Stream vertex weights from a METIS file in bounded chunks.
+
+    Yields float64 arrays of up to ``chunk_rows`` weights in vertex order
+    (all ones when the format has no vertex weights), holding one chunk and
+    one text line in memory at a time — the lazy counterpart of
+    :func:`read_metis` for dataset conversion.
+    """
+    n, _, fmt = read_metis_header(path)
+    has_vweights = fmt[1] == "1"
+    if fmt[2] == "1":
+        raise NotImplementedError("edge weights are not supported")
+    buf: list[float] = []
+    seen = 0
+    with open(path) as fh:
+        first = True
+        for line in fh:
+            row = line.split("%", 1)[0].strip()
+            if not row:
+                continue
+            if first:  # header
+                first = False
+                continue
+            seen += 1
+            buf.append(float(row.split(None, 1)[0]) if has_vweights else 1.0)
+            if len(buf) >= chunk_rows:
+                yield np.asarray(buf, dtype=np.float64)
+                buf = []
+    if seen != n:
+        raise ValueError(f"{path}: header declares {n} vertices, found {seen}")
+    if buf:
+        yield np.asarray(buf, dtype=np.float64)
+
+
 def write_coords(coords: np.ndarray, path: str) -> None:
     """One vertex per line, whitespace-separated coordinates."""
     np.savetxt(path, coords, fmt="%.17g")
@@ -85,3 +148,48 @@ def write_coords(coords: np.ndarray, path: str) -> None:
 def read_coords(path: str) -> np.ndarray:
     coords = np.loadtxt(path, dtype=np.float64, ndmin=2)
     return coords
+
+
+def coords_meta(path: str) -> tuple[int, int]:
+    """``(rows, dim)`` of a coordinate file from a single streaming pass.
+
+    Reads the dimensionality off the first data line and counts the rest
+    line-by-line — no array is materialised, unlike :func:`read_coords`.
+    """
+    rows, dim = 0, 0
+    with open(path) as fh:
+        for line in fh:
+            fields = line.split()
+            if not fields:
+                continue
+            if rows == 0:
+                dim = len(fields)
+            rows += 1
+    if rows == 0:
+        raise ValueError(f"{path}: no coordinate rows found")
+    return rows, dim
+
+
+def iter_coords(path: str, chunk_rows: int = 65_536) -> Iterator[np.ndarray]:
+    """Stream a coordinate file as (<=chunk_rows, dim) float64 chunks.
+
+    The lazy counterpart of :func:`read_coords`: bounded memory regardless
+    of file size, which is what the sharded-dataset converter consumes.
+    """
+    buf: list[list[float]] = []
+    dim = 0
+    with open(path) as fh:
+        for line in fh:
+            fields = line.split()
+            if not fields:
+                continue
+            if dim == 0:
+                dim = len(fields)
+            elif len(fields) != dim:
+                raise ValueError(f"{path}: inconsistent dimensionality ({len(fields)} vs {dim})")
+            buf.append([float(x) for x in fields])
+            if len(buf) >= chunk_rows:
+                yield np.asarray(buf, dtype=np.float64)
+                buf = []
+    if buf:
+        yield np.asarray(buf, dtype=np.float64)

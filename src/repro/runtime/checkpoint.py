@@ -46,7 +46,9 @@ __all__ = [
     "CheckpointError",
     "CheckpointMismatchError",
     "CheckpointStore",
+    "LazyCheckpointArrays",
     "data_digest",
+    "load_resume_lazy",
     "rng_state",
     "restore_rng",
     "sanitize_run_id",
@@ -235,7 +237,12 @@ class CheckpointStore:
         full_meta["ordinal"] = ordinal
         meta_json = json.dumps(full_meta, sort_keys=True)
         digest = _payload_digest(arrays, meta_json)
-        payload = {key: np.asarray(value) for key, value in arrays.items()}
+        # values stay lazy: np.savez coerces each entry (via __array__ for
+        # spill handles) one at a time while writing, and _payload_digest
+        # above also materialised transiently per key — so a dict of
+        # on-disk handles checkpoints with O(largest array) peak memory,
+        # which is what keeps the out-of-core runner's saves O(n/p)
+        payload: dict = dict(arrays)
         payload[_META_KEY] = _encode_str(meta_json)
         payload[_DIGEST_KEY] = _encode_str(digest)
 
@@ -354,6 +361,99 @@ def load_resume(source: "CheckpointStore | str | os.PathLike") -> tuple[dict, di
         store = _store_for_directory(path)
         return store.load()
     return _load_file(path)
+
+
+class LazyCheckpointArrays(Mapping):
+    """Mapping over a *verified* checkpoint's arrays, read one at a time.
+
+    :func:`load_resume_lazy` digest-checks the file streaming (each array
+    materialised transiently), then hands out this view; ``[]`` reopens the
+    npz and reads just the requested entry, so a resuming out-of-core run
+    never holds more than one per-shard array in memory.
+    """
+
+    def __init__(self, path: Path, names: tuple[str, ...]) -> None:
+        self._path = Path(path)
+        self._names = tuple(names)
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        if key not in self._names:
+            raise KeyError(key)
+        with np.load(self._path, allow_pickle=False) as npz:
+            return npz[key]
+
+    def __iter__(self):
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+def _load_file_lazy(path: Path) -> tuple[LazyCheckpointArrays, dict]:
+    """Like :func:`_load_file` but with O(largest array) peak memory."""
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            names = list(npz.files)
+            if _META_KEY not in names or _DIGEST_KEY not in names:
+                raise CheckpointError(f"checkpoint {path} lacks metadata/digest entries")
+            meta_json = _decode_str(npz[_META_KEY])
+            stored_digest = _decode_str(npz[_DIGEST_KEY])
+            array_names = tuple(n for n in names if not n.startswith("__"))
+            # digest exactly as _payload_digest, one array resident at a time
+            h = hashlib.sha256()
+            h.update(meta_json.encode())
+            for key in sorted(array_names):
+                arr = np.ascontiguousarray(npz[key])
+                h.update(key.encode())
+                h.update(str(arr.dtype).encode())
+                h.update(str(arr.shape).encode())
+                h.update(arr.tobytes())
+                del arr
+    except CheckpointError:
+        raise
+    except Exception as exc:  # zip CRC errors, truncation, bad JSON bytes, ...
+        raise CheckpointError(f"checkpoint {path} is unreadable: {exc!r}") from exc
+    if h.hexdigest() != stored_digest:
+        raise CheckpointError(f"checkpoint {path} failed its integrity digest")
+    try:
+        meta = json.loads(meta_json)
+    except ValueError as exc:
+        raise CheckpointError(f"checkpoint {path} holds invalid metadata: {exc}") from exc
+    if meta.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {meta.get('version')!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    return LazyCheckpointArrays(path, array_names), meta
+
+
+def load_resume_lazy(
+    source: "CheckpointStore | str | os.PathLike",
+) -> tuple[LazyCheckpointArrays, dict]:
+    """:func:`load_resume` with lazily-read arrays (out-of-core resume path).
+
+    Same source resolution and corrupt-fallback behaviour; arrays are
+    digest-verified streaming and then read on demand via
+    :class:`LazyCheckpointArrays`.
+    """
+    if isinstance(source, CheckpointStore):
+        store = source
+    else:
+        path = Path(source)
+        if not path.is_dir():
+            return _load_file_lazy(path)
+        store = _store_for_directory(path)
+    errors: list[str] = []
+    for candidate in reversed(store.candidates()):
+        try:
+            return _load_file_lazy(candidate)
+        except CheckpointError as exc:
+            warnings.warn(f"skipping corrupt checkpoint {candidate}: {exc}", stacklevel=2)
+            errors.append(f"{candidate.name}: {exc}")
+    detail = f" (rejected: {'; '.join(errors)})" if errors else ""
+    raise CheckpointError(f"no valid checkpoint under {store.directory}{detail}")
 
 
 def _store_for_directory(path: Path) -> CheckpointStore:

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.assign import assign_points
+from repro.core.assign import assign_points, center_partial_sums, diameter_partial_sums
 from repro.core.bounds import (
     init_bounds,
     relax_for_influence,
@@ -48,6 +48,8 @@ from repro.core.bounds import (
 from repro.core.config import BalancedKMeansConfig
 from repro.core.influence import adapt_influence, erode_influence
 from repro.core.kernels import SweepWorkspace
+from repro.core.sampling import doubling_sizes
+from repro.core.seeding import seed_positions
 from repro.runtime.checkpoint import (
     CheckpointMismatchError,
     CheckpointStore,
@@ -88,6 +90,9 @@ class DistributedKMeansResult:
     ledger: CostLedger = field(default_factory=CostLedger)
     backend: str = "virtual"
     measured: bool = False
+    #: final global per-block weights (the k-vector behind ``imbalance``);
+    #: exposed so the out-of-core path's bit-identity can be asserted on it
+    block_weights: np.ndarray | None = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -226,7 +231,27 @@ def distributed_balanced_kmeans(
     :class:`~repro.runtime.checkpoint.CheckpointMismatchError` on any
     mismatch).  ``provenance`` is an optional JSON-serialisable dict stored
     in checkpoint metadata so the CLI can rebuild the dataset on ``resume``.
+
+    ``points`` may also be a :class:`~repro.io.sharded.ShardedDataset`
+    (weights then come from the dataset): the call delegates to the
+    out-of-core runner
+    (:func:`~repro.runtime.ondisk.ondisk_distributed_kmeans`), which is
+    bit-identical on fitting data and returns an
+    :class:`~repro.runtime.ondisk.OndiskKMeansResult`.
     """
+    from repro.io.sharded import ShardedDataset  # runtime<->io import cycle guard
+
+    if isinstance(points, ShardedDataset):
+        if weights is not None:
+            raise ValueError("a ShardedDataset carries its own weights; pass weights=None")
+        from repro.runtime.ondisk import ondisk_distributed_kmeans
+
+        return ondisk_distributed_kmeans(
+            points, k, nranks, config=config, machine=machine, rng=rng,
+            centers=centers, topology=topology, backend=backend, comm=comm,
+            checkpoint=checkpoint, checkpoint_every=checkpoint_every,
+            resume_from=resume_from, provenance=provenance,
+        )
     cfg = config or BalancedKMeansConfig()
     pts = check_points(points)
     n = pts.shape[0]
@@ -394,8 +419,7 @@ def _kmeans_loop(
         if centers.shape != (k, dim):
             raise ValueError(f"warm-start centers must have shape ({k}, {dim})")
     else:
-        positions = (np.arange(k, dtype=np.int64) * n) // k + n // (2 * k)
-        positions = np.minimum(positions, n - 1)
+        positions = seed_positions(n, k)
 
         def local_seeds(r: int) -> np.ndarray:
             inside = (positions >= offsets[r]) & (positions < offsets[r] + counts[r])
@@ -451,14 +475,7 @@ def _kmeans_loop(
 
     # -- sampled initialisation rounds (per rank, §4.5) -----------------------
     # (skipped on warm starts: the previous centers are already near-optimal)
-    sample_sizes: list[int] = []
-    if cfg.use_sampling and not warm_start:
-        smallest = int(counts.min())
-        size = cfg.initial_sample_size
-        if smallest > 2 * size:
-            while size < smallest:
-                sample_sizes.append(size)
-                size *= 2
+    sample_sizes = doubling_sizes(int(counts.min()), cfg) if not warm_start else []
     sample_perms = ([rank_rngs[r].permutation(int(counts[r])) for r in range(p)]
                     if not resuming else None)
 
@@ -535,11 +552,7 @@ def _kmeans_loop(
                 block_w = None  # force a fresh bincount reduction next iteration
         # center update: one allreduce of k x (d+1) partial sums
         def partial_sums(r: int) -> np.ndarray:
-            sums = np.empty((k, dim + 1))
-            for dd in range(dim):
-                sums[:, dd] = np.bincount(s_assign[r], weights=s_w[r] * s_pts[r][:, dd], minlength=k)
-            sums[:, dim] = np.bincount(s_assign[r], weights=s_w[r], minlength=k)
-            return sums
+            return center_partial_sums(s_pts[r], s_w[r], s_assign[r], k)
 
         totals = comm.allreduce(comm.run_local(partial_sums)).reshape(k, dim + 1)
         wsum = totals[:, dim]
@@ -552,12 +565,7 @@ def _kmeans_loop(
             # like the serial code but with the partial sums allreduced —
             # one extra k+k-float reduction per movement round.
             def diameter_sums(r: int) -> np.ndarray:
-                diff = s_pts[r] - new_centers[s_assign[r]]
-                sq = np.einsum("ij,ij->i", diff, diff)
-                return np.concatenate([
-                    np.bincount(s_assign[r], weights=sq * s_w[r], minlength=k),
-                    np.bincount(s_assign[r], weights=s_w[r], minlength=k),
-                ])
+                return diameter_partial_sums(s_pts[r], s_w[r], s_assign[r], new_centers)
 
             dsums = comm.allreduce(comm.run_local(diameter_sums))
             sq_sums, cnts = dsums[:k], dsums[k:]
@@ -634,4 +642,5 @@ def _kmeans_loop(
         ledger=comm.ledger,
         backend=comm.kind,
         measured=comm.measured,
+        block_weights=np.array(block_w, dtype=np.float64, copy=True),
     )

@@ -40,7 +40,18 @@ def distributed_sort(
         Per-rank arrays of the same lengths as ``keys`` (e.g. point rows);
         permuted and exchanged alongside the keys.
     oversample:
-        Samples contributed per rank for splitter selection.
+        Samples contributed per rank for splitter selection; at least ``p``
+        are always taken.  With fewer than ``p`` the pooled sample array
+        degenerates into ~``oversample`` clusters of near-identical
+        quantiles and consecutive splitters collapse onto the same cluster,
+        leaving worst-case bins of ~``n/oversample`` rows no matter how
+        many ranks there are.  ``max(oversample, p)`` keeps the splitter
+        stride at or above the cluster size, so bins stay O(n/p).
+        Splitters only shape the *intermediate* distribution: equal keys
+        always land in the same bin, the merge is stable in source-rank
+        order and the equalising redistribution targets fixed global
+        positions, so the final output is identical for any splitter
+        choice.
     """
     p = comm.nranks
     if len(keys) != p:
@@ -57,11 +68,13 @@ def distributed_sort(
         return local_keys, local_pay
 
     # 2. splitter selection: oversampled allgather, then global quantiles
+    per_rank_samples = max(oversample, p)
+
     def pick_samples(r: int) -> np.ndarray:
         lk = local_keys[r]
         if lk.size == 0:
             return lk[:0]
-        pos = np.linspace(0, lk.size - 1, num=min(oversample, lk.size)).astype(np.int64)
+        pos = np.linspace(0, lk.size - 1, num=min(per_rank_samples, lk.size)).astype(np.int64)
         return lk[pos]
 
     samples = comm.allgather(comm.run_local(pick_samples))

@@ -74,6 +74,7 @@ __all__ = [
     "assert_no_leaks",
     "leaked_resources",
     "share_array",
+    "share_array_from_rows",
     "shutdown_process_comms",
     "unlink_array",
 ]
@@ -173,6 +174,42 @@ def share_array(array: np.ndarray) -> "SharedArray | np.ndarray":
     seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
     view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
     view[...] = arr
+    shared = view.view(SharedArray)
+    shared._shm = seg
+    return shared
+
+
+def share_array_from_rows(chunks, shape: tuple, dtype) -> "SharedArray | np.ndarray":
+    """Fill a fresh shared segment from an iterable of row chunks.
+
+    The streaming counterpart of :func:`share_array` for data that never
+    exists as one in-memory array — e.g. the partitioning service
+    registering a sharded on-disk dataset shard-at-a-time.  ``chunks`` must
+    yield row blocks that concatenate to exactly ``shape[0]`` rows.
+    """
+    shape = tuple(int(s) for s in shape)
+    dt = np.dtype(dtype)
+    nbytes = int(np.prod(shape)) * dt.itemsize
+    if nbytes == 0:
+        return np.empty(shape, dtype=dt)
+    seg = shared_memory.SharedMemory(create=True, size=nbytes)
+    view = np.ndarray(shape, dtype=dt, buffer=seg.buf)
+    row = 0
+    try:
+        for chunk in chunks:
+            arr = np.ascontiguousarray(chunk, dtype=dt)
+            if arr.shape[1:] != shape[1:]:
+                raise ValueError(f"chunk row shape {arr.shape[1:]} != {shape[1:]}")
+            if row + arr.shape[0] > shape[0]:
+                raise ValueError(f"chunks exceed the declared {shape[0]} rows")
+            view[row : row + arr.shape[0]] = arr
+            row += arr.shape[0]
+        if row != shape[0]:
+            raise ValueError(f"chunks supplied {row} of {shape[0]} declared rows")
+    except Exception:
+        del view
+        _unlink_segment(seg)
+        raise
     shared = view.view(SharedArray)
     shared._shm = seg
     return shared

@@ -208,6 +208,15 @@ class ServiceClient:
                           weights=None if weights is None else np.asarray(weights),
                           dataset_id=dataset_id)
 
+    def register_manifest(self, manifest: str, dataset_id: str | None = None) -> dict:
+        """Register a sharded on-disk dataset by manifest path (server-side file).
+
+        Sends only the path; the server streams the shards into its shared
+        segments shard-at-a-time — the dataset bytes never cross the socket.
+        """
+        return self._call("register_manifest", manifest=str(manifest),
+                          dataset_id=dataset_id)
+
     def partition(self, dataset_id: str, k: int, epsilon: float = 0.03, seed: int = 0,
                   weights: np.ndarray | None = None,
                   deadline_ms: float | None = None):

@@ -54,7 +54,7 @@ from repro.partitioners.result import PartitionResult
 from repro.runtime.checkpoint import CheckpointStore, data_digest, validate_meta
 from repro.runtime.comm import CostLedger
 from repro.runtime.faults import FaultPlan
-from repro.runtime.procomm import share_array, unlink_array
+from repro.runtime.procomm import share_array, share_array_from_rows, unlink_array
 from repro.service.cache import LRUResultCache, weights_hash
 from repro.service.protocol import ProtocolError, read_frame, write_frame
 from repro.service.resilience import (
@@ -244,6 +244,65 @@ class PartitionService:
             dataset_id=dataset_id,
             points=share_array(pts),
             weights=share_array(w) if w is not None else None,
+            digest=digest,
+        )
+        self._datasets[dataset_id] = ds
+        self.ledger.count("datasets_registered")
+        return self._dataset_info(ds)
+
+    async def register_manifest(
+        self,
+        manifest: str,
+        dataset_id: str | None = None,
+    ) -> dict:
+        """Register a sharded on-disk dataset without shipping its bytes.
+
+        The client sends only the manifest path (server-visible filesystem);
+        the server streams the shards into its shared segments one shard at
+        a time, so registration peaks at O(shard) extra memory regardless of
+        dataset size.  Idempotent like :meth:`register_dataset`; the digest
+        is the manifest digest (prefixed ``sharded:``), so re-registering
+        the same directory under the same id is a rehit.
+        """
+        self._ensure_open()
+        return self._register_manifest_sync(manifest, dataset_id)
+
+    def _register_manifest_sync(self, manifest, dataset_id=None) -> dict:
+        from repro.io.sharded import ShardedDataset
+
+        try:
+            src = ShardedDataset(manifest)
+        except (OSError, ValueError) as exc:
+            raise ServiceError(f"cannot open sharded dataset {manifest!r}: {exc}")
+        if src.dim not in (2, 3):
+            raise ServiceError(f"points must be (n, 2|3), got dim={src.dim}")
+        digest = f"sharded:{src.digest}"
+        if dataset_id is None:
+            dataset_id = f"ds-{src.digest[:12]}"
+        existing = self._datasets.get(dataset_id)
+        if existing is not None:
+            if existing.digest != digest:
+                raise ServiceError(
+                    f"dataset id {dataset_id!r} is already registered with different data"
+                )
+            self.ledger.count("dataset_rehits")
+            return self._dataset_info(existing)
+        points = share_array_from_rows(
+            (tile for _, tile, _, _ in src.iter_tiles()), (src.n, src.dim), np.float64
+        )
+        weights = None
+        if src.has_weights:
+            try:
+                weights = share_array_from_rows(
+                    (w for _, _, w, _ in src.iter_tiles()), (src.n,), np.float64
+                )
+            except Exception:
+                unlink_array(points)
+                raise
+        ds = _Dataset(
+            dataset_id=dataset_id,
+            points=points,
+            weights=weights,
             digest=digest,
         )
         self._datasets[dataset_id] = ds
@@ -809,6 +868,7 @@ class PartitionServer:
     #: op name -> service coroutine attribute
     OPS = (
         "register_dataset",
+        "register_manifest",
         "partition",
         "open_session",
         "repartition",

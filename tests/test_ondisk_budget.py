@@ -1,0 +1,69 @@
+"""The memory-budget gate: RLIMIT_AS is real and the pipeline fits under it."""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+GATE = os.path.join(os.path.dirname(__file__), "..", "benchmarks", "ondisk_budget_gate.py")
+
+
+def _load_gate_module():
+    spec = importlib.util.spec_from_file_location("ondisk_budget_gate", GATE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCapMechanics:
+    def test_vm_size_is_positive(self):
+        assert _load_gate_module().vm_size_bytes() > (1 << 20)
+
+    def test_cap_is_enforced_by_the_kernel(self):
+        # a subprocess caps itself 16 MiB over baseline, then tries to
+        # allocate 64 MiB -- the kernel must refuse
+        code = (
+            "import importlib.util\n"
+            f"spec = importlib.util.spec_from_file_location('g', {os.path.abspath(GATE)!r})\n"
+            "g = importlib.util.module_from_spec(spec); spec.loader.exec_module(g)\n"
+            "g.cap_address_space(16 << 20)\n"
+            "try:\n"
+            "    buf = bytearray(64 << 20)\n"
+            "except MemoryError:\n"
+            "    raise SystemExit(0)\n"
+            "raise SystemExit(1)\n"
+        )
+        proc = subprocess.run([sys.executable, "-c", code], timeout=60)
+        assert proc.returncode == 0
+
+
+class TestGate:
+    def test_pipeline_fits_and_control_ooms(self, tmp_path):
+        """End-to-end gate at 1/8 CI scale: 32 MiB dataset under an 8 MiB cap."""
+        out = tmp_path / "report.json"
+        proc = subprocess.run(
+            [sys.executable, GATE, "--budget-mb", "8", "--nranks", "32", "-k", "32",
+             "--shard-rows", "65536", "--control",
+             "--workdir", str(tmp_path), "--out", str(out)],
+            capture_output=True, text=True, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        body = json.loads(out.read_text())
+        assert body["conserved"] is True
+        assert body["control_oom"] is True
+        assert body["dataset_bytes"] >= 4 * body["budget_bytes"]
+        assert sum(body["shuffle_counts"]) == body["n"]
+        assert body["limit_bytes"] - body["baseline_vmsize_bytes"] == body["budget_bytes"]
+
+    def test_gate_fails_under_an_impossible_budget(self, tmp_path):
+        """With a 1 MiB cap nothing fits; the gate must report failure, not hang."""
+        proc = subprocess.run(
+            [sys.executable, GATE, "--budget-mb", "1", "--nranks", "4", "-k", "4",
+             "--shard-rows", "16384", "--workdir", str(tmp_path),
+             "--out", str(tmp_path / "report.json")],
+            capture_output=True, text=True, timeout=600,
+        )
+        assert proc.returncode != 0
